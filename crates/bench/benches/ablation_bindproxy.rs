@@ -1,0 +1,27 @@
+//! Ablation A5 — strict bind via distributed lock vs the §5.1 proxy
+//! proposal.
+//!
+//! "Strict bind semantics should be disabled whenever possible, and
+//! otherwise a proxy-based solution should be adapted so that the
+//! necessary locking is performed locally (near the Jini LUS, e.g. on the
+//! same host), exposing the atomic interface to the client."
+//!
+//! Expected: the proxy restores most of the relaxed-mode throughput while
+//! keeping strict atomicity — the distributed lock's ~12 LUS round trips
+//! shrink to one proxy round trip (two LUS-local operations).
+
+use rndi_bench::figures::ablation_proxy;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = ablation_proxy(&config);
+    print_figure(
+        "Ablation A5 — strict bind: distributed lock vs co-located proxy [ops/s]",
+        &series,
+    );
+}

@@ -1,0 +1,34 @@
+//! Ablation A3 — bounded vs unbounded message queues.
+//!
+//! The paper closes Fig. 5's analysis with "the implementation needs
+//! improvement to be able to gracefully handle update overload". This
+//! ablation reruns the HDNS write sweep with the flow-control layer's
+//! bounded queue: instead of growing until memory exhaustion and crashing,
+//! the bounded stack rejects excess work and throughput *levels off* at
+//! capacity.
+
+use rndi_bench::figures::fig5;
+use rndi_bench::{print_figure, Series, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let unbounded = fig5(&config, false);
+    let bounded = fig5(&config, true);
+    let series: Vec<Series> = vec![
+        relabel(unbounded.into_iter().next().expect("series"), "unbounded (paper)"),
+        relabel(bounded.into_iter().next().expect("series"), "bounded (proposed fix)"),
+    ];
+    print_figure(
+        "Ablation A3 — HDNS rebind throughput: unbounded vs bounded queues [ops/s]",
+        &series,
+    );
+}
+
+fn relabel(mut s: Series, label: &str) -> Series {
+    s.label = label.to_string();
+    s
+}

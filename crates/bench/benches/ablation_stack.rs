@@ -1,0 +1,132 @@
+//! Ablation A2 — the §4.2 protocol-stack trade-off.
+//!
+//! "The Virtual Synchrony protocol suite guarantees an atomic broadcast
+//! and delivery. However, it comes at the cost of scalability … An
+//! alternative protocol suite uses Bimodal Multicast, which improves
+//! scalability, for the price of probabilistic message delivery
+//! reliability. The latter suite was chosen as the default in HDNS."
+//!
+//! Two measurements:
+//! 1. **Write throughput** (virtual time): sequencer writes pay the extra
+//!    forward-to-coordinator hop; bimodal writes multicast directly.
+//! 2. **Delivery reliability** (real `groupcast` cluster, lossy links):
+//!    fraction of multicasts delivered at every member immediately after
+//!    send vs after gossip anti-entropy rounds.
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use groupcast::{ChannelEvent, Cluster, GroupChannel, OrderingMode, StackConfig};
+use rndi_bench::cost;
+use rndi_bench::loadgen::{Operation, RoundTrips};
+use rndi_bench::{print_figure, sweep, SweepConfig};
+use simnet::{micros, QueueingServer, ServerConfig};
+
+fn throughput_comparison(config: &SweepConfig) {
+    // Bimodal: one multicast round trip.
+    let bimodal = sweep("bimodal (HDNS default)", config, |sim, rng, _| {
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::hdns_write()],
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+    // Sequencer: forward-to-coordinator + ordered multicast — an extra
+    // serialized hop through the coordinator bottleneck.
+    let sequencer = sweep("sequencer (virtual synchrony)", config, |sim, rng, _| {
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![micros(1800.0), cost::hdns_write()],
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+    print_figure(
+        "Ablation A2a — HDNS write throughput by protocol stack [ops/s]",
+        &[bimodal, sequencer],
+    );
+}
+
+fn count_delivered(chan: &GroupChannel) -> usize {
+    chan.poll()
+        .into_iter()
+        .filter(|e| matches!(e, ChannelEvent::Message { .. }))
+        .count()
+}
+
+fn reliability_comparison() {
+    println!();
+    println!("# Ablation A2b — delivery reliability on a lossy LAN (real groupcast cluster)");
+    println!(
+        "{:>28}  {:>10}  {:>18}  {:>18}",
+        "stack", "loss", "before gossip", "after gossip"
+    );
+    let n_msgs = 200;
+    for (label, ordering) in [
+        (
+            "sequencer (virtual sync.)",
+            OrderingMode::Sequencer,
+        ),
+        (
+            "bimodal fanout=2",
+            OrderingMode::Bimodal {
+                loss: 0.10,
+                fanout: 2,
+            },
+        ),
+    ] {
+        let cluster = Cluster::new(99);
+        let cfg = StackConfig {
+            ordering: ordering.clone(),
+            ..Default::default()
+        };
+        let chans: Vec<GroupChannel> =
+            (0..3).map(|_| cluster.create_channel(cfg.clone())).collect();
+        for c in &chans {
+            c.connect("abl").unwrap();
+            cluster.pump_all();
+        }
+        for c in &chans {
+            c.poll();
+        }
+        for i in 0..n_msgs {
+            chans[0].mcast(vec![i as u8]).unwrap();
+        }
+        cluster.pump_all();
+        let expected = n_msgs * 2; // two receivers
+        let before: usize = chans[1..].iter().map(count_delivered).sum();
+        // Anti-entropy repair.
+        for _ in 0..12 {
+            cluster.gossip_round();
+            cluster.pump_all();
+        }
+        let after = before + chans[1..].iter().map(count_delivered).sum::<usize>();
+        println!(
+            "{:>28}  {:>10}  {:>17.1}%  {:>17.1}%",
+            label,
+            match ordering {
+                OrderingMode::Sequencer => "0%".to_string(),
+                OrderingMode::Bimodal { loss, .. } => format!("{:.0}%", loss * 100.0),
+            },
+            100.0 * before as f64 / expected as f64,
+            100.0 * after as f64 / expected as f64,
+        );
+    }
+    println!("## sequencer: atomic+total order, delivery complete immediately");
+    println!("## bimodal: initial delivery probabilistic, gossip repairs to completeness");
+}
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    throughput_comparison(&config);
+    reliability_comparison();
+    // Silence the unused-duration lint paths in quick mode.
+    let _ = Duration::ZERO;
+}

@@ -1,0 +1,23 @@
+//! Figure 2 — Throughput of Jini and JNDI Jini provider, lookup
+//! operations (read).
+//!
+//! Expected shape (paper §7): the standalone LUS peaks near 400 req/s and
+//! then degrades; the JNDI provider's serialization layer costs ≈25%
+//! (peak ≈300 req/s); strict vs relaxed bind semantics do not affect
+//! reads.
+
+use rndi_bench::figures::fig2;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig2(&config);
+    print_figure(
+        "Figure 2 — Throughput of Jini and JNDI Jini provider, lookup operations (read) [ops/s]",
+        &series,
+    );
+}

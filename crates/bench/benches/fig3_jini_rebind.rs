@@ -1,0 +1,23 @@
+//! Figure 3 — Throughput of Jini and JNDI Jini provider, rebind
+//! operations (write).
+//!
+//! Expected shape: raw LUS writes peak ≈140 op/s; the relaxed-semantics
+//! provider approaches 80 op/s; the strict-semantics provider — paying
+//! Eisenberg–McGuire's distributed lock in LUS round trips — collapses to
+//! ≈20 op/s (the paper's "7-fold decrease").
+
+use rndi_bench::figures::fig3;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig3(&config);
+    print_figure(
+        "Figure 3 — Throughput of Jini and JNDI Jini provider, rebind operations (write) [ops/s]",
+        &series,
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 4 — Throughput of HDNS and JNDI HDNS provider, lookup
+//! operations (read).
+//!
+//! Expected shape: "HDNS demonstrates excellent scalability; we have not
+//! been able to identify the peak throughput as it exceeds 1800 read
+//! operations per second. The HDNS JNDI provider layer does not introduce
+//! a noticeable overhead."
+
+use rndi_bench::figures::fig4;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig4(&config);
+    print_figure(
+        "Figure 4 — Throughput of HDNS and JNDI HDNS provider, lookup operations (read) [ops/s]",
+        &series,
+    );
+}

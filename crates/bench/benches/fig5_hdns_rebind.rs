@@ -1,0 +1,23 @@
+//! Figure 5 — Throughput of HDNS and JNDI HDNS provider, rebind
+//! operations (write).
+//!
+//! Expected shape: peak write throughput ≈200 op/s, then — because the
+//! unbounded JGroups message queues grow until memory is exhausted and the
+//! server crashes — "a rapid throughput decline (instead of levelling
+//! off) for number of clients exceeding 20".
+
+use rndi_bench::figures::fig5;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig5(&config, false);
+    print_figure(
+        "Figure 5 — Throughput of HDNS and JNDI HDNS provider, rebind operations (write) [ops/s]",
+        &series,
+    );
+}

@@ -1,0 +1,21 @@
+//! Figure 6 — Throughput of JNDI-DNS, lookup operations (read).
+//!
+//! Expected shape: "DNS exhibits excellent scalability, with peak
+//! throughput per node exceeding 1800 lookup operations/s" — linear in
+//! the client count across the whole sweep.
+
+use rndi_bench::figures::fig6;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig6(&config);
+    print_figure(
+        "Figure 6 — Throughput of JNDI-DNS, lookup operations (read) [ops/s]",
+        &series,
+    );
+}

@@ -1,0 +1,23 @@
+//! Figure 7 — Throughput of JNDI-LDAP (OpenLDAP), read/write.
+//!
+//! Expected shape: "very good write throughput has been observed for the
+//! LDAP server. Surprisingly, the read throughput of OpenLDAP plateaus at
+//! about 800 operations per second, leaving server resources …
+//! unsaturated" — the anti-DoS throttle the authors conjectured, which
+//! `dirserv` implements explicitly.
+
+use rndi_bench::figures::fig7;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig7(&config);
+    print_figure(
+        "Figure 7 — Throughput of JNDI-LDAP (OpenLDAP), read/write [ops/s]",
+        &series,
+    );
+}

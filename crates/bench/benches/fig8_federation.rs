@@ -1,0 +1,29 @@
+//! Experiment 8 — the §7 federation claim: "the individual performance
+//! characteristics of the discussed JNDI providers are preserved when they
+//! are combined into a federated name space."
+//!
+//! Compares a direct departmental-LDAP read against the full composite
+//! path `dns://global/emory/mathcs/dcl/mokey` (DNS root → HDNS
+//! intermediate → LDAP leaf). Expected: the same ≈800 op/s throttle
+//! plateau governs both (characteristics preserved); the federated path
+//! pays additive per-hop latency.
+
+use rndi_bench::experiment::print_latency;
+use rndi_bench::figures::fig8;
+use rndi_bench::{print_figure, SweepConfig};
+
+fn main() {
+    let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
+        SweepConfig::quick()
+    } else {
+        SweepConfig::default()
+    };
+    let series = fig8(&config);
+    print_figure(
+        "Experiment 8 — Federated (dns→hdns→ldap) vs direct LDAP lookups [ops/s]",
+        &series,
+    );
+    for s in &series {
+        print_latency(s);
+    }
+}

@@ -1,0 +1,56 @@
+//! Diagnostic: the Fig. 5 overload-collapse dynamics, point by point —
+//! completions, failures, and crash counts for the unbounded-queue HDNS
+//! write server. Useful when re-calibrating `cost::HDNS_*`.
+//!
+//! Run with: `cargo run -p rndi-bench --example fig5_debug`
+
+use std::rc::Rc;
+use std::time::Duration;
+
+use rndi_bench::loadgen::{run_closed_loop, Operation, RoundTrips};
+use simnet::{QueueingServer, ServerConfig, Sim, SimRng};
+
+fn main() {
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>8}",
+        "clients", "ops/s", "completed", "failed", "crashes"
+    );
+    for clients in [10usize, 15, 20, 25, 30, 40, 70, 100] {
+        let sim = Sim::new();
+        let rng = SimRng::seed_from_u64(9);
+        let server = QueueingServer::new(
+            &sim,
+            ServerConfig {
+                workers: 1,
+                bytes_per_job: rndi_bench::cost::HDNS_WRITE_BYTES,
+                memory_limit: Some(rndi_bench::cost::HDNS_MEMORY_LIMIT),
+                restart_after: Some(rndi_bench::cost::hdns_restart()),
+                ..Default::default()
+            },
+        );
+        let srv = server.clone();
+        let op = Rc::new(RoundTrips::new(
+            server,
+            rng.fork(),
+            Duration::from_micros(200),
+            vec![rndi_bench::cost::hdns_write()],
+        ));
+        let r = run_closed_loop(
+            &sim,
+            Rc::new(op) as Rc<dyn Operation>,
+            clients,
+            rndi_bench::cost::think_time(),
+            Duration::from_secs(2),
+            Duration::from_secs(10),
+            &rng,
+        );
+        println!(
+            "{:>8} {:>10.1} {:>10} {:>8} {:>8}",
+            clients,
+            r.throughput,
+            r.completed,
+            r.failed,
+            srv.stats().crashes
+        );
+    }
+}

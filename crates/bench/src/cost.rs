@@ -1,0 +1,149 @@
+//! Calibrated cost model.
+//!
+//! The paper's testbed (Pentium 4 / Celeron machines on Gigabit Ethernet,
+//! 2005-era JVMs) is gone; these service-time constants are chosen so each
+//! backend's *capacity* matches the figure it was measured at, and every
+//! derived effect (saturation knee, SPI overhead ratio, strict-bind
+//! penalty, overload collapse, throttle plateau) then emerges from the
+//! queueing simulation. EXPERIMENTS.md records paper-vs-measured numbers.
+
+use std::time::Duration;
+
+use simnet::{micros, millis};
+
+/// One-way LAN latency (100 µs each way ⇒ 0.2 ms RTT).
+pub fn net_rtt() -> Duration {
+    micros(200.0)
+}
+
+/// The paper's closed-loop think time: "50 ms pauses between requests
+/// (i.e. with the frequency of up to 20 Hz)".
+pub fn think_time() -> Duration {
+    Duration::from_millis(50)
+}
+
+// ---------------------------------------------------------------- Jini --
+// Fig. 2: raw LUS peaks ≈400 reads/s then degrades; the JNDI provider's
+// serialization layer costs ≈25% (peak ≈300/s). Fig. 3: raw writes peak
+// ≈140/s; relaxed SPI ≈80/s; strict ≈20/s via Eisenberg–McGuire locking.
+
+/// Raw LUS lookup service time (≈ 420/s capacity).
+pub fn jini_read() -> Duration {
+    millis(2.35)
+}
+
+/// Raw LUS register service time (≈ 145/s capacity).
+pub fn jini_write() -> Duration {
+    millis(6.9)
+}
+
+/// SPI marshalling multiplier on the read path ("reduces the performance
+/// by about 25%").
+pub const JINI_SPI_READ_FACTOR: f64 = 1.33;
+
+/// SPI marshalling multiplier on the write path (stub construction +
+/// attribute entry serialization dominate: ≈80/s from 145/s).
+pub const JINI_SPI_WRITE_FACTOR: f64 = 1.8;
+
+/// Queue-depth contention degradation for the LUS (visible decline past
+/// the knee in Figs. 2–3).
+pub const JINI_DEGRADATION: f64 = 0.0012;
+
+/// The Eisenberg–McGuire lock's register accesses for one uncontended
+/// critical section, as (reads, writes): the paper's "3 reads and 5
+/// writes". Our implementation measures 5 reads / 5 writes; the bench
+/// charges what the lock actually performs.
+pub const EM_LOCK_READS: u32 = 5;
+pub const EM_LOCK_WRITES: u32 = 5;
+
+// ---------------------------------------------------------------- HDNS --
+// Fig. 4: replica-local reads exceed 1800/s with no visible knee; the SPI
+// adds no noticeable overhead. Fig. 5: writes peak ≈200/s, then collapse
+// (not level off) past ≈20 clients — unbounded JGroups queues.
+
+/// HDNS replica-local read service time (> 2200/s capacity).
+pub fn hdns_read() -> Duration {
+    micros(440.0)
+}
+
+/// HDNS write service time: local apply + multicast to the group +
+/// stability accounting (≈ 205/s capacity).
+pub fn hdns_write() -> Duration {
+    millis(4.85)
+}
+
+/// SPI overhead for HDNS ("does not introduce a noticeable overhead").
+pub const HDNS_SPI_FACTOR: f64 = 1.03;
+
+/// Heap bytes each queued write pins inside the stack. A queued rebind is
+/// far more than its 2 KB payload: the unbounded JGroups layers retain the
+/// marshalled multicast, per-member retransmission copies, NAK/STABLE
+/// bookkeeping and undelivered out-of-order buffers for it, an
+/// amplification of a couple of hundred under overload.
+pub const HDNS_WRITE_BYTES: u64 = 480 * 1024;
+
+/// Replica heap budget for queued messages; exceeding it is the paper's
+/// "memory exhaustion and server crash". With the amplification above the
+/// crash trips once ≈13 writes are backed up — which a closed-loop sweep
+/// first reaches between 20 and 30 clients, the knee of Fig. 5.
+pub const HDNS_MEMORY_LIMIT: u64 = 6 * 1024 * 1024;
+
+/// Crash-restart delay (supervision loop). Short enough that the
+/// crash-restart-crash cycle leaves the residual trickle of completed
+/// writes visible at the right edge of Fig. 5 (rather than flatlining at
+/// exactly zero).
+pub fn hdns_restart() -> Duration {
+    Duration::from_millis(300)
+}
+
+/// Bounded-queue depth for the flow-control ablation.
+pub const HDNS_BOUNDED_QUEUE: usize = 512;
+
+// ----------------------------------------------------------------- DNS --
+// Fig. 6: "excellent scalability, with peak throughput per node exceeding
+// 1800 lookup operations/s" — i.e. not saturated by 100 clients at 20 Hz.
+
+/// Bind lookup service time (> 2300/s capacity).
+pub fn dns_read() -> Duration {
+    micros(420.0)
+}
+
+// ---------------------------------------------------------------- LDAP --
+// Fig. 7: reads plateau ≈800/s with unsaturated resources (the anti-DoS
+// throttle); writes show "excellent responsiveness".
+
+/// OpenLDAP search service time, pre-throttle (≈ 2000/s raw capacity —
+/// deliberately unsaturated at the plateau).
+pub fn ldap_read() -> Duration {
+    micros(500.0)
+}
+
+/// The observed read plateau.
+pub const LDAP_THROTTLE_PER_SEC: u64 = 800;
+
+/// OpenLDAP modify service time (≈ 1500/s capacity).
+pub fn ldap_write() -> Duration {
+    micros(660.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacities_match_paper_figures() {
+        let cap = |d: Duration| 1.0 / d.as_secs_f64();
+        assert!((380.0..460.0).contains(&cap(jini_read())), "Jini read ≈400/s");
+        assert!((130.0..160.0).contains(&cap(jini_write())), "Jini write ≈140/s");
+        assert!(cap(hdns_read()) > 1800.0, "HDNS reads exceed 1800/s");
+        assert!((180.0..230.0).contains(&cap(hdns_write())), "HDNS write ≈200/s");
+        assert!(cap(dns_read()) > 1800.0, "DNS exceeds 1800/s");
+        assert!(cap(ldap_read()) > LDAP_THROTTLE_PER_SEC as f64, "LDAP unsaturated at plateau");
+    }
+
+    #[test]
+    fn spi_read_factor_is_about_a_quarter() {
+        // ≈25% throughput reduction ⇔ service-time factor ≈ 1/0.75.
+        assert!((1.28..1.40).contains(&JINI_SPI_READ_FACTOR));
+    }
+}

@@ -1,0 +1,780 @@
+//! Per-figure experiment setups.
+//!
+//! Each function reproduces one figure of the paper's §7: it deploys the
+//! real backend, wraps it in a queueing model calibrated by [`crate::cost`],
+//! and sweeps 1..100 closed-loop clients. Real backend operations execute
+//! inside the simulation (sampled for the heavyweight replicated paths) so
+//! the measured system is the actual implementation, not a stub.
+
+use std::rc::Rc;
+use std::sync::Arc;
+use std::time::Duration;
+
+use simnet::{QueueingServer, ServerConfig, Sim};
+
+use rndi_core::prelude::*;
+
+use crate::cost;
+use crate::experiment::{sweep, Series, SweepConfig};
+use crate::loadgen::{DoneFn, Operation, RoundTrips};
+
+fn scale(d: Duration, factor: f64) -> Duration {
+    Duration::from_nanos((d.as_nanos() as f64 * factor) as u64)
+}
+
+/// An operation that chains several [`RoundTrips`] stages against distinct
+/// servers — the shape of a federated lookup (root, intermediate, leaf).
+pub struct SeqOp {
+    pub stages: Vec<Rc<RoundTrips>>,
+}
+
+impl SeqOp {
+    fn run(self: &Rc<Self>, sim: &Sim, idx: usize, done: DoneFn) {
+        let this = self.clone();
+        let stage = self.stages[idx].clone();
+        Operation::issue(
+            &stage,
+            sim,
+            Box::new(move |sim, ok| {
+                if !ok || idx + 1 == this.stages.len() {
+                    done(sim, ok);
+                } else {
+                    this.run(sim, idx + 1, done);
+                }
+            }),
+        );
+    }
+}
+
+impl Operation for Rc<SeqOp> {
+    fn issue(&self, sim: &Sim, done: DoneFn) {
+        self.run(sim, 0, done);
+    }
+}
+
+// --------------------------------------------------------------- Jini --
+
+fn jini_server(sim: &Sim) -> QueueingServer {
+    QueueingServer::new(
+        sim,
+        ServerConfig {
+            workers: 1,
+            degradation: cost::JINI_DEGRADATION,
+            ..Default::default()
+        },
+    )
+}
+
+/// A live registrar + provider context pair for the real-work closures.
+fn jini_backend(strict: bool) -> (rlus::Registrar, Arc<rndi_providers::JiniProviderContext>) {
+    let clock = rlus::ManualClock::new();
+    let registrar = rlus::Registrar::new(clock.clone(), u64::MAX / 4, 77);
+    let env = Environment::new().with(
+        env_keys::JINI_STRICT_BIND,
+        if strict { "true" } else { "false" },
+    );
+    let ctx = rndi_providers::JiniProviderContext::new(
+        registrar.clone(),
+        Arc::new(rndi_providers::common::RlusClock(
+            clock as Arc<dyn rlus::Clock>,
+        )),
+        env,
+        "bench",
+    );
+    (registrar, ctx)
+}
+
+/// Figure 2: Jini & JNDI-Jini provider, lookup (read) throughput.
+pub fn fig2(config: &SweepConfig) -> Vec<Series> {
+    let raw = sweep("jini", config, |sim, rng, _| {
+        let (registrar, ctx) = jini_backend(false);
+        ContextExt::rebind_str(&*ctx, "bench", "payload").expect("seed");
+        let template = rlus::ServiceTemplate::any().with_entry(
+            rlus::EntryTemplate::new("RndiBinding").with("name", "bench"),
+        );
+        let op = RoundTrips::new(
+            jini_server(sim),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::jini_read()],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                registrar.lookup(&template).expect("seeded item present");
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let spi = |label: &str, strict: bool| {
+        sweep(label, config, move |sim, rng, _| {
+            let (_registrar, ctx) = jini_backend(strict);
+            ContextExt::rebind_str(&*ctx, "bench", "payload").expect("seed");
+            let op = RoundTrips::new(
+                jini_server(sim),
+                rng.fork(),
+                cost::net_rtt(),
+                vec![scale(cost::jini_read(), cost::JINI_SPI_READ_FACTOR)],
+            )
+            .with_work(
+                Rc::new(move |_| {
+                    ContextExt::lookup_str(&*ctx, "bench").expect("seeded binding");
+                }),
+                1,
+            );
+            Rc::new(Rc::new(op)) as Rc<dyn Operation>
+        })
+    };
+
+    vec![raw, spi("jini-spi-relaxed", false), spi("jini-spi-strict", true)]
+}
+
+/// Figure 3: Jini & JNDI-Jini provider, rebind (write) throughput.
+pub fn fig3(config: &SweepConfig) -> Vec<Series> {
+    let raw = sweep("jini", config, |sim, rng, _| {
+        let (registrar, _ctx) = jini_backend(false);
+        let op = RoundTrips::new(
+            jini_server(sim),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::jini_write()],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                let item = rlus::ServiceItem::new(rlus::ServiceStub::new(
+                    vec!["Bench".into()],
+                    vec![0; 64],
+                ))
+                .with_id(rlus::ServiceId::new(1, 1))
+                .with_entry(rlus::Entry::name("bench"));
+                registrar.register(item, 60_000);
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let relaxed = sweep("jini-spi-relaxed", config, |sim, rng, _| {
+        let (_r, ctx) = jini_backend(false);
+        let op = RoundTrips::new(
+            jini_server(sim),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![scale(cost::jini_write(), cost::JINI_SPI_WRITE_FACTOR)],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                ContextExt::rebind_str(&*ctx, "bench", "payload").expect("rebind");
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let strict = sweep("jini-spi-strict", config, |sim, rng, _| {
+        let (_r, ctx) = jini_backend(true);
+        // The distributed lock turns one rebind into 5 register writes + 5
+        // register reads + the guarded lookup + the marshalled register —
+        // every one of them a full LUS round trip.
+        let mut segments = Vec::new();
+        segments.extend(std::iter::repeat_n(
+            cost::jini_read(),
+            cost::EM_LOCK_READS as usize,
+        ));
+        segments.extend(std::iter::repeat_n(
+            cost::jini_write(),
+            cost::EM_LOCK_WRITES as usize,
+        ));
+        segments.push(cost::jini_read()); // existence check in the CS
+        segments.push(scale(cost::jini_write(), cost::JINI_SPI_WRITE_FACTOR));
+        let op = RoundTrips::new(jini_server(sim), rng.fork(), cost::net_rtt(), segments)
+            .with_work(
+                Rc::new(move |_| {
+                    ContextExt::rebind_str(&*ctx, "bench", "payload").expect("rebind");
+                }),
+                1,
+            );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    vec![raw, relaxed, strict]
+}
+
+/// Ablation A5 — the §5.1 proposal: "a proxy-based solution should be
+/// adapted so that the necessary locking is performed locally (near the
+/// Jini LUS) … exposing the atomic interface to the client." Compares
+/// strict bind via the distributed lock against strict bind via the
+/// co-located [`rndi_providers::AtomicBindProxy`] (and the relaxed
+/// baseline).
+pub fn ablation_proxy(config: &SweepConfig) -> Vec<Series> {
+    let fig3_series = fig3(config);
+    let mut out: Vec<Series> = fig3_series
+        .into_iter()
+        .filter(|s| s.label.contains("spi"))
+        .collect();
+
+    let proxied = sweep("jini-spi-strict-proxy", config, |sim, rng, _| {
+        let clock = rlus::ManualClock::new();
+        let registrar = rlus::Registrar::new(clock.clone(), u64::MAX / 4, 78);
+        let proxy = rndi_providers::AtomicBindProxy::new(registrar.clone());
+        let env = Environment::new().with(env_keys::JINI_STRICT_BIND, "true");
+        let ctx = rndi_providers::JiniProviderContext::with_proxy(
+            registrar,
+            Arc::new(rndi_providers::common::RlusClock(
+                clock as Arc<dyn rlus::Clock>,
+            )),
+            env,
+            "proxy-bench",
+            Some(proxy),
+        );
+        // One existence check + one marshalled register — both served at
+        // the proxy, so two LUS-local operations and a single client RTT.
+        let op = RoundTrips::new(
+            jini_server(sim),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![
+                cost::jini_read(),
+                scale(cost::jini_write(), cost::JINI_SPI_WRITE_FACTOR),
+            ],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                // Fresh name per op: atomic binds of existing names fail by
+                // design, and we measure the success path.
+                static COUNTER: std::sync::atomic::AtomicU64 =
+                    std::sync::atomic::AtomicU64::new(0);
+                let i = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                ContextExt::bind_str(&*ctx, &format!("p{i}"), "v").expect("bind");
+                ContextExt::unbind_str(&*ctx, &format!("p{i}")).expect("unbind");
+            }),
+            16,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+    out.push(proxied);
+    out
+}
+
+// --------------------------------------------------------------- HDNS --
+
+fn hdns_realm() -> hdns::HdnsRealm {
+    hdns::HdnsRealm::new(
+        "bench",
+        2, // "the HDNS service has been installed on two identical dedicated machines"
+        groupcast::StackConfig::default(),
+        None,
+        7,
+    )
+}
+
+/// Figure 4: HDNS & JNDI HDNS provider, lookup (read) throughput. All
+/// requests go to one node, so this is per-node throughput.
+pub fn fig4(config: &SweepConfig) -> Vec<Series> {
+    let raw = sweep("hdns", config, |sim, rng, _| {
+        let realm = hdns_realm();
+        realm
+            .rebind(0, "bench", hdns::HdnsEntry::leaf(vec![0; 64]))
+            .expect("seed");
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::hdns_read()],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                realm.lookup(0, "bench").expect("seeded entry");
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let spi = sweep("hdns-spi", config, |sim, rng, _| {
+        let realm = hdns_realm();
+        let ctx = rndi_providers::HdnsProviderContext::new(realm, 0, "bench");
+        ContextExt::rebind_str(&*ctx, "bench", "payload").expect("seed");
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![scale(cost::hdns_read(), cost::HDNS_SPI_FACTOR)],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                ContextExt::lookup_str(&*ctx, "bench").expect("seeded binding");
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    vec![raw, spi]
+}
+
+/// Figure 5: HDNS & JNDI HDNS provider, rebind (write) throughput.
+/// `bounded = false` reproduces the paper (unbounded JGroups queues ⇒
+/// memory exhaustion ⇒ crash past ~20 clients); `bounded = true` is the
+/// proposed fix measured by the flow-control ablation.
+pub fn fig5(config: &SweepConfig, bounded: bool) -> Vec<Series> {
+    let server_config = move || {
+        if bounded {
+            ServerConfig {
+                workers: 1,
+                queue_limit: Some(cost::HDNS_BOUNDED_QUEUE),
+                ..Default::default()
+            }
+        } else {
+            ServerConfig {
+                workers: 1,
+                bytes_per_job: cost::HDNS_WRITE_BYTES,
+                memory_limit: Some(cost::HDNS_MEMORY_LIMIT),
+                restart_after: Some(cost::hdns_restart()),
+                ..Default::default()
+            }
+        }
+    };
+
+    let raw = sweep("hdns", config, move |sim, rng, _| {
+        let realm = hdns_realm();
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, server_config()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::hdns_write()],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                // Real replicated write, sampled: each one drives the full
+                // groupcast pipeline across both replicas.
+                realm
+                    .rebind(0, "bench", hdns::HdnsEntry::leaf(vec![0; 64]))
+                    .expect("rebind");
+            }),
+            64,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let spi = sweep("hdns-spi", config, move |sim, rng, _| {
+        let realm = hdns_realm();
+        let ctx = rndi_providers::HdnsProviderContext::new(realm, 0, "bench");
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, server_config()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![scale(cost::hdns_write(), cost::HDNS_SPI_FACTOR)],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                ContextExt::rebind_str(&*ctx, "bench", "payload").expect("rebind");
+            }),
+            64,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    vec![raw, spi]
+}
+
+// ---------------------------------------------------------------- DNS --
+
+fn dns_world() -> Arc<minidns::Resolver> {
+    let server = minidns::AuthServer::new();
+    let mut zone = minidns::Zone::new(minidns::DnsName::parse("bench.example").unwrap());
+    for i in 0..32 {
+        zone.insert(minidns::ResourceRecord::txt(
+            &format!("e{i}.bench.example"),
+            3600,
+            format!("value-{i}"),
+        ));
+    }
+    server.add_zone(zone);
+    Arc::new(minidns::Resolver::new(vec![server]))
+}
+
+/// Figure 6: JNDI-DNS lookup (read) throughput.
+pub fn fig6(config: &SweepConfig) -> Vec<Series> {
+    let series = sweep("dns-spi", config, |sim, rng, _| {
+        let resolver = dns_world();
+        let name = minidns::DnsName::parse("e7.bench.example").unwrap();
+        let sim2 = sim.clone();
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::dns_read()],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                resolver
+                    .resolve(&name, minidns::RecordType::Txt, sim2.now().as_nanos() / 1_000_000)
+                    .expect("record present");
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+    vec![series]
+}
+
+// --------------------------------------------------------------- LDAP --
+
+fn ldap_server(throttle: Option<u64>) -> dirserv::DirectoryServer {
+    let server = dirserv::DirectoryServer::new(dirserv::ServerConfig {
+        read_throttle_per_sec: throttle,
+        ..Default::default()
+    });
+    let conn = server.connect_anonymous();
+    conn.add(
+        dirserv::LdapEntry::new(dirserv::Dn::parse("o=bench").unwrap())
+            .with("objectClass", "organization")
+            .with("o", "bench"),
+    )
+    .expect("seed base");
+    for i in 0..16 {
+        conn.add(
+            dirserv::LdapEntry::new(
+                dirserv::Dn::parse(&format!("cn=e{i},o=bench")).unwrap(),
+            )
+            .with("objectClass", "device")
+            .with("cn", format!("e{i}")),
+        )
+        .expect("seed entry");
+    }
+    server
+}
+
+/// Figure 7: JNDI-LDAP read and write throughput. The read plateau is the
+/// real anti-DoS throttle's doing — the queueing server itself never
+/// saturates.
+pub fn fig7(config: &SweepConfig) -> Vec<Series> {
+    let read = sweep("ldap-read", config, |sim, rng, _| {
+        let server = ldap_server(Some(cost::LDAP_THROTTLE_PER_SEC));
+        let conn = server.connect_anonymous();
+        let dn = dirserv::Dn::parse("cn=e3,o=bench").unwrap();
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::ldap_read()],
+        )
+        .with_extra_delay(Rc::new(move |sim| {
+            // The real server consults its throttle at virtual "now" and
+            // reports the slowdown it imposed.
+            let now_ms = sim.now().as_nanos() / 1_000_000;
+            match conn.read(&dn, now_ms) {
+                Ok((_, delay_ms)) => Duration::from_millis(delay_ms),
+                Err(_) => Duration::ZERO,
+            }
+        }));
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let write = sweep("ldap-write", config, |sim, rng, _| {
+        let server = ldap_server(None);
+        let conn = server.connect_anonymous();
+        let dn = dirserv::Dn::parse("cn=e3,o=bench").unwrap();
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::ldap_write()],
+        )
+        .with_work(
+            Rc::new(move |_| {
+                conn.modify(
+                    &dn,
+                    &[dirserv::server::Modification::Replace(
+                        "description".into(),
+                        vec!["updated".into()],
+                    )],
+                )
+                .expect("modify");
+            }),
+            1,
+        );
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    vec![read, write]
+}
+
+// ---------------------------------------------------------- Federation --
+
+/// The §7 claim: "the individual performance characteristics of the
+/// discussed JNDI providers are preserved when they are combined into a
+/// federated name space." Compares a direct LDAP read against the full
+/// DNS → HDNS → LDAP composite-URL path, with the real federated
+/// resolution executed (sampled) through an [`InitialContext`].
+pub fn fig8(config: &SweepConfig) -> Vec<Series> {
+    let direct = sweep("ldap-direct", config, |sim, rng, _| {
+        let server = ldap_server(Some(cost::LDAP_THROTTLE_PER_SEC));
+        let conn = server.connect_anonymous();
+        let dn = dirserv::Dn::parse("cn=e3,o=bench").unwrap();
+        let op = RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::ldap_read()],
+        )
+        .with_extra_delay(Rc::new(move |sim| {
+            let now_ms = sim.now().as_nanos() / 1_000_000;
+            match conn.read(&dn, now_ms) {
+                Ok((_, d)) => Duration::from_millis(d),
+                Err(_) => Duration::ZERO,
+            }
+        }));
+        Rc::new(Rc::new(op)) as Rc<dyn Operation>
+    });
+
+    let federated = sweep("federated dns-hdns-ldap", config, |sim, rng, _| {
+        let deployment = federation_deployment();
+        // Stage models: DNS root hop, HDNS intermediate hop, LDAP leaf hop.
+        let dns_stage = Rc::new(RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::dns_read()],
+        ));
+        let hdns_stage = Rc::new(RoundTrips::new(
+            QueueingServer::new(sim, ServerConfig::default()),
+            rng.fork(),
+            cost::net_rtt(),
+            vec![cost::hdns_read()],
+        ));
+        let ldap_conn = deployment.ldap.connect_anonymous();
+        let ldap_dn = dirserv::Dn::parse("cn=mokey,ou=dcl,o=emory").unwrap();
+        let ic = deployment.ic.clone();
+        let ldap_stage = Rc::new(
+            RoundTrips::new(
+                QueueingServer::new(sim, ServerConfig::default()),
+                rng.fork(),
+                cost::net_rtt(),
+                vec![cost::ldap_read()],
+            )
+            .with_extra_delay(Rc::new(move |sim| {
+                let now_ms = sim.now().as_nanos() / 1_000_000;
+                match ldap_conn.read(&ldap_dn, now_ms) {
+                    Ok((_, d)) => Duration::from_millis(d),
+                    Err(_) => Duration::ZERO,
+                }
+            }))
+            .with_work(
+                Rc::new(move |_| {
+                    // The real federated resolution, end to end.
+                    let v = ic
+                        .lookup("dns://global/emory/mathcs/dcl/mokey")
+                        .expect("federated lookup resolves");
+                    assert_eq!(v.as_str(), Some("the-monkey"));
+                }),
+                32,
+            ),
+        );
+        let op = Rc::new(SeqOp {
+            stages: vec![dns_stage, hdns_stage, ldap_stage],
+        });
+        Rc::new(op) as Rc<dyn Operation>
+    });
+
+    vec![direct, federated]
+}
+
+struct FederationDeployment {
+    ldap: dirserv::DirectoryServer,
+    ic: Arc<InitialContext>,
+}
+
+/// Build the paper's §6 deployment: DNS anchors the federation, HDNS is
+/// the replicated intermediate layer, a departmental LDAP server holds the
+/// leaves.
+fn federation_deployment() -> FederationDeployment {
+    struct ZeroClock;
+    impl rndi_providers::common::MsClock for ZeroClock {
+        fn now_ms(&self) -> u64 {
+            0
+        }
+    }
+    let clock: Arc<dyn rndi_providers::common::MsClock> = Arc::new(ZeroClock);
+
+    // DNS: TXT at the anchor points at the HDNS layer.
+    let dns_server = minidns::AuthServer::new();
+    let mut zone = minidns::Zone::new(minidns::DnsName::parse("global.example").unwrap());
+    zone.insert(minidns::ResourceRecord::txt(
+        "global.example",
+        3600,
+        "hdns://host2",
+    ));
+    dns_server.add_zone(zone);
+    let resolver = Arc::new(minidns::Resolver::new(vec![dns_server]));
+
+    // HDNS: the replicated directory of department-level services.
+    let realm = hdns::HdnsRealm::new("fed", 2, groupcast::StackConfig::default(), None, 21);
+    realm.create_context(0, "emory").expect("ctx");
+    realm.create_context(0, "emory/mathcs").expect("ctx");
+    realm
+        .bind(
+            0,
+            "emory/mathcs/dcl",
+            hdns::HdnsEntry::leaf(
+                rndi_core::value::StoredValue::Reference(Reference::url(
+                    "ldap://dept-ldap/ou=dcl",
+                ))
+                .encode(),
+            ),
+        )
+        .expect("bind ldap link");
+
+    // LDAP: the departmental leaf server.
+    let ldap = ldap_server_for_federation();
+
+    let registry = Arc::new(ProviderRegistry::new());
+    let dns_factory = rndi_providers::DnsFactory::new(clock.clone());
+    dns_factory.register_anchor(
+        "global",
+        resolver,
+        minidns::DnsName::parse("global.example").unwrap(),
+    );
+    registry.register(dns_factory);
+    let hdns_factory = rndi_providers::HdnsFactory::new();
+    hdns_factory.register_host("host2", realm, 0);
+    registry.register(hdns_factory);
+    let ldap_factory = rndi_providers::LdapFactory::new(clock);
+    ldap_factory.register_host(
+        "dept-ldap",
+        ldap.clone(),
+        dirserv::Dn::parse("o=emory").unwrap(),
+    );
+    registry.register(ldap_factory);
+
+    let ic = Arc::new(InitialContext::new(registry, Environment::new()).expect("ic"));
+    FederationDeployment { ldap, ic }
+}
+
+fn ldap_server_for_federation() -> dirserv::DirectoryServer {
+    let ldap = dirserv::DirectoryServer::new(dirserv::ServerConfig {
+        read_throttle_per_sec: Some(cost::LDAP_THROTTLE_PER_SEC),
+        ..Default::default()
+    });
+    let conn = ldap.connect_anonymous();
+    conn.add(
+        dirserv::LdapEntry::new(dirserv::Dn::parse("o=emory").unwrap())
+            .with("objectClass", "organization")
+            .with("o", "emory"),
+    )
+    .expect("seed");
+    conn.add(
+        dirserv::LdapEntry::new(dirserv::Dn::parse("ou=dcl,o=emory").unwrap())
+            .with("objectClass", "organizationalUnit")
+            .with("ou", "dcl"),
+    )
+    .expect("seed");
+    conn.add(
+        dirserv::LdapEntry::new(dirserv::Dn::parse("cn=mokey,ou=dcl,o=emory").unwrap())
+            .with("objectClass", "rndiObject")
+            .with("cn", "mokey")
+            .with(
+                "rndiValue",
+                String::from_utf8(
+                    rndi_core::value::StoredValue::Str("the-monkey".into()).encode(),
+                )
+                .expect("utf8"),
+            ),
+    )
+    .expect("seed");
+    ldap
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> SweepConfig {
+        SweepConfig {
+            clients: vec![5, 40],
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(5),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn fig2_shape_raw_beats_spi() {
+        let s = fig2(&tiny());
+        // At 40 clients (offered 800/s) the raw LUS is saturated near 400
+        // and the SPI near 300.
+        assert!(s[0].at(40) > s[1].at(40) * 1.1, "raw > spi by ~25%");
+        // Strict == relaxed for reads.
+        let rel = s[1].at(40);
+        let strict = s[2].at(40);
+        assert!((strict - rel).abs() / rel < 0.15, "{strict} vs {rel}");
+    }
+
+    #[test]
+    fn fig3_shape_strict_is_much_slower() {
+        let s = fig3(&tiny());
+        assert!(s[0].at(40) > s[1].at(40), "raw > relaxed");
+        assert!(
+            s[1].at(40) > 3.0 * s[2].at(40),
+            "strict pays the lock: relaxed {} vs strict {}",
+            s[1].at(40),
+            s[2].at(40)
+        );
+    }
+
+    #[test]
+    fn fig5_unbounded_collapses_bounded_does_not() {
+        let cfg = tiny();
+        let unbounded = fig5(&cfg, false);
+        let bounded = fig5(&cfg, true);
+        // At 40 clients (offered 800/s ≫ 206/s) the unbounded stack has
+        // crashed; the bounded stack still serves at capacity.
+        assert!(
+            unbounded[0].at(40) < bounded[0].at(40) * 0.75,
+            "unbounded {} vs bounded {}",
+            unbounded[0].at(40),
+            bounded[0].at(40)
+        );
+    }
+
+    #[test]
+    fn fig7_read_plateaus_at_throttle() {
+        let cfg = SweepConfig {
+            clients: vec![60],
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(8),
+            ..Default::default()
+        };
+        let s = fig7(&cfg);
+        let read = s[0].at(60);
+        // 60 clients offer 1200/s; the throttle pins reads near 800/s.
+        assert!(
+            (700.0..880.0).contains(&read),
+            "plateau at ~800, got {read}"
+        );
+        let write = s[1].at(60);
+        assert!(write > read, "writes unthrottled: {write}");
+    }
+
+    #[test]
+    fn fig8_federation_resolves_and_preserves_plateau() {
+        let cfg = SweepConfig {
+            clients: vec![60],
+            warmup: Duration::from_secs(1),
+            measure: Duration::from_secs(8),
+            ..Default::default()
+        };
+        let s = fig8(&cfg);
+        let direct = s[0].at(60);
+        let fed = s[1].at(60);
+        // The leaf's throttle governs both paths.
+        assert!(
+            (fed - direct).abs() / direct < 0.2,
+            "federated {fed} vs direct {direct}"
+        );
+        // Federated latency is strictly higher (three hops).
+        assert!(s[1].points[0].mean_latency_ms > s[0].points[0].mean_latency_ms);
+    }
+}

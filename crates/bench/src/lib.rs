@@ -1,0 +1,37 @@
+//! # rndi-bench — the evaluation harness
+//!
+//! Regenerates the paper's §7 experiments: closed-loop clients (each
+//! issuing a request, waiting for the reply, then pausing 50 ms — ≤20 Hz
+//! per client) sweep from 1 to 100 against each backend, measuring
+//! successfully completed operations per second.
+//!
+//! The harness runs in **virtual time** on `simnet`: backend servers are
+//! queueing stations whose service times come from [`cost`] (calibrated to
+//! the paper's reported capacities), while the *logic* of each operation
+//! executes against the real backend implementations (real registrar
+//! lookups, real LDAP searches feeding the anti-DoS throttle, real DNS
+//! resolution). Saturation, overload collapse and throttling therefore
+//! *emerge* from the simulation rather than being painted on.
+//!
+//! One bench target per figure:
+//!
+//! | target | paper artifact |
+//! |---|---|
+//! | `fig2_jini_lookup` | Fig. 2 — Jini & JNDI-Jini lookup throughput |
+//! | `fig3_jini_rebind` | Fig. 3 — Jini & JNDI-Jini rebind throughput |
+//! | `fig4_hdns_lookup` | Fig. 4 — HDNS & SPI lookup throughput |
+//! | `fig5_hdns_rebind` | Fig. 5 — HDNS & SPI rebind throughput (collapse) |
+//! | `fig6_dns_lookup`  | Fig. 6 — JNDI-DNS lookup throughput |
+//! | `fig7_ldap`        | Fig. 7 — JNDI-LDAP read/write throughput |
+//! | `fig8_federation`  | §7 federation-preservation claim |
+//! | `ablation_stack`   | §4.2 sequencer vs bimodal trade-off |
+//! | `ablation_flowctl` | §7 unbounded vs bounded queues |
+//! | `spi_overhead`     | Criterion: per-op API-layer cost (§5.1 ≥8×) |
+
+pub mod cost;
+pub mod experiment;
+pub mod figures;
+pub mod loadgen;
+
+pub use experiment::{print_figure, sweep, Series, SweepConfig};
+pub use loadgen::{run_closed_loop, LoadResult, Operation, RoundTrips};

@@ -1,0 +1,134 @@
+//! The environment: configuration properties passed to providers.
+//!
+//! JNDI threads a `Hashtable` of environment properties through every
+//! context; providers read service-specific settings (credentials, URLs,
+//! consistency flags) from it. This mirrors that, with typed accessors.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Well-known property names.
+pub mod keys {
+    /// URL of the initial/default naming service, e.g. `"hdns://host2"`.
+    pub const PROVIDER_URL: &str = "rndi.provider.url";
+    /// Security principal (user identity) for providers that authenticate.
+    pub const SECURITY_PRINCIPAL: &str = "rndi.security.principal";
+    /// Security credentials.
+    pub const SECURITY_CREDENTIALS: &str = "rndi.security.credentials";
+    /// `"true"`/`"false"`: whether the Jini provider enforces strict atomic
+    /// `bind` semantics via distributed locking (paper §5.1). Default true.
+    pub const JINI_STRICT_BIND: &str = "rndi.jini.bind.strict";
+    /// Lease duration, in milliseconds, requested by providers that lease.
+    pub const LEASE_MS: &str = "rndi.lease.ms";
+    /// Maximum federation hops before resolution aborts (cycle guard).
+    pub const MAX_FEDERATION_DEPTH: &str = "rndi.federation.max-depth";
+}
+
+/// An immutable-by-convention string property map.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct Environment {
+    props: BTreeMap<String, String>,
+}
+
+impl Environment {
+    pub fn new() -> Self {
+        Environment::default()
+    }
+
+    /// Builder-style property set.
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<String>) -> Self {
+        self.props.insert(key.into(), value.into());
+        self
+    }
+
+    pub fn set(&mut self, key: impl Into<String>, value: impl Into<String>) {
+        self.props.insert(key.into(), value.into());
+    }
+
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.props.get(key).map(|s| s.as_str())
+    }
+
+    /// Boolean property; absent or unparsable returns `default`.
+    pub fn get_bool(&self, key: &str, default: bool) -> bool {
+        match self.get(key) {
+            Some(v) => match v.to_ascii_lowercase().as_str() {
+                "true" | "1" | "yes" | "on" => true,
+                "false" | "0" | "no" | "off" => false,
+                _ => default,
+            },
+            None => default,
+        }
+    }
+
+    /// Unsigned integer property; absent or unparsable returns `default`.
+    pub fn get_u64(&self, key: &str, default: u64) -> u64 {
+        self.get(key)
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(default)
+    }
+
+    pub fn len(&self) -> usize {
+        self.props.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.props.is_empty()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
+        self.props.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+impl fmt::Debug for Environment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut d = f.debug_map();
+        for (k, v) in &self.props {
+            // Never leak credentials into logs.
+            if k == keys::SECURITY_CREDENTIALS {
+                d.entry(k, &"<redacted>");
+            } else {
+                d.entry(k, v);
+            }
+        }
+        d.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typed_accessors() {
+        let env = Environment::new()
+            .with("flag", "true")
+            .with("num", "42")
+            .with("junk", "zzz");
+        assert!(env.get_bool("flag", false));
+        assert!(!env.get_bool("missing", false));
+        assert!(env.get_bool("junk", true), "unparsable falls back");
+        assert_eq!(env.get_u64("num", 0), 42);
+        assert_eq!(env.get_u64("junk", 7), 7);
+        assert_eq!(env.get("num"), Some("42"));
+    }
+
+    #[test]
+    fn bool_spellings() {
+        for (s, expect) in [("YES", true), ("off", false), ("1", true), ("0", false)] {
+            let env = Environment::new().with("k", s);
+            assert_eq!(env.get_bool("k", !expect), expect, "spelling {s}");
+        }
+    }
+
+    #[test]
+    fn debug_redacts_credentials() {
+        let env = Environment::new()
+            .with(keys::SECURITY_CREDENTIALS, "hunter2")
+            .with(keys::SECURITY_PRINCIPAL, "alice");
+        let dbg = format!("{env:?}");
+        assert!(!dbg.contains("hunter2"));
+        assert!(dbg.contains("alice"));
+    }
+}

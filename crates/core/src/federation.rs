@@ -1,0 +1,451 @@
+//! Federation: resolving composite names across naming-system boundaries.
+//!
+//! A provider resolves the part of a name that belongs to its own naming
+//! system; when it reaches a binding that is a live foreign context or a
+//! URL reference, it returns [`NamingError::Continue`]. The
+//! [`drive`] loop — JNDI's `NamingManager.getContinuationContext` — turns
+//! the resolved object into the next context (instantiating providers by
+//! URL scheme where needed) and re-issues the operation with the remaining
+//! name, until the operation completes or the hop limit trips.
+
+use std::sync::Arc;
+
+use crate::context::DirContext;
+use crate::env::{keys, Environment};
+use crate::error::{NamingError, Result};
+use crate::name::CompositeName;
+use crate::spi::ProviderRegistry;
+use crate::url::RndiUrl;
+use crate::value::BoundValue;
+
+/// Default maximum federation hops (overridable via
+/// [`keys::MAX_FEDERATION_DEPTH`]).
+pub const DEFAULT_MAX_DEPTH: u64 = 16;
+
+/// Turn a resolved boundary object into the continuation context plus the
+/// name prefix it contributes (URL references contribute their path).
+pub fn continuation_context(
+    resolved: BoundValue,
+    registry: &ProviderRegistry,
+    env: &Environment,
+) -> Result<(Arc<dyn DirContext>, CompositeName)> {
+    match resolved {
+        BoundValue::Context(ctx) => Ok((ctx, CompositeName::empty())),
+        BoundValue::Reference(r) => {
+            let url_str = r.url_addr().ok_or_else(|| NamingError::NotAContext {
+                name: format!("reference {:?} has no URL address", r.class_name),
+            })?;
+            let url = RndiUrl::parse(url_str)?;
+            let ctx = registry.create_context(&url, env)?;
+            Ok((ctx, url.path))
+        }
+        other => Err(NamingError::NotAContext {
+            name: format!("cannot continue through a {} value", other.class_name()),
+        }),
+    }
+}
+
+/// Run `op` against `(ctx, name)`, following federation continuations until
+/// the operation completes.
+pub fn drive<R>(
+    ctx: Arc<dyn DirContext>,
+    name: CompositeName,
+    registry: &ProviderRegistry,
+    env: &Environment,
+    op: &mut dyn FnMut(&dyn DirContext, &CompositeName) -> Result<R>,
+) -> Result<R> {
+    let max_depth = env.get_u64(keys::MAX_FEDERATION_DEPTH, DEFAULT_MAX_DEPTH) as usize;
+    let mut ctx = ctx;
+    let mut name = name;
+    for _ in 0..=max_depth {
+        match op(ctx.as_ref(), &name) {
+            Err(NamingError::Continue { resolved, remaining }) => {
+                let (next, prefix) = continuation_context(resolved, registry, env)?;
+                ctx = next;
+                name = prefix.join(&remaining);
+            }
+            other => return other,
+        }
+    }
+    Err(NamingError::FederationDepthExceeded { depth: max_depth })
+}
+
+/// A `DirContext` facade over a federated namespace: every operation runs
+/// through the continuation [`drive`] loop, so the aggregate "behaves as a
+/// single, possibly hierarchical, aggregate naming service" (§6) — and can
+/// itself be passed around, bound, or nested wherever a context is
+/// expected.
+pub struct FederatedContext {
+    base: Arc<dyn DirContext>,
+    registry: Arc<ProviderRegistry>,
+    env: Environment,
+}
+
+impl FederatedContext {
+    pub fn new(
+        base: Arc<dyn DirContext>,
+        registry: Arc<ProviderRegistry>,
+        env: Environment,
+    ) -> Arc<Self> {
+        Arc::new(FederatedContext {
+            base,
+            registry,
+            env,
+        })
+    }
+
+    fn run<R>(
+        &self,
+        name: &CompositeName,
+        op: &mut dyn FnMut(&dyn DirContext, &CompositeName) -> crate::error::Result<R>,
+    ) -> crate::error::Result<R> {
+        drive(
+            self.base.clone(),
+            name.clone(),
+            &self.registry,
+            &self.env,
+            op,
+        )
+    }
+}
+
+impl crate::context::Context for FederatedContext {
+    fn lookup(&self, name: &CompositeName) -> crate::error::Result<BoundValue> {
+        self.run(name, &mut |c, n| c.lookup(n))
+    }
+
+    fn bind(&self, name: &CompositeName, value: BoundValue) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| c.bind(n, value.clone()))
+    }
+
+    fn rebind(&self, name: &CompositeName, value: BoundValue) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| c.rebind(n, value.clone()))
+    }
+
+    fn unbind(&self, name: &CompositeName) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| c.unbind(n))
+    }
+
+    fn rename(
+        &self,
+        old: &CompositeName,
+        new: &CompositeName,
+    ) -> crate::error::Result<()> {
+        self.run(old, &mut |c, n| c.rename(n, new))
+    }
+
+    fn list(
+        &self,
+        name: &CompositeName,
+    ) -> crate::error::Result<Vec<crate::context::NameClassPair>> {
+        self.run(name, &mut |c, n| c.list(n))
+    }
+
+    fn list_bindings(
+        &self,
+        name: &CompositeName,
+    ) -> crate::error::Result<Vec<crate::context::Binding>> {
+        self.run(name, &mut |c, n| c.list_bindings(n))
+    }
+
+    fn create_subcontext(&self, name: &CompositeName) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| c.create_subcontext(n))
+    }
+
+    fn destroy_subcontext(&self, name: &CompositeName) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| c.destroy_subcontext(n))
+    }
+
+    fn provider_id(&self) -> String {
+        format!("federated({})", self.base.provider_id())
+    }
+}
+
+impl crate::context::DirContext for FederatedContext {
+    fn get_attributes(
+        &self,
+        name: &CompositeName,
+    ) -> crate::error::Result<crate::attrs::Attributes> {
+        self.run(name, &mut |c, n| c.get_attributes(n))
+    }
+
+    fn modify_attributes(
+        &self,
+        name: &CompositeName,
+        mods: &[crate::attrs::AttrMod],
+    ) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| c.modify_attributes(n, mods))
+    }
+
+    fn bind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: crate::attrs::Attributes,
+    ) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| {
+            c.bind_with_attrs(n, value.clone(), attrs.clone())
+        })
+    }
+
+    fn rebind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: crate::attrs::Attributes,
+    ) -> crate::error::Result<()> {
+        self.run(name, &mut |c, n| {
+            c.rebind_with_attrs(n, value.clone(), attrs.clone())
+        })
+    }
+
+    fn search(
+        &self,
+        name: &CompositeName,
+        filter: &crate::filter::Filter,
+        controls: &crate::context::SearchControls,
+    ) -> crate::error::Result<Vec<crate::context::SearchItem>> {
+        self.run(name, &mut |c, n| c.search(n, filter, controls))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::context::{Context, ContextExt};
+    use crate::mem::MemContext;
+    use crate::spi::UrlContextFactory;
+    use crate::value::Reference;
+    use parking_lot::Mutex;
+    use std::collections::HashMap;
+
+    /// A factory that serves pre-built MemContexts per host, so tests can
+    /// build multi-system federations without real backends.
+    struct MemFactory {
+        scheme: &'static str,
+        hosts: Mutex<HashMap<String, MemContext>>,
+    }
+
+    impl MemFactory {
+        fn with_host(scheme: &'static str, host: &str, ctx: MemContext) -> Arc<Self> {
+            let f = MemFactory {
+                scheme,
+                hosts: Mutex::new(HashMap::new()),
+            };
+            f.hosts.lock().insert(host.to_string(), ctx);
+            Arc::new(f)
+        }
+    }
+
+    impl UrlContextFactory for MemFactory {
+        fn scheme(&self) -> &str {
+            self.scheme
+        }
+        fn create(&self, url: &RndiUrl, _env: &Environment) -> Result<Arc<dyn DirContext>> {
+            self.hosts
+                .lock()
+                .get(&url.host)
+                .cloned()
+                .map(|c| Arc::new(c) as Arc<dyn DirContext>)
+                .ok_or_else(|| NamingError::service(format!("unknown host {}", url.host)))
+        }
+    }
+
+    #[test]
+    fn two_hop_resolution_via_url_reference() {
+        // root --(ref "hdns://host2/sub")--> hdns host2 {sub/{obj}}
+        let root = MemContext::new();
+        let hdns = MemContext::new();
+        hdns.create_subcontext(&"sub".into()).unwrap();
+        hdns.bind_str("sub/obj", "found-it").unwrap();
+
+        root.bind(
+            &"link".into(),
+            BoundValue::Reference(Reference::url("hdns://host2/sub")),
+        )
+        .unwrap();
+
+        let registry = ProviderRegistry::new();
+        registry.register(MemFactory::with_host("hdns", "host2", hdns));
+        let env = Environment::new();
+
+        let got = drive(
+            Arc::new(root),
+            CompositeName::from("link/obj"),
+            &registry,
+            &env,
+            &mut |ctx, name| ctx.lookup(name),
+        )
+        .unwrap();
+        assert_eq!(got.as_str(), Some("found-it"));
+    }
+
+    #[test]
+    fn live_context_binding_continues_without_registry() {
+        let root = MemContext::new();
+        let foreign = MemContext::new();
+        foreign.bind_str("x", "v").unwrap();
+        root.bind(
+            &"mnt".into(),
+            BoundValue::Context(Arc::new(foreign)),
+        )
+        .unwrap();
+
+        let registry = ProviderRegistry::new();
+        let env = Environment::new();
+        let got = drive(
+            Arc::new(root),
+            CompositeName::from("mnt/x"),
+            &registry,
+            &env,
+            &mut |ctx, name| ctx.lookup(name),
+        )
+        .unwrap();
+        assert_eq!(got.as_str(), Some("v"));
+    }
+
+    #[test]
+    fn cycle_guard_trips() {
+        // a -> ref(loop://h) where loop://h resolves to a context that
+        // itself mounts loop://h again... simplest: self-referential mount.
+        let a = MemContext::new();
+        a.bind(
+            &"self".into(),
+            BoundValue::Reference(Reference::url("loop://h/self")),
+        )
+        .unwrap();
+        let registry = ProviderRegistry::new();
+        registry.register(MemFactory::with_host("loop", "h", a.clone()));
+        let env = Environment::new().with(keys::MAX_FEDERATION_DEPTH, "4");
+
+        let err = drive(
+            Arc::new(a),
+            CompositeName::from("self/self/x"),
+            &registry,
+            &env,
+            &mut |ctx, name| ctx.lookup(name),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NamingError::FederationDepthExceeded { .. }));
+    }
+
+    #[test]
+    fn missing_provider_is_reported() {
+        let root = MemContext::new();
+        root.bind(
+            &"link".into(),
+            BoundValue::Reference(Reference::url("nosuch://h")),
+        )
+        .unwrap();
+        let registry = ProviderRegistry::new();
+        let env = Environment::new();
+        let err = drive(
+            Arc::new(root),
+            CompositeName::from("link/x"),
+            &registry,
+            &env,
+            &mut |ctx, name| ctx.lookup(name),
+        )
+        .unwrap_err();
+        assert!(matches!(err, NamingError::NoProvider { .. }));
+    }
+
+    #[test]
+    fn write_operations_follow_federation_too() {
+        let root = MemContext::new();
+        let far = MemContext::new();
+        root.bind(&"mnt".into(), BoundValue::Context(Arc::new(far.clone())))
+            .unwrap();
+
+        let registry = ProviderRegistry::new();
+        let env = Environment::new();
+        drive(
+            Arc::new(root),
+            CompositeName::from("mnt/new"),
+            &registry,
+            &env,
+            &mut |ctx, name| ctx.bind(name, BoundValue::str("written")),
+        )
+        .unwrap();
+        assert_eq!(far.lookup_str("new").unwrap().as_str(), Some("written"));
+    }
+
+    #[test]
+    fn federated_context_is_a_first_class_context() {
+        // root mounts a foreign mem context; the FederatedContext hides
+        // the boundary from ordinary Context users.
+        let root = MemContext::new();
+        let far = MemContext::new();
+        root.bind(&"mnt".into(), BoundValue::Context(Arc::new(far.clone())))
+            .unwrap();
+        let fed = FederatedContext::new(
+            Arc::new(root),
+            Arc::new(ProviderRegistry::new()),
+            Environment::new(),
+        );
+        // Plain trait calls traverse the mount transparently.
+        fed.bind_str("mnt/deep", "v").unwrap();
+        assert_eq!(fed.lookup_str("mnt/deep").unwrap().as_str(), Some("v"));
+        assert_eq!(far.lookup_str("deep").unwrap().as_str(), Some("v"));
+        fed.unbind_str("mnt/deep").unwrap();
+        assert!(far.lookup_str("deep").is_err());
+
+        // And the facade is itself bindable as a live context.
+        let outer = MemContext::new();
+        outer
+            .bind(&"world".into(), BoundValue::Context(fed))
+            .unwrap();
+        let got = drive(
+            Arc::new(outer),
+            CompositeName::from("world/mnt"),
+            &ProviderRegistry::new(),
+            &Environment::new(),
+            &mut |c, n| c.list(n),
+        )
+        .unwrap();
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn federated_context_search_spans_mounts() {
+        use crate::attrs::Attributes;
+        use crate::context::SearchControls;
+        use crate::filter::Filter;
+        let root = MemContext::new();
+        let far = MemContext::new();
+        far.bind_with_attrs(
+            &"hit".into(),
+            BoundValue::Null,
+            Attributes::new().with("k", "v"),
+        )
+        .unwrap();
+        root.bind(&"mnt".into(), BoundValue::Context(Arc::new(far)))
+            .unwrap();
+        let fed = FederatedContext::new(
+            Arc::new(root),
+            Arc::new(ProviderRegistry::new()),
+            Environment::new(),
+        );
+        let hits = fed
+            .search(
+                &"mnt".into(),
+                &Filter::parse("(k=v)").unwrap(),
+                &SearchControls::default(),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn continuation_through_non_link_value_fails() {
+        match continuation_context(
+            BoundValue::I64(3),
+            &ProviderRegistry::new(),
+            &Environment::new(),
+        ) {
+            Err(NamingError::NotAContext { .. }) => {}
+            Err(other) => panic!("wrong error: {other}"),
+            Ok(_) => panic!("expected failure"),
+        }
+    }
+}

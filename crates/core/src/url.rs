@@ -1,0 +1,173 @@
+//! URL-style names: `scheme://host[:port]/component/...`.
+//!
+//! JNDI federations identify entries with composite URL names; the scheme
+//! selects a service provider, the authority selects a service instance,
+//! and the path is a composite name resolved within (and possibly beyond)
+//! that service.
+
+use std::fmt;
+
+use crate::error::{NamingError, Result};
+use crate::name::CompositeName;
+
+/// A parsed naming URL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RndiUrl {
+    pub scheme: String,
+    pub host: String,
+    pub port: Option<u16>,
+    /// The path, as a composite name (may be empty).
+    pub path: CompositeName,
+}
+
+impl RndiUrl {
+    /// Parse a URL of the form `scheme://host[:port][/path...]`.
+    pub fn parse(s: &str) -> Result<RndiUrl> {
+        let (scheme, rest) = s
+            .split_once("://")
+            .ok_or_else(|| NamingError::invalid_name(s, "missing ://"))?;
+        if !is_valid_scheme(scheme) {
+            return Err(NamingError::invalid_name(s, "invalid scheme"));
+        }
+        let (authority, path) = match rest.find('/') {
+            Some(idx) => (&rest[..idx], &rest[idx + 1..]),
+            None => (rest, ""),
+        };
+        if authority.is_empty() {
+            return Err(NamingError::invalid_name(s, "empty authority"));
+        }
+        let (host, port) = match authority.rsplit_once(':') {
+            Some((h, p)) => {
+                let port: u16 = p
+                    .parse()
+                    .map_err(|_| NamingError::invalid_name(s, "invalid port"))?;
+                (h.to_string(), Some(port))
+            }
+            None => (authority.to_string(), None),
+        };
+        if host.is_empty() {
+            return Err(NamingError::invalid_name(s, "empty host"));
+        }
+        Ok(RndiUrl {
+            scheme: scheme.to_ascii_lowercase(),
+            host,
+            port,
+            path: CompositeName::parse(path)?,
+        })
+    }
+
+    /// `scheme://host[:port]` with no path.
+    pub fn authority(&self) -> String {
+        match self.port {
+            Some(p) => format!("{}://{}:{}", self.scheme, self.host, p),
+            None => format!("{}://{}", self.scheme, self.host),
+        }
+    }
+
+    /// Re-root this URL at a different path.
+    pub fn with_path(&self, path: CompositeName) -> RndiUrl {
+        RndiUrl {
+            path,
+            ..self.clone()
+        }
+    }
+}
+
+impl fmt::Display for RndiUrl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.authority())?;
+        if !self.path.is_empty() {
+            write!(f, "/{}", self.path)?;
+        }
+        Ok(())
+    }
+}
+
+/// Whether `s` is syntactically a naming URL (as opposed to a composite
+/// name to resolve in the default context).
+pub fn looks_like_url(s: &str) -> bool {
+    match s.split_once("://") {
+        Some((scheme, rest)) => is_valid_scheme(scheme) && !rest.is_empty(),
+        None => false,
+    }
+}
+
+fn is_valid_scheme(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || matches!(c, '+' | '-' | '.'))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full() {
+        let u = RndiUrl::parse("hdns://host2:8085/emory/mathcs/dcl").unwrap();
+        assert_eq!(u.scheme, "hdns");
+        assert_eq!(u.host, "host2");
+        assert_eq!(u.port, Some(8085));
+        assert_eq!(u.path.components(), ["emory", "mathcs", "dcl"]);
+        assert_eq!(u.to_string(), "hdns://host2:8085/emory/mathcs/dcl");
+    }
+
+    #[test]
+    fn parse_no_path_no_port() {
+        let u = RndiUrl::parse("jini://host1").unwrap();
+        assert_eq!(u.scheme, "jini");
+        assert_eq!(u.host, "host1");
+        assert_eq!(u.port, None);
+        assert!(u.path.is_empty());
+        assert_eq!(u.authority(), "jini://host1");
+    }
+
+    #[test]
+    fn scheme_case_normalized() {
+        let u = RndiUrl::parse("LDAP://h/x").unwrap();
+        assert_eq!(u.scheme, "ldap");
+    }
+
+    #[test]
+    fn paper_example() {
+        let u = RndiUrl::parse("dns://global/emory/mathcs/dcl/mokey").unwrap();
+        assert_eq!(u.scheme, "dns");
+        assert_eq!(u.host, "global");
+        assert_eq!(u.path.components(), ["emory", "mathcs", "dcl", "mokey"]);
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        for bad in [
+            "nourl",
+            "://host",
+            "1ab://host",
+            "a b://host",
+            "jini://",
+            "jini://:80",
+            "jini://h:notaport",
+        ] {
+            assert!(RndiUrl::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn url_detection() {
+        assert!(looks_like_url("jini://host1"));
+        assert!(looks_like_url("dns://global/a"));
+        assert!(!looks_like_url("plain/name"));
+        assert!(!looks_like_url("no-scheme"));
+        assert!(!looks_like_url("://x"));
+        assert!(!looks_like_url("9bad://x"));
+    }
+
+    #[test]
+    fn with_path_reroots() {
+        let u = RndiUrl::parse("ldap://h:389/a/b").unwrap();
+        let v = u.with_path(CompositeName::from_components(["c"]));
+        assert_eq!(v.to_string(), "ldap://h:389/c");
+    }
+}

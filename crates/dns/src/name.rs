@@ -1,0 +1,190 @@
+//! Domain names: dotted labels, case-insensitive, stored leaf-first.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A fully qualified domain name. `labels[0]` is the leftmost (leaf)
+/// label; the root is the empty label sequence.
+#[derive(Clone, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub struct DnsName {
+    labels: Vec<String>,
+}
+
+impl DnsName {
+    /// The DNS root.
+    pub fn root() -> Self {
+        DnsName::default()
+    }
+
+    /// Parse a dotted name; a trailing dot (FQDN form) is accepted and
+    /// ignored. Labels are normalized to lower case.
+    pub fn parse(s: &str) -> Result<DnsName, String> {
+        let s = s.strip_suffix('.').unwrap_or(s);
+        if s.is_empty() {
+            return Ok(DnsName::root());
+        }
+        let mut labels = Vec::new();
+        for label in s.split('.') {
+            if label.is_empty() {
+                return Err(format!("empty label in {s:?}"));
+            }
+            if label.len() > 63 {
+                return Err(format!("label too long in {s:?}"));
+            }
+            if !label
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+            {
+                return Err(format!("invalid character in label {label:?}"));
+            }
+            labels.push(label.to_ascii_lowercase());
+        }
+        if labels.iter().map(|l| l.len() + 1).sum::<usize>() > 255 {
+            return Err(format!("name too long: {s:?}"));
+        }
+        Ok(DnsName { labels })
+    }
+
+    pub fn from_labels<I, S>(labels: I) -> DnsName
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        DnsName {
+            labels: labels
+                .into_iter()
+                .map(|l| l.into().to_ascii_lowercase())
+                .collect(),
+        }
+    }
+
+    /// Leaf-first labels.
+    pub fn labels(&self) -> &[String] {
+        &self.labels
+    }
+
+    pub fn is_root(&self) -> bool {
+        self.labels.is_empty()
+    }
+
+    pub fn label_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// The parent name (dropping the leaf label); `None` at the root.
+    pub fn parent(&self) -> Option<DnsName> {
+        if self.labels.is_empty() {
+            None
+        } else {
+            Some(DnsName {
+                labels: self.labels[1..].to_vec(),
+            })
+        }
+    }
+
+    /// Prepend a label.
+    pub fn child(&self, label: &str) -> DnsName {
+        let mut labels = Vec::with_capacity(self.labels.len() + 1);
+        labels.push(label.to_ascii_lowercase());
+        labels.extend(self.labels.iter().cloned());
+        DnsName { labels }
+    }
+
+    /// Whether `self` equals or is beneath `zone` (suffix match).
+    pub fn is_under(&self, zone: &DnsName) -> bool {
+        if zone.labels.len() > self.labels.len() {
+            return false;
+        }
+        let offset = self.labels.len() - zone.labels.len();
+        self.labels[offset..] == zone.labels[..]
+    }
+
+    /// The trailing `n` labels (a suffix name).
+    pub fn suffix(&self, n: usize) -> DnsName {
+        let n = n.min(self.labels.len());
+        DnsName {
+            labels: self.labels[self.labels.len() - n..].to_vec(),
+        }
+    }
+}
+
+impl fmt::Display for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.labels.is_empty() {
+            f.write_str(".")
+        } else {
+            write!(f, "{}.", self.labels.join("."))
+        }
+    }
+}
+
+impl fmt::Debug for DnsName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "DnsName({self})")
+    }
+}
+
+impl std::str::FromStr for DnsName {
+    type Err = String;
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        DnsName::parse(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_and_display() {
+        let n = DnsName::parse("dcl.MathCS.Emory.edu").unwrap();
+        assert_eq!(n.labels(), ["dcl", "mathcs", "emory", "edu"]);
+        assert_eq!(n.to_string(), "dcl.mathcs.emory.edu.");
+        assert_eq!(DnsName::parse("dcl.mathcs.emory.edu.").unwrap(), n);
+    }
+
+    #[test]
+    fn root_cases() {
+        assert!(DnsName::parse("").unwrap().is_root());
+        assert!(DnsName::parse(".").unwrap().is_root());
+        assert_eq!(DnsName::root().to_string(), ".");
+        assert!(DnsName::root().parent().is_none());
+    }
+
+    #[test]
+    fn hierarchy_navigation() {
+        let n = DnsName::parse("a.b.c").unwrap();
+        assert_eq!(n.parent().unwrap().to_string(), "b.c.");
+        assert_eq!(n.parent().unwrap().child("x").to_string(), "x.b.c.");
+        assert_eq!(n.suffix(1).to_string(), "c.");
+        assert_eq!(n.suffix(99), n);
+    }
+
+    #[test]
+    fn suffix_matching() {
+        let zone = DnsName::parse("emory.edu").unwrap();
+        assert!(DnsName::parse("dcl.mathcs.emory.edu").unwrap().is_under(&zone));
+        assert!(zone.is_under(&zone));
+        assert!(zone.is_under(&DnsName::root()));
+        assert!(!DnsName::parse("emory.com").unwrap().is_under(&zone));
+        assert!(!DnsName::parse("notemory.edu").unwrap().is_under(&zone));
+    }
+
+    #[test]
+    fn rejects_bad_labels() {
+        assert!(DnsName::parse("a..b").is_err());
+        assert!(DnsName::parse("sp ace.com").is_err());
+        assert!(DnsName::parse(&("x".repeat(64) + ".com")).is_err());
+        let long = ["abcdefgh"; 32].join(".");
+        assert!(DnsName::parse(&long).is_err(), "total length cap");
+    }
+
+    #[test]
+    fn case_insensitive_equality() {
+        assert_eq!(
+            DnsName::parse("WWW.EMORY.EDU").unwrap(),
+            DnsName::parse("www.emory.edu").unwrap()
+        );
+    }
+}

@@ -1,0 +1,297 @@
+//! Iterative resolution with a TTL cache.
+//!
+//! The resolver chases referrals from the root servers down to an
+//! authoritative answer, caching positive and negative results by TTL.
+//! Nameserver hostnames map to server handles through a registry (standing
+//! in for glue/A-record resolution of the real protocol).
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::name::DnsName;
+use crate::rr::{RData, RecordType, ResourceRecord};
+use crate::server::{AuthServer, Rcode};
+
+/// Resolution failures.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ResolveError {
+    /// Authoritative denial.
+    NxDomain(String),
+    /// Referral loop / depth exceeded / unreachable nameserver.
+    ServFail(String),
+}
+
+impl std::fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ResolveError::NxDomain(n) => write!(f, "NXDOMAIN {n}"),
+            ResolveError::ServFail(d) => write!(f, "SERVFAIL {d}"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+#[derive(Clone)]
+struct CacheLine {
+    expires_at_ms: u64,
+    /// `None` encodes a negative (NXDOMAIN) entry.
+    records: Option<Vec<ResourceRecord>>,
+}
+
+/// Cache statistics.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ResolverStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub upstream_queries: u64,
+}
+
+/// An iterative, caching resolver.
+///
+/// ```
+/// use minidns::{AuthServer, DnsName, RecordType, Resolver, ResourceRecord, Zone};
+///
+/// let server = AuthServer::new();
+/// let mut zone = Zone::new(DnsName::parse("example").unwrap());
+/// zone.insert(ResourceRecord::txt("svc.example", 60, "hdns://host2"));
+/// server.add_zone(zone);
+///
+/// let resolver = Resolver::new(vec![server]);
+/// let rrs = resolver
+///     .resolve(&DnsName::parse("svc.example").unwrap(), RecordType::Txt, 0)
+///     .unwrap();
+/// assert_eq!(rrs.len(), 1);
+/// ```
+pub struct Resolver {
+    roots: Vec<AuthServer>,
+    /// Nameserver hostname → server handle (glue).
+    servers: HashMap<DnsName, AuthServer>,
+    cache: Mutex<HashMap<(DnsName, RecordType), CacheLine>>,
+    stats: Mutex<ResolverStats>,
+    negative_ttl_ms: u64,
+    max_referrals: usize,
+}
+
+impl Resolver {
+    pub fn new(roots: Vec<AuthServer>) -> Self {
+        Resolver {
+            roots,
+            servers: HashMap::new(),
+            cache: Mutex::new(HashMap::new()),
+            stats: Mutex::new(ResolverStats::default()),
+            negative_ttl_ms: 30_000,
+            max_referrals: 16,
+        }
+    }
+
+    /// Register glue: the server reachable as nameserver `host`.
+    pub fn add_glue(&mut self, host: DnsName, server: AuthServer) {
+        self.servers.insert(host, server);
+    }
+
+    pub fn stats(&self) -> ResolverStats {
+        *self.stats.lock()
+    }
+
+    /// Resolve `name`/`rtype` at virtual time `now_ms`.
+    pub fn resolve(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        now_ms: u64,
+    ) -> Result<Vec<ResourceRecord>, ResolveError> {
+        // Cache consultation.
+        {
+            let mut cache = self.cache.lock();
+            if let Some(line) = cache.get(&(name.clone(), rtype)) {
+                if now_ms < line.expires_at_ms {
+                    self.stats.lock().hits += 1;
+                    return match &line.records {
+                        Some(rrs) => Ok(rrs.clone()),
+                        None => Err(ResolveError::NxDomain(name.to_string())),
+                    };
+                }
+                cache.remove(&(name.clone(), rtype));
+            }
+        }
+        self.stats.lock().misses += 1;
+
+        let mut candidates: Vec<AuthServer> = self.roots.clone();
+        for _hop in 0..self.max_referrals {
+            let Some(server) = candidates.first() else {
+                return Err(ResolveError::ServFail(format!(
+                    "no reachable nameserver for {name}"
+                )));
+            };
+            self.stats.lock().upstream_queries += 1;
+            let resp = server.query(name, rtype);
+            match resp.rcode {
+                Rcode::NoError if resp.is_referral() => {
+                    // Chase the referral through glue.
+                    let mut next = Vec::new();
+                    for ns in &resp.authority {
+                        if let RData::Ns(target) = &ns.rdata {
+                            if let Some(s) = self.servers.get(target) {
+                                next.push(s.clone());
+                            }
+                        }
+                    }
+                    if next.is_empty() {
+                        return Err(ResolveError::ServFail(format!(
+                            "referral for {name} has no resolvable nameserver"
+                        )));
+                    }
+                    candidates = next;
+                }
+                Rcode::NoError => {
+                    let ttl_ms = resp
+                        .answers
+                        .iter()
+                        .map(|r| r.ttl as u64 * 1000)
+                        .min()
+                        .unwrap_or(self.negative_ttl_ms);
+                    self.cache.lock().insert(
+                        (name.clone(), rtype),
+                        CacheLine {
+                            expires_at_ms: now_ms + ttl_ms,
+                            records: Some(resp.answers.clone()),
+                        },
+                    );
+                    return Ok(resp.answers);
+                }
+                Rcode::NxDomain => {
+                    self.cache.lock().insert(
+                        (name.clone(), rtype),
+                        CacheLine {
+                            expires_at_ms: now_ms + self.negative_ttl_ms,
+                            records: None,
+                        },
+                    );
+                    return Err(ResolveError::NxDomain(name.to_string()));
+                }
+                Rcode::Refused | Rcode::ServFail => {
+                    return Err(ResolveError::ServFail(format!(
+                        "{name}: upstream rcode {:?}",
+                        resp.rcode
+                    )));
+                }
+            }
+        }
+        Err(ResolveError::ServFail(format!(
+            "referral depth exceeded resolving {name}"
+        )))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::zone::Zone;
+
+    /// Build root → edu → emory.edu delegation with glue.
+    fn world() -> Resolver {
+        let root = AuthServer::new();
+        let mut root_zone = Zone::new(DnsName::root());
+        root_zone.insert(ResourceRecord::ns("edu", 3600, "ns.edu-servers.net"));
+        root.add_zone(root_zone);
+
+        let edu = AuthServer::new();
+        let mut edu_zone = Zone::new(DnsName::parse("edu").unwrap());
+        edu_zone.insert(ResourceRecord::ns("emory.edu", 3600, "ns.emory.edu"));
+        edu.add_zone(edu_zone);
+
+        let emory = AuthServer::new();
+        let mut emory_zone = Zone::new(DnsName::parse("emory.edu").unwrap());
+        emory_zone.insert(ResourceRecord::a("www.emory.edu", 60, [170, 140, 0, 2]));
+        emory_zone.insert(ResourceRecord::txt(
+            "global.emory.edu",
+            60,
+            "hdns://host2:8085",
+        ));
+        emory.add_zone(emory_zone);
+
+        let mut r = Resolver::new(vec![root]);
+        r.add_glue(DnsName::parse("ns.edu-servers.net").unwrap(), edu);
+        r.add_glue(DnsName::parse("ns.emory.edu").unwrap(), emory);
+        r
+    }
+
+    #[test]
+    fn iterative_resolution_chases_referrals() {
+        let r = world();
+        let rrs = r
+            .resolve(&DnsName::parse("www.emory.edu").unwrap(), RecordType::A, 0)
+            .unwrap();
+        assert_eq!(rrs.len(), 1);
+        // Three upstream queries: root → edu → emory.
+        assert_eq!(r.stats().upstream_queries, 3);
+    }
+
+    #[test]
+    fn cache_short_circuits() {
+        let r = world();
+        let name = DnsName::parse("www.emory.edu").unwrap();
+        r.resolve(&name, RecordType::A, 0).unwrap();
+        r.resolve(&name, RecordType::A, 1_000).unwrap();
+        let stats = r.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.upstream_queries, 3, "second hit went to cache");
+    }
+
+    #[test]
+    fn cache_expires_by_ttl() {
+        let r = world();
+        let name = DnsName::parse("www.emory.edu").unwrap();
+        r.resolve(&name, RecordType::A, 0).unwrap();
+        // TTL is 60s; at 61s the cache line is stale.
+        r.resolve(&name, RecordType::A, 61_000).unwrap();
+        assert_eq!(r.stats().upstream_queries, 6);
+    }
+
+    #[test]
+    fn negative_caching() {
+        let r = world();
+        let name = DnsName::parse("ghost.emory.edu").unwrap();
+        assert!(matches!(
+            r.resolve(&name, RecordType::A, 0),
+            Err(ResolveError::NxDomain(_))
+        ));
+        let q1 = r.stats().upstream_queries;
+        assert!(matches!(
+            r.resolve(&name, RecordType::A, 1_000),
+            Err(ResolveError::NxDomain(_))
+        ));
+        assert_eq!(r.stats().upstream_queries, q1, "negative answer cached");
+    }
+
+    #[test]
+    fn missing_glue_is_servfail() {
+        let root = AuthServer::new();
+        let mut z = Zone::new(DnsName::root());
+        z.insert(ResourceRecord::ns("lost", 60, "ns.lost"));
+        root.add_zone(z);
+        let r = Resolver::new(vec![root]);
+        assert!(matches!(
+            r.resolve(&DnsName::parse("x.lost").unwrap(), RecordType::A, 0),
+            Err(ResolveError::ServFail(_))
+        ));
+    }
+
+    #[test]
+    fn txt_lookup_for_federation_anchor() {
+        let r = world();
+        let rrs = r
+            .resolve(
+                &DnsName::parse("global.emory.edu").unwrap(),
+                RecordType::Txt,
+                0,
+            )
+            .unwrap();
+        match &rrs[0].rdata {
+            RData::Txt(t) => assert_eq!(t, "hdns://host2:8085"),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

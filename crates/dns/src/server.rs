@@ -1,0 +1,214 @@
+//! The authoritative server: hosts zones, answers queries.
+
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::name::DnsName;
+use crate::rr::{RecordType, ResourceRecord};
+use crate::zone::{Zone, ZoneAnswer};
+
+/// Response codes (subset).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Rcode {
+    NoError = 0,
+    ServFail = 2,
+    NxDomain = 3,
+    Refused = 5,
+}
+
+/// A query response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Response {
+    pub rcode: Rcode,
+    /// Authoritative answer flag.
+    pub aa: bool,
+    pub answers: Vec<ResourceRecord>,
+    /// Referral NS records, when the name is delegated away.
+    pub authority: Vec<ResourceRecord>,
+}
+
+impl Response {
+    pub fn is_referral(&self) -> bool {
+        self.rcode == Rcode::NoError && self.answers.is_empty() && !self.authority.is_empty()
+    }
+}
+
+/// Counters for experiments.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct DnsStats {
+    pub queries: u64,
+    pub referrals: u64,
+    pub nxdomain: u64,
+}
+
+struct Inner {
+    zones: Vec<Zone>,
+    stats: DnsStats,
+}
+
+/// An authoritative DNS server (cheaply cloneable handle).
+#[derive(Clone)]
+pub struct AuthServer {
+    inner: Arc<RwLock<Inner>>,
+}
+
+impl Default for AuthServer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl AuthServer {
+    pub fn new() -> Self {
+        AuthServer {
+            inner: Arc::new(RwLock::new(Inner {
+                zones: Vec::new(),
+                stats: DnsStats::default(),
+            })),
+        }
+    }
+
+    /// Load (or replace) a zone.
+    pub fn add_zone(&self, zone: Zone) {
+        let mut inner = self.inner.write();
+        inner.zones.retain(|z| z.origin() != zone.origin());
+        inner.zones.push(zone);
+    }
+
+    /// Mutate a hosted zone in place (operator-side updates — DNS offers
+    /// no client-side update path, which is exactly the limitation the
+    /// paper works around by layering HDNS below it).
+    pub fn with_zone_mut<R>(
+        &self,
+        origin: &DnsName,
+        f: impl FnOnce(&mut Zone) -> R,
+    ) -> Option<R> {
+        let mut inner = self.inner.write();
+        inner
+            .zones
+            .iter_mut()
+            .find(|z| z.origin() == origin)
+            .map(f)
+    }
+
+    /// Answer a query.
+    pub fn query(&self, name: &DnsName, rtype: RecordType) -> Response {
+        let mut inner = self.inner.write();
+        inner.stats.queries += 1;
+        // Pick the zone with the longest origin that covers the name.
+        let zone = inner
+            .zones
+            .iter()
+            .filter(|z| name.is_under(z.origin()))
+            .max_by_key(|z| z.origin().label_count());
+        let Some(zone) = zone else {
+            return Response {
+                rcode: Rcode::Refused,
+                aa: false,
+                answers: vec![],
+                authority: vec![],
+            };
+        };
+        match zone.query(name, rtype) {
+            ZoneAnswer::Records(answers) => Response {
+                rcode: Rcode::NoError,
+                aa: true,
+                answers,
+                authority: vec![],
+            },
+            ZoneAnswer::Referral(ns) => {
+                inner.stats.referrals += 1;
+                Response {
+                    rcode: Rcode::NoError,
+                    aa: false,
+                    answers: vec![],
+                    authority: ns,
+                }
+            }
+            ZoneAnswer::Cname { chain, answers } => {
+                let mut all = chain;
+                all.extend(answers);
+                Response {
+                    rcode: Rcode::NoError,
+                    aa: true,
+                    answers: all,
+                    authority: vec![],
+                }
+            }
+            ZoneAnswer::NxDomain => {
+                inner.stats.nxdomain += 1;
+                Response {
+                    rcode: Rcode::NxDomain,
+                    aa: true,
+                    answers: vec![],
+                    authority: vec![],
+                }
+            }
+        }
+    }
+
+    pub fn stats(&self) -> DnsStats {
+        self.inner.read().stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn server() -> AuthServer {
+        let s = AuthServer::new();
+        let mut z = Zone::new(DnsName::parse("edu").unwrap());
+        z.insert(ResourceRecord::a("emory.edu", 300, [170, 140, 0, 1]));
+        z.insert(ResourceRecord::ns("gatech.edu", 300, "ns.gatech.edu"));
+        s.add_zone(z);
+        let mut z2 = Zone::new(DnsName::parse("emory.edu").unwrap());
+        z2.insert(ResourceRecord::a("www.emory.edu", 60, [170, 140, 0, 2]));
+        s.add_zone(z2);
+        s
+    }
+
+    #[test]
+    fn longest_zone_wins() {
+        let s = server();
+        // www.emory.edu lives in the more specific emory.edu zone.
+        let r = s.query(&DnsName::parse("www.emory.edu").unwrap(), RecordType::A);
+        assert_eq!(r.rcode, Rcode::NoError);
+        assert!(r.aa);
+        assert_eq!(r.answers.len(), 1);
+    }
+
+    #[test]
+    fn referral_and_refused() {
+        let s = server();
+        let r = s.query(&DnsName::parse("x.gatech.edu").unwrap(), RecordType::A);
+        assert!(r.is_referral());
+        assert_eq!(s.stats().referrals, 1);
+
+        let r = s.query(&DnsName::parse("example.org").unwrap(), RecordType::A);
+        assert_eq!(r.rcode, Rcode::Refused);
+    }
+
+    #[test]
+    fn nxdomain_counted() {
+        let s = server();
+        let r = s.query(&DnsName::parse("nothere.emory.edu").unwrap(), RecordType::A);
+        assert_eq!(r.rcode, Rcode::NxDomain);
+        assert_eq!(s.stats().nxdomain, 1);
+    }
+
+    #[test]
+    fn operator_side_zone_update() {
+        let s = server();
+        s.with_zone_mut(&DnsName::parse("emory.edu").unwrap(), |z| {
+            z.insert(ResourceRecord::txt("svc.emory.edu", 60, "hdns://host2"));
+        })
+        .unwrap();
+        let r = s.query(&DnsName::parse("svc.emory.edu").unwrap(), RecordType::Txt);
+        assert_eq!(r.answers.len(), 1);
+        assert!(s
+            .with_zone_mut(&DnsName::parse("nope.org").unwrap(), |_| ())
+            .is_none());
+    }
+}

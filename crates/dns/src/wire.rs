@@ -1,0 +1,386 @@
+//! Binary message codec.
+//!
+//! A straightforward DNS wire encoding (no label compression): header,
+//! question, answer and authority sections. The benchmark cost models use
+//! encoded sizes so the simulated network carries realistic byte counts.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::name::DnsName;
+use crate::rr::{RData, RecordType, ResourceRecord};
+use crate::server::{Rcode, Response};
+
+/// A DNS message (query or response).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Message {
+    pub id: u16,
+    /// Query/response flag.
+    pub qr: bool,
+    pub aa: bool,
+    pub rcode: u8,
+    pub question: Option<(DnsName, RecordType)>,
+    pub answers: Vec<ResourceRecord>,
+    pub authority: Vec<ResourceRecord>,
+}
+
+impl Message {
+    /// Build a query message.
+    pub fn query(id: u16, name: DnsName, rtype: RecordType) -> Message {
+        Message {
+            id,
+            qr: false,
+            aa: false,
+            rcode: 0,
+            question: Some((name, rtype)),
+            answers: vec![],
+            authority: vec![],
+        }
+    }
+
+    /// Build the response message for a server [`Response`].
+    pub fn response(id: u16, question: (DnsName, RecordType), resp: &Response) -> Message {
+        Message {
+            id,
+            qr: true,
+            aa: resp.aa,
+            rcode: match resp.rcode {
+                Rcode::NoError => 0,
+                Rcode::ServFail => 2,
+                Rcode::NxDomain => 3,
+                Rcode::Refused => 5,
+            },
+            question: Some(question),
+            answers: resp.answers.clone(),
+            authority: resp.authority.clone(),
+        }
+    }
+
+    /// Encode to wire format.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(128);
+        b.put_u16(self.id);
+        let mut flags: u16 = 0;
+        if self.qr {
+            flags |= 0x8000;
+        }
+        if self.aa {
+            flags |= 0x0400;
+        }
+        flags |= self.rcode as u16 & 0x000f;
+        b.put_u16(flags);
+        b.put_u16(self.question.is_some() as u16);
+        b.put_u16(self.answers.len() as u16);
+        b.put_u16(self.authority.len() as u16);
+        b.put_u16(0); // no additional section
+        if let Some((name, rtype)) = &self.question {
+            encode_name(&mut b, name);
+            b.put_u16(rtype.code());
+            b.put_u16(1); // class IN
+        }
+        for rr in self.answers.iter().chain(&self.authority) {
+            encode_rr(&mut b, rr);
+        }
+        b.freeze()
+    }
+
+    /// Decode from wire format.
+    pub fn decode(bytes: &[u8]) -> Result<Message, String> {
+        let mut b = bytes;
+        if b.remaining() < 12 {
+            return Err("truncated header".into());
+        }
+        let id = b.get_u16();
+        let flags = b.get_u16();
+        let qdcount = b.get_u16();
+        let ancount = b.get_u16();
+        let nscount = b.get_u16();
+        let _arcount = b.get_u16();
+        let question = if qdcount > 0 {
+            let name = decode_name(&mut b)?;
+            if b.remaining() < 4 {
+                return Err("truncated question".into());
+            }
+            let rtype = RecordType::from_code(b.get_u16())
+                .ok_or_else(|| "unknown qtype".to_string())?;
+            let _class = b.get_u16();
+            Some((name, rtype))
+        } else {
+            None
+        };
+        let mut answers = Vec::with_capacity(ancount as usize);
+        for _ in 0..ancount {
+            answers.push(decode_rr(&mut b)?);
+        }
+        let mut authority = Vec::with_capacity(nscount as usize);
+        for _ in 0..nscount {
+            authority.push(decode_rr(&mut b)?);
+        }
+        Ok(Message {
+            id,
+            qr: flags & 0x8000 != 0,
+            aa: flags & 0x0400 != 0,
+            rcode: (flags & 0x000f) as u8,
+            question,
+            answers,
+            authority,
+        })
+    }
+
+    /// Encoded size in bytes (for cost models).
+    pub fn wire_size(&self) -> usize {
+        self.encode().len()
+    }
+}
+
+fn encode_name(b: &mut BytesMut, name: &DnsName) {
+    for label in name.labels() {
+        b.put_u8(label.len() as u8);
+        b.put_slice(label.as_bytes());
+    }
+    b.put_u8(0);
+}
+
+fn decode_name(b: &mut &[u8]) -> Result<DnsName, String> {
+    let mut labels = Vec::new();
+    loop {
+        if !b.has_remaining() {
+            return Err("truncated name".into());
+        }
+        let len = b.get_u8() as usize;
+        if len == 0 {
+            break;
+        }
+        if b.remaining() < len {
+            return Err("truncated label".into());
+        }
+        let raw = &b.chunk()[..len];
+        let label = std::str::from_utf8(raw)
+            .map_err(|_| "non-utf8 label".to_string())?
+            .to_string();
+        b.advance(len);
+        labels.push(label);
+    }
+    Ok(DnsName::from_labels(labels))
+}
+
+fn encode_rr(b: &mut BytesMut, rr: &ResourceRecord) {
+    encode_name(b, &rr.name);
+    b.put_u16(rr.rtype().code());
+    b.put_u16(1); // class IN
+    b.put_u32(rr.ttl);
+    let mut rdata = BytesMut::new();
+    match &rr.rdata {
+        RData::A(ip) => rdata.put_slice(&ip.octets()),
+        RData::Ns(n) | RData::Cname(n) | RData::Ptr(n) => encode_name(&mut rdata, n),
+        RData::Txt(t) => {
+            // One character-string per 255-byte chunk.
+            for chunk in t.as_bytes().chunks(255) {
+                rdata.put_u8(chunk.len() as u8);
+                rdata.put_slice(chunk);
+            }
+        }
+        RData::Srv {
+            priority,
+            weight,
+            port,
+            target,
+        } => {
+            rdata.put_u16(*priority);
+            rdata.put_u16(*weight);
+            rdata.put_u16(*port);
+            encode_name(&mut rdata, target);
+        }
+        RData::Soa {
+            mname,
+            rname,
+            serial,
+            refresh,
+            retry,
+            expire,
+            minimum,
+        } => {
+            encode_name(&mut rdata, mname);
+            encode_name(&mut rdata, rname);
+            rdata.put_u32(*serial);
+            rdata.put_u32(*refresh);
+            rdata.put_u32(*retry);
+            rdata.put_u32(*expire);
+            rdata.put_u32(*minimum);
+        }
+    }
+    b.put_u16(rdata.len() as u16);
+    b.put_slice(&rdata);
+}
+
+fn decode_rr(b: &mut &[u8]) -> Result<ResourceRecord, String> {
+    let name = decode_name(b)?;
+    if b.remaining() < 10 {
+        return Err("truncated rr header".into());
+    }
+    let rtype = RecordType::from_code(b.get_u16()).ok_or_else(|| "unknown rtype".to_string())?;
+    let _class = b.get_u16();
+    let ttl = b.get_u32();
+    let rdlen = b.get_u16() as usize;
+    if b.remaining() < rdlen {
+        return Err("truncated rdata".into());
+    }
+    let mut rdata_slice = &b.chunk()[..rdlen];
+    let rdata = match rtype {
+        RecordType::A => {
+            if rdata_slice.len() != 4 {
+                return Err("bad A rdata".into());
+            }
+            RData::A(std::net::Ipv4Addr::new(
+                rdata_slice[0],
+                rdata_slice[1],
+                rdata_slice[2],
+                rdata_slice[3],
+            ))
+        }
+        RecordType::Ns => RData::Ns(decode_name(&mut rdata_slice)?),
+        RecordType::Cname => RData::Cname(decode_name(&mut rdata_slice)?),
+        RecordType::Ptr => RData::Ptr(decode_name(&mut rdata_slice)?),
+        RecordType::Txt => {
+            let mut text = String::new();
+            while rdata_slice.has_remaining() {
+                let len = rdata_slice.get_u8() as usize;
+                if rdata_slice.remaining() < len {
+                    return Err("bad TXT chunk".into());
+                }
+                text.push_str(
+                    std::str::from_utf8(&rdata_slice.chunk()[..len])
+                        .map_err(|_| "non-utf8 TXT".to_string())?,
+                );
+                rdata_slice.advance(len);
+            }
+            RData::Txt(text)
+        }
+        RecordType::Srv => {
+            if rdata_slice.remaining() < 6 {
+                return Err("bad SRV rdata".into());
+            }
+            let priority = rdata_slice.get_u16();
+            let weight = rdata_slice.get_u16();
+            let port = rdata_slice.get_u16();
+            let target = decode_name(&mut rdata_slice)?;
+            RData::Srv {
+                priority,
+                weight,
+                port,
+                target,
+            }
+        }
+        RecordType::Soa => {
+            let mname = decode_name(&mut rdata_slice)?;
+            let rname = decode_name(&mut rdata_slice)?;
+            if rdata_slice.remaining() < 20 {
+                return Err("bad SOA rdata".into());
+            }
+            RData::Soa {
+                mname,
+                rname,
+                serial: rdata_slice.get_u32(),
+                refresh: rdata_slice.get_u32(),
+                retry: rdata_slice.get_u32(),
+                expire: rdata_slice.get_u32(),
+                minimum: rdata_slice.get_u32(),
+            }
+        }
+    };
+    b.advance(rdlen);
+    Ok(ResourceRecord { name, ttl, rdata })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_roundtrip() {
+        let m = Message::query(
+            0x1234,
+            DnsName::parse("www.emory.edu").unwrap(),
+            RecordType::A,
+        );
+        let bytes = m.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert!(!back.qr);
+    }
+
+    #[test]
+    fn response_roundtrip_all_rdata_kinds() {
+        let answers = vec![
+            ResourceRecord::a("a.x", 60, [1, 2, 3, 4]),
+            ResourceRecord::ns("b.x", 60, "ns.b.x"),
+            ResourceRecord::cname("c.x", 60, "a.x"),
+            ResourceRecord::txt("d.x", 60, "hdns://host2:8085/path"),
+            ResourceRecord::srv("_s._tcp.x", 60, 1, 2, 8085, "host2.x"),
+            ResourceRecord::new(
+                DnsName::parse("x").unwrap(),
+                60,
+                RData::Soa {
+                    mname: DnsName::parse("ns.x").unwrap(),
+                    rname: DnsName::parse("admin.x").unwrap(),
+                    serial: 2026070501,
+                    refresh: 3600,
+                    retry: 600,
+                    expire: 86400,
+                    minimum: 60,
+                },
+            ),
+            ResourceRecord::new(
+                DnsName::parse("4.3.2.1.in-addr.arpa").unwrap(),
+                60,
+                RData::Ptr(DnsName::parse("a.x").unwrap()),
+            ),
+        ];
+        let resp = Response {
+            rcode: Rcode::NoError,
+            aa: true,
+            answers,
+            authority: vec![ResourceRecord::ns("x", 60, "ns.x")],
+        };
+        let m = Message::response(7, (DnsName::parse("a.x").unwrap(), RecordType::A), &resp);
+        let bytes = m.encode();
+        let back = Message::decode(&bytes).unwrap();
+        assert_eq!(back, m);
+        assert!(back.aa && back.qr);
+        assert_eq!(back.answers.len(), 7);
+        assert_eq!(back.authority.len(), 1);
+    }
+
+    #[test]
+    fn long_txt_chunks() {
+        let text = "z".repeat(600);
+        let rr = ResourceRecord::txt("t.x", 60, text.clone());
+        let resp = Response {
+            rcode: Rcode::NoError,
+            aa: true,
+            answers: vec![rr],
+            authority: vec![],
+        };
+        let m = Message::response(1, (DnsName::parse("t.x").unwrap(), RecordType::Txt), &resp);
+        let back = Message::decode(&m.encode()).unwrap();
+        match &back.answers[0].rdata {
+            RData::Txt(t) => assert_eq!(*t, text),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_truncation() {
+        let m = Message::query(1, DnsName::parse("a.b").unwrap(), RecordType::A);
+        let bytes = m.encode();
+        for cut in [0, 5, 11, bytes.len() - 1] {
+            assert!(Message::decode(&bytes[..cut]).is_err(), "cut at {cut}");
+        }
+    }
+
+    #[test]
+    fn wire_size_is_positive_and_sane() {
+        let m = Message::query(1, DnsName::parse("www.emory.edu").unwrap(), RecordType::A);
+        let s = m.wire_size();
+        assert!((12..100).contains(&s), "query size {s}");
+    }
+}

@@ -1,0 +1,82 @@
+//! Stack configuration — the JGroups "protocol stack file" analogue.
+
+/// Multicast ordering/reliability discipline.
+#[derive(Clone, Debug, PartialEq)]
+pub enum OrderingMode {
+    /// Virtual-synchrony suite: every multicast is forwarded to the
+    /// coordinator, stamped with a global sequence number, and delivered
+    /// in that order at every member. Atomic, totally ordered — and the
+    /// coordinator is the throughput bottleneck ("the entire group is only
+    /// as fast as its slowest member").
+    Sequencer,
+    /// Bimodal-multicast suite: senders multicast directly (per-sender
+    /// FIFO), messages may be lost with probability `loss`, and periodic
+    /// gossip rounds repair gaps. Scalable, probabilistically reliable —
+    /// the HDNS default.
+    Bimodal {
+        /// Per-message loss probability on the initial multicast.
+        loss: f64,
+        /// Peers contacted per gossip round.
+        fanout: usize,
+    },
+}
+
+impl OrderingMode {
+    /// The paper's default HDNS stack.
+    pub fn bimodal_default() -> OrderingMode {
+        OrderingMode::Bimodal {
+            loss: 0.05,
+            fanout: 2,
+        }
+    }
+}
+
+/// Per-channel stack configuration.
+#[derive(Clone, Debug)]
+pub struct StackConfig {
+    pub ordering: OrderingMode,
+    /// Maximum queued inbound messages before flow control reacts;
+    /// `None` = unbounded (the paper-faithful, crash-prone setting).
+    pub inbox_bound: Option<usize>,
+    /// Process memory budget for retained/queued message bytes; exceeding
+    /// it crashes the member (memory exhaustion). `None` = unlimited.
+    pub memory_limit: Option<u64>,
+}
+
+impl Default for StackConfig {
+    fn default() -> Self {
+        StackConfig {
+            ordering: OrderingMode::Sequencer,
+            inbox_bound: None,
+            memory_limit: None,
+        }
+    }
+}
+
+impl StackConfig {
+    /// The configuration HDNS shipped with: bimodal multicast, unbounded
+    /// queues (Fig. 5's failure mode).
+    pub fn hdns_default() -> StackConfig {
+        StackConfig {
+            ordering: OrderingMode::bimodal_default(),
+            inbox_bound: None,
+            memory_limit: Some(64 * 1024 * 1024),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults() {
+        let c = StackConfig::default();
+        assert_eq!(c.ordering, OrderingMode::Sequencer);
+        assert!(c.inbox_bound.is_none());
+
+        let h = StackConfig::hdns_default();
+        assert!(matches!(h.ordering, OrderingMode::Bimodal { .. }));
+        assert!(h.memory_limit.is_some());
+    }
+}

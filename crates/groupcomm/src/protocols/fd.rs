@@ -1,0 +1,113 @@
+//! Failure detection.
+//!
+//! Real JGroups FD layers send heartbeats and declare a member suspected
+//! after missed acks. In the deterministic cluster the transport itself
+//! knows reachability, so the detector reduces to an oracle sweep — the
+//! same *information flow* (FD feeds suspicions to GMS, which excludes
+//! suspects from the next view) without wall-clock timers.
+
+use crate::addr::Addr;
+
+/// Compute which of `members` a node at `me` should suspect, given a
+/// reachability oracle.
+pub fn suspects(
+    me: Addr,
+    members: &[Addr],
+    reachable: impl Fn(Addr, Addr) -> bool,
+) -> Vec<Addr> {
+    members
+        .iter()
+        .copied()
+        .filter(|&m| m != me && !reachable(me, m))
+        .collect()
+}
+
+/// A heartbeat-based detector for real-time deployments: tracks the last
+/// heartbeat per member and suspects members silent for longer than the
+/// timeout. (The deterministic cluster uses [`suspects`]; this state
+/// machine backs wall-clock drivers and is exercised by the HDNS recovery
+/// tests through manual clocks.)
+#[derive(Debug)]
+pub struct HeartbeatDetector {
+    timeout_ms: u64,
+    last_seen: std::collections::HashMap<Addr, u64>,
+}
+
+impl HeartbeatDetector {
+    pub fn new(timeout_ms: u64) -> Self {
+        HeartbeatDetector {
+            timeout_ms,
+            last_seen: Default::default(),
+        }
+    }
+
+    /// Record a heartbeat (or any traffic) from `from` at `now_ms`.
+    pub fn heard_from(&mut self, from: Addr, now_ms: u64) {
+        self.last_seen.insert(from, now_ms);
+    }
+
+    /// Members silent past the timeout.
+    pub fn sweep(&self, members: &[Addr], me: Addr, now_ms: u64) -> Vec<Addr> {
+        members
+            .iter()
+            .copied()
+            .filter(|&m| {
+                m != me
+                    && match self.last_seen.get(&m) {
+                        Some(&t) => now_ms.saturating_sub(t) > self.timeout_ms,
+                        None => true,
+                    }
+            })
+            .collect()
+    }
+
+    /// Forget a member (left or excluded).
+    pub fn forget(&mut self, member: Addr) {
+        self.last_seen.remove(&member);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn oracle_suspects_unreachable() {
+        let members = [Addr(1), Addr(2), Addr(3)];
+        let down = Addr(3);
+        let s = suspects(Addr(1), &members, |_, to| to != down);
+        assert_eq!(s, vec![Addr(3)]);
+        // Never suspects self even if the oracle is weird.
+        let s = suspects(Addr(1), &members, |_, _| false);
+        assert_eq!(s, vec![Addr(2), Addr(3)]);
+    }
+
+    #[test]
+    fn heartbeat_timeout() {
+        let mut fd = HeartbeatDetector::new(100);
+        let members = [Addr(1), Addr(2), Addr(3)];
+        fd.heard_from(Addr(2), 0);
+        fd.heard_from(Addr(3), 50);
+
+        assert!(fd.sweep(&members, Addr(1), 100).is_empty());
+        assert_eq!(fd.sweep(&members, Addr(1), 101), vec![Addr(2)]);
+        assert_eq!(fd.sweep(&members, Addr(1), 151), vec![Addr(2), Addr(3)]);
+
+        fd.heard_from(Addr(2), 151);
+        assert_eq!(fd.sweep(&members, Addr(1), 200), vec![Addr(3)]);
+    }
+
+    #[test]
+    fn unknown_member_is_suspect() {
+        let fd = HeartbeatDetector::new(100);
+        assert_eq!(fd.sweep(&[Addr(9)], Addr(1), 0), vec![Addr(9)]);
+    }
+
+    #[test]
+    fn forget_removes_tracking() {
+        let mut fd = HeartbeatDetector::new(100);
+        fd.heard_from(Addr(2), 0);
+        fd.forget(Addr(2));
+        assert_eq!(fd.sweep(&[Addr(2)], Addr(1), 10), vec![Addr(2)]);
+    }
+}

@@ -1,0 +1,120 @@
+//! Flow control: inbound queue accounting.
+//!
+//! The paper traced the HDNS overload crash to this layer: "internal
+//! JGroups message queues … grow without bounds, eventually causing memory
+//! exhaustion and server crash". [`InboxAccount`] supports both the
+//! paper-faithful unbounded mode (crash on memory exhaustion) and the
+//! bounded fix (reject with backpressure, degrade gracefully) measured by
+//! the ablation experiment.
+
+/// Admission decision for an inbound message.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admission {
+    /// Enqueued.
+    Ok,
+    /// Bounded queue full: message refused (sender should back off).
+    Reject,
+    /// Unbounded queue exceeded the memory budget: the process dies.
+    Crash,
+}
+
+/// Queue/memory accounting for one member.
+#[derive(Clone, Debug)]
+pub struct InboxAccount {
+    bound: Option<usize>,
+    memory_limit: Option<u64>,
+    queued: usize,
+    bytes: u64,
+    /// High-water marks for diagnostics.
+    pub max_queued: usize,
+    pub max_bytes: u64,
+}
+
+impl InboxAccount {
+    pub fn new(bound: Option<usize>, memory_limit: Option<u64>) -> Self {
+        InboxAccount {
+            bound,
+            memory_limit,
+            queued: 0,
+            bytes: 0,
+            max_queued: 0,
+            max_bytes: 0,
+        }
+    }
+
+    /// Try to admit a message of `size` bytes.
+    pub fn admit(&mut self, size: u64) -> Admission {
+        if let Some(bound) = self.bound {
+            if self.queued >= bound {
+                return Admission::Reject;
+            }
+        }
+        self.queued += 1;
+        self.bytes += size;
+        self.max_queued = self.max_queued.max(self.queued);
+        self.max_bytes = self.max_bytes.max(self.bytes);
+        if let Some(limit) = self.memory_limit {
+            if self.bound.is_none() && self.bytes > limit {
+                return Admission::Crash;
+            }
+        }
+        Admission::Ok
+    }
+
+    /// A message of `size` bytes finished processing.
+    pub fn release(&mut self, size: u64) {
+        self.queued = self.queued.saturating_sub(1);
+        self.bytes = self.bytes.saturating_sub(size);
+    }
+
+    pub fn queued(&self) -> usize {
+        self.queued
+    }
+
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_crashes_on_memory_exhaustion() {
+        let mut q = InboxAccount::new(None, Some(250));
+        assert_eq!(q.admit(100), Admission::Ok);
+        assert_eq!(q.admit(100), Admission::Ok);
+        assert_eq!(q.admit(100), Admission::Crash, "301 bytes > 250 budget");
+        assert_eq!(q.max_bytes, 300);
+    }
+
+    #[test]
+    fn bounded_rejects_instead_of_crashing() {
+        let mut q = InboxAccount::new(Some(2), Some(100));
+        assert_eq!(q.admit(90), Admission::Ok);
+        assert_eq!(q.admit(90), Admission::Ok);
+        // Bounded: never crashes, rejects at the bound.
+        assert_eq!(q.admit(90), Admission::Reject);
+        assert_eq!(q.queued(), 2);
+    }
+
+    #[test]
+    fn release_frees_capacity() {
+        let mut q = InboxAccount::new(Some(1), None);
+        assert_eq!(q.admit(10), Admission::Ok);
+        assert_eq!(q.admit(10), Admission::Reject);
+        q.release(10);
+        assert_eq!(q.admit(10), Admission::Ok);
+        assert_eq!(q.bytes(), 10);
+    }
+
+    #[test]
+    fn no_limits_always_ok() {
+        let mut q = InboxAccount::new(None, None);
+        for _ in 0..10_000 {
+            assert_eq!(q.admit(1_000), Admission::Ok);
+        }
+        assert_eq!(q.max_queued, 10_000);
+    }
+}

@@ -1,0 +1,70 @@
+//! The PRIMARY_PARTITION protocol (the paper's §4.3 addition).
+//!
+//! "After a transient network partition, the PRIMARY PARTITION protocol
+//! resolves state conflicts by uniquely selecting the partition deemed to
+//! have the valid state, and forcing other partitions to re-synchronize."
+//!
+//! Selection rule, applied in order:
+//! 1. the side whose membership contains the pre-partition coordinator
+//!    (it kept the "primary" lineage);
+//! 2. otherwise the side with the most members (majority heuristic);
+//! 3. ties broken by lowest coordinator address (deterministic).
+
+use crate::addr::Addr;
+use crate::view::View;
+
+/// Pick the winning side among partition views. Returns the index into
+/// `sides`. Panics on an empty slice — callers merge at least one side.
+pub fn pick_winner(sides: &[View], pre_partition_coord: Addr) -> usize {
+    assert!(!sides.is_empty(), "no partition sides to merge");
+    if let Some(i) = sides
+        .iter()
+        .position(|v| v.contains(pre_partition_coord))
+    {
+        return i;
+    }
+    let mut best = 0;
+    for (i, v) in sides.iter().enumerate().skip(1) {
+        let b = &sides[best];
+        if v.size() > b.size() || (v.size() == b.size() && v.coordinator() < b.coordinator()) {
+            best = i;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coordinator_lineage_wins() {
+        let a = View::new(2, vec![Addr(1)]);
+        let b = View::new(2, vec![Addr(2), Addr(3), Addr(4)]);
+        // Old coordinator was m1: its (smaller!) side wins.
+        assert_eq!(pick_winner(&[a.clone(), b.clone()], Addr(1)), 0);
+        // Old coordinator in the other side.
+        assert_eq!(pick_winner(&[a, b], Addr(3)), 1);
+    }
+
+    #[test]
+    fn size_majority_when_lineage_lost() {
+        let a = View::new(2, vec![Addr(5)]);
+        let b = View::new(2, vec![Addr(6), Addr(7)]);
+        // Coordinator m1 crashed entirely; bigger side wins.
+        assert_eq!(pick_winner(&[a, b], Addr(1)), 1);
+    }
+
+    #[test]
+    fn deterministic_tiebreak() {
+        let a = View::new(2, vec![Addr(9)]);
+        let b = View::new(2, vec![Addr(4)]);
+        assert_eq!(pick_winner(&[a, b], Addr(1)), 1, "lower coord addr");
+    }
+
+    #[test]
+    fn single_side_trivially_wins() {
+        let a = View::new(2, vec![Addr(2)]);
+        assert_eq!(pick_winner(&[a], Addr(1)), 0);
+    }
+}

@@ -1,0 +1,68 @@
+//! Wire messages exchanged between members.
+
+use serde::{Deserialize, Serialize};
+
+use crate::addr::Addr;
+use crate::view::View;
+
+/// Everything that travels between members. Serialized with serde so byte
+/// sizes are honest for memory accounting.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Wire {
+    /// Member → coordinator: please sequence this multicast (Sequencer).
+    Forward { origin: Addr, body: Vec<u8> },
+    /// Coordinator → members: globally ordered multicast (Sequencer).
+    Ordered {
+        gseq: u64,
+        origin: Addr,
+        body: Vec<u8>,
+    },
+    /// Sender → members: per-sender FIFO multicast (Bimodal).
+    Gossip {
+        origin: Addr,
+        sseq: u64,
+        body: Vec<u8>,
+    },
+    /// Gossip anti-entropy: "my highest contiguous seq per origin is …".
+    DigestPush {
+        entries: Vec<(Addr, u64)>,
+    },
+    /// Retransmission of messages the digest showed missing.
+    Retransmit {
+        messages: Vec<(Addr, u64, Vec<u8>)>,
+    },
+    /// Coordinator → members: install this view.
+    InstallView(View),
+    /// Coordinator/winner → member: full application state snapshot.
+    State { bytes: Vec<u8> },
+}
+
+impl Wire {
+    /// Serialized size, for memory/byte accounting.
+    pub fn size(&self) -> u64 {
+        serde_json::to_vec(self).map(|v| v.len() as u64).unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn serde_roundtrip_and_size() {
+        let w = Wire::Ordered {
+            gseq: 9,
+            origin: Addr(1),
+            body: vec![1, 2, 3],
+        };
+        let bytes = serde_json::to_vec(&w).unwrap();
+        let back: Wire = serde_json::from_slice(&bytes).unwrap();
+        match back {
+            Wire::Ordered { gseq, origin, body } => {
+                assert_eq!((gseq, origin, body), (9, Addr(1), vec![1, 2, 3]));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(w.size(), bytes.len() as u64);
+    }
+}

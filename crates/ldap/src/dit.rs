@@ -1,0 +1,304 @@
+//! The Directory Information Tree.
+//!
+//! Entries keyed by normalized DN, with structural invariants enforced:
+//! an entry's parent must exist (except suffixes at the tree root) and only
+//! leaf entries can be deleted.
+
+use std::collections::BTreeMap;
+
+use crate::dn::{Dn, Rdn};
+use crate::entry::LdapEntry;
+use crate::filter::LdapFilter;
+
+/// Search scope.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scope {
+    /// The base entry only.
+    Base,
+    /// Direct children of the base.
+    OneLevel,
+    /// Base and all descendants.
+    Subtree,
+}
+
+/// DIT operation errors (mapped to LDAP result codes by the server layer).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DitError {
+    NoSuchObject(String),
+    AlreadyExists(String),
+    NotAllowedOnNonLeaf(String),
+    NoSuchParent(String),
+}
+
+/// The tree. BTreeMap keeps deterministic enumeration order.
+#[derive(Default, Debug, Clone)]
+pub struct Dit {
+    entries: BTreeMap<String, LdapEntry>,
+}
+
+impl Dit {
+    pub fn new() -> Self {
+        Dit::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    pub fn contains(&self, dn: &Dn) -> bool {
+        self.entries.contains_key(&dn.normalized())
+    }
+
+    pub fn get(&self, dn: &Dn) -> Option<&LdapEntry> {
+        self.entries.get(&dn.normalized())
+    }
+
+    /// Add an entry. The parent must already exist unless the entry is a
+    /// suffix (depth 1) or the root itself.
+    pub fn add(&mut self, entry: LdapEntry) -> Result<(), DitError> {
+        let key = entry.dn.normalized();
+        if self.entries.contains_key(&key) {
+            return Err(DitError::AlreadyExists(entry.dn.to_string()));
+        }
+        if let Some(parent) = entry.dn.parent() {
+            if !parent.is_root() && !self.contains(&parent) {
+                return Err(DitError::NoSuchParent(parent.to_string()));
+            }
+        }
+        self.entries.insert(key, entry);
+        Ok(())
+    }
+
+    /// Delete a leaf entry.
+    pub fn delete(&mut self, dn: &Dn) -> Result<LdapEntry, DitError> {
+        let key = dn.normalized();
+        if !self.entries.contains_key(&key) {
+            return Err(DitError::NoSuchObject(dn.to_string()));
+        }
+        if self.has_children(dn) {
+            return Err(DitError::NotAllowedOnNonLeaf(dn.to_string()));
+        }
+        Ok(self.entries.remove(&key).expect("checked present"))
+    }
+
+    /// Whether the entry has any children.
+    pub fn has_children(&self, dn: &Dn) -> bool {
+        self.entries
+            .values()
+            .any(|e| e.dn.is_child_of(dn))
+    }
+
+    /// Replace an entry's content in place (same DN).
+    pub fn update(&mut self, entry: LdapEntry) -> Result<(), DitError> {
+        let key = entry.dn.normalized();
+        if !self.entries.contains_key(&key) {
+            return Err(DitError::NoSuchObject(entry.dn.to_string()));
+        }
+        self.entries.insert(key, entry);
+        Ok(())
+    }
+
+    /// Rename a leaf entry's RDN (LDAP `modifyRDN`).
+    pub fn modify_rdn(&mut self, dn: &Dn, new_rdn: Rdn) -> Result<Dn, DitError> {
+        if self.has_children(dn) {
+            return Err(DitError::NotAllowedOnNonLeaf(dn.to_string()));
+        }
+        let parent = dn.parent().unwrap_or_else(Dn::root);
+        let new_dn = parent.child(new_rdn.clone());
+        if self.contains(&new_dn) {
+            return Err(DitError::AlreadyExists(new_dn.to_string()));
+        }
+        let mut entry = self.delete(dn)?;
+        entry.dn = new_dn.clone();
+        // The new RDN's attribute value must be present on the entry.
+        if !entry.has_value(&new_rdn.attr, &new_rdn.value) {
+            entry.add_value(&new_rdn.attr, new_rdn.value.clone());
+        }
+        self.entries.insert(new_dn.normalized(), entry);
+        Ok(new_dn)
+    }
+
+    /// Search from `base` with the given scope and filter.
+    pub fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &LdapFilter,
+        size_limit: usize,
+    ) -> Result<Vec<&LdapEntry>, DitError> {
+        if !base.is_root() && !self.contains(base) {
+            return Err(DitError::NoSuchObject(base.to_string()));
+        }
+        let mut out = Vec::new();
+        for e in self.entries.values() {
+            let in_scope = match scope {
+                Scope::Base => e.dn == *base,
+                Scope::OneLevel => e.dn.is_child_of(base),
+                Scope::Subtree => e.dn.is_under(base),
+            };
+            if in_scope && filter.matches(e) {
+                out.push(e);
+                if size_limit > 0 && out.len() >= size_limit {
+                    break;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Iterate all entries (diagnostics, persistence).
+    pub fn iter(&self) -> impl Iterator<Item = &LdapEntry> {
+        self.entries.values()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeded() -> Dit {
+        let mut d = Dit::new();
+        d.add(LdapEntry::new(Dn::parse("o=emory").unwrap())
+            .with("objectClass", "organization")
+            .with("o", "emory"))
+            .unwrap();
+        d.add(
+            LdapEntry::new(Dn::parse("ou=mathcs,o=emory").unwrap())
+                .with("objectClass", "organizationalUnit")
+                .with("ou", "mathcs"),
+        )
+        .unwrap();
+        d.add(
+            LdapEntry::new(Dn::parse("cn=mokey,ou=mathcs,o=emory").unwrap())
+                .with("objectClass", "device")
+                .with("cn", "mokey"),
+        )
+        .unwrap();
+        d
+    }
+
+    #[test]
+    fn add_requires_parent() {
+        let mut d = Dit::new();
+        let orphan = LdapEntry::new(Dn::parse("cn=x,ou=nowhere,o=gone").unwrap());
+        assert!(matches!(d.add(orphan), Err(DitError::NoSuchParent(_))));
+        // Suffix at depth 1 is fine.
+        assert!(d.add(LdapEntry::new(Dn::parse("o=emory").unwrap())).is_ok());
+    }
+
+    #[test]
+    fn add_rejects_duplicate() {
+        let mut d = seeded();
+        let dup = LdapEntry::new(Dn::parse("O=EMORY").unwrap());
+        assert!(matches!(d.add(dup), Err(DitError::AlreadyExists(_))));
+    }
+
+    #[test]
+    fn delete_leaf_only() {
+        let mut d = seeded();
+        let ou = Dn::parse("ou=mathcs,o=emory").unwrap();
+        assert!(matches!(
+            d.delete(&ou),
+            Err(DitError::NotAllowedOnNonLeaf(_))
+        ));
+        d.delete(&Dn::parse("cn=mokey,ou=mathcs,o=emory").unwrap())
+            .unwrap();
+        d.delete(&ou).unwrap();
+        assert_eq!(d.len(), 1);
+        assert!(matches!(
+            d.delete(&ou),
+            Err(DitError::NoSuchObject(_))
+        ));
+    }
+
+    #[test]
+    fn scoped_search() {
+        let d = seeded();
+        let base = Dn::parse("o=emory").unwrap();
+        let all = LdapFilter::match_all();
+
+        let hits = d.search(&base, Scope::Base, &all, 0).unwrap();
+        assert_eq!(hits.len(), 1);
+
+        let hits = d.search(&base, Scope::OneLevel, &all, 0).unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].dn.to_string(), "ou=mathcs,o=emory");
+
+        let hits = d.search(&base, Scope::Subtree, &all, 0).unwrap();
+        assert_eq!(hits.len(), 3);
+    }
+
+    #[test]
+    fn search_filter_and_limit() {
+        let d = seeded();
+        let base = Dn::parse("o=emory").unwrap();
+        let f = LdapFilter::parse("(objectClass=device)").unwrap();
+        let hits = d.search(&base, Scope::Subtree, &f, 0).unwrap();
+        assert_eq!(hits.len(), 1);
+        let all = LdapFilter::match_all();
+        let hits = d.search(&base, Scope::Subtree, &all, 2).unwrap();
+        assert_eq!(hits.len(), 2);
+    }
+
+    #[test]
+    fn search_missing_base_errors() {
+        let d = seeded();
+        let err = d
+            .search(
+                &Dn::parse("o=nowhere").unwrap(),
+                Scope::Subtree,
+                &LdapFilter::match_all(),
+                0,
+            )
+            .unwrap_err();
+        assert!(matches!(err, DitError::NoSuchObject(_)));
+    }
+
+    #[test]
+    fn modify_rdn_renames_leaf() {
+        let mut d = seeded();
+        let old = Dn::parse("cn=mokey,ou=mathcs,o=emory").unwrap();
+        let new_dn = d.modify_rdn(&old, Rdn::new("cn", "monkey")).unwrap();
+        assert_eq!(new_dn.to_string(), "cn=monkey,ou=mathcs,o=emory");
+        assert!(!d.contains(&old));
+        let e = d.get(&new_dn).unwrap();
+        assert!(e.has_value("cn", "monkey"), "RDN value added to entry");
+    }
+
+    #[test]
+    fn modify_rdn_conflicts_and_nonleaf() {
+        let mut d = seeded();
+        d.add(
+            LdapEntry::new(Dn::parse("cn=taken,ou=mathcs,o=emory").unwrap())
+                .with("objectClass", "device")
+                .with("cn", "taken"),
+        )
+        .unwrap();
+        let mokey = Dn::parse("cn=mokey,ou=mathcs,o=emory").unwrap();
+        assert!(matches!(
+            d.modify_rdn(&mokey, Rdn::new("cn", "taken")),
+            Err(DitError::AlreadyExists(_))
+        ));
+        let ou = Dn::parse("ou=mathcs,o=emory").unwrap();
+        assert!(matches!(
+            d.modify_rdn(&ou, Rdn::new("ou", "x")),
+            Err(DitError::NotAllowedOnNonLeaf(_))
+        ));
+    }
+
+    #[test]
+    fn update_replaces_content() {
+        let mut d = seeded();
+        let dn = Dn::parse("cn=mokey,ou=mathcs,o=emory").unwrap();
+        let mut e = d.get(&dn).unwrap().clone();
+        e.add_value("description", "test monkey");
+        d.update(e).unwrap();
+        assert_eq!(d.get(&dn).unwrap().first("description"), Some("test monkey"));
+        let ghost = LdapEntry::new(Dn::parse("cn=ghost,o=emory").unwrap());
+        assert!(matches!(d.update(ghost), Err(DitError::NoSuchObject(_))));
+    }
+}

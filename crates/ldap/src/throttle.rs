@@ -1,0 +1,132 @@
+//! The anti-DoS read throttle.
+//!
+//! The paper measured OpenLDAP read throughput flattening near 800
+//! operations/second while CPU, network and memory stayed unsaturated, and
+//! conjectured "some automatic slowdown mechanism, such as a countermeasure
+//! against Denial-of-Service attacks". [`ReadThrottle`] is that mechanism,
+//! made explicit: a fixed-window rate limiter that, once the window's quota
+//! is consumed, *delays* (rather than rejects) further requests to the next
+//! window boundary — producing exactly the observed plateau: latency grows
+//! with offered load while goodput stays pinned at the cap.
+
+/// Admission decision for one request.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Admit {
+    /// Serve immediately.
+    Now,
+    /// Serve after the given delay (milliseconds).
+    After(u64),
+}
+
+/// Fixed-window read rate limiter.
+#[derive(Debug, Clone)]
+pub struct ReadThrottle {
+    max_per_window: u64,
+    window_ms: u64,
+    /// Start of the window currently being filled (absolute ms).
+    window_start: u64,
+    /// Requests admitted into the window starting at `window_start`.
+    admitted: u64,
+}
+
+impl ReadThrottle {
+    /// Limit to `max_per_sec` reads per second.
+    pub fn per_second(max_per_sec: u64) -> Self {
+        ReadThrottle {
+            max_per_window: max_per_sec.max(1),
+            window_ms: 1000,
+            window_start: 0,
+            admitted: 0,
+        }
+    }
+
+    /// The configured cap (requests per window).
+    pub fn limit(&self) -> u64 {
+        self.max_per_window
+    }
+
+    /// Decide admission for a request arriving at `now_ms`. When the
+    /// current window's quota is exhausted, the request is scheduled into
+    /// the earliest window with room, preserving arrival order. Requests
+    /// already promised into future windows keep their reservations when
+    /// the clock rolls forward.
+    pub fn admit(&mut self, now_ms: u64) -> Admit {
+        if now_ms >= self.window_start + self.window_ms {
+            // Roll the window forward, carrying over reservations that
+            // earlier overflow requests made against future windows.
+            let windows_passed = (now_ms - self.window_start) / self.window_ms;
+            self.window_start += windows_passed * self.window_ms;
+            self.admitted = self
+                .admitted
+                .saturating_sub(windows_passed * self.max_per_window);
+        }
+        if self.admitted < self.max_per_window {
+            self.admitted += 1;
+            return Admit::Now;
+        }
+        // Full: the request lands in the window holding its reservation.
+        let windows_ahead = self.admitted / self.max_per_window;
+        let target = self.window_start + windows_ahead * self.window_ms;
+        self.admitted += 1;
+        Admit::After(target.saturating_sub(now_ms))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn under_limit_always_now() {
+        let mut t = ReadThrottle::per_second(10);
+        for i in 0..10 {
+            assert_eq!(t.admit(i * 10), Admit::Now);
+        }
+    }
+
+    #[test]
+    fn over_limit_delays_to_next_window() {
+        let mut t = ReadThrottle::per_second(2);
+        assert_eq!(t.admit(100), Admit::Now);
+        assert_eq!(t.admit(200), Admit::Now);
+        // Third request in the same second waits until t=1000.
+        assert_eq!(t.admit(300), Admit::After(700));
+        // Fourth also lands in the next window (room for 2 there).
+        assert_eq!(t.admit(300), Admit::After(700));
+        // Fifth spills to the window after that.
+        assert_eq!(t.admit(300), Admit::After(1700));
+    }
+
+    #[test]
+    fn window_rolls_forward() {
+        let mut t = ReadThrottle::per_second(1);
+        assert_eq!(t.admit(0), Admit::Now);
+        assert_eq!(t.admit(1000), Admit::Now, "idle window admits again");
+        // Overflow reservations survive the roll: the delayed request holds
+        // window [2000,3000), so a request arriving there waits for [3000+).
+        assert_eq!(t.admit(1001), Admit::After(999));
+        assert_eq!(t.admit(2000), Admit::After(1000));
+    }
+
+    #[test]
+    fn plateau_emerges_under_overload() {
+        // Offer 2000 req/s for 5 s against an 800/s cap; goodput within a
+        // window never exceeds the cap.
+        let mut t = ReadThrottle::per_second(800);
+        let mut served_at = Vec::new();
+        for i in 0..10_000u64 {
+            let now = i / 2; // one request every 0.5 ms
+            match t.admit(now) {
+                Admit::Now => served_at.push(now),
+                Admit::After(d) => served_at.push(now + d),
+            }
+        }
+        for w in 0..5 {
+            let in_window = served_at
+                .iter()
+                .filter(|&&t| t >= w * 1000 && t < (w + 1) * 1000)
+                .count();
+            assert!(in_window <= 800, "window {w} served {in_window}");
+        }
+    }
+}

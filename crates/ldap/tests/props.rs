@@ -1,0 +1,110 @@
+//! Property tests: DIT structural invariants and filter totality.
+
+use proptest::prelude::*;
+
+use dirserv::{Dit, Dn, LdapEntry, LdapFilter, Rdn, Scope};
+
+fn dn_strategy() -> impl Strategy<Value = Dn> {
+    proptest::collection::vec(("[a-c]", "[a-d]{1,2}"), 1..4).prop_map(|rdns| {
+        // Build root-first so parents are prefixes of children.
+        let mut dn = Dn::root();
+        for (a, v) in rdns.into_iter().rev() {
+            dn = dn.child(Rdn::new(a, v));
+        }
+        dn
+    })
+}
+
+#[derive(Clone, Debug)]
+enum DitOp {
+    Add(Dn),
+    Delete(Dn),
+    Rename(Dn, String),
+}
+
+fn op_strategy() -> impl Strategy<Value = DitOp> {
+    prop_oneof![
+        3 => dn_strategy().prop_map(DitOp::Add),
+        2 => dn_strategy().prop_map(DitOp::Delete),
+        1 => (dn_strategy(), "[a-d]{1,2}").prop_map(|(dn, v)| DitOp::Rename(dn, v)),
+    ]
+}
+
+proptest! {
+    /// After any op sequence: every entry's parent exists (except
+    /// suffixes), and no delete ever left orphans behind.
+    #[test]
+    fn dit_structure_invariant(ops in proptest::collection::vec(op_strategy(), 0..60)) {
+        let mut dit = Dit::new();
+        for op in &ops {
+            match op {
+                DitOp::Add(dn) => {
+                    let _ = dit.add(LdapEntry::new(dn.clone()).with("cn", "x"));
+                }
+                DitOp::Delete(dn) => {
+                    let _ = dit.delete(dn);
+                }
+                DitOp::Rename(dn, v) => {
+                    let _ = dit.modify_rdn(dn, Rdn::new("cn", v.clone()));
+                }
+            }
+            for e in dit.iter() {
+                if let Some(parent) = e.dn.parent() {
+                    if !parent.is_root() {
+                        assert!(
+                            dit.contains(&parent),
+                            "orphan {} after {:?}",
+                            e.dn,
+                            ops
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Subtree search from the root finds exactly the entries matching the
+    /// filter — cross-checked against direct iteration.
+    #[test]
+    fn search_agrees_with_iteration(
+        dns in proptest::collection::vec(dn_strategy(), 0..20),
+        needle in "[a-d]{1,2}",
+    ) {
+        let mut dit = Dit::new();
+        for dn in dns {
+            let value = dn.rdn().map(|r| r.value.clone()).unwrap_or_default();
+            let _ = dit.add(LdapEntry::new(dn).with("cn", value));
+        }
+        let filter = LdapFilter::parse(&format!("(cn={needle})")).unwrap();
+        let hits = dit
+            .search(&Dn::root(), Scope::Subtree, &filter, 0)
+            .unwrap();
+        let expected = dit.iter().filter(|e| filter.matches(e)).count();
+        prop_assert_eq!(hits.len(), expected);
+    }
+
+    /// The filter parser is total (never panics) on arbitrary input.
+    #[test]
+    fn filter_parser_is_total(input in "[ -~]{0,60}") {
+        let _ = LdapFilter::parse(&input);
+    }
+
+    /// Parsed-then-printed DNs normalize identically (case folding).
+    #[test]
+    fn dn_normalization_idempotent(dn in dn_strategy()) {
+        let printed = dn.to_string();
+        let reparsed = Dn::parse(&printed).unwrap();
+        prop_assert_eq!(reparsed.normalized(), dn.normalized());
+        prop_assert_eq!(Dn::parse(&reparsed.to_string()).unwrap().normalized(), dn.normalized());
+    }
+
+    /// Depth bookkeeping: is_child_of implies is_under and depth+1.
+    #[test]
+    fn child_relation_consistency(a in dn_strategy(), b in dn_strategy()) {
+        if a.is_child_of(&b) {
+            prop_assert!(a.is_under(&b));
+            prop_assert_eq!(a.depth(), b.depth() + 1);
+        }
+        prop_assert!(a.is_under(&Dn::root()));
+    }
+}

@@ -1,0 +1,114 @@
+//! Shared helpers: marshalling and clock plumbing.
+
+use std::sync::Arc;
+
+use rndi_core::attrs::{AttrValue, Attribute, Attributes};
+use rndi_core::error::{NamingError, Result};
+use rndi_core::value::{BoundValue, StoredValue};
+
+/// Marshal a bound value into provider-storable bytes. Live contexts are
+/// rejected — bind a [`rndi_core::value::Reference::url`] instead (the
+/// durable representation of a federation link).
+pub fn marshal(value: &BoundValue) -> Result<Vec<u8>> {
+    let stored = StoredValue::try_from_bound(value).ok_or_else(|| {
+        NamingError::unsupported("binding a live context; bind a URL reference instead")
+    })?;
+    Ok(stored.encode())
+}
+
+/// Unmarshal provider bytes back into a bound value. Undecodable bytes
+/// surface as raw `Bytes` (foreign data bound by non-RNDI clients).
+pub fn unmarshal(bytes: &[u8]) -> BoundValue {
+    match StoredValue::decode(bytes) {
+        Some(s) => s.into_bound(),
+        None => BoundValue::Bytes(bytes.to_vec()),
+    }
+}
+
+/// Serialize an attribute set to a JSON string (for backends whose
+/// attribute model is flat strings).
+pub fn attrs_to_json(attrs: &Attributes) -> String {
+    serde_json::to_string(attrs).expect("attributes serialize")
+}
+
+/// Parse attributes serialized with [`attrs_to_json`].
+pub fn attrs_from_json(s: &str) -> Attributes {
+    serde_json::from_str(s).unwrap_or_default()
+}
+
+/// Milliseconds clock shared between providers and simulated backends.
+pub trait MsClock: Send + Sync {
+    fn now_ms(&self) -> u64;
+}
+
+/// Adapt an `rlus` clock (manual or system) into [`MsClock`].
+pub struct RlusClock(pub Arc<dyn rlus::Clock>);
+
+impl MsClock for RlusClock {
+    fn now_ms(&self) -> u64 {
+        self.0.now_ms()
+    }
+}
+
+/// Adapt [`MsClock`] into the core lease clock.
+pub struct LeaseClockAdapter(pub Arc<dyn MsClock>);
+
+impl rndi_core::lease::LeaseClock for LeaseClockAdapter {
+    fn now_ms(&self) -> u64 {
+        self.0.now_ms()
+    }
+}
+
+/// Build a single-valued attribute list from `(id, value)` pairs — a
+/// convenience for tests and examples.
+pub fn attrs(pairs: &[(&str, &str)]) -> Attributes {
+    pairs
+        .iter()
+        .map(|(k, v)| Attribute {
+            id: k.to_string(),
+            values: vec![AttrValue::Str(v.to_string())],
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rndi_core::value::Reference;
+
+    #[test]
+    fn marshal_roundtrip() {
+        let v = BoundValue::str("hello");
+        let bytes = marshal(&v).unwrap();
+        assert_eq!(unmarshal(&bytes), v);
+
+        let r = BoundValue::Reference(Reference::url("jini://h"));
+        assert_eq!(unmarshal(&marshal(&r).unwrap()), r);
+    }
+
+    #[test]
+    fn marshal_rejects_live_context() {
+        use rndi_core::mem::MemContext;
+        use std::sync::Arc as StdArc;
+        let v = BoundValue::Context(StdArc::new(MemContext::new()));
+        assert!(matches!(
+            marshal(&v),
+            Err(NamingError::NotSupported { .. })
+        ));
+    }
+
+    #[test]
+    fn foreign_bytes_pass_through() {
+        let v = unmarshal(b"\x00\x01 not json");
+        assert!(matches!(v, BoundValue::Bytes(_)));
+    }
+
+    #[test]
+    fn attrs_json_roundtrip() {
+        let a = attrs(&[("os", "linux"), ("cpu", "8")]);
+        let s = attrs_to_json(&a);
+        let back = attrs_from_json(&s);
+        assert_eq!(back, a);
+        assert_eq!(attrs_from_json("garbage").len(), 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! The DNS service provider.
+//!
+//! DNS is the read-only, world-scale root of the paper's federation (§6):
+//! "we propose to anchor the federated naming system in DNS, so that a
+//! common, well-known service name is resolved to a nearest HDNS node."
+//!
+//! Mapping: the URL host selects an *anchor domain* (e.g. `global` →
+//! `global.emory.edu`); composite-name components become DNS labels under
+//! it (reversed — most significant last in DNS). Values live in TXT
+//! records; a TXT value that parses as a naming URL is a federation link.
+//! Resolution finds the **longest bound prefix**: if it covers the whole
+//! name the value is returned, otherwise resolution continues in the
+//! naming system the link points at. Updates are administrative (zone
+//! edits), so all write operations report `NotSupported` — exactly DNS's
+//! "updates are rare and client-driven update is absent" profile.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use minidns::{DnsName, RData, RecordType, ResolveError, Resolver};
+
+use rndi_core::attrs::Attributes;
+use rndi_core::context::{Binding, Context, DirContext, NameClassPair};
+use rndi_core::env::Environment;
+use rndi_core::error::{NamingError, Result};
+use rndi_core::name::CompositeName;
+use rndi_core::spi::UrlContextFactory;
+use rndi_core::url::{looks_like_url, RndiUrl};
+use rndi_core::value::{BoundValue, Reference};
+
+use crate::common::MsClock;
+
+/// A read-only `DirContext` over a DNS resolver, rooted at an anchor
+/// domain.
+pub struct DnsProviderContext {
+    resolver: Arc<Resolver>,
+    anchor: DnsName,
+    clock: Arc<dyn MsClock>,
+    instance: String,
+}
+
+impl DnsProviderContext {
+    pub fn new(
+        resolver: Arc<Resolver>,
+        anchor: DnsName,
+        clock: Arc<dyn MsClock>,
+        instance: &str,
+    ) -> Arc<Self> {
+        Arc::new(DnsProviderContext {
+            resolver,
+            anchor,
+            clock,
+            instance: instance.to_string(),
+        })
+    }
+
+    /// DNS name for the first `k` components of a composite name:
+    /// components map to labels, most significant first in the composite
+    /// ⇒ appended leaf-outward under the anchor.
+    fn dns_name(&self, name: &CompositeName, k: usize) -> Result<DnsName> {
+        let mut out = self.anchor.clone();
+        for c in name.components().iter().take(k) {
+            out = out.child(c);
+            if DnsName::parse(&out.to_string()).is_err() {
+                return Err(NamingError::invalid_name(
+                    name.to_string(),
+                    "component is not a valid DNS label",
+                ));
+            }
+        }
+        Ok(out)
+    }
+
+    fn txt_at(&self, dns_name: &DnsName) -> Result<Option<String>> {
+        match self
+            .resolver
+            .resolve(dns_name, RecordType::Txt, self.clock.now_ms())
+        {
+            Ok(rrs) => Ok(rrs.iter().find_map(|rr| match &rr.rdata {
+                RData::Txt(t) => Some(t.clone()),
+                _ => None,
+            })),
+            Err(ResolveError::NxDomain(_)) => Ok(None),
+            Err(e) => Err(NamingError::service(e.to_string())),
+        }
+    }
+
+    fn decode(text: &str) -> BoundValue {
+        if looks_like_url(text) {
+            BoundValue::Reference(Reference::url(text))
+        } else {
+            BoundValue::Str(text.to_string())
+        }
+    }
+
+    /// Writes cannot land in DNS itself — but a name whose strict prefix
+    /// resolves to a federation link continues into the linked system,
+    /// which may well be writable (binding through
+    /// `dns://global/…/hdns-entry` is exactly the paper's scenario).
+    fn continue_write(&self, name: &CompositeName) -> Result<NamingError> {
+        for k in (0..name.len()).rev() {
+            let dns_name = self.dns_name(name, k)?;
+            let Some(text) = self.txt_at(&dns_name)? else {
+                continue;
+            };
+            let value = Self::decode(&text);
+            if value.is_federation_link() {
+                return Ok(NamingError::Continue {
+                    resolved: value,
+                    remaining: name.suffix(k),
+                });
+            }
+            break;
+        }
+        Ok(NamingError::unsupported(
+            "DNS updates are administrative (edit the zone)",
+        ))
+    }
+}
+
+impl Context for DnsProviderContext {
+    fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
+        if name.is_empty() {
+            // The anchor itself: return its TXT value if any.
+            let text = self
+                .txt_at(&self.anchor)?
+                .ok_or_else(|| NamingError::not_found(self.anchor.to_string()))?;
+            return Ok(Self::decode(&text));
+        }
+        // Longest bound prefix wins.
+        for k in (0..=name.len()).rev() {
+            let dns_name = self.dns_name(name, k)?;
+            let Some(text) = self.txt_at(&dns_name)? else {
+                continue;
+            };
+            let value = Self::decode(&text);
+            if k == name.len() {
+                return Ok(value);
+            }
+            if value.is_federation_link() {
+                return Err(NamingError::Continue {
+                    resolved: value,
+                    remaining: name.suffix(k),
+                });
+            }
+            return Err(NamingError::NotAContext {
+                name: dns_name.to_string(),
+            });
+        }
+        Err(NamingError::not_found(name.to_string()))
+    }
+
+    fn bind(&self, name: &CompositeName, _value: BoundValue) -> Result<()> {
+        Err(self.continue_write(name)?)
+    }
+
+    fn rebind(&self, name: &CompositeName, _value: BoundValue) -> Result<()> {
+        Err(self.continue_write(name)?)
+    }
+
+    fn unbind(&self, name: &CompositeName) -> Result<()> {
+        Err(self.continue_write(name)?)
+    }
+
+    fn list(&self, _name: &CompositeName) -> Result<Vec<NameClassPair>> {
+        // DNS offers no enumeration (zone transfers are not a client API).
+        Err(NamingError::unsupported("DNS enumeration"))
+    }
+
+    fn list_bindings(&self, _name: &CompositeName) -> Result<Vec<Binding>> {
+        Err(NamingError::unsupported("DNS enumeration"))
+    }
+
+    fn provider_id(&self) -> String {
+        format!("dns:{}@{}", self.instance, self.anchor)
+    }
+
+    fn compound_syntax(&self) -> rndi_core::name::CompoundSyntax {
+        rndi_core::name::CompoundSyntax::dns()
+    }
+}
+
+impl DirContext for DnsProviderContext {
+    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
+        // Expose the record's TTL as the sole attribute.
+        let dns_name = self.dns_name(name, name.len())?;
+        match self
+            .resolver
+            .resolve(&dns_name, RecordType::Txt, self.clock.now_ms())
+        {
+            Ok(rrs) if !rrs.is_empty() => {
+                Ok(Attributes::new().with("ttl", rrs[0].ttl.to_string()))
+            }
+            Ok(_) => Ok(Attributes::new()),
+            Err(ResolveError::NxDomain(n)) => Err(NamingError::not_found(n)),
+            Err(e) => Err(NamingError::service(e.to_string())),
+        }
+    }
+
+    fn bind_with_attrs(&self, name: &CompositeName, _: BoundValue, _: Attributes) -> Result<()> {
+        Err(self.continue_write(name)?)
+    }
+
+    fn rebind_with_attrs(
+        &self,
+        name: &CompositeName,
+        _: BoundValue,
+        _: Attributes,
+    ) -> Result<()> {
+        Err(self.continue_write(name)?)
+    }
+}
+
+/// URL factory: `dns://anchor/...`. Anchor hosts map to `(resolver,
+/// anchor domain)` pairs registered by the deployment.
+pub struct DnsFactory {
+    anchors: Mutex<HashMap<String, (Arc<Resolver>, DnsName)>>,
+    clock: Arc<dyn MsClock>,
+}
+
+impl DnsFactory {
+    pub fn new(clock: Arc<dyn MsClock>) -> Arc<Self> {
+        Arc::new(DnsFactory {
+            anchors: Mutex::new(HashMap::new()),
+            clock,
+        })
+    }
+
+    pub fn register_anchor(&self, host: &str, resolver: Arc<Resolver>, anchor: DnsName) {
+        self.anchors
+            .lock()
+            .insert(host.to_string(), (resolver, anchor));
+    }
+}
+
+impl UrlContextFactory for DnsFactory {
+    fn scheme(&self) -> &str {
+        "dns"
+    }
+
+    fn create(&self, url: &RndiUrl, _env: &Environment) -> Result<Arc<dyn DirContext>> {
+        let (resolver, anchor) = self
+            .anchors
+            .lock()
+            .get(&url.host)
+            .cloned()
+            .ok_or_else(|| {
+                NamingError::service(format!("no DNS anchor registered for {}", url.host))
+            })?;
+        Ok(DnsProviderContext::new(
+            resolver,
+            anchor,
+            self.clock.clone(),
+            &url.host,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minidns::{AuthServer, ResourceRecord, Zone};
+    use rndi_core::context::ContextExt;
+
+    struct ZeroClock;
+    impl MsClock for ZeroClock {
+        fn now_ms(&self) -> u64 {
+            0
+        }
+    }
+
+    fn world() -> Arc<DnsProviderContext> {
+        let server = AuthServer::new();
+        let mut zone = Zone::new(DnsName::parse("global.emory.edu").unwrap());
+        zone.insert(ResourceRecord::txt(
+            "global.emory.edu",
+            60,
+            "hdns://host2:8085",
+        ));
+        zone.insert(ResourceRecord::txt(
+            "plain.global.emory.edu",
+            60,
+            "just-text",
+        ));
+        zone.insert(ResourceRecord::txt(
+            "dcl.mathcs.global.emory.edu",
+            60,
+            "ldap://ldap-host/ou=dcl",
+        ));
+        // An intermediate that exists (so the walk can find it) — its
+        // parent mathcs has no record, testing longest-prefix skipping.
+        server.add_zone(zone);
+        let resolver = Arc::new(Resolver::new(vec![server]));
+        DnsProviderContext::new(
+            resolver,
+            DnsName::parse("global.emory.edu").unwrap(),
+            Arc::new(ZeroClock),
+            "global",
+        )
+    }
+
+    #[test]
+    fn leaf_txt_lookup() {
+        let ctx = world();
+        assert_eq!(
+            ctx.lookup_str("plain").unwrap().as_str(),
+            Some("just-text")
+        );
+    }
+
+    #[test]
+    fn url_txt_becomes_reference() {
+        let ctx = world();
+        let v = ctx.lookup(&CompositeName::empty()).unwrap();
+        assert_eq!(
+            v.as_reference().unwrap().url_addr(),
+            Some("hdns://host2:8085")
+        );
+    }
+
+    #[test]
+    fn anchor_root_federation_continue() {
+        // The paper's dns://global/emory/... case: no record for the path,
+        // but the anchor itself points at the federation's HDNS layer.
+        let ctx = world();
+        let err = ctx.lookup(&"emory/mathcs/dcl/mokey".into()).unwrap_err();
+        match err {
+            NamingError::Continue { resolved, remaining } => {
+                assert_eq!(
+                    resolved.as_reference().unwrap().url_addr(),
+                    Some("hdns://host2:8085")
+                );
+                assert_eq!(remaining.to_string(), "emory/mathcs/dcl/mokey");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn longest_prefix_wins() {
+        // mathcs/dcl has a record (an LDAP link) even though mathcs alone
+        // does not; the walk must find the deeper prefix.
+        let ctx = world();
+        let err = ctx.lookup(&"mathcs/dcl/mokey".into()).unwrap_err();
+        match err {
+            NamingError::Continue { resolved, remaining } => {
+                assert_eq!(
+                    resolved.as_reference().unwrap().url_addr(),
+                    Some("ldap://ldap-host/ou=dcl")
+                );
+                assert_eq!(remaining.to_string(), "mokey");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn plain_prefix_is_not_a_context() {
+        let ctx = world();
+        assert!(matches!(
+            ctx.lookup(&"plain/deeper".into()),
+            Err(NamingError::NotAContext { .. })
+        ));
+    }
+
+    #[test]
+    fn writes_unsupported_without_a_link() {
+        // An anchor with no federation TXT: writes have nowhere to go.
+        let server = AuthServer::new();
+        let mut zone = Zone::new(DnsName::parse("static.example").unwrap());
+        zone.insert(ResourceRecord::txt("data.static.example", 60, "text"));
+        server.add_zone(zone);
+        let ctx = DnsProviderContext::new(
+            Arc::new(minidns::Resolver::new(vec![server])),
+            DnsName::parse("static.example").unwrap(),
+            Arc::new(ZeroClock),
+            "static",
+        );
+        assert!(matches!(
+            ctx.bind_str("x", "v"),
+            Err(NamingError::NotSupported { .. })
+        ));
+        // An existing plain record is still not client-writable.
+        assert!(matches!(
+            ctx.rebind_str("data", "v"),
+            Err(NamingError::NotSupported { .. })
+        ));
+        assert!(matches!(
+            ctx.unbind_str("x"),
+            Err(NamingError::NotSupported { .. })
+        ));
+        assert!(matches!(
+            ctx.list_str(""),
+            Err(NamingError::NotSupported { .. })
+        ));
+    }
+
+    #[test]
+    fn writes_continue_through_the_anchor_link() {
+        // The paper's scenario: the anchor TXT points at HDNS; a write
+        // through dns://global/... must continue there, not fail.
+        let ctx = world();
+        let err = ctx.bind_str("emory/newservice", "v").unwrap_err();
+        match err {
+            NamingError::Continue { remaining, .. } => {
+                assert_eq!(remaining.to_string(), "emory/newservice");
+            }
+            other => panic!("expected Continue, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ttl_surfaces_as_attribute() {
+        let ctx = world();
+        let attrs = ctx.get_attributes(&"plain".into()).unwrap();
+        assert_eq!(attrs.get("ttl").unwrap().first_str(), Some("60"));
+    }
+
+    #[test]
+    fn invalid_label_rejected() {
+        let ctx = world();
+        assert!(matches!(
+            ctx.lookup_str("bad label"),
+            Err(NamingError::InvalidName { .. }) | Err(NamingError::NameNotFound { .. })
+        ));
+    }
+}

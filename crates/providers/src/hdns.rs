@@ -1,0 +1,635 @@
+//! The HDNS service provider (paper §5.2).
+//!
+//! "The control over the source code of HDNS allowed us to avoid certain
+//! problems encountered in the context of Jini. HDNS was designed in a way
+//! that mapping through JNDI was simple … a distributed locking algorithm
+//! was not needed to implement an atomic bind for HDNS. In fact, all
+//! methods from the JNDI DirContext interface are atomic in the HDNS
+//! service provider." The same state/object factory translation and lease
+//! shape as the Jini provider apply, but every operation maps 1:1 onto a
+//! replicated store op whose outcome is decided identically at every
+//! replica.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use hdns::{HdnsEntry, HdnsError, HdnsEvent, HdnsRealm};
+
+use rndi_core::attrs::{AttrMod, Attribute, Attributes};
+use rndi_core::context::{
+    Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
+};
+use rndi_core::env::Environment;
+use rndi_core::error::{NamingError, Result};
+use rndi_core::event::{EventHub, ListenerHandle, NamingListener};
+use rndi_core::filter::Filter;
+use rndi_core::name::CompositeName;
+use rndi_core::spi::UrlContextFactory;
+use rndi_core::url::RndiUrl;
+use rndi_core::value::BoundValue;
+
+use crate::common;
+
+fn realm_err(e: hdns::realm::RealmError, name: &str) -> NamingError {
+    use hdns::realm::RealmError::*;
+    match e {
+        Store(HdnsError::AlreadyBound(p)) => NamingError::already_bound(p),
+        Store(HdnsError::NotFound(p)) => NamingError::not_found(p),
+        Store(HdnsError::NotAContext(p)) => NamingError::NotAContext { name: p },
+        Store(HdnsError::NotEmpty(p)) => NamingError::ContextNotEmpty { name: p },
+        Store(HdnsError::InvalidPath(p)) => NamingError::invalid_name(p, "invalid HDNS path"),
+        NodeUnavailable => NamingError::service(format!("HDNS node unavailable for {name}")),
+    }
+}
+
+/// Encode a `BoundValue` + `Attributes` into an HDNS entry.
+fn to_entry(value: &BoundValue, attrs: &Attributes) -> Result<HdnsEntry> {
+    let mut e = HdnsEntry::leaf(common::marshal(value)?);
+    for a in attrs.iter() {
+        let vals: Vec<&str> = a.values.iter().filter_map(|v| v.as_str()).collect();
+        e.attrs
+            .insert(a.id.clone(), serde_json::to_string(&vals).expect("strings"));
+    }
+    Ok(e)
+}
+
+fn from_entry_attrs(e: &HdnsEntry) -> Attributes {
+    let mut out = Attributes::new();
+    for (id, json) in &e.attrs {
+        let vals: Vec<String> = serde_json::from_str(json).unwrap_or_default();
+        let mut attr = Attribute::new(id.clone());
+        for v in vals {
+            attr = attr.with(v);
+        }
+        out.put(attr);
+    }
+    out
+}
+
+fn from_entry_value(e: &HdnsEntry) -> BoundValue {
+    if e.is_context {
+        // Represented to clients as a null placeholder; navigation happens
+        // through composite names, not live handles.
+        BoundValue::Null
+    } else {
+        common::unmarshal(&e.value)
+    }
+}
+
+/// A `DirContext` over one HDNS replica (reads are replica-local; writes
+/// replicate through the group).
+pub struct HdnsProviderContext {
+    realm: HdnsRealm,
+    /// Which replica this context talks to (the paper's "nearest node").
+    node: usize,
+    hub: Arc<EventHub>,
+    instance: String,
+}
+
+impl HdnsProviderContext {
+    pub fn new(realm: HdnsRealm, node: usize, instance: &str) -> Arc<Self> {
+        Arc::new(HdnsProviderContext {
+            realm,
+            node,
+            hub: Arc::new(EventHub::new()),
+            instance: instance.to_string(),
+        })
+    }
+
+    fn path(&self, name: &CompositeName) -> Result<String> {
+        if name.is_empty() {
+            return Err(NamingError::invalid_name("", "empty name"));
+        }
+        Ok(name.components().join("/"))
+    }
+
+    /// Walk the path for a federation mount: the longest bound prefix whose
+    /// value is a URL reference diverts resolution elsewhere. Strict
+    /// prefixes only — the final component names the mount itself.
+    fn check_mount(&self, name: &CompositeName) -> Option<NamingError> {
+        self.check_mount_upto(name, name.len())
+    }
+
+    /// Like [`Self::check_mount`], but also treats the *full* name as a
+    /// potential mount (used by `list`/`search`, whose base may be a
+    /// mounted foreign context — the remaining name is then empty).
+    fn check_mount_inclusive(&self, name: &CompositeName) -> Option<NamingError> {
+        self.check_mount_upto(name, name.len() + 1)
+    }
+
+    fn check_mount_upto(&self, name: &CompositeName, upper: usize) -> Option<NamingError> {
+        for k in 1..upper.min(name.len() + 1) {
+            let prefix = name.prefix(k).components().join("/");
+            if let Some(e) = self.realm.lookup(self.node, &prefix) {
+                if !e.is_context {
+                    let v = common::unmarshal(&e.value);
+                    if v.is_federation_link() {
+                        return Some(NamingError::Continue {
+                            resolved: v,
+                            remaining: name.suffix(k),
+                        });
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Pump replica events into the provider hub. Driven by write
+    /// operations (which already force a realm drive) and by
+    /// [`HdnsProviderContext::poll_events`].
+    fn drain_events(&self) {
+        for ev in self.realm.take_events(self.node) {
+            match ev {
+                HdnsEvent::Bound { path } => self
+                    .hub
+                    .fire_added(path_to_name(&path), BoundValue::Null),
+                HdnsEvent::Changed { path } => {
+                    self.hub
+                        .fire_changed(path_to_name(&path), None, BoundValue::Null)
+                }
+                HdnsEvent::Removed { path } => {
+                    self.hub.fire_removed(path_to_name(&path), None)
+                }
+                HdnsEvent::Renamed { from, to } => {
+                    self.hub.fire_removed(path_to_name(&from), None);
+                    self.hub.fire_added(path_to_name(&to), BoundValue::Null);
+                }
+                HdnsEvent::Resynced => {}
+            }
+        }
+    }
+
+    /// Deliver pending replica change events to listeners.
+    pub fn poll_events(&self) {
+        self.realm.drive();
+        self.drain_events();
+    }
+
+    fn search_recursive(
+        &self,
+        base: &str,
+        rel: &CompositeName,
+        filter: &Filter,
+        controls: &SearchControls,
+        out: &mut Vec<SearchItem>,
+    ) {
+        for (child, entry) in self.realm.list(self.node, base) {
+            if controls.count_limit > 0 && out.len() >= controls.count_limit {
+                return;
+            }
+            let rel_name = rel.child(&child);
+            let attrs = from_entry_attrs(&entry);
+            if filter.matches(&attrs) {
+                let attrs = match &controls.return_attrs {
+                    Some(ids) => {
+                        let ids: Vec<&str> = ids.iter().map(|s| s.as_str()).collect();
+                        attrs.project(&ids)
+                    }
+                    None => attrs,
+                };
+                out.push(SearchItem {
+                    name: rel_name.to_string(),
+                    value: controls.return_values.then(|| from_entry_value(&entry)),
+                    attrs,
+                });
+            }
+            if controls.scope == SearchScope::Subtree && entry.is_context {
+                let child_base = if base.is_empty() {
+                    child.clone()
+                } else {
+                    format!("{base}/{child}")
+                };
+                self.search_recursive(&child_base, &rel_name, filter, controls, out);
+            }
+        }
+    }
+}
+
+fn path_to_name(path: &str) -> CompositeName {
+    CompositeName::from_components(path.split('/').map(String::from))
+}
+
+impl Context for HdnsProviderContext {
+    fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
+        if let Some(cont) = self.check_mount(name) {
+            return Err(cont);
+        }
+        let path = self.path(name)?;
+        let entry = self
+            .realm
+            .lookup(self.node, &path)
+            .ok_or_else(|| NamingError::not_found(&path))?;
+        Ok(from_entry_value(&entry))
+    }
+
+    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
+        self.bind_with_attrs(name, value, Attributes::new())
+    }
+
+    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
+        self.rebind_with_attrs(name, value, Attributes::new())
+    }
+
+    fn unbind(&self, name: &CompositeName) -> Result<()> {
+        if let Some(cont) = self.check_mount(name) {
+            return Err(cont);
+        }
+        let path = self.path(name)?;
+        let r = self
+            .realm
+            .unbind(self.node, &path)
+            .map_err(|e| realm_err(e, &path));
+        self.drain_events();
+        r
+    }
+
+    fn rename(&self, old: &CompositeName, new: &CompositeName) -> Result<()> {
+        let from = self.path(old)?;
+        let to = self.path(new)?;
+        let r = self
+            .realm
+            .rename(self.node, &from, &to)
+            .map_err(|e| realm_err(e, &from));
+        self.drain_events();
+        r
+    }
+
+    fn list(&self, name: &CompositeName) -> Result<Vec<NameClassPair>> {
+        let prefix = if name.is_empty() {
+            String::new()
+        } else {
+            if let Some(cont) = self.check_mount_inclusive(name) {
+                return Err(cont);
+            }
+            self.path(name)?
+        };
+        Ok(self
+            .realm
+            .list(self.node, &prefix)
+            .into_iter()
+            .map(|(n, e)| NameClassPair {
+                name: n,
+                class_name: if e.is_context {
+                    "context".to_string()
+                } else {
+                    from_entry_value(&e).class_name().to_string()
+                },
+            })
+            .collect())
+    }
+
+    fn list_bindings(&self, name: &CompositeName) -> Result<Vec<Binding>> {
+        let prefix = if name.is_empty() {
+            String::new()
+        } else {
+            if let Some(cont) = self.check_mount_inclusive(name) {
+                return Err(cont);
+            }
+            self.path(name)?
+        };
+        Ok(self
+            .realm
+            .list(self.node, &prefix)
+            .into_iter()
+            .map(|(n, e)| Binding {
+                name: n,
+                value: from_entry_value(&e),
+            })
+            .collect())
+    }
+
+    fn create_subcontext(&self, name: &CompositeName) -> Result<()> {
+        let path = self.path(name)?;
+        let r = self
+            .realm
+            .create_context(self.node, &path)
+            .map_err(|e| realm_err(e, &path));
+        self.drain_events();
+        r
+    }
+
+    fn destroy_subcontext(&self, name: &CompositeName) -> Result<()> {
+        let path = self.path(name)?;
+        match self.realm.lookup(self.node, &path) {
+            None => Ok(()),
+            Some(e) if e.is_context => self
+                .realm
+                .unbind(self.node, &path)
+                .map_err(|err| realm_err(err, &path)),
+            Some(_) => Err(NamingError::ContextExpected { name: path }),
+        }
+    }
+
+    fn add_listener(
+        &self,
+        name: &CompositeName,
+        listener: Arc<dyn NamingListener>,
+    ) -> Result<ListenerHandle> {
+        Ok(self.hub.subscribe(name.clone(), listener))
+    }
+
+    fn remove_listener(&self, handle: ListenerHandle) -> Result<()> {
+        self.hub.unsubscribe(handle);
+        Ok(())
+    }
+
+    fn provider_id(&self) -> String {
+        format!("hdns:{}#{}", self.instance, self.node)
+    }
+}
+
+impl DirContext for HdnsProviderContext {
+    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
+        if let Some(cont) = self.check_mount(name) {
+            return Err(cont);
+        }
+        let path = self.path(name)?;
+        let entry = self
+            .realm
+            .lookup(self.node, &path)
+            .ok_or_else(|| NamingError::not_found(&path))?;
+        Ok(from_entry_attrs(&entry))
+    }
+
+    fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
+        let path = self.path(name)?;
+        let entry = self
+            .realm
+            .lookup(self.node, &path)
+            .ok_or_else(|| NamingError::not_found(&path))?;
+        let mut attrs = from_entry_attrs(&entry);
+        for m in mods {
+            m.apply(&mut attrs);
+        }
+        let mut map = std::collections::BTreeMap::new();
+        for a in attrs.iter() {
+            let vals: Vec<&str> = a.values.iter().filter_map(|v| v.as_str()).collect();
+            map.insert(a.id.clone(), serde_json::to_string(&vals).expect("strings"));
+        }
+        let r = self
+            .realm
+            .set_attrs(self.node, &path, map)
+            .map_err(|e| realm_err(e, &path));
+        self.drain_events();
+        r
+    }
+
+    fn bind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: Attributes,
+    ) -> Result<()> {
+        if let Some(cont) = self.check_mount(name) {
+            return Err(cont);
+        }
+        let path = self.path(name)?;
+        let entry = to_entry(&value, &attrs)?;
+        let r = self
+            .realm
+            .bind(self.node, &path, entry)
+            .map_err(|e| realm_err(e, &path));
+        self.drain_events();
+        r
+    }
+
+    fn rebind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: Attributes,
+    ) -> Result<()> {
+        if let Some(cont) = self.check_mount(name) {
+            return Err(cont);
+        }
+        let path = self.path(name)?;
+        let entry = to_entry(&value, &attrs)?;
+        let r = self
+            .realm
+            .rebind(self.node, &path, entry)
+            .map_err(|e| realm_err(e, &path));
+        self.drain_events();
+        r
+    }
+
+    fn search(
+        &self,
+        name: &CompositeName,
+        filter: &Filter,
+        controls: &SearchControls,
+    ) -> Result<Vec<SearchItem>> {
+        // HDNS has no server-side query engine; the provider evaluates the
+        // filter client-side over a replica-local listing (§3's
+        // capability-emulation point).
+        let base = if name.is_empty() {
+            String::new()
+        } else {
+            if let Some(cont) = self.check_mount_inclusive(name) {
+                return Err(cont);
+            }
+            self.path(name)?
+        };
+        let mut out = Vec::new();
+        self.search_recursive(&base, &CompositeName::empty(), filter, controls, &mut out);
+        Ok(out)
+    }
+}
+
+/// URL factory: `hdns://host[:port]/...`. Hosts map to `(realm, replica)`
+/// pairs registered by the deployment.
+pub struct HdnsFactory {
+    hosts: Mutex<HashMap<String, (HdnsRealm, usize)>>,
+}
+
+impl HdnsFactory {
+    pub fn new() -> Arc<Self> {
+        Arc::new(HdnsFactory {
+            hosts: Mutex::new(HashMap::new()),
+        })
+    }
+
+    /// Register `host` as reaching replica `node` of `realm`.
+    pub fn register_host(&self, host: &str, realm: HdnsRealm, node: usize) {
+        self.hosts.lock().insert(host.to_string(), (realm, node));
+    }
+}
+
+impl UrlContextFactory for HdnsFactory {
+    fn scheme(&self) -> &str {
+        "hdns"
+    }
+
+    fn create(&self, url: &RndiUrl, _env: &Environment) -> Result<Arc<dyn DirContext>> {
+        let (realm, node) = self
+            .hosts
+            .lock()
+            .get(&url.host)
+            .cloned()
+            .ok_or_else(|| {
+                NamingError::service(format!("no HDNS node known as {}", url.host))
+            })?;
+        Ok(HdnsProviderContext::new(realm, node, &url.host))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use groupcast::StackConfig;
+    use rndi_core::context::ContextExt;
+    use rndi_core::value::Reference;
+
+    fn setup() -> (Arc<HdnsProviderContext>, Arc<HdnsProviderContext>) {
+        let realm = HdnsRealm::new("t", 2, StackConfig::default(), None, 3);
+        let a = HdnsProviderContext::new(realm.clone(), 0, "t");
+        let b = HdnsProviderContext::new(realm, 1, "t");
+        (a, b)
+    }
+
+    #[test]
+    fn bind_visible_from_other_replica() {
+        let (a, b) = setup();
+        a.bind_str("svc", "value").unwrap();
+        assert_eq!(b.lookup_str("svc").unwrap().as_str(), Some("value"));
+    }
+
+    #[test]
+    fn atomic_bind_native() {
+        let (a, b) = setup();
+        a.bind_str("k", "1").unwrap();
+        assert!(matches!(
+            b.bind_str("k", "2"),
+            Err(NamingError::AlreadyBound { .. })
+        ));
+        b.rebind_str("k", "2").unwrap();
+        assert_eq!(a.lookup_str("k").unwrap().as_str(), Some("2"));
+    }
+
+    #[test]
+    fn hierarchy_and_listing() {
+        let (a, b) = setup();
+        a.create_subcontext(&"dept".into()).unwrap();
+        a.bind_str("dept/x", "1").unwrap();
+        b.bind_str("dept/y", "2").unwrap();
+        let names: Vec<String> = b
+            .list(&"dept".into())
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(names, vec!["x", "y"]);
+        // Destroy guards.
+        assert!(matches!(
+            a.destroy_subcontext(&"dept".into()),
+            Err(NamingError::ContextNotEmpty { .. })
+        ));
+        a.unbind_str("dept/x").unwrap();
+        a.unbind_str("dept/y").unwrap();
+        a.destroy_subcontext(&"dept".into()).unwrap();
+    }
+
+    #[test]
+    fn attributes_and_search() {
+        let (a, b) = setup();
+        a.bind_with_attrs(
+            &"n1".into(),
+            BoundValue::str("s"),
+            common::attrs(&[("os", "linux"), ("cpu", "16")]),
+        )
+        .unwrap();
+        a.bind_with_attrs(
+            &"n2".into(),
+            BoundValue::str("s"),
+            common::attrs(&[("os", "irix")]),
+        )
+        .unwrap();
+        let attrs = b.get_attributes(&"n1".into()).unwrap();
+        assert_eq!(attrs.get("cpu").unwrap().first_str(), Some("16"));
+
+        let hits = b
+            .search(
+                &CompositeName::empty(),
+                &Filter::parse("(os=linux)").unwrap(),
+                &SearchControls::default(),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "n1");
+    }
+
+    #[test]
+    fn subtree_search() {
+        let (a, _) = setup();
+        a.create_subcontext(&"d".into()).unwrap();
+        a.bind_with_attrs(
+            &"d/deep".into(),
+            BoundValue::Null,
+            common::attrs(&[("kind", "x")]),
+        )
+        .unwrap();
+        let hits = a
+            .search(
+                &CompositeName::empty(),
+                &Filter::parse("(kind=x)").unwrap(),
+                &SearchControls {
+                    scope: SearchScope::Subtree,
+                    ..Default::default()
+                },
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "d/deep");
+    }
+
+    #[test]
+    fn federation_mount_continues() {
+        let (a, _) = setup();
+        a.bind(
+            &"jiniCtx".into(),
+            BoundValue::Reference(Reference::url("jini://host1")),
+        )
+        .unwrap();
+        let err = a.lookup(&"jiniCtx/service".into()).unwrap_err();
+        assert!(err.is_continue());
+    }
+
+    #[test]
+    fn rename_moves_binding() {
+        let (a, b) = setup();
+        a.bind_str("old", "v").unwrap();
+        a.rename(&"old".into(), &"new".into()).unwrap();
+        assert!(b.lookup_str("old").is_err());
+        assert_eq!(b.lookup_str("new").unwrap().as_str(), Some("v"));
+    }
+
+    #[test]
+    fn events_delivered_to_listeners() {
+        let (a, b) = setup();
+        let l = rndi_core::event::CollectingListener::new();
+        b.add_listener(&CompositeName::empty(), l.clone()).unwrap();
+        a.bind_str("e", "1").unwrap();
+        b.poll_events();
+        assert!(l.count() >= 1, "replica 1 saw the replicated bind");
+    }
+
+    #[test]
+    fn modify_attributes_roundtrip() {
+        let (a, b) = setup();
+        a.bind_with_attrs(
+            &"m".into(),
+            BoundValue::Null,
+            common::attrs(&[("state", "up")]),
+        )
+        .unwrap();
+        a.modify_attributes(
+            &"m".into(),
+            &[AttrMod::Add(Attribute::single("note", "ok"))],
+        )
+        .unwrap();
+        let attrs = b.get_attributes(&"m".into()).unwrap();
+        assert!(attrs.contains("state") && attrs.contains("note"));
+    }
+}

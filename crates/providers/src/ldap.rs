@@ -1,0 +1,754 @@
+//! The LDAP service provider.
+//!
+//! Standard JNDI ships an LDAP provider; ours maps onto `dirserv`.
+//! Composite-name components become RDNs (a component may spell its RDN
+//! explicitly — `ou=dcl` — or defaults to `cn=<component>`); generic
+//! values are stored in `rndiObject` entries under the `rndiValue`
+//! attribute; RNDI search filters translate structurally to LDAP filters.
+//! A stored value that is a naming URL acts as a federation mount, as in
+//! every other provider.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+use dirserv::server::{Connection, Modification};
+use dirserv::{DirectoryServer, Dn, LdapEntry, LdapFilter, Rdn, ResultCode, Scope};
+
+use rndi_core::attrs::{AttrMod, AttrValue, Attribute, Attributes};
+use rndi_core::context::{
+    Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
+};
+use rndi_core::env::{keys, Environment};
+use rndi_core::error::{NamingError, Result};
+use rndi_core::filter::Filter;
+use rndi_core::name::CompositeName;
+use rndi_core::spi::UrlContextFactory;
+use rndi_core::url::RndiUrl;
+use rndi_core::value::BoundValue;
+
+use crate::common::{self, MsClock};
+
+const VALUE_ATTR: &str = "rndiValue";
+const CLASS_ATTR: &str = "objectClass";
+const RNDI_CLASS: &str = "rndiObject";
+
+fn code_err(code: ResultCode, detail: String) -> NamingError {
+    match code {
+        ResultCode::NoSuchObject => NamingError::not_found(detail),
+        ResultCode::EntryAlreadyExists => NamingError::already_bound(detail),
+        ResultCode::NotAllowedOnNonLeaf => NamingError::ContextNotEmpty { name: detail },
+        ResultCode::InvalidCredentials | ResultCode::InsufficientAccessRights => {
+            NamingError::NoPermission { detail }
+        }
+        ResultCode::InvalidDnSyntax => NamingError::invalid_name(detail, "invalid DN"),
+        ResultCode::ObjectClassViolation => NamingError::InvalidName {
+            name: detail,
+            reason: "schema violation".into(),
+        },
+        other => NamingError::service(format!("LDAP error {other:?}: {detail}")),
+    }
+}
+
+/// Translate an RNDI filter into the server's dialect (structure-for-
+/// structure; both speak RFC 2254).
+fn to_ldap_filter(f: &Filter) -> Result<LdapFilter> {
+    LdapFilter::parse(&f.to_string()).map_err(|reason| NamingError::InvalidSearchFilter {
+        filter: f.to_string(),
+        reason,
+    })
+}
+
+/// A `DirContext` over one LDAP directory server.
+pub struct LdapProviderContext {
+    conn: Connection,
+    base: Dn,
+    clock: Arc<dyn MsClock>,
+    instance: String,
+    /// Cumulative anti-DoS delay the server imposed on our reads — the
+    /// benchmark harness charges it as response latency.
+    throttle_delay_ms: Mutex<u64>,
+}
+
+impl LdapProviderContext {
+    pub fn new(
+        conn: Connection,
+        base: Dn,
+        clock: Arc<dyn MsClock>,
+        instance: &str,
+    ) -> Arc<Self> {
+        Arc::new(LdapProviderContext {
+            conn,
+            base,
+            clock,
+            instance: instance.to_string(),
+            throttle_delay_ms: Mutex::new(0),
+        })
+    }
+
+    /// Total anti-DoS delay accumulated so far (and reset the counter).
+    pub fn take_throttle_delay_ms(&self) -> u64 {
+        std::mem::take(&mut self.throttle_delay_ms.lock())
+    }
+
+    fn component_rdn(component: &str) -> Result<Rdn> {
+        if component.contains('=') {
+            Rdn::parse(component)
+                .map_err(|reason| NamingError::invalid_name(component, reason))
+        } else if component.is_empty() {
+            Err(NamingError::invalid_name(component, "empty component"))
+        } else {
+            Ok(Rdn::new("cn", component))
+        }
+    }
+
+    /// DN for the first `k` components.
+    fn dn(&self, name: &CompositeName, k: usize) -> Result<Dn> {
+        let mut dn = self.base.clone();
+        for c in name.components().iter().take(k) {
+            dn = dn.child(Self::component_rdn(c)?);
+        }
+        Ok(dn)
+    }
+
+    fn read(&self, dn: &Dn) -> Result<Option<LdapEntry>> {
+        match self.conn.read(dn, self.clock.now_ms()) {
+            Ok((entry, delay)) => {
+                *self.throttle_delay_ms.lock() += delay;
+                Ok(Some(entry))
+            }
+            Err((ResultCode::NoSuchObject, _)) => Ok(None),
+            Err((code, detail)) => Err(code_err(code, detail)),
+        }
+    }
+
+    fn decode(entry: &LdapEntry) -> BoundValue {
+        match entry.first(VALUE_ATTR) {
+            Some(json) => common::unmarshal(json.as_bytes()),
+            None => BoundValue::Null, // structural / foreign entry
+        }
+    }
+
+    /// If the *base itself* is a federation mount, continue with an empty
+    /// remaining name — used by `list`/`search`, whose base may denote a
+    /// mounted foreign context.
+    fn check_base_mount(&self, name: &CompositeName) -> Result<Option<NamingError>> {
+        if name.is_empty() {
+            return Ok(None);
+        }
+        let dn = self.dn(name, name.len())?;
+        if let Some(entry) = self.read(&dn)? {
+            let v = Self::decode(&entry);
+            if v.is_federation_link() {
+                return Ok(Some(NamingError::Continue {
+                    resolved: v,
+                    remaining: CompositeName::empty(),
+                }));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Find a federation mount on a strict prefix of `name`.
+    fn check_mount(&self, name: &CompositeName) -> Result<Option<NamingError>> {
+        for k in (1..name.len()).rev() {
+            let dn = self.dn(name, k)?;
+            if let Some(entry) = self.read(&dn)? {
+                let v = Self::decode(&entry);
+                if v.is_federation_link() {
+                    return Ok(Some(NamingError::Continue {
+                        resolved: v,
+                        remaining: name.suffix(k),
+                    }));
+                }
+                return Ok(None); // a real intermediate entry: no mount
+            }
+        }
+        Ok(None)
+    }
+
+    fn core_attrs(entry: &LdapEntry) -> Attributes {
+        let mut out = Attributes::new();
+        for a in entry.attrs() {
+            if a.id.eq_ignore_ascii_case(VALUE_ATTR) {
+                continue;
+            }
+            let mut attr = Attribute::new(a.id.clone());
+            for v in &a.values {
+                attr = attr.with(v.clone());
+            }
+            out.put(attr);
+        }
+        out
+    }
+
+    fn build_entry(
+        &self,
+        dn: Dn,
+        value: &BoundValue,
+        attrs: &Attributes,
+    ) -> Result<LdapEntry> {
+        let mut entry = LdapEntry::new(dn.clone());
+        entry.add_value(CLASS_ATTR, RNDI_CLASS);
+        let rdn = dn
+            .rdn()
+            .ok_or_else(|| NamingError::invalid_name("", "cannot bind the base DN"))?;
+        entry.add_value(&rdn.attr, rdn.value.clone());
+        let marshalled = common::marshal(value)?;
+        entry.add_value(
+            VALUE_ATTR,
+            String::from_utf8(marshalled)
+                .map_err(|_| NamingError::unsupported("non-UTF8 payloads in LDAP"))?,
+        );
+        for a in attrs.iter() {
+            for v in &a.values {
+                if let AttrValue::Str(s) = v {
+                    entry.add_value(&a.id, s.clone());
+                }
+            }
+        }
+        Ok(entry)
+    }
+}
+
+impl Context for LdapProviderContext {
+    fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
+        if name.is_empty() {
+            return Err(NamingError::invalid_name("", "empty name"));
+        }
+        let dn = self.dn(name, name.len())?;
+        match self.read(&dn)? {
+            Some(entry) => Ok(Self::decode(&entry)),
+            None => match self.check_mount(name)? {
+                Some(cont) => Err(cont),
+                None => Err(NamingError::not_found(dn.to_string())),
+            },
+        }
+    }
+
+    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
+        self.bind_with_attrs(name, value, Attributes::new())
+    }
+
+    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
+        self.rebind_with_attrs(name, value, Attributes::new())
+    }
+
+    fn unbind(&self, name: &CompositeName) -> Result<()> {
+        let dn = self.dn(name, name.len())?;
+        match self.conn.delete(&dn) {
+            Ok(()) => Ok(()),
+            Err((ResultCode::NoSuchObject, _)) => Ok(()), // idempotent
+            Err((code, detail)) => Err(code_err(code, detail)),
+        }
+    }
+
+    fn rename(&self, old: &CompositeName, new: &CompositeName) -> Result<()> {
+        let old_dn = self.dn(old, old.len())?;
+        let new_rdn = Self::component_rdn(
+            new.components()
+                .last()
+                .ok_or_else(|| NamingError::invalid_name("", "empty target"))?,
+        )?;
+        // LDAP modifyRDN renames within the same parent.
+        if old.prefix(old.len() - 1) != new.prefix(new.len() - 1) {
+            return Err(NamingError::unsupported(
+                "LDAP rename across parents (modifyRDN is same-parent)",
+            ));
+        }
+        self.conn
+            .modify_rdn(&old_dn, new_rdn)
+            .map(|_| ())
+            .map_err(|(c, d)| code_err(c, d))
+    }
+
+    fn list(&self, name: &CompositeName) -> Result<Vec<NameClassPair>> {
+        if let Some(cont) = self.check_base_mount(name)? {
+            return Err(cont);
+        }
+        let base = self.dn(name, name.len())?;
+        let out = self
+            .conn
+            .search(
+                &base,
+                Scope::OneLevel,
+                &LdapFilter::match_all(),
+                None,
+                self.clock.now_ms(),
+            )
+            .map_err(|(c, d)| code_err(c, d))?;
+        *self.throttle_delay_ms.lock() += out.delay_ms;
+        Ok(out
+            .entries
+            .iter()
+            .map(|e| NameClassPair {
+                name: e.dn.rdn().map(|r| r.to_string()).unwrap_or_default(),
+                class_name: Self::decode(e).class_name().to_string(),
+            })
+            .collect())
+    }
+
+    fn list_bindings(&self, name: &CompositeName) -> Result<Vec<Binding>> {
+        if let Some(cont) = self.check_base_mount(name)? {
+            return Err(cont);
+        }
+        let base = self.dn(name, name.len())?;
+        let out = self
+            .conn
+            .search(
+                &base,
+                Scope::OneLevel,
+                &LdapFilter::match_all(),
+                None,
+                self.clock.now_ms(),
+            )
+            .map_err(|(c, d)| code_err(c, d))?;
+        *self.throttle_delay_ms.lock() += out.delay_ms;
+        Ok(out
+            .entries
+            .iter()
+            .map(|e| Binding {
+                name: e.dn.rdn().map(|r| r.to_string()).unwrap_or_default(),
+                value: Self::decode(e),
+            })
+            .collect())
+    }
+
+    fn create_subcontext(&self, name: &CompositeName) -> Result<()> {
+        let dn = self.dn(name, name.len())?;
+        let rdn = dn
+            .rdn()
+            .ok_or_else(|| NamingError::invalid_name("", "empty name"))?
+            .clone();
+        let mut entry = LdapEntry::new(dn);
+        let class = if rdn.attr == "ou" {
+            "organizationalUnit"
+        } else {
+            RNDI_CLASS
+        };
+        entry.add_value(CLASS_ATTR, class);
+        entry.add_value(&rdn.attr, rdn.value.clone());
+        self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
+    }
+
+    fn destroy_subcontext(&self, name: &CompositeName) -> Result<()> {
+        self.unbind(name)
+    }
+
+    fn provider_id(&self) -> String {
+        format!("ldap:{}/{}", self.instance, self.base)
+    }
+
+    fn compound_syntax(&self) -> rndi_core::name::CompoundSyntax {
+        rndi_core::name::CompoundSyntax::ldap()
+    }
+}
+
+impl DirContext for LdapProviderContext {
+    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
+        let dn = self.dn(name, name.len())?;
+        let entry = self
+            .read(&dn)?
+            .ok_or_else(|| NamingError::not_found(dn.to_string()))?;
+        Ok(Self::core_attrs(&entry))
+    }
+
+    fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
+        let dn = self.dn(name, name.len())?;
+        let ldap_mods: Vec<Modification> = mods
+            .iter()
+            .map(|m| match m {
+                AttrMod::Add(a) => Modification::Add(
+                    a.id.clone(),
+                    a.values
+                        .iter()
+                        .filter_map(|v| v.as_str().map(String::from))
+                        .collect(),
+                ),
+                AttrMod::Replace(a) => Modification::Replace(
+                    a.id.clone(),
+                    a.values
+                        .iter()
+                        .filter_map(|v| v.as_str().map(String::from))
+                        .collect(),
+                ),
+                AttrMod::Remove(id) => Modification::Delete(id.clone(), vec![]),
+                AttrMod::RemoveValues(a) => Modification::Delete(
+                    a.id.clone(),
+                    a.values
+                        .iter()
+                        .filter_map(|v| v.as_str().map(String::from))
+                        .collect(),
+                ),
+            })
+            .collect();
+        self.conn
+            .modify(&dn, &ldap_mods)
+            .map_err(|(c, d)| code_err(c, d))
+    }
+
+    fn bind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: Attributes,
+    ) -> Result<()> {
+        if let Some(cont) = self.check_mount(name)? {
+            return Err(cont);
+        }
+        let dn = self.dn(name, name.len())?;
+        let entry = self.build_entry(dn, &value, &attrs)?;
+        self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
+    }
+
+    fn rebind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: Attributes,
+    ) -> Result<()> {
+        if let Some(cont) = self.check_mount(name)? {
+            return Err(cont);
+        }
+        let dn = self.dn(name, name.len())?;
+        let entry = self.build_entry(dn.clone(), &value, &attrs)?;
+        match self.conn.delete(&dn) {
+            Ok(()) | Err((ResultCode::NoSuchObject, _)) => {}
+            Err((code, detail)) => return Err(code_err(code, detail)),
+        }
+        self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
+    }
+
+    fn search(
+        &self,
+        name: &CompositeName,
+        filter: &Filter,
+        controls: &SearchControls,
+    ) -> Result<Vec<SearchItem>> {
+        if let Some(cont) = self.check_base_mount(name)? {
+            return Err(cont);
+        }
+        let base = self.dn(name, name.len())?;
+        let scope = match controls.scope {
+            SearchScope::Object => Scope::Base,
+            SearchScope::OneLevel => Scope::OneLevel,
+            SearchScope::Subtree => Scope::Subtree,
+        };
+        let ldap_filter = to_ldap_filter(filter)?;
+        let attrs_proj: Option<Vec<String>> = controls.return_attrs.clone();
+        let out = self
+            .conn
+            .search(
+                &base,
+                scope,
+                &ldap_filter,
+                attrs_proj.as_deref(),
+                self.clock.now_ms(),
+            )
+            .map_err(|(c, d)| code_err(c, d))?;
+        *self.throttle_delay_ms.lock() += out.delay_ms;
+        let mut items: Vec<SearchItem> = out
+            .entries
+            .iter()
+            .map(|e| SearchItem {
+                name: relative_name(&e.dn, &base),
+                value: controls.return_values.then(|| Self::decode(e)),
+                attrs: Self::core_attrs(e),
+            })
+            .collect();
+        if controls.count_limit > 0 {
+            items.truncate(controls.count_limit);
+        }
+        Ok(items)
+    }
+}
+
+/// Render `dn` relative to `base` as a composite-style name.
+fn relative_name(dn: &Dn, base: &Dn) -> String {
+    let extra = dn.depth().saturating_sub(base.depth());
+    let rdns: Vec<String> = dn.rdns()[..extra]
+        .iter()
+        .rev()
+        .map(|r| r.to_string())
+        .collect();
+    rdns.join("/")
+}
+
+/// URL factory: `ldap://host[:port]/...`. Hosts map to a server plus the
+/// base DN the provider roots composite names at.
+pub struct LdapFactory {
+    hosts: Mutex<HashMap<String, (DirectoryServer, Dn)>>,
+    clock: Arc<dyn MsClock>,
+}
+
+impl LdapFactory {
+    pub fn new(clock: Arc<dyn MsClock>) -> Arc<Self> {
+        Arc::new(LdapFactory {
+            hosts: Mutex::new(HashMap::new()),
+            clock,
+        })
+    }
+
+    pub fn register_host(&self, host: &str, server: DirectoryServer, base: Dn) {
+        self.hosts.lock().insert(host.to_string(), (server, base));
+    }
+}
+
+impl UrlContextFactory for LdapFactory {
+    fn scheme(&self) -> &str {
+        "ldap"
+    }
+
+    fn create(&self, url: &RndiUrl, env: &Environment) -> Result<Arc<dyn DirContext>> {
+        let (server, base) = self
+            .hosts
+            .lock()
+            .get(&url.host)
+            .cloned()
+            .ok_or_else(|| {
+                NamingError::service(format!("no LDAP server registered for {}", url.host))
+            })?;
+        // Service-specific credentials flow through the environment — the
+        // "service-specific configuration parameters" §3 mentions.
+        let conn = match (
+            env.get(keys::SECURITY_PRINCIPAL),
+            env.get(keys::SECURITY_CREDENTIALS),
+        ) {
+            (Some(principal), Some(password)) => {
+                let dn = Dn::parse(principal)
+                    .map_err(|r| NamingError::invalid_name(principal, r))?;
+                server
+                    .simple_bind(&dn, password)
+                    .map_err(|(c, d)| code_err(c, d))?
+            }
+            _ => server.connect_anonymous(),
+        };
+        Ok(LdapProviderContext::new(
+            conn,
+            base,
+            self.clock.clone(),
+            &url.host,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dirserv::ServerConfig;
+    use rndi_core::context::ContextExt;
+    use rndi_core::value::Reference;
+
+    struct ZeroClock;
+    impl MsClock for ZeroClock {
+        fn now_ms(&self) -> u64 {
+            0
+        }
+    }
+
+    fn setup() -> (Arc<LdapProviderContext>, DirectoryServer) {
+        let server = DirectoryServer::new(ServerConfig {
+            read_throttle_per_sec: None,
+            validate_schema: true,
+            ..Default::default()
+        });
+        let conn = server.connect_anonymous();
+        conn.add(
+            LdapEntry::new(Dn::parse("o=emory").unwrap())
+                .with("objectClass", "organization")
+                .with("o", "emory"),
+        )
+        .unwrap();
+        let ctx = LdapProviderContext::new(
+            server.connect_anonymous(),
+            Dn::parse("o=emory").unwrap(),
+            Arc::new(ZeroClock),
+            "test",
+        );
+        (ctx, server)
+    }
+
+    #[test]
+    fn bind_lookup_roundtrip() {
+        let (ctx, server) = setup();
+        ctx.bind_str("mokey", "the-monkey").unwrap();
+        assert_eq!(
+            ctx.lookup_str("mokey").unwrap().as_str(),
+            Some("the-monkey")
+        );
+        assert_eq!(server.entry_count(), 2);
+    }
+
+    #[test]
+    fn atomic_bind_maps_entry_exists() {
+        let (ctx, _) = setup();
+        ctx.bind_str("k", "1").unwrap();
+        assert!(matches!(
+            ctx.bind_str("k", "2"),
+            Err(NamingError::AlreadyBound { .. })
+        ));
+        ctx.rebind_str("k", "2").unwrap();
+        assert_eq!(ctx.lookup_str("k").unwrap().as_str(), Some("2"));
+    }
+
+    #[test]
+    fn explicit_rdn_components() {
+        let (ctx, _) = setup();
+        ctx.create_subcontext(&"ou=dcl".into()).unwrap();
+        ctx.bind_str("ou=dcl/host1", "stub").unwrap();
+        assert_eq!(
+            ctx.lookup_str("ou=dcl/host1").unwrap().as_str(),
+            Some("stub")
+        );
+        let names: Vec<String> = ctx
+            .list(&"ou=dcl".into())
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        assert_eq!(names, vec!["cn=host1"]);
+    }
+
+    #[test]
+    fn hierarchy_requires_parent() {
+        let (ctx, _) = setup();
+        assert!(matches!(
+            ctx.bind_str("missing/child", "v"),
+            Err(NamingError::NameNotFound { .. })
+        ));
+    }
+
+    #[test]
+    fn unbind_idempotent_and_nonleaf_guard() {
+        let (ctx, _) = setup();
+        ctx.create_subcontext(&"ou=lab".into()).unwrap();
+        ctx.bind_str("ou=lab/x", "v").unwrap();
+        assert!(matches!(
+            ctx.unbind_str("ou=lab"),
+            Err(NamingError::ContextNotEmpty { .. })
+        ));
+        ctx.unbind_str("ou=lab/x").unwrap();
+        ctx.unbind_str("ou=lab/x").unwrap(); // idempotent
+        ctx.unbind_str("ou=lab").unwrap();
+    }
+
+    #[test]
+    fn attributes_and_search() {
+        let (ctx, _) = setup();
+        ctx.bind_with_attrs(
+            &"node1".into(),
+            BoundValue::str("s"),
+            common::attrs(&[("description", "compute node"), ("owner", "dcl")]),
+        )
+        .unwrap();
+        ctx.bind_with_attrs(
+            &"node2".into(),
+            BoundValue::str("s"),
+            common::attrs(&[("description", "storage node")]),
+        )
+        .unwrap();
+
+        let attrs = ctx.get_attributes(&"node1".into()).unwrap();
+        assert_eq!(attrs.get("owner").unwrap().first_str(), Some("dcl"));
+        assert!(!attrs.contains(VALUE_ATTR), "internal attr hidden");
+
+        let hits = ctx
+            .search(
+                &CompositeName::empty(),
+                &Filter::parse("(description=compute*)").unwrap(),
+                &SearchControls::default(),
+            )
+            .unwrap();
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].name, "cn=node1");
+    }
+
+    #[test]
+    fn modify_attributes() {
+        let (ctx, _) = setup();
+        ctx.bind_with_attrs(
+            &"e".into(),
+            BoundValue::Null,
+            common::attrs(&[("description", "old")]),
+        )
+        .unwrap();
+        ctx.modify_attributes(
+            &"e".into(),
+            &[AttrMod::Replace(Attribute::single("description", "new"))],
+        )
+        .unwrap();
+        let attrs = ctx.get_attributes(&"e".into()).unwrap();
+        assert_eq!(attrs.get("description").unwrap().first_str(), Some("new"));
+    }
+
+    #[test]
+    fn rename_same_parent() {
+        let (ctx, _) = setup();
+        ctx.bind_str("old", "v").unwrap();
+        ctx.rename(&"old".into(), &"new".into()).unwrap();
+        assert!(ctx.lookup_str("old").is_err());
+        assert_eq!(ctx.lookup_str("new").unwrap().as_str(), Some("v"));
+    }
+
+    #[test]
+    fn federation_mount_via_stored_url() {
+        let (ctx, _) = setup();
+        ctx.bind(
+            &"jiniServer".into(),
+            BoundValue::Reference(Reference::url("jini://host1")),
+        )
+        .unwrap();
+        // The paper's ldap://host/n=jiniServer/... case.
+        let err = ctx.lookup(&"jiniServer/grp/obj".into()).unwrap_err();
+        match err {
+            NamingError::Continue { resolved, remaining } => {
+                assert_eq!(
+                    resolved.as_reference().unwrap().url_addr(),
+                    Some("jini://host1")
+                );
+                assert_eq!(remaining.to_string(), "grp/obj");
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn authenticated_writes() {
+        let server = DirectoryServer::new(ServerConfig {
+            writes_require_auth: true,
+            read_throttle_per_sec: None,
+            ..Default::default()
+        });
+        let admin = server
+            .simple_bind(&Dn::parse("cn=admin").unwrap(), "secret")
+            .unwrap();
+        admin
+            .add(
+                LdapEntry::new(Dn::parse("o=emory").unwrap())
+                    .with("objectClass", "organization")
+                    .with("o", "emory"),
+            )
+            .unwrap();
+        let anon_ctx = LdapProviderContext::new(
+            server.connect_anonymous(),
+            Dn::parse("o=emory").unwrap(),
+            Arc::new(ZeroClock),
+            "t",
+        );
+        assert!(matches!(
+            anon_ctx.bind_str("x", "v"),
+            Err(NamingError::NoPermission { .. })
+        ));
+        let admin_ctx = LdapProviderContext::new(
+            server
+                .simple_bind(&Dn::parse("cn=admin").unwrap(), "secret")
+                .unwrap(),
+            Dn::parse("o=emory").unwrap(),
+            Arc::new(ZeroClock),
+            "t",
+        );
+        admin_ctx.bind_str("x", "v").unwrap();
+        assert_eq!(anon_ctx.lookup_str("x").unwrap().as_str(), Some("v"));
+    }
+}

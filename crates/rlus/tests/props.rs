@@ -1,0 +1,157 @@
+//! Property tests for the lookup service.
+
+use proptest::prelude::*;
+
+use rlus::{
+    Entry, EntryTemplate, ManualClock, Registrar, ServiceId, ServiceItem, ServiceStub,
+    ServiceTemplate,
+};
+
+fn entry_strategy() -> impl Strategy<Value = Entry> {
+    (
+        "[A-Z][a-z]{1,6}",
+        proptest::collection::btree_map("[a-z]{1,4}", "[a-z0-9]{1,6}", 0..4),
+    )
+        .prop_map(|(class, fields)| Entry {
+            class,
+            fields,
+        })
+}
+
+fn item_strategy() -> impl Strategy<Value = ServiceItem> {
+    (
+        proptest::collection::vec("[A-Z][a-zA-Z]{1,8}", 1..4),
+        proptest::collection::vec(any::<u8>(), 0..16),
+        proptest::collection::vec(entry_strategy(), 0..4),
+    )
+        .prop_map(|(types, payload, entries)| {
+            let mut item = ServiceItem::new(ServiceStub::new(types, payload));
+            for e in entries {
+                item = item.with_entry(e);
+            }
+            item
+        })
+}
+
+proptest! {
+    /// The wildcard template matches everything; a template built *from*
+    /// an item matches that item (self-consistency).
+    #[test]
+    fn template_self_consistency(item in item_strategy()) {
+        prop_assert!(ServiceTemplate::any().matches(&item));
+
+        let mut t = ServiceTemplate::any();
+        for ty in &item.service.type_names {
+            t = t.with_type(ty.clone());
+        }
+        for e in &item.attribute_sets {
+            let mut et = EntryTemplate::new(e.class.clone());
+            for (k, v) in &e.fields {
+                et = et.with(k.clone(), v.clone());
+            }
+            t = t.with_entry(et);
+        }
+        prop_assert!(t.matches(&item), "derived template must match its item");
+    }
+
+    /// Dropping constraints from a matching template never unmatches
+    /// (matching is monotone in template generality).
+    #[test]
+    fn template_matching_is_monotone(item in item_strategy()) {
+        let mut full = ServiceTemplate::any();
+        for ty in &item.service.type_names {
+            full = full.with_type(ty.clone());
+        }
+        for e in &item.attribute_sets {
+            let mut et = EntryTemplate::new(e.class.clone());
+            for (k, v) in &e.fields {
+                et = et.with(k.clone(), v.clone());
+            }
+            full = full.with_entry(et);
+        }
+        prop_assume!(full.matches(&item));
+        // Remove the entry templates: still matches.
+        let weaker = ServiceTemplate {
+            attribute_templates: vec![],
+            ..full.clone()
+        };
+        prop_assert!(weaker.matches(&item));
+        // Remove the type constraints too: still matches.
+        let weakest = ServiceTemplate::any();
+        prop_assert!(weakest.matches(&item));
+    }
+
+    /// Registrar invariant: after arbitrary register/cancel/sweep
+    /// interleavings, item count equals live service leases, and lookup by
+    /// assigned id finds exactly the registered items.
+    #[test]
+    fn registrar_state_consistency(
+        script in proptest::collection::vec(
+            (0u8..3, 0u64..5_000, any::<u8>()),
+            1..40
+        )
+    ) {
+        let clock = ManualClock::new();
+        let registrar = Registrar::new(clock.clone(), 60_000, 42);
+        let mut live: Vec<(ServiceId, u64)> = Vec::new(); // (id, lease id)
+        let mut now = 0u64;
+        for (op, dt, tag) in script {
+            now += dt;
+            clock.set(now);
+            registrar.sweep();
+            live.retain(|(_, lease_id)| {
+                // A lease might have expired; probe by renewal.
+                registrar.renew_service_lease(*lease_id, 60_000).is_ok()
+            });
+            match op {
+                0 => {
+                    let item = ServiceItem::new(ServiceStub::new(
+                        vec![format!("T{tag}")],
+                        vec![tag],
+                    ));
+                    let reg = registrar.register(item, 60_000);
+                    live.push((reg.service_id, reg.lease.id));
+                }
+                1 => {
+                    if let Some((_, lease_id)) = live.pop() {
+                        registrar.cancel_service_lease(lease_id).ok();
+                    }
+                }
+                _ => {
+                    registrar.sweep();
+                }
+            }
+            prop_assert_eq!(registrar.item_count(), live.len());
+            for (id, _) in &live {
+                prop_assert!(
+                    registrar.lookup(&ServiceTemplate::by_id(*id)).is_some(),
+                    "live item findable by id"
+                );
+            }
+        }
+    }
+
+    /// Overwriting an id any number of times leaves exactly one item.
+    #[test]
+    fn register_is_idempotent_per_id(n in 1usize..10, hi in any::<u64>(), lo in any::<u64>()) {
+        let clock = ManualClock::new();
+        let registrar = Registrar::new(clock, 60_000, 1);
+        for i in 0..n {
+            let item = ServiceItem::new(ServiceStub::new(vec!["T".into()], vec![i as u8]))
+                .with_id(ServiceId::new(hi, lo));
+            registrar.register(item, 60_000);
+        }
+        prop_assert_eq!(registrar.item_count(), 1);
+        let found = registrar
+            .lookup(&ServiceTemplate::by_id(ServiceId::new(hi, lo)))
+            .unwrap();
+        prop_assert_eq!(found.service.payload, vec![(n - 1) as u8], "last write wins");
+    }
+
+    /// ServiceId display/parse roundtrip.
+    #[test]
+    fn service_id_roundtrip(hi in any::<u64>(), lo in any::<u64>()) {
+        let id = ServiceId::new(hi, lo);
+        prop_assert_eq!(id.to_string().parse::<ServiceId>().unwrap(), id);
+    }
+}

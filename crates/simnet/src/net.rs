@@ -1,0 +1,448 @@
+//! Simulated network: nodes, links, partitions, message delivery.
+//!
+//! A [`Network`] owns a set of nodes. Components register a packet handler
+//! per `(node, port)` pair; [`Network::send`] then schedules delivery after
+//! the link latency (plus jitter), subject to loss probability, node
+//! liveness, and the current partition map.
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::fmt;
+use std::rc::Rc;
+use std::time::Duration;
+
+use crate::rng::SimRng;
+use crate::sched::Sim;
+use crate::time::SimTime;
+
+/// Identifies a simulated host.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub u32);
+
+impl fmt::Debug for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+/// Link quality parameters between a pair of nodes.
+#[derive(Clone, Copy, Debug)]
+pub struct LinkSpec {
+    /// One-way propagation + switching latency.
+    pub latency: Duration,
+    /// Uniform jitter applied to `latency` as a `±fraction`.
+    pub jitter: f64,
+    /// Probability that any single packet is silently dropped.
+    pub loss: f64,
+}
+
+impl LinkSpec {
+    /// A LAN-like link: 100 µs one-way, 10% jitter, lossless — matching the
+    /// paper's Gigabit Ethernet testbed.
+    pub fn lan() -> Self {
+        LinkSpec {
+            latency: Duration::from_micros(100),
+            jitter: 0.1,
+            loss: 0.0,
+        }
+    }
+
+    /// A lossy variant of [`LinkSpec::lan`] for failure-injection tests.
+    pub fn lossy(loss: f64) -> Self {
+        LinkSpec {
+            loss,
+            ..LinkSpec::lan()
+        }
+    }
+}
+
+impl Default for LinkSpec {
+    fn default() -> Self {
+        LinkSpec::lan()
+    }
+}
+
+/// A message in flight.
+#[derive(Clone, Debug)]
+pub struct Packet {
+    pub src: NodeId,
+    pub dst: NodeId,
+    /// Multiplexing key — analogous to a UDP port.
+    pub port: u16,
+    pub bytes: Vec<u8>,
+    /// Virtual instant the packet was sent.
+    pub sent_at: SimTime,
+}
+
+type Handler = Rc<RefCell<dyn FnMut(&Sim, Packet)>>;
+
+struct NodeState {
+    alive: bool,
+    /// Partition group; nodes with differing groups cannot communicate.
+    group: u32,
+    handlers: HashMap<u16, Handler>,
+}
+
+#[derive(Default, Clone, Copy, Debug, PartialEq, Eq)]
+/// Delivery counters, for assertions in tests and experiment reports.
+pub struct NetStats {
+    pub sent: u64,
+    pub delivered: u64,
+    pub dropped_loss: u64,
+    pub dropped_partition: u64,
+    pub dropped_dead: u64,
+}
+
+struct Core {
+    nodes: HashMap<NodeId, NodeState>,
+    default_link: LinkSpec,
+    links: HashMap<(NodeId, NodeId), LinkSpec>,
+    stats: NetStats,
+}
+
+/// The simulated network fabric (cheaply cloneable handle).
+#[derive(Clone)]
+pub struct Network {
+    sim: Sim,
+    rng: SimRng,
+    core: Rc<RefCell<Core>>,
+}
+
+impl Network {
+    /// Create a network with the given default link quality.
+    pub fn new(sim: &Sim, rng: SimRng, default_link: LinkSpec) -> Self {
+        Network {
+            sim: sim.clone(),
+            rng,
+            core: Rc::new(RefCell::new(Core {
+                nodes: HashMap::new(),
+                default_link,
+                links: HashMap::new(),
+                stats: NetStats::default(),
+            })),
+        }
+    }
+
+    /// Add a node (initially alive, in partition group 0). Returns its id.
+    pub fn add_node(&self) -> NodeId {
+        let mut core = self.core.borrow_mut();
+        let id = NodeId(core.nodes.len() as u32);
+        core.nodes.insert(
+            id,
+            NodeState {
+                alive: true,
+                group: 0,
+                handlers: HashMap::new(),
+            },
+        );
+        id
+    }
+
+    /// Override the link spec for the ordered pair `(src, dst)`.
+    pub fn set_link(&self, src: NodeId, dst: NodeId, spec: LinkSpec) {
+        self.core.borrow_mut().links.insert((src, dst), spec);
+    }
+
+    /// Register the packet handler for `(node, port)`, replacing any
+    /// previous handler on that port.
+    pub fn bind<F>(&self, node: NodeId, port: u16, handler: F)
+    where
+        F: FnMut(&Sim, Packet) + 'static,
+    {
+        let mut core = self.core.borrow_mut();
+        let st = core.nodes.get_mut(&node).expect("unknown node");
+        st.handlers.insert(port, Rc::new(RefCell::new(handler)));
+    }
+
+    /// Remove the handler for `(node, port)`.
+    pub fn unbind(&self, node: NodeId, port: u16) {
+        if let Some(st) = self.core.borrow_mut().nodes.get_mut(&node) {
+            st.handlers.remove(&port);
+        }
+    }
+
+    /// Whether the node is currently alive.
+    pub fn is_alive(&self, node: NodeId) -> bool {
+        self.core
+            .borrow()
+            .nodes
+            .get(&node)
+            .is_some_and(|n| n.alive)
+    }
+
+    /// Crash a node: it stops receiving packets until restarted. Handlers
+    /// stay registered so a restart resumes delivery.
+    pub fn crash(&self, node: NodeId) {
+        if let Some(st) = self.core.borrow_mut().nodes.get_mut(&node) {
+            st.alive = false;
+        }
+    }
+
+    /// Restart a previously crashed node.
+    pub fn restart(&self, node: NodeId) {
+        if let Some(st) = self.core.borrow_mut().nodes.get_mut(&node) {
+            st.alive = true;
+        }
+    }
+
+    /// Split the network: every listed node is moved into its own named
+    /// partition group; unlisted nodes stay in group 0. Packets only flow
+    /// within a group.
+    pub fn partition(&self, groups: &[&[NodeId]]) {
+        let mut core = self.core.borrow_mut();
+        for st in core.nodes.values_mut() {
+            st.group = 0;
+        }
+        for (i, members) in groups.iter().enumerate() {
+            for node in *members {
+                if let Some(st) = core.nodes.get_mut(node) {
+                    st.group = (i + 1) as u32;
+                }
+            }
+        }
+    }
+
+    /// Heal all partitions (everyone back in group 0).
+    pub fn heal(&self) {
+        let mut core = self.core.borrow_mut();
+        for st in core.nodes.values_mut() {
+            st.group = 0;
+        }
+    }
+
+    /// True when `a` and `b` are both alive and in the same partition group.
+    pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        let core = self.core.borrow();
+        match (core.nodes.get(&a), core.nodes.get(&b)) {
+            (Some(x), Some(y)) => x.alive && y.alive && x.group == y.group,
+            _ => false,
+        }
+    }
+
+    /// Send a packet. Delivery is scheduled after the link latency; the
+    /// packet is dropped on loss, on partition, or if either endpoint is dead
+    /// at send or delivery time.
+    pub fn send(&self, src: NodeId, dst: NodeId, port: u16, bytes: Vec<u8>) {
+        let spec = {
+            let mut core = self.core.borrow_mut();
+            core.stats.sent += 1;
+            let src_ok = core.nodes.get(&src).is_some_and(|n| n.alive);
+            if !src_ok {
+                core.stats.dropped_dead += 1;
+                return;
+            }
+            core.links
+                .get(&(src, dst))
+                .copied()
+                .unwrap_or(core.default_link)
+        };
+        if self.rng.chance(spec.loss) {
+            self.core.borrow_mut().stats.dropped_loss += 1;
+            return;
+        }
+        let delay = self.rng.jittered(spec.latency, spec.jitter);
+        let net = self.clone();
+        let packet = Packet {
+            src,
+            dst,
+            port,
+            bytes,
+            sent_at: self.sim.now(),
+        };
+        self.sim.schedule(delay, move |sim| net.deliver(sim, packet));
+    }
+
+    /// Send the same payload to several destinations (unreliable multicast).
+    pub fn multicast(&self, src: NodeId, dests: &[NodeId], port: u16, bytes: &[u8]) {
+        for &dst in dests {
+            if dst != src {
+                self.send(src, dst, port, bytes.to_vec());
+            }
+        }
+    }
+
+    fn deliver(&self, sim: &Sim, packet: Packet) {
+        let handler = {
+            let mut core = self.core.borrow_mut();
+            let reachable = match (core.nodes.get(&packet.src), core.nodes.get(&packet.dst)) {
+                (Some(x), Some(y)) => x.alive && y.alive && x.group == y.group,
+                _ => false,
+            };
+            if !reachable {
+                let dst_alive = core.nodes.get(&packet.dst).is_some_and(|n| n.alive);
+                if dst_alive {
+                    core.stats.dropped_partition += 1;
+                } else {
+                    core.stats.dropped_dead += 1;
+                }
+                return;
+            }
+            let handler = core
+                .nodes
+                .get(&packet.dst)
+                .and_then(|n| n.handlers.get(&packet.port))
+                .cloned();
+            match handler {
+                Some(h) => {
+                    core.stats.delivered += 1;
+                    h
+                }
+                None => return,
+            }
+        };
+        (handler.borrow_mut())(sim, packet);
+    }
+
+    /// Snapshot of the delivery counters.
+    pub fn stats(&self) -> NetStats {
+        self.core.borrow().stats
+    }
+
+    /// The simulation this network is attached to.
+    pub fn sim(&self) -> &Sim {
+        &self.sim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell;
+    use std::rc::Rc;
+
+    fn setup() -> (Sim, Network, NodeId, NodeId) {
+        let sim = Sim::new();
+        let net = Network::new(&sim, SimRng::seed_from_u64(1), LinkSpec::lan());
+        let a = net.add_node();
+        let b = net.add_node();
+        (sim, net, a, b)
+    }
+
+    type Received = Rc<RefCell<Vec<(SimTime, Vec<u8>)>>>;
+
+    #[test]
+    fn packet_arrives_with_latency() {
+        let (sim, net, a, b) = setup();
+        let got: Received = Rc::default();
+        let g = got.clone();
+        net.bind(b, 9, move |sim, pkt| {
+            g.borrow_mut().push((sim.now(), pkt.bytes));
+        });
+        net.send(a, b, 9, vec![1, 2, 3]);
+        sim.run();
+        let got = got.borrow();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].1, vec![1, 2, 3]);
+        // latency 100µs ±10%
+        let ns = got[0].0.as_nanos();
+        assert!((90_000..=110_000).contains(&ns), "latency {ns}ns");
+    }
+
+    #[test]
+    fn dead_destination_drops() {
+        let (sim, net, a, b) = setup();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        net.bind(b, 9, move |_, _| *h.borrow_mut() += 1);
+        net.crash(b);
+        net.send(a, b, 9, vec![]);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(net.stats().dropped_dead, 1);
+    }
+
+    #[test]
+    fn crash_mid_flight_drops_then_restart_delivers() {
+        let (sim, net, a, b) = setup();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        net.bind(b, 9, move |_, _| *h.borrow_mut() += 1);
+        // Packet in flight when dst crashes.
+        net.send(a, b, 9, vec![]);
+        net.crash(b);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        net.restart(b);
+        net.send(a, b, 9, vec![]);
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn partition_blocks_and_heal_restores() {
+        let (sim, net, a, b) = setup();
+        let hits = Rc::new(RefCell::new(0));
+        let h = hits.clone();
+        net.bind(b, 9, move |_, _| *h.borrow_mut() += 1);
+        net.partition(&[&[a], &[b]]);
+        assert!(!net.reachable(a, b));
+        net.send(a, b, 9, vec![]);
+        sim.run();
+        assert_eq!(*hits.borrow(), 0);
+        assert_eq!(net.stats().dropped_partition, 1);
+        net.heal();
+        assert!(net.reachable(a, b));
+        net.send(a, b, 9, vec![]);
+        sim.run();
+        assert_eq!(*hits.borrow(), 1);
+    }
+
+    #[test]
+    fn lossy_link_drops_a_fraction() {
+        let sim = Sim::new();
+        let net = Network::new(&sim, SimRng::seed_from_u64(2), LinkSpec::lossy(0.5));
+        let a = net.add_node();
+        let b = net.add_node();
+        let hits = Rc::new(RefCell::new(0u32));
+        let h = hits.clone();
+        net.bind(b, 1, move |_, _| *h.borrow_mut() += 1);
+        for _ in 0..400 {
+            net.send(a, b, 1, vec![]);
+        }
+        sim.run();
+        let n = *hits.borrow();
+        assert!((120..=280).contains(&n), "delivered {n}/400 at 50% loss");
+    }
+
+    #[test]
+    fn multicast_skips_self() {
+        let (sim, net, a, b) = setup();
+        let c = net.add_node();
+        let hits = Rc::new(RefCell::new(Vec::new()));
+        for node in [a, b, c] {
+            let h = hits.clone();
+            net.bind(node, 7, move |_, pkt| h.borrow_mut().push(pkt.dst));
+        }
+        net.multicast(a, &[a, b, c], 7, b"x");
+        sim.run();
+        let mut got = hits.borrow().clone();
+        got.sort();
+        assert_eq!(got, vec![b, c]);
+    }
+
+    #[test]
+    fn per_link_override_applies() {
+        let (sim, net, a, b) = setup();
+        net.set_link(
+            a,
+            b,
+            LinkSpec {
+                latency: Duration::from_millis(5),
+                jitter: 0.0,
+                loss: 0.0,
+            },
+        );
+        let t: Rc<RefCell<Option<SimTime>>> = Rc::default();
+        let tc = t.clone();
+        net.bind(b, 9, move |sim, _| *tc.borrow_mut() = Some(sim.now()));
+        net.send(a, b, 9, vec![]);
+        sim.run();
+        assert_eq!(t.borrow().unwrap(), SimTime::from_millis(5));
+    }
+}

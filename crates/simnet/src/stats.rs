@@ -1,0 +1,158 @@
+//! Measurement utilities for experiments.
+
+use std::time::Duration;
+
+use crate::time::SimTime;
+
+/// Counts events inside a measurement window and reports a rate.
+///
+/// The load generator opens the window after a warm-up period so transient
+/// start-up effects don't skew throughput, mirroring standard closed-loop
+/// benchmarking practice.
+#[derive(Clone, Debug, Default)]
+pub struct ThroughputMeter {
+    window_start: Option<SimTime>,
+    window_end: Option<SimTime>,
+    in_window: u64,
+    total: u64,
+}
+
+impl ThroughputMeter {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Open the measurement window at `t`.
+    pub fn open(&mut self, t: SimTime) {
+        self.window_start = Some(t);
+        self.window_end = None;
+    }
+
+    /// Close the measurement window at `t`.
+    pub fn close(&mut self, t: SimTime) {
+        self.window_end = Some(t);
+    }
+
+    /// Record one event at time `t`.
+    pub fn record(&mut self, t: SimTime) {
+        self.total += 1;
+        let after_open = self.window_start.is_some_and(|s| t >= s);
+        let before_close = self.window_end.is_none_or(|e| t < e);
+        if after_open && before_close {
+            self.in_window += 1;
+        }
+    }
+
+    /// Events recorded inside the window.
+    pub fn count(&self) -> u64 {
+        self.in_window
+    }
+
+    /// Events recorded overall (window or not).
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Events per second over the window. `None` until the window is fully
+    /// specified or if it has zero length.
+    pub fn rate(&self) -> Option<f64> {
+        let (s, e) = (self.window_start?, self.window_end?);
+        if e <= s {
+            return None;
+        }
+        Some(self.in_window as f64 / (e - s).as_secs_f64())
+    }
+}
+
+/// Accumulates latency samples; reports mean and quantiles.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStat {
+    samples: Vec<Duration>,
+}
+
+impl LatencyStat {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn record(&mut self, d: Duration) {
+        self.samples.push(d);
+    }
+
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    pub fn mean(&self) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let total: u128 = self.samples.iter().map(|d| d.as_nanos()).sum();
+        Some(Duration::from_nanos((total / self.samples.len() as u128) as u64))
+    }
+
+    pub fn min(&self) -> Option<Duration> {
+        self.samples.iter().min().copied()
+    }
+
+    pub fn max(&self) -> Option<Duration> {
+        self.samples.iter().max().copied()
+    }
+
+    /// Quantile in `[0, 1]` by nearest-rank on a sorted copy.
+    pub fn quantile(&self, q: f64) -> Option<Duration> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let q = q.clamp(0.0, 1.0);
+        let idx = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        Some(sorted[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn meter_counts_only_window() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_secs(0)); // before open
+        m.open(SimTime::from_secs(1));
+        m.record(SimTime::from_secs(1));
+        m.record(SimTime::from_secs(2));
+        m.close(SimTime::from_secs(3));
+        m.record(SimTime::from_secs(3)); // at close boundary: excluded
+        assert_eq!(m.count(), 2);
+        assert_eq!(m.total(), 4);
+        assert_eq!(m.rate(), Some(1.0));
+    }
+
+    #[test]
+    fn meter_rate_requires_window() {
+        let mut m = ThroughputMeter::new();
+        m.record(SimTime::from_secs(1));
+        assert_eq!(m.rate(), None);
+        m.open(SimTime::from_secs(1));
+        assert_eq!(m.rate(), None);
+        m.close(SimTime::from_secs(1));
+        assert_eq!(m.rate(), None, "zero-length window");
+    }
+
+    #[test]
+    fn latency_stats() {
+        let mut s = LatencyStat::new();
+        assert!(s.mean().is_none());
+        for ms in [10u64, 20, 30, 40] {
+            s.record(Duration::from_millis(ms));
+        }
+        assert_eq!(s.mean(), Some(Duration::from_millis(25)));
+        assert_eq!(s.min(), Some(Duration::from_millis(10)));
+        assert_eq!(s.max(), Some(Duration::from_millis(40)));
+        assert_eq!(s.quantile(0.0), Some(Duration::from_millis(10)));
+        assert_eq!(s.quantile(1.0), Some(Duration::from_millis(40)));
+        assert_eq!(s.quantile(0.5), Some(Duration::from_millis(30)));
+    }
+}

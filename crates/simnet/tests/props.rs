@@ -1,0 +1,114 @@
+//! Property tests for the simulation kernel.
+
+use std::cell::RefCell;
+use std::rc::Rc;
+use std::time::Duration;
+
+use proptest::prelude::*;
+
+use simnet::{JobOutcome, QueueingServer, ServerConfig, Sim, SimRng, SimTime};
+
+proptest! {
+    /// Events fire in nondecreasing virtual-time order, regardless of
+    /// scheduling order, and the clock never runs backwards.
+    #[test]
+    fn scheduler_fires_in_time_order(delays in proptest::collection::vec(0u64..10_000, 1..50)) {
+        let sim = Sim::new();
+        let fired: Rc<RefCell<Vec<SimTime>>> = Rc::default();
+        for d in &delays {
+            let fired = fired.clone();
+            sim.schedule(Duration::from_micros(*d), move |sim| {
+                fired.borrow_mut().push(sim.now());
+            });
+        }
+        sim.run();
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), delays.len());
+        for w in fired.windows(2) {
+            prop_assert!(w[0] <= w[1], "clock went backwards: {:?}", &*fired);
+        }
+        let max = delays.iter().max().copied().unwrap_or(0);
+        prop_assert_eq!(sim.now(), SimTime::from_nanos(max * 1000));
+    }
+
+    /// Ties at the same instant fire in FIFO scheduling order.
+    #[test]
+    fn same_instant_fifo(n in 1usize..40) {
+        let sim = Sim::new();
+        let fired: Rc<RefCell<Vec<usize>>> = Rc::default();
+        for i in 0..n {
+            let fired = fired.clone();
+            sim.schedule(Duration::from_millis(5), move |_| {
+                fired.borrow_mut().push(i);
+            });
+        }
+        sim.run();
+        prop_assert_eq!(&*fired.borrow(), &(0..n).collect::<Vec<_>>());
+    }
+
+    /// Job conservation: every submitted job reports exactly one outcome
+    /// (completed, rejected, or crashed — abandoned in-service jobs are
+    /// the one documented exception and only occur on crash).
+    #[test]
+    fn queueing_server_conserves_jobs(
+        service_us in proptest::collection::vec(1u64..5_000, 1..60),
+        queue_limit in proptest::option::of(0usize..8),
+        workers in 1usize..4,
+    ) {
+        let sim = Sim::new();
+        let server = QueueingServer::new(
+            &sim,
+            ServerConfig {
+                workers,
+                queue_limit,
+                ..Default::default()
+            },
+        );
+        let outcomes: Rc<RefCell<Vec<JobOutcome>>> = Rc::default();
+        for us in &service_us {
+            let outcomes = outcomes.clone();
+            server.submit(Duration::from_micros(*us), move |_, o| {
+                outcomes.borrow_mut().push(o);
+            });
+        }
+        sim.run();
+        let outcomes = outcomes.borrow();
+        prop_assert_eq!(outcomes.len(), service_us.len(), "one outcome per job");
+        let completed = outcomes.iter().filter(|o| **o == JobOutcome::Completed).count() as u64;
+        let rejected = outcomes.iter().filter(|o| **o == JobOutcome::Rejected).count() as u64;
+        let stats = server.stats();
+        prop_assert_eq!(completed, stats.completed);
+        prop_assert_eq!(rejected, stats.rejected);
+        prop_assert!(!outcomes.contains(&JobOutcome::Crashed), "no crash configured");
+    }
+
+    /// Deterministic replay: two identically seeded runs produce identical
+    /// event counts and final clocks.
+    #[test]
+    fn seeded_runs_replay_identically(seed in any::<u64>(), n in 1usize..30) {
+        let run = |seed: u64| {
+            let sim = Sim::new();
+            let rng = SimRng::seed_from_u64(seed);
+            for _ in 0..n {
+                let d = rng.exp_duration(Duration::from_millis(3));
+                sim.schedule(d, |_| {});
+            }
+            sim.run();
+            (sim.events_executed(), sim.now())
+        };
+        prop_assert_eq!(run(seed), run(seed));
+    }
+
+    /// Jittered durations stay within the requested band.
+    #[test]
+    fn jitter_band(base_us in 1u64..1_000_000, frac in 0.0f64..1.0, seed in any::<u64>()) {
+        let rng = SimRng::seed_from_u64(seed);
+        let base = Duration::from_micros(base_us);
+        for _ in 0..32 {
+            let d = rng.jittered(base, frac);
+            let lo = base.as_nanos() as f64 * (1.0 - frac) - 1.0;
+            let hi = base.as_nanos() as f64 * (1.0 + frac) + 1.0;
+            prop_assert!((lo..=hi).contains(&(d.as_nanos() as f64)), "{d:?} outside ±{frac} of {base:?}");
+        }
+    }
+}

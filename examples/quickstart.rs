@@ -1,0 +1,99 @@
+//! Quickstart: one API over heterogeneous naming services.
+//!
+//! Deploys two very different backends — a Jini-style lookup service and a
+//! replicated HDNS group — registers a provider for each URL scheme, and
+//! then uses a single `InitialContext` to bind, look up, and search across
+//! both without caring which is which.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use std::sync::Arc;
+
+use rndi::core::prelude::*;
+use rndi::providers::{HdnsFactory, JiniFactory};
+
+fn main() -> Result<()> {
+    // ---- Deploy the backends (normally pre-existing infrastructure) ----
+
+    // A Jini lookup service, announced in a discovery realm.
+    let clock = rndi::rlus::SystemClock::new();
+    let registrar = rndi::rlus::Registrar::new(clock.clone(), 600_000, 42);
+    let realm = rndi::rlus::DiscoveryRealm::new();
+    realm.announce(
+        rndi::rlus::discovery::LookupLocator::new("host1", 4160),
+        &["public"],
+        registrar,
+    );
+
+    // A two-replica HDNS deployment.
+    let hdns_realm = rndi::hdns::HdnsRealm::new(
+        "quickstart",
+        2,
+        rndi::groupcast::StackConfig::default(),
+        None,
+        7,
+    );
+
+    // ---- Client side: register providers, open the initial context ----
+
+    let registry = Arc::new(ProviderRegistry::new());
+    registry.register(JiniFactory::new(realm, clock));
+    let hdns_factory = HdnsFactory::new();
+    hdns_factory.register_host("host2", hdns_realm, 0);
+    registry.register(hdns_factory);
+
+    let ctx = InitialContext::new(registry, Environment::new())?;
+
+    // ---- The same API against both services ----
+
+    ctx.bind("jini://host1/printer", "laser-3rd-floor")?;
+    ctx.bind("hdns://host2/printer", "inkjet-basement")?;
+
+    println!(
+        "jini://host1/printer  -> {:?}",
+        ctx.lookup("jini://host1/printer")?.as_str().unwrap()
+    );
+    println!(
+        "hdns://host2/printer  -> {:?}",
+        ctx.lookup("hdns://host2/printer")?.as_str().unwrap()
+    );
+
+    // Directory operations: bind with attributes, search with an
+    // LDAP-style filter — on the Jini backend, which has no native notion
+    // of either (the provider translates).
+    ctx.bind_with_attrs(
+        "jini://host1/node01",
+        BoundValue::str("stub-node01"),
+        Attributes::new().with("os", "linux").with("cpu", "16"),
+    )?;
+    ctx.bind_with_attrs(
+        "jini://host1/node02",
+        BoundValue::str("stub-node02"),
+        Attributes::new().with("os", "linux").with("cpu", "4"),
+    )?;
+
+    let hits = ctx.search("jini://host1", "(&(os=linux)(cpu>=8))", &SearchControls::default())?;
+    println!("big linux boxes in the Jini registry:");
+    for h in &hits {
+        println!("  {} (cpu={})", h.name, h.attrs.get("cpu").unwrap().first_str().unwrap());
+    }
+    assert_eq!(hits.len(), 1);
+
+    // Atomic bind semantics hold everywhere, even on Jini's
+    // overwrite-only registry (the provider pays the distributed-lock
+    // cost behind the scenes).
+    let dup = ctx.bind("jini://host1/printer", "impostor");
+    println!("double bind rejected: {}", dup.unwrap_err());
+
+    // Federation in one line: mount the Jini service inside HDNS.
+    ctx.bind(
+        "hdns://host2/jiniCtx",
+        BoundValue::Reference(Reference::url("jini://host1")),
+    )?;
+    let via = ctx.lookup("hdns://host2/jiniCtx/printer")?;
+    println!("hdns://host2/jiniCtx/printer -> {:?}", via.as_str().unwrap());
+    assert_eq!(via.as_str(), Some("laser-3rd-floor"));
+
+    println!("quickstart OK");
+    Ok(())
+}

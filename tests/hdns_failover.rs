@@ -1,0 +1,167 @@
+//! HDNS fault-tolerance scenarios exercised through the provider layer:
+//! the paper's §4.1 recovery guarantees observed from the client API.
+
+use rndi::core::context::ContextExt;
+use rndi::core::prelude::*;
+use rndi::groupcast::{OrderingMode, StackConfig};
+use rndi::hdns::HdnsRealm;
+use rndi::providers::HdnsProviderContext;
+
+fn realm(tag: &str, persist: bool) -> (HdnsRealm, Option<std::path::PathBuf>) {
+    let dir = persist.then(|| {
+        let d = std::env::temp_dir().join(format!("rndi-failover-{}-{tag}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&d);
+        d
+    });
+    (
+        HdnsRealm::new(tag, 3, StackConfig::default(), dir.clone(), 101),
+        dir,
+    )
+}
+
+#[test]
+fn client_fails_over_to_surviving_replica() {
+    let (realm, _) = realm("failover", false);
+    let ctx0 = HdnsProviderContext::new(realm.clone(), 0, "t");
+    let ctx1 = HdnsProviderContext::new(realm.clone(), 1, "t");
+
+    ctx0.bind_str("service", "v").unwrap();
+    realm.crash(0);
+
+    // The paper's "nearest node" model: clients re-resolve to a live
+    // replica and keep both reading and writing.
+    assert_eq!(ctx1.lookup_str("service").unwrap().as_str(), Some("v"));
+    ctx1.bind_str("after-crash", "w").unwrap();
+    assert_eq!(ctx1.lookup_str("after-crash").unwrap().as_str(), Some("w"));
+}
+
+#[test]
+fn restarted_replica_serves_missed_writes() {
+    let (realm, _) = realm("rejoin", false);
+    let ctx2 = HdnsProviderContext::new(realm.clone(), 2, "t");
+    let ctx0 = HdnsProviderContext::new(realm.clone(), 0, "t");
+
+    realm.crash(2);
+    ctx0.bind_str("missed", "by-2").unwrap();
+    realm.restart(2);
+
+    assert_eq!(
+        ctx2.lookup_str("missed").unwrap().as_str(),
+        Some("by-2"),
+        "state transfer brought the rejoiner current"
+    );
+}
+
+#[test]
+fn primary_partition_discards_minority_writes_via_provider() {
+    let (realm, _) = realm("primary", false);
+    let majority = HdnsProviderContext::new(realm.clone(), 0, "t");
+    let minority = HdnsProviderContext::new(realm.clone(), 2, "t");
+
+    realm.partition(&[&[0, 1], &[2]]);
+    majority.bind_str("winner", "1").unwrap();
+    minority.bind_str("loser", "2").unwrap();
+    realm.heal();
+
+    for ctx in [&majority, &minority] {
+        assert_eq!(ctx.lookup_str("winner").unwrap().as_str(), Some("1"));
+        assert!(ctx.lookup_str("loser").is_err(), "divergent write dropped");
+    }
+}
+
+#[test]
+fn conflicting_binds_across_a_partition_resolve_deterministically() {
+    let (realm, _) = realm("conflict", false);
+    let a = HdnsProviderContext::new(realm.clone(), 0, "t");
+    let b = HdnsProviderContext::new(realm.clone(), 2, "t");
+
+    realm.partition(&[&[0, 1], &[2]]);
+    a.bind_str("same-key", "majority").unwrap();
+    b.bind_str("same-key", "minority").unwrap();
+    realm.heal();
+
+    // PRIMARY_PARTITION: the majority's lineage wins everywhere.
+    for (i, ctx) in [&a, &b].into_iter().enumerate() {
+        assert_eq!(
+            ctx.lookup_str("same-key").unwrap().as_str(),
+            Some("majority"),
+            "replica path {i}"
+        );
+    }
+}
+
+#[test]
+fn full_shutdown_recovers_from_disk_snapshots() {
+    let (r, dir) = realm("persist", true);
+    let dir = dir.unwrap();
+    {
+        let ctx = HdnsProviderContext::new(r.clone(), 0, "t");
+        ctx.bind_str("durable", "gold").unwrap();
+        r.shutdown_replica(0);
+        r.shutdown_replica(1);
+        r.shutdown_replica(2);
+    }
+    drop(r);
+
+    let revived = HdnsRealm::new("persist", 3, StackConfig::default(), Some(dir.clone()), 202);
+    let ctx = HdnsProviderContext::new(revived, 1, "t");
+    assert_eq!(ctx.lookup_str("durable").unwrap().as_str(), Some("gold"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn bimodal_stack_survives_lossy_network() {
+    let realm = HdnsRealm::new(
+        "lossy",
+        3,
+        StackConfig {
+            ordering: OrderingMode::Bimodal {
+                loss: 0.25,
+                fanout: 2,
+            },
+            ..Default::default()
+        },
+        None,
+        77,
+    );
+    let ctx = HdnsProviderContext::new(realm.clone(), 0, "t");
+    for i in 0..20 {
+        ctx.rebind_str(&format!("k{i}"), format!("v{i}")).unwrap();
+    }
+    // Every replica converged despite 25% initial loss (gossip repaired).
+    for node in 0..3 {
+        for i in 0..20 {
+            assert_eq!(
+                realm
+                    .lookup(node, &format!("k{i}"))
+                    .map(|e| String::from_utf8_lossy(&e.value).to_string()),
+                realm
+                    .lookup(0, &format!("k{i}"))
+                    .map(|e| String::from_utf8_lossy(&e.value).to_string()),
+                "node {node} key k{i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn events_report_remote_writes() {
+    let (realm, _) = realm("events", false);
+    let watcher = HdnsProviderContext::new(realm.clone(), 1, "t");
+    let writer = HdnsProviderContext::new(realm, 0, "t");
+
+    let listener = CollectingListener::new();
+    watcher
+        .add_listener(&CompositeName::empty(), listener.clone())
+        .unwrap();
+
+    writer.bind_str("announced", "v").unwrap();
+    watcher.poll_events();
+    let events = listener.drain();
+    assert!(
+        events
+            .iter()
+            .any(|e| e.event_type == EventType::ObjectAdded && e.name.to_string() == "announced"),
+        "got {events:?}"
+    );
+}
