@@ -19,8 +19,14 @@ fn main() {
     let unbounded = fig5(&config, false);
     let bounded = fig5(&config, true);
     let series: Vec<Series> = vec![
-        relabel(unbounded.into_iter().next().expect("series"), "unbounded (paper)"),
-        relabel(bounded.into_iter().next().expect("series"), "bounded (proposed fix)"),
+        relabel(
+            unbounded.into_iter().next().expect("series"),
+            "unbounded (paper)",
+        ),
+        relabel(
+            bounded.into_iter().next().expect("series"),
+            "bounded (proposed fix)",
+        ),
     ];
     print_figure(
         "Ablation A3 — HDNS rebind throughput: unbounded vs bounded queues [ops/s]",

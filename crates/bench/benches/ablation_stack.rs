@@ -66,10 +66,7 @@ fn reliability_comparison() {
     );
     let n_msgs = 200;
     for (label, ordering) in [
-        (
-            "sequencer (virtual sync.)",
-            OrderingMode::Sequencer,
-        ),
+        ("sequencer (virtual sync.)", OrderingMode::Sequencer),
         (
             "bimodal fanout=2",
             OrderingMode::Bimodal {
@@ -83,8 +80,9 @@ fn reliability_comparison() {
             ordering: ordering.clone(),
             ..Default::default()
         };
-        let chans: Vec<GroupChannel> =
-            (0..3).map(|_| cluster.create_channel(cfg.clone())).collect();
+        let chans: Vec<GroupChannel> = (0..3)
+            .map(|_| cluster.create_channel(cfg.clone()))
+            .collect();
         for c in &chans {
             c.connect("abl").unwrap();
             cluster.pump_all();

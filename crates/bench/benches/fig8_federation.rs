@@ -9,8 +9,9 @@
 //! pays additive per-hop latency.
 
 use rndi_bench::experiment::print_latency;
-use rndi_bench::figures::fig8;
+use rndi_bench::figures::{fig8, fig8_cached_lookups};
 use rndi_bench::{print_figure, SweepConfig};
+use rndi_core::spi::telemetry;
 
 fn main() {
     let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
@@ -18,6 +19,7 @@ fn main() {
     } else {
         SweepConfig::default()
     };
+    telemetry::reset();
     let series = fig8(&config);
     print_figure(
         "Experiment 8 — Federated (dns→hdns→ldap) vs direct LDAP lookups [ops/s]",
@@ -25,5 +27,44 @@ fn main() {
     );
     for s in &series {
         print_latency(s);
+    }
+    // Re-run the federated lookup with the pipeline cache enabled so the
+    // telemetry below shows the hit rate repeated resolutions achieve.
+    fig8_cached_lookups(1_000);
+    print_pipeline_telemetry();
+}
+
+/// Per-provider pipeline telemetry: op counts by kind, mean latency, cache
+/// hit rate, retries — the measured (not assumed) cost of the op pipeline.
+fn print_pipeline_telemetry() {
+    println!("\nProvider pipeline telemetry (per provider label):");
+    for t in telemetry::snapshot() {
+        println!("  {} ({} pipeline(s))", t.label, t.pipelines);
+        for row in &t.ops {
+            let mean_us = if row.ops > 0 {
+                row.total.as_micros() as f64 / row.ops as f64
+            } else {
+                0.0
+            };
+            println!(
+                "    {:<18} ops={:<8} errors={:<6} mean={:.1}µs",
+                row.kind.label(),
+                row.ops,
+                row.errors,
+                mean_us
+            );
+        }
+        if let Some(cache) = &t.cache {
+            println!(
+                "    cache: hits={} misses={} invalidations={} hit-rate={:.1}%",
+                cache.hits,
+                cache.misses,
+                cache.invalidations,
+                cache.hit_rate() * 100.0
+            );
+        }
+        if t.retries > 0 {
+            println!("    retries: {}", t.retries);
+        }
     }
 }

@@ -95,8 +95,7 @@ fn write_point(replicas: usize, clients: usize) -> f64 {
     // member and stability needs everyone's ack.
     let per_member = 0.35;
     let service = Duration::from_nanos(
-        (cost::hdns_write().as_nanos() as f64 * (1.0 + per_member * (replicas - 1) as f64))
-            as u64,
+        (cost::hdns_write().as_nanos() as f64 * (1.0 + per_member * (replicas - 1) as f64)) as u64,
     );
     let op = Rc::new(
         RoundTrips::new(

@@ -11,13 +11,15 @@ use std::sync::Arc;
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use rlus::{EntryTemplate, ManualClock, Registrar, ServiceTemplate};
 use rndi_core::context::ContextExt;
 use rndi_core::env::{keys, Environment};
+use rndi_core::op::NamingOp;
+use rndi_core::spi::{ProviderBackend, ProviderPipeline};
 use rndi_providers::common::RlusClock;
 use rndi_providers::{HdnsProviderContext, JiniProviderContext};
-use rlus::{EntryTemplate, ManualClock, Registrar, ServiceTemplate};
 
-fn jini_setup(strict: bool) -> (Registrar, Arc<JiniProviderContext>) {
+fn jini_setup(strict: bool) -> (Registrar, Arc<ProviderPipeline<JiniProviderContext>>) {
     let clock = ManualClock::new();
     let registrar = Registrar::new(clock.clone(), u64::MAX / 4, 1);
     let env = Environment::new().with(
@@ -36,8 +38,8 @@ fn jini_setup(strict: bool) -> (Registrar, Arc<JiniProviderContext>) {
 fn bench_jini_reads(c: &mut Criterion) {
     let (registrar, ctx) = jini_setup(false);
     ctx.rebind_str("bench", "payload").unwrap();
-    let template = ServiceTemplate::any()
-        .with_entry(EntryTemplate::new("RndiBinding").with("name", "bench"));
+    let template =
+        ServiceTemplate::any().with_entry(EntryTemplate::new("RndiBinding").with("name", "bench"));
 
     let mut group = c.benchmark_group("jini_lookup");
     group.bench_function("raw_lus", |b| {
@@ -53,12 +55,9 @@ fn bench_jini_writes(c: &mut Criterion) {
     let mut group = c.benchmark_group("jini_rebind");
 
     let (registrar, _) = jini_setup(false);
-    let item = rlus::ServiceItem::new(rlus::ServiceStub::new(
-        vec!["Bench".into()],
-        vec![0; 64],
-    ))
-    .with_id(rlus::ServiceId::new(1, 1))
-    .with_entry(rlus::Entry::name("bench"));
+    let item = rlus::ServiceItem::new(rlus::ServiceStub::new(vec!["Bench".into()], vec![0; 64]))
+        .with_id(rlus::ServiceId::new(1, 1))
+        .with_entry(rlus::Entry::name("bench"));
     group.bench_function("raw_lus", |b| {
         b.iter(|| registrar.register(std::hint::black_box(item.clone()), 60_000))
     });
@@ -82,13 +81,7 @@ fn bench_jini_writes(c: &mut Criterion) {
 }
 
 fn bench_hdns(c: &mut Criterion) {
-    let realm = hdns::HdnsRealm::new(
-        "bench",
-        2,
-        groupcast::StackConfig::default(),
-        None,
-        5,
-    );
+    let realm = hdns::HdnsRealm::new("bench", 2, groupcast::StackConfig::default(), None, 5);
     realm
         .rebind(0, "bench", hdns::HdnsEntry::leaf(vec![0; 64]))
         .unwrap();
@@ -104,6 +97,29 @@ fn bench_hdns(c: &mut Criterion) {
     group.finish();
 }
 
+/// The cost of pipeline dispatch itself: the same reified op executed
+/// directly against the backend vs through a `ProviderPipeline` with an
+/// empty interceptor stack. The acceptance bar is ≤5% added latency.
+fn bench_pipeline_dispatch(c: &mut Criterion) {
+    let (_registrar, ctx) = jini_setup(false);
+    ctx.rebind_str("bench", "payload").unwrap();
+    let backend = ctx.backend().clone();
+    let bare = ProviderPipeline::bare(backend.clone());
+    let op = NamingOp::lookup("bench".into());
+
+    let mut group = c.benchmark_group("pipeline_dispatch");
+    group.bench_function("backend_direct", |b| {
+        b.iter(|| backend.execute(std::hint::black_box(&op)).unwrap())
+    });
+    group.bench_function("empty_pipeline", |b| {
+        b.iter(|| bare.execute(std::hint::black_box(&op)).unwrap())
+    });
+    group.bench_function("standard_stack_default_env", |b| {
+        b.iter(|| ctx.execute(std::hint::black_box(&op)).unwrap())
+    });
+    group.finish();
+}
+
 fn configured() -> Criterion {
     Criterion::default()
         .sample_size(30)
@@ -114,6 +130,6 @@ fn configured() -> Criterion {
 criterion_group! {
     name = benches;
     config = configured();
-    targets = bench_jini_reads, bench_jini_writes, bench_hdns
+    targets = bench_jini_reads, bench_jini_writes, bench_hdns, bench_pipeline_dispatch
 }
 criterion_main!(benches);

@@ -133,12 +133,24 @@ mod tests {
     #[test]
     fn capacities_match_paper_figures() {
         let cap = |d: Duration| 1.0 / d.as_secs_f64();
-        assert!((380.0..460.0).contains(&cap(jini_read())), "Jini read ≈400/s");
-        assert!((130.0..160.0).contains(&cap(jini_write())), "Jini write ≈140/s");
+        assert!(
+            (380.0..460.0).contains(&cap(jini_read())),
+            "Jini read ≈400/s"
+        );
+        assert!(
+            (130.0..160.0).contains(&cap(jini_write())),
+            "Jini write ≈140/s"
+        );
         assert!(cap(hdns_read()) > 1800.0, "HDNS reads exceed 1800/s");
-        assert!((180.0..230.0).contains(&cap(hdns_write())), "HDNS write ≈200/s");
+        assert!(
+            (180.0..230.0).contains(&cap(hdns_write())),
+            "HDNS write ≈200/s"
+        );
         assert!(cap(dns_read()) > 1800.0, "DNS exceeds 1800/s");
-        assert!(cap(ldap_read()) > LDAP_THROTTLE_PER_SEC as f64, "LDAP unsaturated at plateau");
+        assert!(
+            cap(ldap_read()) > LDAP_THROTTLE_PER_SEC as f64,
+            "LDAP unsaturated at plateau"
+        );
     }
 
     #[test]

@@ -16,7 +16,7 @@ use rndi_core::prelude::*;
 
 use crate::cost;
 use crate::experiment::{sweep, Series, SweepConfig};
-use crate::loadgen::{DoneFn, Operation, RoundTrips};
+use crate::loadgen::{op_work, DoneFn, Operation, RoundTrips};
 
 fn scale(d: Duration, factor: f64) -> Duration {
     Duration::from_nanos((d.as_nanos() as f64 * factor) as u64)
@@ -66,7 +66,12 @@ fn jini_server(sim: &Sim) -> QueueingServer {
 }
 
 /// A live registrar + provider context pair for the real-work closures.
-fn jini_backend(strict: bool) -> (rlus::Registrar, Arc<rndi_providers::JiniProviderContext>) {
+fn jini_backend(
+    strict: bool,
+) -> (
+    rlus::Registrar,
+    Arc<ProviderPipeline<rndi_providers::JiniProviderContext>>,
+) {
     let clock = rlus::ManualClock::new();
     let registrar = rlus::Registrar::new(clock.clone(), u64::MAX / 4, 77);
     let env = Environment::new().with(
@@ -89,9 +94,8 @@ pub fn fig2(config: &SweepConfig) -> Vec<Series> {
     let raw = sweep("jini", config, |sim, rng, _| {
         let (registrar, ctx) = jini_backend(false);
         ContextExt::rebind_str(&*ctx, "bench", "payload").expect("seed");
-        let template = rlus::ServiceTemplate::any().with_entry(
-            rlus::EntryTemplate::new("RndiBinding").with("name", "bench"),
-        );
+        let template = rlus::ServiceTemplate::any()
+            .with_entry(rlus::EntryTemplate::new("RndiBinding").with("name", "bench"));
         let op = RoundTrips::new(
             jini_server(sim),
             rng.fork(),
@@ -117,17 +121,16 @@ pub fn fig2(config: &SweepConfig) -> Vec<Series> {
                 cost::net_rtt(),
                 vec![scale(cost::jini_read(), cost::JINI_SPI_READ_FACTOR)],
             )
-            .with_work(
-                Rc::new(move |_| {
-                    ContextExt::lookup_str(&*ctx, "bench").expect("seeded binding");
-                }),
-                1,
-            );
+            .with_work(op_work(ctx, NamingOp::lookup("bench".into())), 1);
             Rc::new(Rc::new(op)) as Rc<dyn Operation>
         })
     };
 
-    vec![raw, spi("jini-spi-relaxed", false), spi("jini-spi-strict", true)]
+    vec![
+        raw,
+        spi("jini-spi-relaxed", false),
+        spi("jini-spi-strict", true),
+    ]
 }
 
 /// Figure 3: Jini & JNDI-Jini provider, rebind (write) throughput.
@@ -164,9 +167,10 @@ pub fn fig3(config: &SweepConfig) -> Vec<Series> {
             vec![scale(cost::jini_write(), cost::JINI_SPI_WRITE_FACTOR)],
         )
         .with_work(
-            Rc::new(move |_| {
-                ContextExt::rebind_str(&*ctx, "bench", "payload").expect("rebind");
-            }),
+            op_work(
+                ctx,
+                NamingOp::rebind("bench".into(), BoundValue::str("payload")),
+            ),
             1,
         );
         Rc::new(Rc::new(op)) as Rc<dyn Operation>
@@ -190,9 +194,10 @@ pub fn fig3(config: &SweepConfig) -> Vec<Series> {
         segments.push(scale(cost::jini_write(), cost::JINI_SPI_WRITE_FACTOR));
         let op = RoundTrips::new(jini_server(sim), rng.fork(), cost::net_rtt(), segments)
             .with_work(
-                Rc::new(move |_| {
-                    ContextExt::rebind_str(&*ctx, "bench", "payload").expect("rebind");
-                }),
+                op_work(
+                    ctx,
+                    NamingOp::rebind("bench".into(), BoundValue::str("payload")),
+                ),
                 1,
             );
         Rc::new(Rc::new(op)) as Rc<dyn Operation>
@@ -243,8 +248,7 @@ pub fn ablation_proxy(config: &SweepConfig) -> Vec<Series> {
             Rc::new(move |_| {
                 // Fresh name per op: atomic binds of existing names fail by
                 // design, and we measure the success path.
-                static COUNTER: std::sync::atomic::AtomicU64 =
-                    std::sync::atomic::AtomicU64::new(0);
+                static COUNTER: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
                 let i = COUNTER.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 ContextExt::bind_str(&*ctx, &format!("p{i}"), "v").expect("bind");
                 ContextExt::unbind_str(&*ctx, &format!("p{i}")).expect("unbind");
@@ -302,12 +306,7 @@ pub fn fig4(config: &SweepConfig) -> Vec<Series> {
             cost::net_rtt(),
             vec![scale(cost::hdns_read(), cost::HDNS_SPI_FACTOR)],
         )
-        .with_work(
-            Rc::new(move |_| {
-                ContextExt::lookup_str(&*ctx, "bench").expect("seeded binding");
-            }),
-            1,
-        );
+        .with_work(op_work(ctx, NamingOp::lookup("bench".into())), 1);
         Rc::new(Rc::new(op)) as Rc<dyn Operation>
     });
 
@@ -368,9 +367,10 @@ pub fn fig5(config: &SweepConfig, bounded: bool) -> Vec<Series> {
             vec![scale(cost::hdns_write(), cost::HDNS_SPI_FACTOR)],
         )
         .with_work(
-            Rc::new(move |_| {
-                ContextExt::rebind_str(&*ctx, "bench", "payload").expect("rebind");
-            }),
+            op_work(
+                ctx,
+                NamingOp::rebind("bench".into(), BoundValue::str("payload")),
+            ),
             64,
         );
         Rc::new(Rc::new(op)) as Rc<dyn Operation>
@@ -410,7 +410,11 @@ pub fn fig6(config: &SweepConfig) -> Vec<Series> {
         .with_work(
             Rc::new(move |_| {
                 resolver
-                    .resolve(&name, minidns::RecordType::Txt, sim2.now().as_nanos() / 1_000_000)
+                    .resolve(
+                        &name,
+                        minidns::RecordType::Txt,
+                        sim2.now().as_nanos() / 1_000_000,
+                    )
                     .expect("record present");
             }),
             1,
@@ -436,11 +440,9 @@ fn ldap_server(throttle: Option<u64>) -> dirserv::DirectoryServer {
     .expect("seed base");
     for i in 0..16 {
         conn.add(
-            dirserv::LdapEntry::new(
-                dirserv::Dn::parse(&format!("cn=e{i},o=bench")).unwrap(),
-            )
-            .with("objectClass", "device")
-            .with("cn", format!("e{i}")),
+            dirserv::LdapEntry::new(dirserv::Dn::parse(&format!("cn=e{i},o=bench")).unwrap())
+                .with("objectClass", "device")
+                .with("cn", format!("e{i}")),
         )
         .expect("seed entry");
     }
@@ -591,6 +593,10 @@ struct FederationDeployment {
 /// the replicated intermediate layer, a departmental LDAP server holds the
 /// leaves.
 fn federation_deployment() -> FederationDeployment {
+    federation_deployment_with_env(Environment::new())
+}
+
+fn federation_deployment_with_env(env: Environment) -> FederationDeployment {
     struct ZeroClock;
     impl rndi_providers::common::MsClock for ZeroClock {
         fn now_ms(&self) -> u64 {
@@ -619,10 +625,8 @@ fn federation_deployment() -> FederationDeployment {
             0,
             "emory/mathcs/dcl",
             hdns::HdnsEntry::leaf(
-                rndi_core::value::StoredValue::Reference(Reference::url(
-                    "ldap://dept-ldap/ou=dcl",
-                ))
-                .encode(),
+                rndi_core::value::StoredValue::Reference(Reference::url("ldap://dept-ldap/ou=dcl"))
+                    .encode(),
             ),
         )
         .expect("bind ldap link");
@@ -649,8 +653,26 @@ fn federation_deployment() -> FederationDeployment {
     );
     registry.register(ldap_factory);
 
-    let ic = Arc::new(InitialContext::new(registry, Environment::new()).expect("ic"));
+    let ic = Arc::new(InitialContext::new(registry, env.clone()).expect("ic"));
     FederationDeployment { ldap, ic }
+}
+
+/// Repeated federated lookups through a cache-enabled deployment. The
+/// pipeline cache (TTL via `rndi.pipeline.cache.ttl.ms`) absorbs the
+/// re-resolution of the dns→hdns→ldap chain after the first hop — the
+/// resulting per-provider hit rates land in `rndi_core::spi::telemetry`.
+/// Kept out of the fig8 sweep itself so the throughput/latency curves
+/// retain the paper's uncached semantics.
+pub fn fig8_cached_lookups(repeats: usize) {
+    let env = Environment::new().with(env_keys::CACHE_TTL_MS, "60000");
+    let deployment = federation_deployment_with_env(env);
+    for _ in 0..repeats {
+        let v = deployment
+            .ic
+            .lookup("dns://global/emory/mathcs/dcl/mokey")
+            .expect("federated lookup resolves");
+        assert_eq!(v.as_str(), Some("the-monkey"));
+    }
 }
 
 fn ldap_server_for_federation() -> dirserv::DirectoryServer {
@@ -677,10 +699,8 @@ fn ldap_server_for_federation() -> dirserv::DirectoryServer {
             .with("cn", "mokey")
             .with(
                 "rndiValue",
-                String::from_utf8(
-                    rndi_core::value::StoredValue::Str("the-monkey".into()).encode(),
-                )
-                .expect("utf8"),
+                String::from_utf8(rndi_core::value::StoredValue::Str("the-monkey".into()).encode())
+                    .expect("utf8"),
             ),
     )
     .expect("seed");

@@ -8,9 +8,13 @@
 
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 use std::time::Duration;
 
 use simnet::{JobOutcome, QueueingServer, Sim, SimRng, SimTime, ThroughputMeter};
+
+use rndi_core::context::DirContext;
+use rndi_core::op::{dispatch, NamingOp};
 
 /// Completion callback: `(sim, ok)`.
 pub type DoneFn = Box<dyn FnOnce(&Sim, bool)>;
@@ -18,6 +22,17 @@ pub type DoneFn = Box<dyn FnOnce(&Sim, bool)>;
 pub type WorkFn = Rc<dyn Fn(&Sim)>;
 /// Extra completion delay computed at completion time.
 pub type DelayFn = Rc<dyn Fn(&Sim) -> Duration>;
+
+/// Build a [`WorkFn`] that dispatches one reified [`NamingOp`] against a
+/// context each time the sampled work slot fires. Figure workloads use this
+/// to route their real backend traffic through the same op values the
+/// provider pipeline observes, so pipeline telemetry covers benchmark
+/// traffic too.
+pub fn op_work(ctx: Arc<dyn DirContext>, op: NamingOp) -> WorkFn {
+    Rc::new(move |_| {
+        dispatch(ctx.as_ref(), &op).expect("benchmark op succeeds");
+    })
+}
 
 /// One logical client operation against a backend.
 pub trait Operation {
@@ -47,8 +62,16 @@ pub struct RoundTrips {
 }
 
 impl RoundTrips {
-    pub fn new(server: QueueingServer, rng: SimRng, net_rtt: Duration, segments: Vec<Duration>) -> Self {
-        assert!(!segments.is_empty(), "an operation needs at least one round trip");
+    pub fn new(
+        server: QueueingServer,
+        rng: SimRng,
+        net_rtt: Duration,
+        segments: Vec<Duration>,
+    ) -> Self {
+        assert!(
+            !segments.is_empty(),
+            "an operation needs at least one round trip"
+        );
         RoundTrips {
             server,
             rng,
@@ -224,9 +247,7 @@ fn client_iteration(
             }
             let state3 = state2.clone();
             let pause = state2.borrow().rng.jittered(think, 0.2);
-            sim.schedule(pause, move |sim| {
-                client_iteration(sim, op2, think, state3)
-            });
+            sim.schedule(pause, move |sim| client_iteration(sim, op2, think, state3));
         }),
     );
 }
@@ -236,11 +257,7 @@ mod tests {
     use super::*;
     use simnet::ServerConfig;
 
-    fn quick(
-        clients: usize,
-        service: Duration,
-        config: ServerConfig,
-    ) -> LoadResult {
+    fn quick(clients: usize, service: Duration, config: ServerConfig) -> LoadResult {
         let sim = Sim::new();
         let rng = SimRng::seed_from_u64(1);
         let server = QueueingServer::new(&sim, config);
@@ -265,7 +282,11 @@ mod tests {
     fn unloaded_client_runs_at_think_rate() {
         // One client, negligible service: ~1/(0.050 + small) ≈ 19.8/s.
         let r = quick(1, Duration::from_micros(100), ServerConfig::default());
-        assert!((18.0..20.5).contains(&r.throughput), "rate {}", r.throughput);
+        assert!(
+            (18.0..20.5).contains(&r.throughput),
+            "rate {}",
+            r.throughput
+        );
         assert_eq!(r.failed, 0);
     }
 
@@ -285,7 +306,12 @@ mod tests {
     fn linear_region_scales_with_clients() {
         let r10 = quick(10, Duration::from_micros(500), ServerConfig::default());
         let r40 = quick(40, Duration::from_micros(500), ServerConfig::default());
-        assert!(r40.throughput > 3.0 * r10.throughput, "{} vs {}", r40.throughput, r10.throughput);
+        assert!(
+            r40.throughput > 3.0 * r10.throughput,
+            "{} vs {}",
+            r40.throughput,
+            r10.throughput
+        );
     }
 
     #[test]
@@ -334,7 +360,11 @@ mod tests {
             &rng,
         );
         // 12 segments × 2 ms ⇒ ~24 ms server time per op ⇒ ≈41/s cap.
-        assert!((30.0..48.0).contains(&r.throughput), "rate {}", r.throughput);
+        assert!(
+            (30.0..48.0).contains(&r.throughput),
+            "rate {}",
+            r.throughput
+        );
     }
 
     #[test]

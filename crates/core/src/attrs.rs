@@ -259,7 +259,10 @@ mod tests {
 
     #[test]
     fn projection() {
-        let attrs = Attributes::new().with("a", "1").with("b", "2").with("c", "3");
+        let attrs = Attributes::new()
+            .with("a", "1")
+            .with("b", "2")
+            .with("c", "3");
         let p = attrs.project(&["A", "c", "zz"]);
         assert_eq!(p.len(), 2);
         assert!(p.contains("a") && p.contains("c") && !p.contains("b"));
@@ -275,7 +278,10 @@ mod tests {
         assert_eq!(attrs.get("color").unwrap().first_str(), Some("blue"));
 
         AttrMod::RemoveValues(Attribute::single("color", "blue")).apply(&mut attrs);
-        assert!(!attrs.contains("color"), "attribute gone when last value removed");
+        assert!(
+            !attrs.contains("color"),
+            "attribute gone when last value removed"
+        );
 
         AttrMod::Replace(Attribute::single("size", "xl")).apply(&mut attrs);
         AttrMod::Replace(Attribute::single("size", "s")).apply(&mut attrs);

@@ -22,6 +22,14 @@ pub mod keys {
     pub const LEASE_MS: &str = "rndi.lease.ms";
     /// Maximum federation hops before resolution aborts (cycle guard).
     pub const MAX_FEDERATION_DEPTH: &str = "rndi.federation.max-depth";
+    /// TTL, in milliseconds, of the pipeline's read-through lookup cache.
+    /// `0` (the default) disables the cache layer entirely.
+    pub const CACHE_TTL_MS: &str = "rndi.pipeline.cache.ttl.ms";
+    /// Maximum attempts the pipeline's retry layer makes per operation on
+    /// transient backend errors. `1` (the default) means no retries.
+    pub const RETRY_MAX_ATTEMPTS: &str = "rndi.pipeline.retry.max-attempts";
+    /// Base backoff, in milliseconds, doubled per retry attempt.
+    pub const RETRY_BACKOFF_MS: &str = "rndi.pipeline.retry.backoff.ms";
 }
 
 /// An immutable-by-convention string property map.

@@ -14,6 +14,7 @@ use crate::context::DirContext;
 use crate::env::{keys, Environment};
 use crate::error::{NamingError, Result};
 use crate::name::CompositeName;
+use crate::op::{self, NamingOp, OpOutcome};
 use crate::spi::ProviderRegistry;
 use crate::url::RndiUrl;
 use crate::value::BoundValue;
@@ -59,7 +60,10 @@ pub fn drive<R>(
     let mut name = name;
     for _ in 0..=max_depth {
         match op(ctx.as_ref(), &name) {
-            Err(NamingError::Continue { resolved, remaining }) => {
+            Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }) => {
                 let (next, prefix) = continuation_context(resolved, registry, env)?;
                 ctx = next;
                 name = prefix.join(&remaining);
@@ -70,11 +74,41 @@ pub fn drive<R>(
     Err(NamingError::FederationDepthExceeded { depth: max_depth })
 }
 
-/// A `DirContext` facade over a federated namespace: every operation runs
-/// through the continuation [`drive`] loop, so the aggregate "behaves as a
-/// single, possibly hierarchical, aggregate naming service" (§6) — and can
-/// itself be passed around, bound, or nested wherever a context is
-/// expected.
+/// Run a reified [`NamingOp`] against `ctx`, following federation
+/// continuations until the operation completes — the op-valued counterpart
+/// of [`drive`]. Each hop re-targets the same op at the remaining name via
+/// [`NamingOp::with_name`], so interceptor annotations (retry attempt,
+/// trace tags) survive across naming-system boundaries.
+pub fn drive_op(
+    ctx: Arc<dyn DirContext>,
+    op: &NamingOp,
+    registry: &ProviderRegistry,
+    env: &Environment,
+) -> Result<OpOutcome> {
+    let max_depth = env.get_u64(keys::MAX_FEDERATION_DEPTH, DEFAULT_MAX_DEPTH) as usize;
+    let mut ctx = ctx;
+    let mut op = op.clone();
+    for _ in 0..=max_depth {
+        match op::dispatch(ctx.as_ref(), &op) {
+            Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }) => {
+                let (next, prefix) = continuation_context(resolved, registry, env)?;
+                ctx = next;
+                op = op.with_name(prefix.join(&remaining));
+            }
+            other => return other,
+        }
+    }
+    Err(NamingError::FederationDepthExceeded { depth: max_depth })
+}
+
+/// A `DirContext` facade over a federated namespace: every operation is
+/// reified as a [`NamingOp`] and run through the continuation [`drive_op`]
+/// loop, so the aggregate "behaves as a single, possibly hierarchical,
+/// aggregate naming service" (§6) — and can itself be passed around, bound,
+/// or nested wherever a context is expected.
 pub struct FederatedContext {
     base: Arc<dyn DirContext>,
     registry: Arc<ProviderRegistry>,
@@ -94,66 +128,62 @@ impl FederatedContext {
         })
     }
 
-    fn run<R>(
-        &self,
-        name: &CompositeName,
-        op: &mut dyn FnMut(&dyn DirContext, &CompositeName) -> crate::error::Result<R>,
-    ) -> crate::error::Result<R> {
-        drive(
-            self.base.clone(),
-            name.clone(),
-            &self.registry,
-            &self.env,
-            op,
-        )
+    /// Run a reified op through the federation loop.
+    pub fn run_op(&self, op: &NamingOp) -> crate::error::Result<OpOutcome> {
+        drive_op(self.base.clone(), op, &self.registry, &self.env)
     }
 }
 
 impl crate::context::Context for FederatedContext {
     fn lookup(&self, name: &CompositeName) -> crate::error::Result<BoundValue> {
-        self.run(name, &mut |c, n| c.lookup(n))
+        self.run_op(&NamingOp::lookup(name.clone()))?
+            .into_value(crate::op::OpKind::Lookup)
     }
 
     fn bind(&self, name: &CompositeName, value: BoundValue) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| c.bind(n, value.clone()))
+        self.run_op(&NamingOp::bind(name.clone(), value))?
+            .into_done(crate::op::OpKind::Bind)
     }
 
     fn rebind(&self, name: &CompositeName, value: BoundValue) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| c.rebind(n, value.clone()))
+        self.run_op(&NamingOp::rebind(name.clone(), value))?
+            .into_done(crate::op::OpKind::Rebind)
     }
 
     fn unbind(&self, name: &CompositeName) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| c.unbind(n))
+        self.run_op(&NamingOp::unbind(name.clone()))?
+            .into_done(crate::op::OpKind::Unbind)
     }
 
-    fn rename(
-        &self,
-        old: &CompositeName,
-        new: &CompositeName,
-    ) -> crate::error::Result<()> {
-        self.run(old, &mut |c, n| c.rename(n, new))
+    fn rename(&self, old: &CompositeName, new: &CompositeName) -> crate::error::Result<()> {
+        self.run_op(&NamingOp::rename(old.clone(), new.clone()))?
+            .into_done(crate::op::OpKind::Rename)
     }
 
     fn list(
         &self,
         name: &CompositeName,
     ) -> crate::error::Result<Vec<crate::context::NameClassPair>> {
-        self.run(name, &mut |c, n| c.list(n))
+        self.run_op(&NamingOp::list(name.clone()))?
+            .into_names(crate::op::OpKind::List)
     }
 
     fn list_bindings(
         &self,
         name: &CompositeName,
     ) -> crate::error::Result<Vec<crate::context::Binding>> {
-        self.run(name, &mut |c, n| c.list_bindings(n))
+        self.run_op(&NamingOp::list_bindings(name.clone()))?
+            .into_bindings(crate::op::OpKind::ListBindings)
     }
 
     fn create_subcontext(&self, name: &CompositeName) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| c.create_subcontext(n))
+        self.run_op(&NamingOp::create_subcontext(name.clone()))?
+            .into_done(crate::op::OpKind::CreateSubcontext)
     }
 
     fn destroy_subcontext(&self, name: &CompositeName) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| c.destroy_subcontext(n))
+        self.run_op(&NamingOp::destroy_subcontext(name.clone()))?
+            .into_done(crate::op::OpKind::DestroySubcontext)
     }
 
     fn provider_id(&self) -> String {
@@ -166,7 +196,8 @@ impl crate::context::DirContext for FederatedContext {
         &self,
         name: &CompositeName,
     ) -> crate::error::Result<crate::attrs::Attributes> {
-        self.run(name, &mut |c, n| c.get_attributes(n))
+        self.run_op(&NamingOp::get_attributes(name.clone()))?
+            .into_attrs(crate::op::OpKind::GetAttributes)
     }
 
     fn modify_attributes(
@@ -174,7 +205,8 @@ impl crate::context::DirContext for FederatedContext {
         name: &CompositeName,
         mods: &[crate::attrs::AttrMod],
     ) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| c.modify_attributes(n, mods))
+        self.run_op(&NamingOp::modify_attributes(name.clone(), mods.to_vec()))?
+            .into_done(crate::op::OpKind::ModifyAttributes)
     }
 
     fn bind_with_attrs(
@@ -183,9 +215,8 @@ impl crate::context::DirContext for FederatedContext {
         value: BoundValue,
         attrs: crate::attrs::Attributes,
     ) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| {
-            c.bind_with_attrs(n, value.clone(), attrs.clone())
-        })
+        self.run_op(&NamingOp::bind_with_attrs(name.clone(), value, attrs))?
+            .into_done(crate::op::OpKind::BindWithAttrs)
     }
 
     fn rebind_with_attrs(
@@ -194,9 +225,8 @@ impl crate::context::DirContext for FederatedContext {
         value: BoundValue,
         attrs: crate::attrs::Attributes,
     ) -> crate::error::Result<()> {
-        self.run(name, &mut |c, n| {
-            c.rebind_with_attrs(n, value.clone(), attrs.clone())
-        })
+        self.run_op(&NamingOp::rebind_with_attrs(name.clone(), value, attrs))?
+            .into_done(crate::op::OpKind::RebindWithAttrs)
     }
 
     fn search(
@@ -205,7 +235,12 @@ impl crate::context::DirContext for FederatedContext {
         filter: &crate::filter::Filter,
         controls: &crate::context::SearchControls,
     ) -> crate::error::Result<Vec<crate::context::SearchItem>> {
-        self.run(name, &mut |c, n| c.search(n, filter, controls))
+        self.run_op(&NamingOp::search(
+            name.clone(),
+            filter.clone(),
+            controls.clone(),
+        ))?
+        .into_found(crate::op::OpKind::Search)
     }
 }
 
@@ -285,11 +320,8 @@ mod tests {
         let root = MemContext::new();
         let foreign = MemContext::new();
         foreign.bind_str("x", "v").unwrap();
-        root.bind(
-            &"mnt".into(),
-            BoundValue::Context(Arc::new(foreign)),
-        )
-        .unwrap();
+        root.bind(&"mnt".into(), BoundValue::Context(Arc::new(foreign)))
+            .unwrap();
 
         let registry = ProviderRegistry::new();
         let env = Environment::new();

@@ -108,8 +108,12 @@ impl Filter {
                 let want = normalize(v);
                 any_value(attrs, id, |s| normalize(s) == want)
             }
-            Filter::Ge(id, v) => any_value(attrs, id, |s| compare(s, v) >= std::cmp::Ordering::Equal),
-            Filter::Le(id, v) => any_value(attrs, id, |s| compare(s, v) <= std::cmp::Ordering::Equal),
+            Filter::Ge(id, v) => {
+                any_value(attrs, id, |s| compare(s, v) >= std::cmp::Ordering::Equal)
+            }
+            Filter::Le(id, v) => {
+                any_value(attrs, id, |s| compare(s, v) <= std::cmp::Ordering::Equal)
+            }
             Filter::Substring(id, pat) => any_value(attrs, id, |s| pat.matches(s)),
         }
     }
@@ -290,8 +294,7 @@ impl<'a> Parser<'a> {
                     let lo = self.bump().ok_or_else(|| self.err("truncated escape"))?;
                     let hex = [hi, lo];
                     let s = std::str::from_utf8(&hex).map_err(|_| self.err("bad escape"))?;
-                    let byte =
-                        u8::from_str_radix(s, 16).map_err(|_| self.err("bad hex escape"))?;
+                    let byte = u8::from_str_radix(s, 16).map_err(|_| self.err("bad hex escape"))?;
                     out.push(byte as char);
                     non_star = true;
                 }
@@ -443,7 +446,10 @@ mod tests {
     fn presence() {
         assert!(Filter::parse("(cpu=*)").unwrap().matches(&node()));
         assert!(!Filter::parse("(gpu=*)").unwrap().matches(&node()));
-        assert_eq!(Filter::parse("(cpu=*)").unwrap(), Filter::Present("cpu".into()));
+        assert_eq!(
+            Filter::parse("(cpu=*)").unwrap(),
+            Filter::Present("cpu".into())
+        );
     }
 
     #[test]
@@ -471,7 +477,10 @@ mod tests {
         assert!(f.matches(&node()));
         let f = Filter::parse("(!(os=Linux))").unwrap();
         assert!(!f.matches(&node()));
-        assert!(Filter::parse("(&)").unwrap().matches(&node()), "empty AND is true");
+        assert!(
+            Filter::parse("(&)").unwrap().matches(&node()),
+            "empty AND is true"
+        );
     }
 
     #[test]
@@ -490,7 +499,10 @@ mod tests {
     fn substring_ordering_of_fragments() {
         let attrs = Attributes::new().with("s", "abcdef");
         assert!(Filter::parse("(s=a*c*e*)").unwrap().matches(&attrs));
-        assert!(!Filter::parse("(s=a*e*c*)").unwrap().matches(&attrs), "fragments must appear in order");
+        assert!(
+            !Filter::parse("(s=a*e*c*)").unwrap().matches(&attrs),
+            "fragments must appear in order"
+        );
         assert!(Filter::parse("(s=*f)").unwrap().matches(&attrs));
         assert!(!Filter::parse("(s=*g)").unwrap().matches(&attrs));
     }
@@ -498,8 +510,12 @@ mod tests {
     #[test]
     fn approx_normalizes() {
         let attrs = Attributes::new().with("desc", "High  Performance   Cluster");
-        assert!(Filter::parse("(desc~=high performance cluster)").unwrap().matches(&attrs));
-        assert!(!Filter::parse("(desc=high performance cluster)").unwrap().matches(&attrs));
+        assert!(Filter::parse("(desc~=high performance cluster)")
+            .unwrap()
+            .matches(&attrs));
+        assert!(!Filter::parse("(desc=high performance cluster)")
+            .unwrap()
+            .matches(&attrs));
     }
 
     #[test]
@@ -516,8 +532,8 @@ mod tests {
     #[test]
     fn parse_errors() {
         for bad in [
-            "", "()", "(a)", "(=x)", "(a=b", "a=b", "(a=b))", "((a=b)", "(|)",
-            r"(a=\2)", "(a=(b)", "(&(a=b)",
+            "", "()", "(a)", "(=x)", "(a=b", "a=b", "(a=b))", "((a=b)", "(|)", r"(a=\2)", "(a=(b)",
+            "(&(a=b)",
         ] {
             assert!(Filter::parse(bad).is_err(), "should reject {bad:?}");
         }

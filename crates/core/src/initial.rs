@@ -11,14 +11,13 @@
 use std::sync::Arc;
 
 use crate::attrs::{AttrMod, Attributes};
-use crate::context::{
-    Binding, DirContext, NameClassPair, SearchControls, SearchItem,
-};
+use crate::context::{Binding, DirContext, NameClassPair, SearchControls, SearchItem};
 use crate::env::{keys, Environment};
 use crate::error::{NamingError, Result};
-use crate::federation::drive;
+use crate::federation::{drive, drive_op};
 use crate::filter::Filter;
 use crate::name::CompositeName;
+use crate::op::{NamingOp, OpKind, OpOutcome};
 use crate::spi::{FactoryChain, ProviderRegistry};
 use crate::url::{looks_like_url, RndiUrl};
 use crate::value::BoundValue;
@@ -94,32 +93,40 @@ impl InitialContext {
             let ctx = self.registry.create_context(&root, &self.env)?;
             Ok((ctx, url.path))
         } else {
-            let ctx = self.default_ctx.clone().ok_or_else(|| {
-                NamingError::ConfigurationError {
+            let ctx = self
+                .default_ctx
+                .clone()
+                .ok_or_else(|| NamingError::ConfigurationError {
                     detail: format!(
                         "no default context configured (set {}) for name {name:?}",
                         keys::PROVIDER_URL
                     ),
-                }
-            })?;
+                })?;
             Ok((ctx, CompositeName::parse(name)?))
         }
     }
 
-    fn run<R>(
+    /// Route a string name and run the reified op built from its composite
+    /// part through the federation loop.
+    fn run_op(
         &self,
         name: &str,
-        op: &mut dyn FnMut(&dyn DirContext, &CompositeName) -> Result<R>,
-    ) -> Result<R> {
+        make: impl FnOnce(CompositeName) -> NamingOp,
+    ) -> Result<OpOutcome> {
         let (ctx, composite) = self.route(name)?;
-        drive(ctx, composite, &self.registry, &self.env, op)
+        drive_op(ctx, &make(composite), &self.registry, &self.env)
     }
 
     /// Look up the value bound to `name` (composite or URL form).
     pub fn lookup(&self, name: &str) -> Result<BoundValue> {
-        let stored = self.run(name, &mut |ctx, n| ctx.lookup(n))?;
-        self.factories
-            .to_object(stored, &CompositeName::parse(name).unwrap_or_default(), &self.env)
+        let stored = self
+            .run_op(name, NamingOp::lookup)?
+            .into_value(OpKind::Lookup)?;
+        self.factories.to_object(
+            stored,
+            &CompositeName::parse(name).unwrap_or_default(),
+            &self.env,
+        )
     }
 
     /// Atomically bind `value` under `name`.
@@ -128,7 +135,8 @@ impl InitialContext {
         let stored = self
             .factories
             .to_stored(value.into(), &parsed_name, &self.env)?;
-        self.run(name, &mut |ctx, n| ctx.bind(n, stored.clone()))
+        self.run_op(name, |n| NamingOp::bind(n, stored))?
+            .into_done(OpKind::Bind)
     }
 
     /// Bind `value` under `name`, replacing any previous binding.
@@ -137,51 +145,56 @@ impl InitialContext {
         let stored = self
             .factories
             .to_stored(value.into(), &parsed_name, &self.env)?;
-        self.run(name, &mut |ctx, n| ctx.rebind(n, stored.clone()))
+        self.run_op(name, |n| NamingOp::rebind(n, stored))?
+            .into_done(OpKind::Rebind)
     }
 
     /// Remove the binding for `name`.
     pub fn unbind(&self, name: &str) -> Result<()> {
-        self.run(name, &mut |ctx, n| ctx.unbind(n))
+        self.run_op(name, NamingOp::unbind)?
+            .into_done(OpKind::Unbind)
     }
 
     /// Rename a binding (within one naming system).
     pub fn rename(&self, old: &str, new: &str) -> Result<()> {
-        let (ctx, old_name) = self.route(old)?;
         let new_name = CompositeName::parse(new)?;
-        drive(ctx, old_name, &self.registry, &self.env, &mut |c, n| {
-            c.rename(n, &new_name)
-        })
+        self.run_op(old, |n| NamingOp::rename(n, new_name))?
+            .into_done(OpKind::Rename)
     }
 
     /// Enumerate names bound under `name`.
     pub fn list(&self, name: &str) -> Result<Vec<NameClassPair>> {
-        self.run(name, &mut |ctx, n| ctx.list(n))
+        self.run_op(name, NamingOp::list)?.into_names(OpKind::List)
     }
 
     /// Enumerate bindings under `name`.
     pub fn list_bindings(&self, name: &str) -> Result<Vec<Binding>> {
-        self.run(name, &mut |ctx, n| ctx.list_bindings(n))
+        self.run_op(name, NamingOp::list_bindings)?
+            .into_bindings(OpKind::ListBindings)
     }
 
     /// Create a subcontext.
     pub fn create_subcontext(&self, name: &str) -> Result<()> {
-        self.run(name, &mut |ctx, n| ctx.create_subcontext(n))
+        self.run_op(name, NamingOp::create_subcontext)?
+            .into_done(OpKind::CreateSubcontext)
     }
 
     /// Destroy an empty subcontext.
     pub fn destroy_subcontext(&self, name: &str) -> Result<()> {
-        self.run(name, &mut |ctx, n| ctx.destroy_subcontext(n))
+        self.run_op(name, NamingOp::destroy_subcontext)?
+            .into_done(OpKind::DestroySubcontext)
     }
 
     /// Fetch the attributes of `name`.
     pub fn get_attributes(&self, name: &str) -> Result<Attributes> {
-        self.run(name, &mut |ctx, n| ctx.get_attributes(n))
+        self.run_op(name, NamingOp::get_attributes)?
+            .into_attrs(OpKind::GetAttributes)
     }
 
     /// Apply attribute modifications to `name`.
     pub fn modify_attributes(&self, name: &str, mods: &[AttrMod]) -> Result<()> {
-        self.run(name, &mut |ctx, n| ctx.modify_attributes(n, mods))
+        self.run_op(name, |n| NamingOp::modify_attributes(n, mods.to_vec()))?
+            .into_done(OpKind::ModifyAttributes)
     }
 
     /// Atomically bind with attributes.
@@ -195,9 +208,8 @@ impl InitialContext {
         let stored = self
             .factories
             .to_stored(value.into(), &parsed_name, &self.env)?;
-        self.run(name, &mut |ctx, n| {
-            ctx.bind_with_attrs(n, stored.clone(), attrs.clone())
-        })
+        self.run_op(name, |n| NamingOp::bind_with_attrs(n, stored, attrs))?
+            .into_done(OpKind::BindWithAttrs)
     }
 
     /// Rebind with attributes.
@@ -211,9 +223,8 @@ impl InitialContext {
         let stored = self
             .factories
             .to_stored(value.into(), &parsed_name, &self.env)?;
-        self.run(name, &mut |ctx, n| {
-            ctx.rebind_with_attrs(n, stored.clone(), attrs.clone())
-        })
+        self.run_op(name, |n| NamingOp::rebind_with_attrs(n, stored, attrs))?
+            .into_done(OpKind::RebindWithAttrs)
     }
 
     /// Search under `name` with an LDAP-style filter string.
@@ -224,7 +235,8 @@ impl InitialContext {
         controls: &SearchControls,
     ) -> Result<Vec<SearchItem>> {
         let parsed = Filter::parse(filter)?;
-        self.run(name, &mut |ctx, n| ctx.search(n, &parsed, controls))
+        self.run_op(name, |n| NamingOp::search(n, parsed, controls.clone()))?
+            .into_found(OpKind::Search)
     }
 
     /// Subscribe to naming events at or under `name`. The subscription is
@@ -405,11 +417,7 @@ mod tests {
     fn default_context_for_plain_names() {
         let (registry, _, _) = setup();
         let root = MemContext::new();
-        let ic = InitialContext::with_default(
-            registry,
-            Environment::new(),
-            Arc::new(root.clone()),
-        );
+        let ic = InitialContext::with_default(registry, Environment::new(), Arc::new(root.clone()));
         ic.bind("plain", "p").unwrap();
         assert_eq!(ic.lookup("plain").unwrap().as_str(), Some("p"));
     }

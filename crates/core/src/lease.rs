@@ -148,10 +148,7 @@ impl LeaseRenewalManager {
     /// next `poll` no later than this.
     pub fn next_due_ms(&self) -> Option<u64> {
         let leases = self.leases.lock();
-        leases
-            .values()
-            .map(|l| renew_point(l, self.margin))
-            .min()
+        leases.values().map(|l| renew_point(l, self.margin)).min()
     }
 
     /// Renew every lease that has entered its renewal margin. Failed

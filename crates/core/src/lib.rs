@@ -56,6 +56,7 @@ pub mod initial;
 pub mod lease;
 pub mod mem;
 pub mod name;
+pub mod op;
 pub mod spi;
 pub mod url;
 pub mod value;
@@ -77,8 +78,10 @@ pub mod prelude {
     pub use crate::initial::InitialContext;
     pub use crate::mem::{MemContext, MemFactory};
     pub use crate::name::{CompositeName, CompoundName, CompoundSyntax};
+    pub use crate::op::{NamingOp, OpKind, OpOutcome, OpPayload};
     pub use crate::spi::{
-        FactoryChain, ObjectFactory, ProviderRegistry, StateFactory, UrlContextFactory,
+        ContextBackend, FactoryChain, Interceptor, ObjectFactory, OpInvoker, ProviderBackend,
+        ProviderPipeline, ProviderRegistry, StateFactory, UrlContextFactory, WireFormat,
     };
     pub use crate::url::{looks_like_url, RndiUrl};
     pub use crate::value::{BoundValue, RefAddr, Reference, StoredValue};

@@ -106,12 +106,10 @@ impl MemContext {
                     .ok_or_else(|| NamingError::not_found(self.abs(head).to_string()))?;
                 match entry.node {
                     Node::Sub(sub) => sub.with_parent(&name.tail(), f),
-                    Node::Leaf(value) if value.is_federation_link() => {
-                        Err(NamingError::Continue {
-                            resolved: value,
-                            remaining: name.tail(),
-                        })
-                    }
+                    Node::Leaf(value) if value.is_federation_link() => Err(NamingError::Continue {
+                        resolved: value,
+                        remaining: name.tail(),
+                    }),
                     Node::Leaf(_) => Err(NamingError::NotAContext {
                         name: self.abs(head).to_string(),
                     }),
@@ -612,7 +610,12 @@ mod tests {
         c.bind_str("b", "2").unwrap();
         c.bind_str("a", "1").unwrap();
         c.create_subcontext(&"z".into()).unwrap();
-        let names: Vec<String> = c.list_str("").unwrap().into_iter().map(|p| p.name).collect();
+        let names: Vec<String> = c
+            .list_str("")
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
         assert_eq!(names, vec!["a", "b", "z"], "sorted enumeration");
         let pairs = c.list_str("").unwrap();
         assert_eq!(pairs[2].class_name, "context");
@@ -734,7 +737,9 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hits.len(), 3);
-        assert!(hits.iter().all(|h| h.attrs.contains("kind") && !h.attrs.contains("extra")));
+        assert!(hits
+            .iter()
+            .all(|h| h.attrs.contains("kind") && !h.attrs.contains("extra")));
     }
 
     #[test]
@@ -770,7 +775,10 @@ mod tests {
         .unwrap();
         let err = c.lookup_str("remote/service/x").unwrap_err();
         match err {
-            NamingError::Continue { resolved, remaining } => {
+            NamingError::Continue {
+                resolved,
+                remaining,
+            } => {
                 assert_eq!(
                     resolved.as_reference().unwrap().url_addr(),
                     Some("jini://host1")

@@ -318,16 +318,13 @@ impl CompoundName {
         if self.components.len() != other.components.len() {
             return false;
         }
-        self.components
-            .iter()
-            .zip(&other.components)
-            .all(|(a, b)| {
-                if self.syntax.case_insensitive {
-                    a.eq_ignore_ascii_case(b)
-                } else {
-                    a == b
-                }
-            })
+        self.components.iter().zip(&other.components).all(|(a, b)| {
+            if self.syntax.case_insensitive {
+                a.eq_ignore_ascii_case(b)
+            } else {
+                a == b
+            }
+        })
     }
 
     /// Convert to a composite name (one composite component per compound
@@ -444,7 +441,8 @@ mod tests {
 
     #[test]
     fn compound_ldap_trims_blanks() {
-        let n = CompoundName::parse("cn=monkey, dc=emory , dc=edu", CompoundSyntax::ldap()).unwrap();
+        let n =
+            CompoundName::parse("cn=monkey, dc=emory , dc=edu", CompoundSyntax::ldap()).unwrap();
         assert_eq!(n.components(), ["dc=edu", "dc=emory", "cn=monkey"]);
     }
 

@@ -11,14 +11,21 @@
 //!   `bind`, and an object factory reverses the transformation on `lookup`.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::time::{Duration, Instant};
 
-use parking_lot::RwLock;
+use parking_lot::{Mutex, RwLock};
 
-use crate::context::DirContext;
-use crate::env::Environment;
+use crate::attrs::{AttrMod, Attributes};
+use crate::context::{Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem};
+use crate::env::{keys, Environment};
 use crate::error::{NamingError, Result};
-use crate::name::CompositeName;
+use crate::event::{EventHub, ListenerHandle, NamingEvent, NamingListener};
+use crate::filter::Filter;
+use crate::lease::{LeaseClock, SystemLeaseClock};
+use crate::name::{CompositeName, CompoundSyntax};
+use crate::op::{codec, NamingOp, OpKind, OpOutcome, OpPayload, ALL_OP_KINDS};
 use crate::url::RndiUrl;
 use crate::value::BoundValue;
 
@@ -156,6 +163,830 @@ impl FactoryChain {
     }
 }
 
+// ====================================================================
+// The provider pipeline: reified ops through composable interceptors.
+// ====================================================================
+
+/// How a backend stores values.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum WireFormat {
+    /// The backend keeps live [`BoundValue`]s (in-memory contexts); the
+    /// marshalling layer stays out of the way.
+    Native,
+    /// The backend stores opaque bytes; the pipeline's marshalling layer
+    /// encodes bind payloads before they reach [`ProviderBackend::execute`]
+    /// and decodes [`OpOutcome::Wire`] results on the way back.
+    Encoded,
+}
+
+/// The slim surface a provider implements: execute one reified operation.
+///
+/// Everything else — the full `Context`/`DirContext` trait surface, stats,
+/// retries, caching, marshalling — is recovered generically by routing ops
+/// through a [`ProviderPipeline`], so cross-cutting concerns are written
+/// once instead of once per provider.
+pub trait ProviderBackend: Send + Sync {
+    /// Execute one operation against the backing naming service.
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome>;
+
+    /// Identifies the provider instance (diagnostics, telemetry labels).
+    fn provider_id(&self) -> String {
+        "anonymous".to_string()
+    }
+
+    /// The syntax of this provider's compound name components.
+    fn compound_syntax(&self) -> CompoundSyntax {
+        CompoundSyntax::path()
+    }
+
+    /// The provider's event hub, if it has one. The pipeline's cache layer
+    /// subscribes here so naming events invalidate stale entries.
+    fn event_hub(&self) -> Option<Arc<EventHub>> {
+        None
+    }
+
+    /// Whether this backend stores live values or marshalled bytes.
+    fn wire_format(&self) -> WireFormat {
+        WireFormat::Native
+    }
+}
+
+/// The continuation an [`Interceptor`] calls to pass the op down the stack.
+pub trait OpInvoker {
+    fn invoke(&self, op: &NamingOp) -> Result<OpOutcome>;
+}
+
+/// Tower-style middleware around [`ProviderBackend::execute`].
+pub trait Interceptor: Send + Sync {
+    /// A short layer name for telemetry ("stats", "retry", "cache", …).
+    fn layer(&self) -> &'static str;
+
+    /// Handle `op`, typically delegating to `next.invoke(..)` zero (cache
+    /// hit), one (pass-through), or several (retry) times.
+    fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome>;
+}
+
+/// One frame of the interceptor stack during a call.
+struct Chain<'a, B: ProviderBackend + ?Sized> {
+    stack: &'a [Arc<dyn Interceptor>],
+    backend: &'a B,
+}
+
+impl<B: ProviderBackend + ?Sized> OpInvoker for Chain<'_, B> {
+    fn invoke(&self, op: &NamingOp) -> Result<OpOutcome> {
+        match self.stack.split_first() {
+            Some((head, rest)) => head.call(
+                op,
+                &Chain {
+                    stack: rest,
+                    backend: self.backend,
+                },
+            ),
+            None => self.backend.execute(op),
+        }
+    }
+}
+
+// ------------------------------------------------------------- stats --
+
+/// Per-kind operation counters and latency totals.
+#[derive(Default)]
+struct OpStat {
+    ops: AtomicU64,
+    errors: AtomicU64,
+    nanos: AtomicU64,
+}
+
+/// Pipeline-wide per-op-kind statistics (lock-free counters).
+pub struct PipelineStats {
+    per_kind: [OpStat; 16],
+}
+
+/// One row of a [`PipelineStats`] snapshot.
+#[derive(Clone, Copy, Debug)]
+pub struct OpKindStat {
+    pub kind: OpKind,
+    pub ops: u64,
+    pub errors: u64,
+    pub total: Duration,
+}
+
+impl PipelineStats {
+    pub fn new() -> Self {
+        PipelineStats {
+            per_kind: std::array::from_fn(|_| OpStat::default()),
+        }
+    }
+
+    fn record(&self, kind: OpKind, took: Duration, ok: bool) {
+        let s = &self.per_kind[kind.index()];
+        s.ops.fetch_add(1, Ordering::Relaxed);
+        s.nanos.fetch_add(
+            took.as_nanos().min(u64::MAX as u128) as u64,
+            Ordering::Relaxed,
+        );
+        if !ok {
+            s.errors.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Per-kind rows with traffic, in stable order.
+    pub fn snapshot(&self) -> Vec<OpKindStat> {
+        ALL_OP_KINDS
+            .iter()
+            .filter_map(|&kind| {
+                let s = &self.per_kind[kind.index()];
+                let ops = s.ops.load(Ordering::Relaxed);
+                (ops > 0).then(|| OpKindStat {
+                    kind,
+                    ops,
+                    errors: s.errors.load(Ordering::Relaxed),
+                    total: Duration::from_nanos(s.nanos.load(Ordering::Relaxed)),
+                })
+            })
+            .collect()
+    }
+
+    /// Total operations across all kinds.
+    pub fn total_ops(&self) -> u64 {
+        self.per_kind
+            .iter()
+            .map(|s| s.ops.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+impl Default for PipelineStats {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Records per-op latency and throughput counters. Federation `Continue`
+/// results are control flow, not failures, and count as successes.
+pub struct StatsInterceptor {
+    stats: Arc<PipelineStats>,
+}
+
+impl StatsInterceptor {
+    pub fn new(stats: Arc<PipelineStats>) -> Self {
+        StatsInterceptor { stats }
+    }
+
+    pub fn stats(&self) -> Arc<PipelineStats> {
+        self.stats.clone()
+    }
+}
+
+impl Interceptor for StatsInterceptor {
+    fn layer(&self) -> &'static str {
+        "stats"
+    }
+
+    fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome> {
+        let start = Instant::now();
+        let result = next.invoke(op);
+        let ok = match &result {
+            Ok(_) => true,
+            Err(e) => e.is_continue(),
+        };
+        self.stats.record(op.kind, start.elapsed(), ok);
+        result
+    }
+}
+
+// ------------------------------------------------------------- retry --
+
+fn is_transient(e: &NamingError) -> bool {
+    matches!(
+        e,
+        NamingError::ServiceFailure { .. } | NamingError::Timeout { .. }
+    )
+}
+
+/// Retries transient backend failures (`ServiceFailure`/`Timeout`) with
+/// exponential backoff. Permanent errors — including federation
+/// `Continue` — propagate immediately.
+pub struct RetryInterceptor {
+    max_attempts: u32,
+    base_backoff: Duration,
+    retries: AtomicU64,
+    sleeper: Box<dyn Fn(Duration) + Send + Sync>,
+}
+
+impl RetryInterceptor {
+    pub fn new(max_attempts: u32, base_backoff: Duration) -> Self {
+        Self::with_sleeper(max_attempts, base_backoff, Box::new(std::thread::sleep))
+    }
+
+    /// Inject the backoff sleeper (tests record instead of sleeping).
+    pub fn with_sleeper(
+        max_attempts: u32,
+        base_backoff: Duration,
+        sleeper: Box<dyn Fn(Duration) + Send + Sync>,
+    ) -> Self {
+        RetryInterceptor {
+            max_attempts: max_attempts.max(1),
+            base_backoff,
+            retries: AtomicU64::new(0),
+            sleeper,
+        }
+    }
+
+    /// Total retries performed (attempts beyond the first).
+    pub fn retries(&self) -> u64 {
+        self.retries.load(Ordering::Relaxed)
+    }
+}
+
+impl Interceptor for RetryInterceptor {
+    fn layer(&self) -> &'static str {
+        "retry"
+    }
+
+    fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome> {
+        let mut attempt: u32 = 0;
+        loop {
+            let result = if attempt == 0 {
+                next.invoke(op)
+            } else {
+                let mut annotated = op.clone();
+                annotated.meta.set("retry.attempt", attempt.to_string());
+                next.invoke(&annotated)
+            };
+            match result {
+                Err(ref e) if is_transient(e) && attempt + 1 < self.max_attempts => {
+                    self.retries.fetch_add(1, Ordering::Relaxed);
+                    (self.sleeper)(self.base_backoff * 2u32.saturating_pow(attempt));
+                    attempt += 1;
+                }
+                other => return other,
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- cache --
+
+enum CachedResult {
+    Outcome(OpOutcome),
+    /// Federation continuations are stable mount resolutions — caching
+    /// them spares the upstream system a hop on every federated lookup.
+    Continue {
+        resolved: BoundValue,
+        remaining: CompositeName,
+    },
+}
+
+struct CacheEntry {
+    result: CachedResult,
+    expires_ms: u64,
+}
+
+/// Read-through lookup cache with TTL expiry. Entries are invalidated by
+/// mutations flowing through the pipeline and by the provider's own naming
+/// events (subscribe via [`CacheInterceptor::listener`] or let
+/// [`ProviderPipeline::standard`] wire it to the backend's hub).
+pub struct CacheInterceptor {
+    ttl_ms: u64,
+    clock: Arc<dyn LeaseClock>,
+    entries: Mutex<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl CacheInterceptor {
+    pub fn new(ttl_ms: u64) -> Self {
+        Self::with_clock(ttl_ms, Arc::new(SystemLeaseClock::new()))
+    }
+
+    pub fn with_clock(ttl_ms: u64, clock: Arc<dyn LeaseClock>) -> Self {
+        CacheInterceptor {
+            ttl_ms,
+            clock,
+            entries: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    pub fn invalidations(&self) -> u64 {
+        self.invalidations.load(Ordering::Relaxed)
+    }
+
+    /// Drop entries at, under, or above `name` (a changed mount affects
+    /// everything resolved through it, in both directions).
+    fn invalidate(&self, name: &str) {
+        let mut entries = self.entries.lock();
+        let before = entries.len();
+        if name.is_empty() {
+            entries.clear();
+        } else {
+            entries.retain(|key, _| {
+                !(key == name
+                    || key.starts_with(&format!("{name}/"))
+                    || name.starts_with(&format!("{key}/")))
+            });
+        }
+        let dropped = (before - entries.len()) as u64;
+        if dropped > 0 {
+            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        }
+    }
+}
+
+impl NamingListener for CacheInterceptor {
+    fn on_event(&self, event: &NamingEvent) {
+        self.invalidate(&event.name.to_string());
+    }
+}
+
+impl Interceptor for CacheInterceptor {
+    fn layer(&self) -> &'static str {
+        "cache"
+    }
+
+    fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome> {
+        if op.kind.is_mutation() {
+            let result = next.invoke(op);
+            // Invalidate even on failure: a timed-out write may have
+            // landed, so serving the old cached value would be wrong.
+            self.invalidate(&op.name.to_string());
+            if let OpPayload::NewName(new) = &op.payload {
+                self.invalidate(&new.to_string());
+            }
+            return result;
+        }
+        if op.kind != OpKind::Lookup {
+            return next.invoke(op);
+        }
+
+        let key = op.name.to_string();
+        let now = self.clock.now_ms();
+        if let Some(entry) = self.entries.lock().get(&key) {
+            if entry.expires_ms > now {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return match &entry.result {
+                    CachedResult::Outcome(out) => Ok(out.clone()),
+                    CachedResult::Continue {
+                        resolved,
+                        remaining,
+                    } => Err(NamingError::Continue {
+                        resolved: resolved.clone(),
+                        remaining: remaining.clone(),
+                    }),
+                };
+            }
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let result = next.invoke(op);
+        let cached = match &result {
+            Ok(out) => Some(CachedResult::Outcome(out.clone())),
+            Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }) => Some(CachedResult::Continue {
+                resolved: resolved.clone(),
+                remaining: remaining.clone(),
+            }),
+            Err(_) => None,
+        };
+        if let Some(result) = cached {
+            self.entries.lock().insert(
+                key,
+                CacheEntry {
+                    result,
+                    expires_ms: now.saturating_add(self.ttl_ms),
+                },
+            );
+        }
+        result
+    }
+}
+
+// ---------------------------------------------------------- marshal --
+
+/// The marshalling layer, lifted out of the providers: encodes bind
+/// payloads into wire bytes before they reach an [`WireFormat::Encoded`]
+/// backend (rejecting live contexts early, and encoding once per op rather
+/// than once per retry), and decodes [`OpOutcome::Wire`] results.
+pub struct MarshalInterceptor;
+
+impl Interceptor for MarshalInterceptor {
+    fn layer(&self) -> &'static str {
+        "marshal"
+    }
+
+    fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome> {
+        let result = if op.kind.carries_value() {
+            if let OpPayload::Value(v) = &op.payload {
+                let bytes = codec::marshal(v)?;
+                let mut encoded = op.clone();
+                encoded.payload = OpPayload::Wire {
+                    bytes,
+                    class_name: v.class_name().to_string(),
+                };
+                next.invoke(&encoded)
+            } else {
+                next.invoke(op)
+            }
+        } else {
+            next.invoke(op)
+        };
+        result.map(|out| match out {
+            OpOutcome::Wire(bytes) => OpOutcome::Value(codec::unmarshal(&bytes)),
+            other => other,
+        })
+    }
+}
+
+// ----------------------------------------------------------- pipeline --
+
+/// An ordered interceptor stack in front of a [`ProviderBackend`].
+///
+/// The pipeline itself implements [`Context`] and [`DirContext`] — that is
+/// how providers recover the full JNDI surface from their slim backend —
+/// and `Deref`s to the backend so provider-specific methods (lease polling,
+/// event draining…) stay reachable on the wrapped value.
+pub struct ProviderPipeline<B: ProviderBackend + ?Sized = dyn ProviderBackend> {
+    interceptors: Vec<Arc<dyn Interceptor>>,
+    stats: Option<Arc<PipelineStats>>,
+    cache: Option<Arc<CacheInterceptor>>,
+    retry: Option<Arc<RetryInterceptor>>,
+    backend: Arc<B>,
+}
+
+impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
+    /// An empty stack: pure dispatch, no middleware.
+    pub fn bare(backend: Arc<B>) -> Arc<Self> {
+        Arc::new(ProviderPipeline {
+            interceptors: Vec::new(),
+            stats: None,
+            cache: None,
+            retry: None,
+            backend,
+        })
+    }
+
+    /// A custom stack, outermost interceptor first.
+    pub fn with_stack(backend: Arc<B>, interceptors: Vec<Arc<dyn Interceptor>>) -> Arc<Self> {
+        Arc::new(ProviderPipeline {
+            interceptors,
+            stats: None,
+            cache: None,
+            retry: None,
+            backend,
+        })
+    }
+
+    /// The standard stack: stats → retry → cache → marshalling → backend.
+    ///
+    /// Stats always record. Retry engages when
+    /// [`keys::RETRY_MAX_ATTEMPTS`] > 1 and the cache when
+    /// [`keys::CACHE_TTL_MS`] > 0, so default environments preserve
+    /// single-shot, uncached semantics. The marshalling layer joins for
+    /// [`WireFormat::Encoded`] backends. The cache subscribes to the
+    /// backend's event hub for invalidation.
+    pub fn standard(backend: Arc<B>, env: &Environment) -> Arc<Self> {
+        let stats = Arc::new(PipelineStats::new());
+        let mut stack: Vec<Arc<dyn Interceptor>> =
+            vec![Arc::new(StatsInterceptor::new(stats.clone()))];
+
+        let max_attempts = env.get_u64(keys::RETRY_MAX_ATTEMPTS, 1);
+        let retry = (max_attempts > 1).then(|| {
+            Arc::new(RetryInterceptor::new(
+                max_attempts as u32,
+                Duration::from_millis(env.get_u64(keys::RETRY_BACKOFF_MS, 5)),
+            ))
+        });
+        if let Some(r) = &retry {
+            stack.push(r.clone());
+        }
+
+        let ttl_ms = env.get_u64(keys::CACHE_TTL_MS, 0);
+        let cache = (ttl_ms > 0).then(|| Arc::new(CacheInterceptor::new(ttl_ms)));
+        if let Some(c) = &cache {
+            if let Some(hub) = backend.event_hub() {
+                hub.subscribe(CompositeName::empty(), c.clone());
+            }
+            stack.push(c.clone());
+        }
+
+        if backend.wire_format() == WireFormat::Encoded {
+            stack.push(Arc::new(MarshalInterceptor));
+        }
+
+        let pipeline = Arc::new(ProviderPipeline {
+            interceptors: stack,
+            stats: Some(stats),
+            cache,
+            retry,
+            backend,
+        });
+        telemetry::register(&*pipeline);
+        pipeline
+    }
+
+    /// Run one reified op through the stack.
+    pub fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        Chain {
+            stack: &self.interceptors,
+            backend: self.backend.as_ref(),
+        }
+        .invoke(op)
+    }
+
+    /// The wrapped backend.
+    pub fn backend(&self) -> &Arc<B> {
+        &self.backend
+    }
+
+    /// The stats handle, when the stack records them.
+    pub fn stats(&self) -> Option<Arc<PipelineStats>> {
+        self.stats.clone()
+    }
+
+    /// The cache layer, when installed.
+    pub fn cache(&self) -> Option<Arc<CacheInterceptor>> {
+        self.cache.clone()
+    }
+
+    /// The retry layer, when installed.
+    pub fn retry(&self) -> Option<Arc<RetryInterceptor>> {
+        self.retry.clone()
+    }
+}
+
+impl<B: ProviderBackend + ?Sized> std::ops::Deref for ProviderPipeline<B> {
+    type Target = B;
+
+    fn deref(&self) -> &B {
+        &self.backend
+    }
+}
+
+impl<B: ProviderBackend + ?Sized> Context for ProviderPipeline<B> {
+    fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
+        self.execute(&NamingOp::lookup(name.clone()))?
+            .into_value(OpKind::Lookup)
+    }
+
+    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
+        self.execute(&NamingOp::bind(name.clone(), value))?
+            .into_done(OpKind::Bind)
+    }
+
+    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
+        self.execute(&NamingOp::rebind(name.clone(), value))?
+            .into_done(OpKind::Rebind)
+    }
+
+    fn unbind(&self, name: &CompositeName) -> Result<()> {
+        self.execute(&NamingOp::unbind(name.clone()))?
+            .into_done(OpKind::Unbind)
+    }
+
+    fn rename(&self, old: &CompositeName, new: &CompositeName) -> Result<()> {
+        self.execute(&NamingOp::rename(old.clone(), new.clone()))?
+            .into_done(OpKind::Rename)
+    }
+
+    fn list(&self, name: &CompositeName) -> Result<Vec<NameClassPair>> {
+        self.execute(&NamingOp::list(name.clone()))?
+            .into_names(OpKind::List)
+    }
+
+    fn list_bindings(&self, name: &CompositeName) -> Result<Vec<Binding>> {
+        self.execute(&NamingOp::list_bindings(name.clone()))?
+            .into_bindings(OpKind::ListBindings)
+    }
+
+    fn create_subcontext(&self, name: &CompositeName) -> Result<()> {
+        self.execute(&NamingOp::create_subcontext(name.clone()))?
+            .into_done(OpKind::CreateSubcontext)
+    }
+
+    fn destroy_subcontext(&self, name: &CompositeName) -> Result<()> {
+        self.execute(&NamingOp::destroy_subcontext(name.clone()))?
+            .into_done(OpKind::DestroySubcontext)
+    }
+
+    fn add_listener(
+        &self,
+        name: &CompositeName,
+        listener: Arc<dyn NamingListener>,
+    ) -> Result<ListenerHandle> {
+        self.execute(&NamingOp::add_listener(name.clone(), listener))?
+            .into_handle(OpKind::AddListener)
+    }
+
+    fn remove_listener(&self, handle: ListenerHandle) -> Result<()> {
+        self.execute(&NamingOp::remove_listener(handle))?
+            .into_done(OpKind::RemoveListener)
+    }
+
+    fn provider_id(&self) -> String {
+        self.backend.provider_id()
+    }
+
+    fn compound_syntax(&self) -> CompoundSyntax {
+        self.backend.compound_syntax()
+    }
+}
+
+impl<B: ProviderBackend + ?Sized> DirContext for ProviderPipeline<B> {
+    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
+        self.execute(&NamingOp::get_attributes(name.clone()))?
+            .into_attrs(OpKind::GetAttributes)
+    }
+
+    fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
+        self.execute(&NamingOp::modify_attributes(name.clone(), mods.to_vec()))?
+            .into_done(OpKind::ModifyAttributes)
+    }
+
+    fn bind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: Attributes,
+    ) -> Result<()> {
+        self.execute(&NamingOp::bind_with_attrs(name.clone(), value, attrs))?
+            .into_done(OpKind::BindWithAttrs)
+    }
+
+    fn rebind_with_attrs(
+        &self,
+        name: &CompositeName,
+        value: BoundValue,
+        attrs: Attributes,
+    ) -> Result<()> {
+        self.execute(&NamingOp::rebind_with_attrs(name.clone(), value, attrs))?
+            .into_done(OpKind::RebindWithAttrs)
+    }
+
+    fn search(
+        &self,
+        name: &CompositeName,
+        filter: &Filter,
+        controls: &SearchControls,
+    ) -> Result<Vec<SearchItem>> {
+        self.execute(&NamingOp::search(
+            name.clone(),
+            filter.clone(),
+            controls.clone(),
+        ))?
+        .into_found(OpKind::Search)
+    }
+}
+
+/// Adapts any [`DirContext`] into a [`ProviderBackend`], so legacy contexts
+/// (the in-memory reference provider, federated facades, test doubles) ride
+/// the same reified op path as native backends.
+pub struct ContextBackend<C: DirContext + 'static> {
+    ctx: Arc<C>,
+}
+
+impl<C: DirContext + 'static> ContextBackend<C> {
+    pub fn new(ctx: Arc<C>) -> Self {
+        ContextBackend { ctx }
+    }
+
+    pub fn context(&self) -> &Arc<C> {
+        &self.ctx
+    }
+}
+
+impl<C: DirContext + 'static> ProviderBackend for ContextBackend<C> {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        crate::op::dispatch(self.ctx.as_ref(), op)
+    }
+
+    fn provider_id(&self) -> String {
+        self.ctx.provider_id()
+    }
+
+    fn compound_syntax(&self) -> CompoundSyntax {
+        self.ctx.compound_syntax()
+    }
+}
+
+// ---------------------------------------------------------- telemetry --
+
+/// Process-wide pipeline telemetry, aggregated by provider label — the
+/// benches print per-layer op counts and cache hit rates from here without
+/// having to thread handles through factories.
+pub mod telemetry {
+    use super::*;
+
+    struct Registered {
+        label: String,
+        stats: Arc<PipelineStats>,
+        cache: Option<Arc<CacheInterceptor>>,
+        retry: Option<Arc<RetryInterceptor>>,
+    }
+
+    fn registry() -> &'static StdMutex<Vec<Registered>> {
+        static REGISTRY: OnceLock<StdMutex<Vec<Registered>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| StdMutex::new(Vec::new()))
+    }
+
+    pub(super) fn register<B: ProviderBackend + ?Sized>(pipeline: &ProviderPipeline<B>) {
+        if let Some(stats) = pipeline.stats() {
+            registry().lock().expect("telemetry lock").push(Registered {
+                label: pipeline.backend().provider_id(),
+                stats,
+                cache: pipeline.cache(),
+                retry: pipeline.retry(),
+            });
+        }
+    }
+
+    /// Cache layer counters.
+    #[derive(Clone, Copy, Debug, Default)]
+    pub struct CacheCounters {
+        pub hits: u64,
+        pub misses: u64,
+        pub invalidations: u64,
+    }
+
+    impl CacheCounters {
+        pub fn hit_rate(&self) -> f64 {
+            let total = self.hits + self.misses;
+            if total == 0 {
+                0.0
+            } else {
+                self.hits as f64 / total as f64
+            }
+        }
+    }
+
+    /// Aggregated telemetry for all pipelines sharing one provider label.
+    #[derive(Clone, Debug)]
+    pub struct PipelineTelemetry {
+        pub label: String,
+        /// Number of pipeline instances aggregated under this label.
+        pub pipelines: usize,
+        pub ops: Vec<OpKindStat>,
+        /// Present when at least one pipeline carries a cache layer.
+        pub cache: Option<CacheCounters>,
+        pub retries: u64,
+    }
+
+    /// Snapshot every registered pipeline, merged by label, sorted.
+    pub fn snapshot() -> Vec<PipelineTelemetry> {
+        let mut by_label: std::collections::BTreeMap<String, PipelineTelemetry> =
+            Default::default();
+        for reg in registry().lock().expect("telemetry lock").iter() {
+            let entry = by_label
+                .entry(reg.label.clone())
+                .or_insert_with(|| PipelineTelemetry {
+                    label: reg.label.clone(),
+                    pipelines: 0,
+                    ops: Vec::new(),
+                    cache: None,
+                    retries: 0,
+                });
+            entry.pipelines += 1;
+            for row in reg.stats.snapshot() {
+                match entry.ops.iter_mut().find(|r| r.kind == row.kind) {
+                    Some(existing) => {
+                        existing.ops += row.ops;
+                        existing.errors += row.errors;
+                        existing.total += row.total;
+                    }
+                    None => entry.ops.push(row),
+                }
+            }
+            if let Some(cache) = &reg.cache {
+                let c = entry.cache.get_or_insert_with(Default::default);
+                c.hits += cache.hits();
+                c.misses += cache.misses();
+                c.invalidations += cache.invalidations();
+            }
+            if let Some(retry) = &reg.retry {
+                entry.retries += retry.retries();
+            }
+        }
+        by_label.into_values().collect()
+    }
+
+    /// Drop all registered handles (test isolation).
+    pub fn reset() {
+        registry().lock().expect("telemetry lock").clear();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -266,9 +1097,7 @@ mod tests {
         let name = CompositeName::from("x");
         let env = Environment::new();
 
-        let stored = chain
-            .to_stored(BoundValue::str("v"), &name, &env)
-            .unwrap();
+        let stored = chain.to_stored(BoundValue::str("v"), &name, &env).unwrap();
         assert_eq!(stored.as_str(), Some("wrapped:v"));
         let back = chain.to_object(stored, &name, &env).unwrap();
         assert_eq!(back.as_str(), Some("v"));
@@ -283,5 +1112,269 @@ mod tests {
         assert_eq!(v, BoundValue::I64(3));
         let v = chain.to_object(BoundValue::I64(3), &name, &env).unwrap();
         assert_eq!(v, BoundValue::I64(3));
+    }
+
+    // ---------------------------------------------------- pipeline --
+
+    use crate::lease::ManualClock;
+
+    /// A backend with scriptable failures that counts `execute` calls.
+    struct MockBackend {
+        calls: AtomicU64,
+        transient_failures: AtomicU64,
+        permanent_error: bool,
+        hub: Arc<EventHub>,
+        wire: WireFormat,
+        last_payload: Mutex<Option<OpPayload>>,
+    }
+
+    impl MockBackend {
+        fn new() -> MockBackend {
+            MockBackend {
+                calls: AtomicU64::new(0),
+                transient_failures: AtomicU64::new(0),
+                permanent_error: false,
+                hub: Arc::new(EventHub::new()),
+                wire: WireFormat::Native,
+                last_payload: Mutex::new(None),
+            }
+        }
+
+        fn encoded() -> MockBackend {
+            MockBackend {
+                wire: WireFormat::Encoded,
+                ..MockBackend::new()
+            }
+        }
+
+        fn flaky(transient_failures: u64) -> MockBackend {
+            MockBackend {
+                transient_failures: AtomicU64::new(transient_failures),
+                ..MockBackend::new()
+            }
+        }
+
+        fn always_bound() -> MockBackend {
+            MockBackend {
+                permanent_error: true,
+                ..MockBackend::new()
+            }
+        }
+
+        fn calls(&self) -> u64 {
+            self.calls.load(Ordering::Relaxed)
+        }
+    }
+
+    impl ProviderBackend for MockBackend {
+        fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            if self.permanent_error {
+                return Err(NamingError::already_bound(op.name.to_string()));
+            }
+            let flaked = self
+                .transient_failures
+                .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |n| n.checked_sub(1))
+                .is_ok();
+            if flaked {
+                return Err(NamingError::service("flaky backend"));
+            }
+            *self.last_payload.lock() = Some(op.payload.clone());
+            match op.kind {
+                OpKind::Lookup => match self.wire {
+                    WireFormat::Native => Ok(OpOutcome::Value(BoundValue::str("v"))),
+                    WireFormat::Encoded => {
+                        Ok(OpOutcome::Wire(codec::marshal(&BoundValue::str("v"))?))
+                    }
+                },
+                _ => Ok(OpOutcome::Done),
+            }
+        }
+
+        fn event_hub(&self) -> Option<Arc<EventHub>> {
+            Some(self.hub.clone())
+        }
+
+        fn wire_format(&self) -> WireFormat {
+            self.wire
+        }
+    }
+
+    fn name(s: &str) -> CompositeName {
+        CompositeName::from(s)
+    }
+
+    fn no_sleep() -> Box<dyn Fn(Duration) + Send + Sync> {
+        Box::new(|_| {})
+    }
+
+    #[test]
+    fn bare_pipeline_is_pure_dispatch() {
+        let backend = Arc::new(MockBackend::new());
+        let p = ProviderPipeline::bare(backend.clone());
+        assert!(p.stats().is_none() && p.cache().is_none() && p.retry().is_none());
+        let v = p.lookup(&name("a")).unwrap();
+        assert_eq!(v.as_str(), Some("v"));
+        assert_eq!(backend.calls(), 1);
+    }
+
+    #[test]
+    fn standard_stack_defaults_to_stats_only() {
+        let backend = Arc::new(MockBackend::new());
+        let p = ProviderPipeline::standard(backend.clone(), &Environment::new());
+        assert!(p.stats().is_some());
+        assert!(p.cache().is_none(), "cache off without a TTL");
+        assert!(p.retry().is_none(), "retry off at 1 attempt");
+        p.lookup(&name("a")).unwrap();
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(
+            backend.calls(),
+            2,
+            "no cache: every lookup hits the backend"
+        );
+        assert_eq!(p.stats().unwrap().total_ops(), 2);
+    }
+
+    #[test]
+    fn retry_stops_on_permanent_errors() {
+        let backend = Arc::new(MockBackend::always_bound());
+        let retry = Arc::new(RetryInterceptor::with_sleeper(
+            5,
+            Duration::ZERO,
+            no_sleep(),
+        ));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![retry.clone()]);
+        let err = p.bind(&name("a"), BoundValue::str("x")).unwrap_err();
+        assert!(matches!(err, NamingError::AlreadyBound { .. }));
+        assert_eq!(backend.calls(), 1, "permanent errors are not retried");
+        assert_eq!(retry.retries(), 0);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_failures_with_backoff() {
+        let backend = Arc::new(MockBackend::flaky(2));
+        let sleeps: Arc<Mutex<Vec<Duration>>> = Arc::new(Mutex::new(Vec::new()));
+        let recorder = sleeps.clone();
+        let retry = Arc::new(RetryInterceptor::with_sleeper(
+            5,
+            Duration::from_millis(5),
+            Box::new(move |d| recorder.lock().push(d)),
+        ));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![retry.clone()]);
+        assert_eq!(p.lookup(&name("a")).unwrap().as_str(), Some("v"));
+        assert_eq!(backend.calls(), 3);
+        assert_eq!(retry.retries(), 2);
+        let backoffs = sleeps.lock().clone();
+        assert_eq!(
+            backoffs,
+            vec![Duration::from_millis(5), Duration::from_millis(10)],
+            "backoff doubles per attempt"
+        );
+    }
+
+    #[test]
+    fn retry_exhausts_after_max_attempts() {
+        let backend = Arc::new(MockBackend::flaky(100));
+        let retry = Arc::new(RetryInterceptor::with_sleeper(
+            3,
+            Duration::ZERO,
+            no_sleep(),
+        ));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![retry]);
+        let err = p.lookup(&name("a")).unwrap_err();
+        assert!(matches!(err, NamingError::ServiceFailure { .. }));
+        assert_eq!(backend.calls(), 3);
+    }
+
+    #[test]
+    fn cache_serves_repeated_lookups_without_backend_traffic() {
+        let backend = Arc::new(MockBackend::new());
+        let cache = Arc::new(CacheInterceptor::new(60_000));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![cache.clone()]);
+        assert_eq!(p.lookup(&name("a")).unwrap().as_str(), Some("v"));
+        assert_eq!(p.lookup(&name("a")).unwrap().as_str(), Some("v"));
+        assert_eq!(backend.calls(), 1, "second lookup served from cache");
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn pipeline_mutations_invalidate_cached_entries() {
+        let backend = Arc::new(MockBackend::new());
+        let cache = Arc::new(CacheInterceptor::new(60_000));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![cache.clone()]);
+        p.lookup(&name("a")).unwrap();
+        p.rebind(&name("a"), BoundValue::str("new")).unwrap();
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(backend.calls(), 3, "rebind forced a fresh backend lookup");
+        assert_eq!(cache.invalidations(), 1);
+        assert_eq!(cache.hits(), 0);
+    }
+
+    #[test]
+    fn backend_events_invalidate_cached_entries() {
+        // The standard stack subscribes the cache to the backend's hub, so
+        // out-of-band changes (another client's rebind/unbind observed via
+        // naming events) evict stale entries.
+        let backend = Arc::new(MockBackend::new());
+        let env = Environment::new().with(keys::CACHE_TTL_MS, "60000");
+        let p = ProviderPipeline::standard(backend.clone(), &env);
+        let cache = p.cache().expect("cache enabled by TTL");
+
+        p.lookup(&name("a")).unwrap();
+        backend
+            .hub
+            .fire_changed(name("a"), None, BoundValue::str("rebound elsewhere"));
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(backend.calls(), 2, "rebind event evicted the entry");
+
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(backend.calls(), 2, "entry re-cached after the miss");
+        backend.hub.fire_removed(name("a"), None);
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(backend.calls(), 3, "unbind event evicted the entry");
+        assert_eq!(cache.invalidations(), 2);
+    }
+
+    #[test]
+    fn cache_entries_expire_after_ttl() {
+        let clock = ManualClock::new();
+        let backend = Arc::new(MockBackend::new());
+        let cache = Arc::new(CacheInterceptor::with_clock(1_000, clock.clone()));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![cache]);
+        p.lookup(&name("a")).unwrap();
+        clock.advance(999);
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(backend.calls(), 1, "entry still fresh at TTL-1");
+        clock.advance(2);
+        p.lookup(&name("a")).unwrap();
+        assert_eq!(backend.calls(), 2, "entry expired past the TTL");
+    }
+
+    #[test]
+    fn marshal_encodes_payloads_for_wire_backends() {
+        let backend = Arc::new(MockBackend::encoded());
+        let p = ProviderPipeline::standard(backend.clone(), &Environment::new());
+        p.bind(&name("a"), BoundValue::str("payload")).unwrap();
+        match backend.last_payload.lock().clone() {
+            Some(OpPayload::Wire { bytes, class_name }) => {
+                assert_eq!(class_name, "string");
+                assert_eq!(codec::unmarshal(&bytes).as_str(), Some("payload"));
+            }
+            _ => panic!("backend should have seen a wire payload"),
+        }
+        // Wire results decode back into live values on the way out.
+        assert_eq!(p.lookup(&name("a")).unwrap().as_str(), Some("v"));
+    }
+
+    #[test]
+    fn marshal_rejects_live_contexts_before_the_backend() {
+        let backend = Arc::new(MockBackend::encoded());
+        let p = ProviderPipeline::standard(backend.clone(), &Environment::new());
+        let err = p
+            .bind(&name("a"), BoundValue::Context(Arc::new(DummyCtx)))
+            .unwrap_err();
+        assert!(matches!(err, NamingError::NotSupported { .. }));
+        assert_eq!(backend.calls(), 0, "rejected before reaching the backend");
     }
 }

@@ -164,7 +164,9 @@ mod tests {
     #[test]
     fn suffix_matching() {
         let zone = DnsName::parse("emory.edu").unwrap();
-        assert!(DnsName::parse("dcl.mathcs.emory.edu").unwrap().is_under(&zone));
+        assert!(DnsName::parse("dcl.mathcs.emory.edu")
+            .unwrap()
+            .is_under(&zone));
         assert!(zone.is_under(&zone));
         assert!(zone.is_under(&DnsName::root()));
         assert!(!DnsName::parse("emory.com").unwrap().is_under(&zone));

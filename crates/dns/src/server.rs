@@ -79,17 +79,9 @@ impl AuthServer {
     /// Mutate a hosted zone in place (operator-side updates — DNS offers
     /// no client-side update path, which is exactly the limitation the
     /// paper works around by layering HDNS below it).
-    pub fn with_zone_mut<R>(
-        &self,
-        origin: &DnsName,
-        f: impl FnOnce(&mut Zone) -> R,
-    ) -> Option<R> {
+    pub fn with_zone_mut<R>(&self, origin: &DnsName, f: impl FnOnce(&mut Zone) -> R) -> Option<R> {
         let mut inner = self.inner.write();
-        inner
-            .zones
-            .iter_mut()
-            .find(|z| z.origin() == origin)
-            .map(f)
+        inner.zones.iter_mut().find(|z| z.origin() == origin).map(f)
     }
 
     /// Answer a query.

@@ -100,8 +100,8 @@ impl Message {
             if b.remaining() < 4 {
                 return Err("truncated question".into());
             }
-            let rtype = RecordType::from_code(b.get_u16())
-                .ok_or_else(|| "unknown qtype".to_string())?;
+            let rtype =
+                RecordType::from_code(b.get_u16()).ok_or_else(|| "unknown qtype".to_string())?;
             let _class = b.get_u16();
             Some((name, rtype))
         } else {

@@ -57,7 +57,10 @@ impl Zone {
             rr.name,
             self.origin
         );
-        self.records.entry(rr.name.to_string()).or_default().push(rr);
+        self.records
+            .entry(rr.name.to_string())
+            .or_default()
+            .push(rr);
     }
 
     /// Remove every record of a given type at a name; returns the removed
@@ -150,22 +153,13 @@ impl Zone {
                         };
                         continue;
                     }
-                    answers = rrs
-                        .iter()
-                        .filter(|r| r.rtype() == rtype)
-                        .cloned()
-                        .collect();
+                    answers = rrs.iter().filter(|r| r.rtype() == rtype).cloned().collect();
                 }
                 break;
             }
             return ZoneAnswer::Cname { chain, answers };
         }
-        ZoneAnswer::Records(
-            rrs.iter()
-                .filter(|r| r.rtype() == rtype)
-                .cloned()
-                .collect(),
-        )
+        ZoneAnswer::Records(rrs.iter().filter(|r| r.rtype() == rtype).cloned().collect())
     }
 
     /// Iterate all records (zone transfer / diagnostics).
@@ -185,7 +179,11 @@ mod tests {
         z.insert(ResourceRecord::txt("www.emory.edu", 300, "hello"));
         z.insert(ResourceRecord::cname("web.emory.edu", 300, "www.emory.edu"));
         // Delegate mathcs.emory.edu to its own server.
-        z.insert(ResourceRecord::ns("mathcs.emory.edu", 300, "ns.mathcs.emory.edu"));
+        z.insert(ResourceRecord::ns(
+            "mathcs.emory.edu",
+            300,
+            "ns.mathcs.emory.edu",
+        ));
         z
     }
 
@@ -227,10 +225,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // At the cut itself for A: also referral.
-        match z.query(
-            &DnsName::parse("mathcs.emory.edu").unwrap(),
-            RecordType::A,
-        ) {
+        match z.query(&DnsName::parse("mathcs.emory.edu").unwrap(), RecordType::A) {
             ZoneAnswer::Referral(_) => {}
             other => panic!("unexpected {other:?}"),
         }
@@ -247,10 +242,7 @@ mod tests {
             other => panic!("unexpected {other:?}"),
         }
         // Asking for the CNAME itself returns the CNAME record.
-        match z.query(
-            &DnsName::parse("web.emory.edu").unwrap(),
-            RecordType::Cname,
-        ) {
+        match z.query(&DnsName::parse("web.emory.edu").unwrap(), RecordType::Cname) {
             ZoneAnswer::Records(rrs) => assert_eq!(rrs.len(), 1),
             other => panic!("unexpected {other:?}"),
         }

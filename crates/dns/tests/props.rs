@@ -6,8 +6,7 @@ use minidns::wire::Message;
 use minidns::{DnsName, RData, RecordType, ResourceRecord};
 
 fn name_strategy() -> impl Strategy<Value = DnsName> {
-    proptest::collection::vec("[a-z0-9]{1,10}", 0..5)
-        .prop_map(DnsName::from_labels)
+    proptest::collection::vec("[a-z0-9]{1,10}", 0..5).prop_map(DnsName::from_labels)
 }
 
 fn rdata_strategy() -> impl Strategy<Value = RData> {

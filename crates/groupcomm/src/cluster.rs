@@ -239,7 +239,11 @@ impl Cluster {
     }
 
     pub(crate) fn view_of(&self, addr: Addr) -> Option<View> {
-        self.core.lock().nodes.get(&addr).and_then(|n| n.view.clone())
+        self.core
+            .lock()
+            .nodes
+            .get(&addr)
+            .and_then(|n| n.view.clone())
     }
 
     pub(crate) fn is_alive(&self, addr: Addr) -> bool {
@@ -372,14 +376,12 @@ impl Cluster {
                         min = digest;
                         first = false;
                     } else {
-                        min.retain(|origin, v| {
-                            match digest.get(origin) {
-                                Some(&other) => {
-                                    *v = (*v).min(other);
-                                    true
-                                }
-                                None => false,
+                        min.retain(|origin, v| match digest.get(origin) {
+                            Some(&other) => {
+                                *v = (*v).min(other);
+                                true
                             }
+                            None => false,
                         });
                     }
                 }
@@ -441,9 +443,7 @@ impl Cluster {
 
     fn reachable(core: &Core, a: Addr, b: Addr) -> bool {
         match (core.nodes.get(&a), core.nodes.get(&b)) {
-            (Some(x), Some(y)) => {
-                x.alive && y.alive && x.partition_side == y.partition_side
-            }
+            (Some(x), Some(y)) => x.alive && y.alive && x.partition_side == y.partition_side,
             _ => false,
         }
     }
@@ -873,9 +873,9 @@ mod tests {
 
         let evs_b = chans[1].poll();
         assert!(
-            evs_b
-                .iter()
-                .any(|e| matches!(e, ChannelEvent::ResyncNeeded { coordinator } if *coordinator == a)),
+            evs_b.iter().any(
+                |e| matches!(e, ChannelEvent::ResyncNeeded { coordinator } if *coordinator == a)
+            ),
             "loser side told to resync: {evs_b:?}"
         );
         // Winner coordinator asked to provide state for the losers.
@@ -1158,8 +1158,8 @@ mod tests {
         assert_eq!(v.size(), 2);
         // Coordinator offers state to the rejoiner.
         let evs = chans[0].poll();
-        assert!(evs
-            .iter()
-            .any(|e| matches!(e, ChannelEvent::StateRequest { joiner } if *joiner == revived.addr())));
+        assert!(evs.iter().any(
+            |e| matches!(e, ChannelEvent::StateRequest { joiner } if *joiner == revived.addr())
+        ));
     }
 }

@@ -10,11 +10,7 @@ use crate::addr::Addr;
 
 /// Compute which of `members` a node at `me` should suspect, given a
 /// reachability oracle.
-pub fn suspects(
-    me: Addr,
-    members: &[Addr],
-    reachable: impl Fn(Addr, Addr) -> bool,
-) -> Vec<Addr> {
+pub fn suspects(me: Addr, members: &[Addr], reachable: impl Fn(Addr, Addr) -> bool) -> Vec<Addr> {
     members
         .iter()
         .copied()

@@ -17,10 +17,7 @@ use crate::view::View;
 /// `sides`. Panics on an empty slice — callers merge at least one side.
 pub fn pick_winner(sides: &[View], pre_partition_coord: Addr) -> usize {
     assert!(!sides.is_empty(), "no partition sides to merge");
-    if let Some(i) = sides
-        .iter()
-        .position(|v| v.contains(pre_partition_coord))
-    {
+    if let Some(i) = sides.iter().position(|v| v.contains(pre_partition_coord)) {
         return i;
     }
     let mut best = 0;

@@ -24,13 +24,9 @@ pub enum Wire {
         body: Vec<u8>,
     },
     /// Gossip anti-entropy: "my highest contiguous seq per origin is …".
-    DigestPush {
-        entries: Vec<(Addr, u64)>,
-    },
+    DigestPush { entries: Vec<(Addr, u64)> },
     /// Retransmission of messages the digest showed missing.
-    Retransmit {
-        messages: Vec<(Addr, u64, Vec<u8>)>,
-    },
+    Retransmit { messages: Vec<(Addr, u64, Vec<u8>)> },
     /// Coordinator → members: install this view.
     InstallView(View),
     /// Coordinator/winner → member: full application state snapshot.
@@ -40,7 +36,9 @@ pub enum Wire {
 impl Wire {
     /// Serialized size, for memory/byte accounting.
     pub fn size(&self) -> u64 {
-        serde_json::to_vec(self).map(|v| v.len() as u64).unwrap_or(0)
+        serde_json::to_vec(self)
+            .map(|v| v.len() as u64)
+            .unwrap_or(0)
     }
 }
 

@@ -29,10 +29,19 @@ pub enum OpOutcome {
 /// substrate for the JNDI provider's event support.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum HdnsEvent {
-    Bound { path: String },
-    Changed { path: String },
-    Removed { path: String },
-    Renamed { from: String, to: String },
+    Bound {
+        path: String,
+    },
+    Changed {
+        path: String,
+    },
+    Removed {
+        path: String,
+    },
+    Renamed {
+        from: String,
+        to: String,
+    },
     /// State was replaced wholesale (join or post-partition resync).
     Resynced,
 }
@@ -286,7 +295,11 @@ mod tests {
         drive(&cluster, &mut [&mut a, &mut b]);
         assert_eq!(a.outcome(t), OpOutcome::Done(Ok(())));
         assert_eq!(a.lookup("svc").unwrap().value, vec![1]);
-        assert_eq!(b.lookup("svc").unwrap().value, vec![1], "replica consistent");
+        assert_eq!(
+            b.lookup("svc").unwrap().value,
+            vec![1],
+            "replica consistent"
+        );
     }
 
     #[test]

@@ -411,9 +411,11 @@ mod tests {
         r.bind(0, "base", HdnsEntry::leaf(vec![0])).unwrap();
         // Isolate replica 2; both sides keep serving.
         r.partition(&[&[0, 1], &[2]]);
-        r.bind(0, "majority-write", HdnsEntry::leaf(vec![1])).unwrap();
+        r.bind(0, "majority-write", HdnsEntry::leaf(vec![1]))
+            .unwrap();
         // The minority side also accepts a (divergent) write.
-        r.bind(2, "minority-write", HdnsEntry::leaf(vec![9])).unwrap();
+        r.bind(2, "minority-write", HdnsEntry::leaf(vec![9]))
+            .unwrap();
         assert!(r.lookup(0, "minority-write").is_none());
 
         r.heal();
@@ -492,7 +494,8 @@ mod tests {
             "newcomer received state transfer"
         );
         // The newcomer is a full citizen: it can accept writes.
-        r.bind(idx, "from-newcomer", HdnsEntry::leaf(vec![2])).unwrap();
+        r.bind(idx, "from-newcomer", HdnsEntry::leaf(vec![2]))
+            .unwrap();
         assert_eq!(r.lookup(0, "from-newcomer").unwrap().value, vec![2]);
     }
 
@@ -507,7 +510,9 @@ mod tests {
         let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
         loop {
             let events = r.take_events(1);
-            if events.iter().any(|e| matches!(e, HdnsEvent::Bound { path } if path == "watched"))
+            if events
+                .iter()
+                .any(|e| matches!(e, HdnsEvent::Bound { path } if path == "watched"))
             {
                 break;
             }

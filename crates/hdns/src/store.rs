@@ -250,10 +250,7 @@ impl HdnsStore {
             }
             Op::SetAttrs { path, attrs } => {
                 let p = normalize_path(path)?;
-                let entry = self
-                    .entries
-                    .get_mut(&p)
-                    .ok_or(HdnsError::NotFound(p))?;
+                let entry = self.entries.get_mut(&p).ok_or(HdnsError::NotFound(p))?;
                 entry.attrs = attrs.clone();
                 Ok(())
             }
@@ -462,7 +459,9 @@ mod tests {
                 entry: HdnsEntry::leaf(vec![2]),
                 overwrite: false,
             }, // conflict: fails identically on both
-            Op::Unbind { path: "nope".into() },
+            Op::Unbind {
+                path: "nope".into(),
+            },
             Op::Rename {
                 from: "c/x".into(),
                 to: "c/y".into(),

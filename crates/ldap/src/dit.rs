@@ -87,9 +87,7 @@ impl Dit {
 
     /// Whether the entry has any children.
     pub fn has_children(&self, dn: &Dn) -> bool {
-        self.entries
-            .values()
-            .any(|e| e.dn.is_child_of(dn))
+        self.entries.values().any(|e| e.dn.is_child_of(dn))
     }
 
     /// Replace an entry's content in place (same DN).
@@ -162,10 +160,12 @@ mod tests {
 
     fn seeded() -> Dit {
         let mut d = Dit::new();
-        d.add(LdapEntry::new(Dn::parse("o=emory").unwrap())
-            .with("objectClass", "organization")
-            .with("o", "emory"))
-            .unwrap();
+        d.add(
+            LdapEntry::new(Dn::parse("o=emory").unwrap())
+                .with("objectClass", "organization")
+                .with("o", "emory"),
+        )
+        .unwrap();
         d.add(
             LdapEntry::new(Dn::parse("ou=mathcs,o=emory").unwrap())
                 .with("objectClass", "organizationalUnit")
@@ -209,10 +209,7 @@ mod tests {
             .unwrap();
         d.delete(&ou).unwrap();
         assert_eq!(d.len(), 1);
-        assert!(matches!(
-            d.delete(&ou),
-            Err(DitError::NoSuchObject(_))
-        ));
+        assert!(matches!(d.delete(&ou), Err(DitError::NoSuchObject(_))));
     }
 
     #[test]
@@ -297,7 +294,10 @@ mod tests {
         let mut e = d.get(&dn).unwrap().clone();
         e.add_value("description", "test monkey");
         d.update(e).unwrap();
-        assert_eq!(d.get(&dn).unwrap().first("description"), Some("test monkey"));
+        assert_eq!(
+            d.get(&dn).unwrap().first("description"),
+            Some("test monkey")
+        );
         let ghost = LdapEntry::new(Dn::parse("cn=ghost,o=emory").unwrap());
         assert!(matches!(d.update(ghost), Err(DitError::NoSuchObject(_))));
     }

@@ -85,7 +85,9 @@ impl LdapEntry {
 
     /// First value of an attribute.
     pub fn first(&self, id: &str) -> Option<&str> {
-        self.get(id).and_then(|a| a.values.first()).map(|s| s.as_str())
+        self.get(id)
+            .and_then(|a| a.values.first())
+            .map(|s| s.as_str())
     }
 
     pub fn has(&self, id: &str) -> bool {

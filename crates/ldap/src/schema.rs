@@ -33,7 +33,11 @@ impl Schema {
             ("top", vec!["objectClass"], vec![]),
             ("organization", vec!["o"], vec!["description", "l"]),
             ("organizationalUnit", vec!["ou"], vec!["description", "l"]),
-            ("device", vec!["cn"], vec!["description", "owner", "serialNumber", "l"]),
+            (
+                "device",
+                vec!["cn"],
+                vec!["description", "owner", "serialNumber", "l"],
+            ),
             (
                 "applicationProcess",
                 vec!["cn"],
@@ -50,7 +54,11 @@ impl Schema {
                 vec!["description", "cpuCount", "memoryMb", "os", "endpoint"],
             ),
             // Free-form container for the JNDI provider's generic tuples.
-            ("rndiObject", vec!["cn"], vec!["rndiValue", "rndiClass", "description"]),
+            (
+                "rndiObject",
+                vec!["cn"],
+                vec!["rndiValue", "rndiClass", "description"],
+            ),
         ] {
             s.add(ObjectClass {
                 name: name.to_string(),

@@ -389,7 +389,9 @@ mod tests {
     #[test]
     fn authentication() {
         let s = server();
-        assert!(s.simple_bind(&Dn::parse("cn=admin").unwrap(), "secret").is_ok());
+        assert!(s
+            .simple_bind(&Dn::parse("cn=admin").unwrap(), "secret")
+            .is_ok());
         let (code, _) = s
             .simple_bind(&Dn::parse("cn=admin").unwrap(), "wrong")
             .unwrap_err();
@@ -473,11 +475,15 @@ mod tests {
         let base = Dn::parse("o=emory").unwrap();
         let all = LdapFilter::match_all();
         assert_eq!(
-            conn.search(&base, Scope::Base, &all, None, 100).unwrap().delay_ms,
+            conn.search(&base, Scope::Base, &all, None, 100)
+                .unwrap()
+                .delay_ms,
             0
         );
         assert_eq!(
-            conn.search(&base, Scope::Base, &all, None, 150).unwrap().delay_ms,
+            conn.search(&base, Scope::Base, &all, None, 150)
+                .unwrap()
+                .delay_ms,
             0
         );
         let delayed = conn.search(&base, Scope::Base, &all, None, 200).unwrap();
@@ -492,7 +498,9 @@ mod tests {
         seed(&conn);
         let (e, _) = conn.read(&Dn::parse("ou=dcl,o=emory").unwrap(), 0).unwrap();
         assert_eq!(e.first("ou"), Some("dcl"));
-        let (code, _) = conn.read(&Dn::parse("ou=ghost,o=emory").unwrap(), 0).unwrap_err();
+        let (code, _) = conn
+            .read(&Dn::parse("ou=ghost,o=emory").unwrap(), 0)
+            .unwrap_err();
         assert_eq!(code, ResultCode::NoSuchObject);
     }
 

@@ -4,36 +4,25 @@ use std::sync::Arc;
 
 use rndi_core::attrs::{AttrValue, Attribute, Attributes};
 use rndi_core::error::{NamingError, Result};
-use rndi_core::value::{BoundValue, StoredValue};
 
-/// Marshal a bound value into provider-storable bytes. Live contexts are
-/// rejected — bind a [`rndi_core::value::Reference::url`] instead (the
-/// durable representation of a federation link).
-pub fn marshal(value: &BoundValue) -> Result<Vec<u8>> {
-    let stored = StoredValue::try_from_bound(value).ok_or_else(|| {
-        NamingError::unsupported("binding a live context; bind a URL reference instead")
-    })?;
-    Ok(stored.encode())
-}
-
-/// Unmarshal provider bytes back into a bound value. Undecodable bytes
-/// surface as raw `Bytes` (foreign data bound by non-RNDI clients).
-pub fn unmarshal(bytes: &[u8]) -> BoundValue {
-    match StoredValue::decode(bytes) {
-        Some(s) => s.into_bound(),
-        None => BoundValue::Bytes(bytes.to_vec()),
-    }
-}
+// The marshalling codec moved into the core op module (it is now also an
+// interceptor concern, not just a provider one); re-exported here so
+// provider code keeps its historical imports.
+pub use rndi_core::op::codec::{marshal, unmarshal};
 
 /// Serialize an attribute set to a JSON string (for backends whose
 /// attribute model is flat strings).
-pub fn attrs_to_json(attrs: &Attributes) -> String {
-    serde_json::to_string(attrs).expect("attributes serialize")
+pub fn attrs_to_json(attrs: &Attributes) -> Result<String> {
+    serde_json::to_string(attrs)
+        .map_err(|e| NamingError::service(format!("attributes did not serialize: {e}")))
 }
 
-/// Parse attributes serialized with [`attrs_to_json`].
-pub fn attrs_from_json(s: &str) -> Attributes {
-    serde_json::from_str(s).unwrap_or_default()
+/// Parse attributes serialized with [`attrs_to_json`]. Corrupt input is an
+/// error — silently dropping a stored attribute set would make bindings
+/// "lose" their directory entries without a trace.
+pub fn attrs_from_json(s: &str) -> Result<Attributes> {
+    serde_json::from_str(s)
+        .map_err(|e| NamingError::service(format!("stored attributes are corrupt: {e}")))
 }
 
 /// Milliseconds clock shared between providers and simulated backends.
@@ -74,7 +63,7 @@ pub fn attrs(pairs: &[(&str, &str)]) -> Attributes {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rndi_core::value::Reference;
+    use rndi_core::value::{BoundValue, Reference};
 
     #[test]
     fn marshal_roundtrip() {
@@ -91,10 +80,7 @@ mod tests {
         use rndi_core::mem::MemContext;
         use std::sync::Arc as StdArc;
         let v = BoundValue::Context(StdArc::new(MemContext::new()));
-        assert!(matches!(
-            marshal(&v),
-            Err(NamingError::NotSupported { .. })
-        ));
+        assert!(matches!(marshal(&v), Err(NamingError::NotSupported { .. })));
     }
 
     #[test]
@@ -106,9 +92,16 @@ mod tests {
     #[test]
     fn attrs_json_roundtrip() {
         let a = attrs(&[("os", "linux"), ("cpu", "8")]);
-        let s = attrs_to_json(&a);
-        let back = attrs_from_json(&s);
+        let s = attrs_to_json(&a).unwrap();
+        let back = attrs_from_json(&s).unwrap();
         assert_eq!(back, a);
-        assert_eq!(attrs_from_json("garbage").len(), 0);
+    }
+
+    #[test]
+    fn corrupt_attrs_surface_as_errors() {
+        assert!(matches!(
+            attrs_from_json("garbage"),
+            Err(NamingError::ServiceFailure { .. })
+        ));
     }
 }

@@ -22,18 +22,21 @@ use parking_lot::Mutex;
 use minidns::{DnsName, RData, RecordType, ResolveError, Resolver};
 
 use rndi_core::attrs::Attributes;
-use rndi_core::context::{Binding, Context, DirContext, NameClassPair};
+use rndi_core::context::DirContext;
 use rndi_core::env::Environment;
 use rndi_core::error::{NamingError, Result};
 use rndi_core::name::CompositeName;
-use rndi_core::spi::UrlContextFactory;
+use rndi_core::op::{NamingOp, OpKind, OpOutcome};
+use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory};
 use rndi_core::url::{looks_like_url, RndiUrl};
 use rndi_core::value::{BoundValue, Reference};
 
 use crate::common::MsClock;
 
-/// A read-only `DirContext` over a DNS resolver, rooted at an anchor
-/// domain.
+/// A read-only naming backend over a DNS resolver, rooted at an anchor
+/// domain. Implements [`ProviderBackend`]; the full `Context`/`DirContext`
+/// surface comes from the [`ProviderPipeline`] wrapper returned by
+/// [`DnsProviderContext::new`].
 pub struct DnsProviderContext {
     resolver: Arc<Resolver>,
     anchor: DnsName,
@@ -47,13 +50,28 @@ impl DnsProviderContext {
         anchor: DnsName,
         clock: Arc<dyn MsClock>,
         instance: &str,
-    ) -> Arc<Self> {
-        Arc::new(DnsProviderContext {
-            resolver,
-            anchor,
-            clock,
-            instance: instance.to_string(),
-        })
+    ) -> Arc<ProviderPipeline<Self>> {
+        Self::with_env(resolver, anchor, clock, instance, &Environment::new())
+    }
+
+    /// Construct with an environment controlling the pipeline stack
+    /// (cache TTL, retry policy).
+    pub fn with_env(
+        resolver: Arc<Resolver>,
+        anchor: DnsName,
+        clock: Arc<dyn MsClock>,
+        instance: &str,
+        env: &Environment,
+    ) -> Arc<ProviderPipeline<Self>> {
+        ProviderPipeline::standard(
+            Arc::new(DnsProviderContext {
+                resolver,
+                anchor,
+                clock,
+                instance: instance.to_string(),
+            }),
+            env,
+        )
     }
 
     /// DNS name for the first `k` components of a composite name:
@@ -118,9 +136,7 @@ impl DnsProviderContext {
             "DNS updates are administrative (edit the zone)",
         ))
     }
-}
 
-impl Context for DnsProviderContext {
     fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
         if name.is_empty() {
             // The anchor itself: return its TXT value if any.
@@ -152,25 +168,38 @@ impl Context for DnsProviderContext {
         Err(NamingError::not_found(name.to_string()))
     }
 
-    fn bind(&self, name: &CompositeName, _value: BoundValue) -> Result<()> {
-        Err(self.continue_write(name)?)
+    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
+        // Expose the record's TTL as the sole attribute.
+        let dns_name = self.dns_name(name, name.len())?;
+        match self
+            .resolver
+            .resolve(&dns_name, RecordType::Txt, self.clock.now_ms())
+        {
+            Ok(rrs) if !rrs.is_empty() => Ok(Attributes::new().with("ttl", rrs[0].ttl.to_string())),
+            Ok(_) => Ok(Attributes::new()),
+            Err(ResolveError::NxDomain(n)) => Err(NamingError::not_found(n)),
+            Err(e) => Err(NamingError::service(e.to_string())),
+        }
     }
+}
 
-    fn rebind(&self, name: &CompositeName, _value: BoundValue) -> Result<()> {
-        Err(self.continue_write(name)?)
-    }
-
-    fn unbind(&self, name: &CompositeName) -> Result<()> {
-        Err(self.continue_write(name)?)
-    }
-
-    fn list(&self, _name: &CompositeName) -> Result<Vec<NameClassPair>> {
-        // DNS offers no enumeration (zone transfers are not a client API).
-        Err(NamingError::unsupported("DNS enumeration"))
-    }
-
-    fn list_bindings(&self, _name: &CompositeName) -> Result<Vec<Binding>> {
-        Err(NamingError::unsupported("DNS enumeration"))
+impl ProviderBackend for DnsProviderContext {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        match op.kind {
+            OpKind::Lookup => self.lookup(&op.name).map(OpOutcome::Value),
+            // Writes cannot land in DNS; they either continue through a
+            // federation link or report NotSupported.
+            OpKind::Bind
+            | OpKind::Rebind
+            | OpKind::Unbind
+            | OpKind::BindWithAttrs
+            | OpKind::RebindWithAttrs => Err(self.continue_write(&op.name)?),
+            // DNS offers no enumeration (zone transfers are not a client
+            // API).
+            OpKind::List | OpKind::ListBindings => Err(NamingError::unsupported("DNS enumeration")),
+            OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
+            _ => Err(NamingError::unsupported(op.kind.label())),
+        }
     }
 
     fn provider_id(&self) -> String {
@@ -182,41 +211,13 @@ impl Context for DnsProviderContext {
     }
 }
 
-impl DirContext for DnsProviderContext {
-    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
-        // Expose the record's TTL as the sole attribute.
-        let dns_name = self.dns_name(name, name.len())?;
-        match self
-            .resolver
-            .resolve(&dns_name, RecordType::Txt, self.clock.now_ms())
-        {
-            Ok(rrs) if !rrs.is_empty() => {
-                Ok(Attributes::new().with("ttl", rrs[0].ttl.to_string()))
-            }
-            Ok(_) => Ok(Attributes::new()),
-            Err(ResolveError::NxDomain(n)) => Err(NamingError::not_found(n)),
-            Err(e) => Err(NamingError::service(e.to_string())),
-        }
-    }
-
-    fn bind_with_attrs(&self, name: &CompositeName, _: BoundValue, _: Attributes) -> Result<()> {
-        Err(self.continue_write(name)?)
-    }
-
-    fn rebind_with_attrs(
-        &self,
-        name: &CompositeName,
-        _: BoundValue,
-        _: Attributes,
-    ) -> Result<()> {
-        Err(self.continue_write(name)?)
-    }
-}
-
 /// URL factory: `dns://anchor/...`. Anchor hosts map to `(resolver,
-/// anchor domain)` pairs registered by the deployment.
+/// anchor domain)` pairs registered by the deployment. Created pipelines
+/// are cached per host, so repeated resolutions share one cache/stats
+/// stack instead of rebuilding it per URL hop.
 pub struct DnsFactory {
     anchors: Mutex<HashMap<String, (Arc<Resolver>, DnsName)>>,
+    contexts: Mutex<HashMap<String, Arc<ProviderPipeline<DnsProviderContext>>>>,
     clock: Arc<dyn MsClock>,
 }
 
@@ -224,6 +225,7 @@ impl DnsFactory {
     pub fn new(clock: Arc<dyn MsClock>) -> Arc<Self> {
         Arc::new(DnsFactory {
             anchors: Mutex::new(HashMap::new()),
+            contexts: Mutex::new(HashMap::new()),
             clock,
         })
     }
@@ -232,6 +234,7 @@ impl DnsFactory {
         self.anchors
             .lock()
             .insert(host.to_string(), (resolver, anchor));
+        self.contexts.lock().remove(host);
     }
 }
 
@@ -240,21 +243,19 @@ impl UrlContextFactory for DnsFactory {
         "dns"
     }
 
-    fn create(&self, url: &RndiUrl, _env: &Environment) -> Result<Arc<dyn DirContext>> {
-        let (resolver, anchor) = self
-            .anchors
+    fn create(&self, url: &RndiUrl, env: &Environment) -> Result<Arc<dyn DirContext>> {
+        if let Some(pipeline) = self.contexts.lock().get(&url.host) {
+            return Ok(pipeline.clone());
+        }
+        let (resolver, anchor) = self.anchors.lock().get(&url.host).cloned().ok_or_else(|| {
+            NamingError::service(format!("no DNS anchor registered for {}", url.host))
+        })?;
+        let pipeline =
+            DnsProviderContext::with_env(resolver, anchor, self.clock.clone(), &url.host, env);
+        self.contexts
             .lock()
-            .get(&url.host)
-            .cloned()
-            .ok_or_else(|| {
-                NamingError::service(format!("no DNS anchor registered for {}", url.host))
-            })?;
-        Ok(DnsProviderContext::new(
-            resolver,
-            anchor,
-            self.clock.clone(),
-            &url.host,
-        ))
+            .insert(url.host.clone(), pipeline.clone());
+        Ok(pipeline)
     }
 }
 
@@ -262,7 +263,7 @@ impl UrlContextFactory for DnsFactory {
 mod tests {
     use super::*;
     use minidns::{AuthServer, ResourceRecord, Zone};
-    use rndi_core::context::ContextExt;
+    use rndi_core::context::{Context, ContextExt};
 
     struct ZeroClock;
     impl MsClock for ZeroClock {
@@ -271,7 +272,7 @@ mod tests {
         }
     }
 
-    fn world() -> Arc<DnsProviderContext> {
+    fn world() -> Arc<ProviderPipeline<DnsProviderContext>> {
         let server = AuthServer::new();
         let mut zone = Zone::new(DnsName::parse("global.emory.edu").unwrap());
         zone.insert(ResourceRecord::txt(
@@ -304,10 +305,7 @@ mod tests {
     #[test]
     fn leaf_txt_lookup() {
         let ctx = world();
-        assert_eq!(
-            ctx.lookup_str("plain").unwrap().as_str(),
-            Some("just-text")
-        );
+        assert_eq!(ctx.lookup_str("plain").unwrap().as_str(), Some("just-text"));
     }
 
     #[test]
@@ -327,7 +325,10 @@ mod tests {
         let ctx = world();
         let err = ctx.lookup(&"emory/mathcs/dcl/mokey".into()).unwrap_err();
         match err {
-            NamingError::Continue { resolved, remaining } => {
+            NamingError::Continue {
+                resolved,
+                remaining,
+            } => {
                 assert_eq!(
                     resolved.as_reference().unwrap().url_addr(),
                     Some("hdns://host2:8085")
@@ -345,7 +346,10 @@ mod tests {
         let ctx = world();
         let err = ctx.lookup(&"mathcs/dcl/mokey".into()).unwrap_err();
         match err {
-            NamingError::Continue { resolved, remaining } => {
+            NamingError::Continue {
+                resolved,
+                remaining,
+            } => {
                 assert_eq!(
                     resolved.as_reference().unwrap().url_addr(),
                     Some("ldap://ldap-host/ou=dcl")

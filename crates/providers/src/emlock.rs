@@ -208,10 +208,7 @@ mod tests {
         lock.lock();
         lock.unlock();
         let (reads, writes) = ops.snapshot();
-        assert!(
-            writes >= 5,
-            "at least the paper's 5 writes, got {writes}"
-        );
+        assert!(writes >= 5, "at least the paper's 5 writes, got {writes}");
         assert!(reads >= 3, "at least the paper's 3 reads, got {reads}");
         assert!(
             reads <= 6 && writes <= 6,

@@ -14,13 +14,14 @@ use parking_lot::Mutex;
 
 use rndi_core::attrs::{AttrMod, Attributes};
 use rndi_core::context::{
-    Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
+    Binding, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
 };
 use rndi_core::env::Environment;
 use rndi_core::error::{NamingError, Result};
 use rndi_core::filter::Filter;
 use rndi_core::name::CompositeName;
-use rndi_core::spi::UrlContextFactory;
+use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload};
+use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory, WireFormat};
 use rndi_core::url::RndiUrl;
 use rndi_core::value::BoundValue;
 
@@ -33,7 +34,9 @@ fn io_err(e: std::io::Error, what: &str) -> NamingError {
     NamingError::service(format!("filesystem provider: {what}: {e}"))
 }
 
-/// A `DirContext` rooted at a directory.
+/// A naming backend rooted at a directory. Implements [`ProviderBackend`];
+/// the `Context`/`DirContext` surface comes from the [`ProviderPipeline`]
+/// returned by [`FsContext::new`].
 pub struct FsContext {
     root: PathBuf,
     /// Serializes multi-step operations (bind = probe + write).
@@ -41,11 +44,19 @@ pub struct FsContext {
 }
 
 impl FsContext {
-    pub fn new(root: impl Into<PathBuf>) -> Arc<Self> {
-        Arc::new(FsContext {
-            root: root.into(),
-            lock: Mutex::new(()),
-        })
+    pub fn new(root: impl Into<PathBuf>) -> Arc<ProviderPipeline<Self>> {
+        Self::with_env(root, &Environment::new())
+    }
+
+    /// Construct with an environment controlling the pipeline stack.
+    pub fn with_env(root: impl Into<PathBuf>, env: &Environment) -> Arc<ProviderPipeline<Self>> {
+        ProviderPipeline::standard(
+            Arc::new(FsContext {
+                root: root.into(),
+                lock: Mutex::new(()),
+            }),
+            env,
+        )
     }
 
     /// Validate a component: no path tricks.
@@ -107,10 +118,13 @@ impl FsContext {
         dir.join(format!("{leaf}.{ATTR_EXT}"))
     }
 
-    fn read_attrs(dir: &Path, leaf: &str) -> Attributes {
-        std::fs::read_to_string(Self::attr_path(dir, leaf))
-            .map(|s| common::attrs_from_json(&s))
-            .unwrap_or_default()
+    /// Missing attribute files mean "no attributes"; present-but-corrupt
+    /// files are an error (see [`common::attrs_from_json`]).
+    fn read_attrs(dir: &Path, leaf: &str) -> Result<Attributes> {
+        match std::fs::read_to_string(Self::attr_path(dir, leaf)) {
+            Ok(s) => common::attrs_from_json(&s),
+            Err(_) => Ok(Attributes::new()),
+        }
     }
 
     fn write_attrs(dir: &Path, leaf: &str, attrs: &Attributes) -> Result<()> {
@@ -118,14 +132,14 @@ impl FsContext {
             let _ = std::fs::remove_file(Self::attr_path(dir, leaf));
             return Ok(());
         }
-        std::fs::write(Self::attr_path(dir, leaf), common::attrs_to_json(attrs))
+        std::fs::write(Self::attr_path(dir, leaf), common::attrs_to_json(attrs)?)
             .map_err(|e| io_err(e, "write attrs"))
     }
 
     fn do_bind(
         &self,
         name: &CompositeName,
-        value: BoundValue,
+        bytes: &[u8],
         attrs: Attributes,
         overwrite: bool,
     ) -> Result<()> {
@@ -136,12 +150,10 @@ impl FsContext {
             return Err(NamingError::already_bound(name.to_string()));
         }
         if dir.join(&leaf).is_dir() {
-            return Err(NamingError::already_bound(format!(
-                "{name} (a subcontext)"
-            )));
+            return Err(NamingError::already_bound(format!("{name} (a subcontext)")));
         }
         std::fs::create_dir_all(&dir).map_err(|e| io_err(e, "mkdir"))?;
-        std::fs::write(&val, common::marshal(&value)?).map_err(|e| io_err(e, "write"))?;
+        std::fs::write(&val, bytes).map_err(|e| io_err(e, "write"))?;
         Self::write_attrs(&dir, &leaf, &attrs)
     }
 
@@ -196,7 +208,7 @@ impl FsContext {
                 return Ok(());
             }
             let rel_name = rel.child(&child);
-            let attrs = Self::read_attrs(dir, &child);
+            let attrs = Self::read_attrs(dir, &child)?;
             if filter.matches(&attrs) {
                 let attrs = match &controls.return_attrs {
                     Some(ids) => {
@@ -232,7 +244,7 @@ enum EntryKind {
     Value,
 }
 
-impl Context for FsContext {
+impl FsContext {
     fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
         if name.is_empty() {
             return Err(NamingError::invalid_name("", "empty name"));
@@ -249,14 +261,6 @@ impl Context for FsContext {
             return Ok(BoundValue::Null);
         }
         Err(NamingError::not_found(name.to_string()))
-    }
-
-    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.do_bind(name, value, Attributes::new(), false)
-    }
-
-    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.do_bind(name, value, Attributes::new(), true)
     }
 
     fn unbind(&self, name: &CompositeName) -> Result<()> {
@@ -365,18 +369,12 @@ impl Context for FsContext {
         self.unbind(name)
     }
 
-    fn provider_id(&self) -> String {
-        format!("file:{}", self.root.display())
-    }
-}
-
-impl DirContext for FsContext {
     fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
         let (dir, leaf) = self.parent_dir(name)?;
         if !Self::val_path(&dir, &leaf).exists() && !dir.join(&leaf).is_dir() {
             return Err(NamingError::not_found(name.to_string()));
         }
-        Ok(Self::read_attrs(&dir, &leaf))
+        Self::read_attrs(&dir, &leaf)
     }
 
     fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
@@ -385,29 +383,11 @@ impl DirContext for FsContext {
         if !Self::val_path(&dir, &leaf).exists() && !dir.join(&leaf).is_dir() {
             return Err(NamingError::not_found(name.to_string()));
         }
-        let mut attrs = Self::read_attrs(&dir, &leaf);
+        let mut attrs = Self::read_attrs(&dir, &leaf)?;
         for m in mods {
             m.apply(&mut attrs);
         }
         Self::write_attrs(&dir, &leaf, &attrs)
-    }
-
-    fn bind_with_attrs(
-        &self,
-        name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
-    ) -> Result<()> {
-        self.do_bind(name, value, attrs, false)
-    }
-
-    fn rebind_with_attrs(
-        &self,
-        name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
-    ) -> Result<()> {
-        self.do_bind(name, value, attrs, true)
     }
 
     fn search(
@@ -423,20 +403,87 @@ impl DirContext for FsContext {
     }
 }
 
-/// URL factory: `file://root/...`. Hosts map to directory roots.
+impl ProviderBackend for FsContext {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        match op.kind {
+            OpKind::Lookup => self.lookup(&op.name).map(OpOutcome::Value),
+            OpKind::Bind => {
+                let (bytes, _) = op.wire_value()?;
+                self.do_bind(&op.name, &bytes, Attributes::new(), false)
+                    .map(|_| OpOutcome::Done)
+            }
+            OpKind::Rebind => {
+                let (bytes, _) = op.wire_value()?;
+                self.do_bind(&op.name, &bytes, Attributes::new(), true)
+                    .map(|_| OpOutcome::Done)
+            }
+            OpKind::Unbind => self.unbind(&op.name).map(|_| OpOutcome::Done),
+            OpKind::Rename => self
+                .rename(&op.name, op.new_name()?)
+                .map(|_| OpOutcome::Done),
+            OpKind::List => self.list(&op.name).map(OpOutcome::Names),
+            OpKind::ListBindings => self.list_bindings(&op.name).map(OpOutcome::Bindings),
+            OpKind::CreateSubcontext => self.create_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::DestroySubcontext => self.destroy_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
+            OpKind::ModifyAttributes => match &op.payload {
+                OpPayload::Mods(mods) => self
+                    .modify_attributes(&op.name, mods)
+                    .map(|_| OpOutcome::Done),
+                _ => Err(NamingError::service("modify_attributes payload missing")),
+            },
+            OpKind::BindWithAttrs => {
+                let (bytes, _) = op.wire_value()?;
+                self.do_bind(
+                    &op.name,
+                    &bytes,
+                    op.attrs.clone().unwrap_or_default(),
+                    false,
+                )
+                .map(|_| OpOutcome::Done)
+            }
+            OpKind::RebindWithAttrs => {
+                let (bytes, _) = op.wire_value()?;
+                self.do_bind(&op.name, &bytes, op.attrs.clone().unwrap_or_default(), true)
+                    .map(|_| OpOutcome::Done)
+            }
+            OpKind::Search => match &op.payload {
+                OpPayload::Query { filter, controls } => self
+                    .search(&op.name, filter, controls)
+                    .map(OpOutcome::Found),
+                _ => Err(NamingError::service("search payload missing")),
+            },
+            _ => Err(NamingError::unsupported(op.kind.label())),
+        }
+    }
+
+    fn provider_id(&self) -> String {
+        format!("file:{}", self.root.display())
+    }
+
+    fn wire_format(&self) -> WireFormat {
+        WireFormat::Encoded
+    }
+}
+
+/// URL factory: `file://root/...`. Hosts map to directory roots; created
+/// pipelines are cached per host so they share one stats/cache stack.
 pub struct FsFactory {
     roots: Mutex<HashMap<String, PathBuf>>,
+    contexts: Mutex<HashMap<String, Arc<ProviderPipeline<FsContext>>>>,
 }
 
 impl FsFactory {
     pub fn new() -> Arc<Self> {
         Arc::new(FsFactory {
             roots: Mutex::new(HashMap::new()),
+            contexts: Mutex::new(HashMap::new()),
         })
     }
 
     pub fn register_root(&self, host: &str, root: impl Into<PathBuf>) {
         self.roots.lock().insert(host.to_string(), root.into());
+        self.contexts.lock().remove(host);
     }
 }
 
@@ -445,31 +492,29 @@ impl UrlContextFactory for FsFactory {
         "file"
     }
 
-    fn create(&self, url: &RndiUrl, _env: &Environment) -> Result<Arc<dyn DirContext>> {
-        let root = self
-            .roots
+    fn create(&self, url: &RndiUrl, env: &Environment) -> Result<Arc<dyn DirContext>> {
+        if let Some(pipeline) = self.contexts.lock().get(&url.host) {
+            return Ok(pipeline.clone());
+        }
+        let root = self.roots.lock().get(&url.host).cloned().ok_or_else(|| {
+            NamingError::service(format!("no filesystem root registered for {}", url.host))
+        })?;
+        let pipeline = FsContext::with_env(root, env);
+        self.contexts
             .lock()
-            .get(&url.host)
-            .cloned()
-            .ok_or_else(|| {
-                NamingError::service(format!("no filesystem root registered for {}", url.host))
-            })?;
-        Ok(FsContext::new(root))
+            .insert(url.host.clone(), pipeline.clone());
+        Ok(pipeline)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rndi_core::context::ContextExt;
+    use rndi_core::context::{Context, ContextExt, DirContext};
     use rndi_core::value::Reference;
 
     fn fresh_root(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "rndi-fs-{}-{}",
-            std::process::id(),
-            tag
-        ));
+        let dir = std::env::temp_dir().join(format!("rndi-fs-{}-{}", std::process::id(), tag));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

@@ -19,14 +19,15 @@ use hdns::{HdnsEntry, HdnsError, HdnsEvent, HdnsRealm};
 
 use rndi_core::attrs::{AttrMod, Attribute, Attributes};
 use rndi_core::context::{
-    Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
+    Binding, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
 };
 use rndi_core::env::Environment;
 use rndi_core::error::{NamingError, Result};
-use rndi_core::event::{EventHub, ListenerHandle, NamingListener};
+use rndi_core::event::EventHub;
 use rndi_core::filter::Filter;
 use rndi_core::name::CompositeName;
-use rndi_core::spi::UrlContextFactory;
+use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload};
+use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory, WireFormat};
 use rndi_core::url::RndiUrl;
 use rndi_core::value::BoundValue;
 
@@ -44,28 +45,31 @@ fn realm_err(e: hdns::realm::RealmError, name: &str) -> NamingError {
     }
 }
 
-/// Encode a `BoundValue` + `Attributes` into an HDNS entry.
-fn to_entry(value: &BoundValue, attrs: &Attributes) -> Result<HdnsEntry> {
-    let mut e = HdnsEntry::leaf(common::marshal(value)?);
+/// Encode a marshalled payload + `Attributes` into an HDNS entry (binds
+/// arrive wire-encoded from the pipeline's marshalling layer).
+fn to_entry(payload: Vec<u8>, attrs: &Attributes) -> HdnsEntry {
+    let mut e = HdnsEntry::leaf(payload);
     for a in attrs.iter() {
         let vals: Vec<&str> = a.values.iter().filter_map(|v| v.as_str()).collect();
         e.attrs
             .insert(a.id.clone(), serde_json::to_string(&vals).expect("strings"));
     }
-    Ok(e)
+    e
 }
 
-fn from_entry_attrs(e: &HdnsEntry) -> Attributes {
+fn from_entry_attrs(e: &HdnsEntry) -> Result<Attributes> {
     let mut out = Attributes::new();
     for (id, json) in &e.attrs {
-        let vals: Vec<String> = serde_json::from_str(json).unwrap_or_default();
+        let vals: Vec<String> = serde_json::from_str(json).map_err(|err| {
+            NamingError::service(format!("stored attribute {id} is corrupt: {err}"))
+        })?;
         let mut attr = Attribute::new(id.clone());
         for v in vals {
             attr = attr.with(v);
         }
         out.put(attr);
     }
-    out
+    Ok(out)
 }
 
 fn from_entry_value(e: &HdnsEntry) -> BoundValue {
@@ -78,8 +82,10 @@ fn from_entry_value(e: &HdnsEntry) -> BoundValue {
     }
 }
 
-/// A `DirContext` over one HDNS replica (reads are replica-local; writes
-/// replicate through the group).
+/// A naming backend over one HDNS replica (reads are replica-local; writes
+/// replicate through the group). Implements [`ProviderBackend`]; the
+/// `Context`/`DirContext` surface comes from the [`ProviderPipeline`]
+/// returned by [`HdnsProviderContext::new`].
 pub struct HdnsProviderContext {
     realm: HdnsRealm,
     /// Which replica this context talks to (the paper's "nearest node").
@@ -89,13 +95,26 @@ pub struct HdnsProviderContext {
 }
 
 impl HdnsProviderContext {
-    pub fn new(realm: HdnsRealm, node: usize, instance: &str) -> Arc<Self> {
-        Arc::new(HdnsProviderContext {
-            realm,
-            node,
-            hub: Arc::new(EventHub::new()),
-            instance: instance.to_string(),
-        })
+    pub fn new(realm: HdnsRealm, node: usize, instance: &str) -> Arc<ProviderPipeline<Self>> {
+        Self::with_env(realm, node, instance, &Environment::new())
+    }
+
+    /// Construct with an environment controlling the pipeline stack.
+    pub fn with_env(
+        realm: HdnsRealm,
+        node: usize,
+        instance: &str,
+        env: &Environment,
+    ) -> Arc<ProviderPipeline<Self>> {
+        ProviderPipeline::standard(
+            Arc::new(HdnsProviderContext {
+                realm,
+                node,
+                hub: Arc::new(EventHub::new()),
+                instance: instance.to_string(),
+            }),
+            env,
+        )
     }
 
     fn path(&self, name: &CompositeName) -> Result<String> {
@@ -143,16 +162,14 @@ impl HdnsProviderContext {
     fn drain_events(&self) {
         for ev in self.realm.take_events(self.node) {
             match ev {
-                HdnsEvent::Bound { path } => self
-                    .hub
-                    .fire_added(path_to_name(&path), BoundValue::Null),
+                HdnsEvent::Bound { path } => {
+                    self.hub.fire_added(path_to_name(&path), BoundValue::Null)
+                }
                 HdnsEvent::Changed { path } => {
                     self.hub
                         .fire_changed(path_to_name(&path), None, BoundValue::Null)
                 }
-                HdnsEvent::Removed { path } => {
-                    self.hub.fire_removed(path_to_name(&path), None)
-                }
+                HdnsEvent::Removed { path } => self.hub.fire_removed(path_to_name(&path), None),
                 HdnsEvent::Renamed { from, to } => {
                     self.hub.fire_removed(path_to_name(&from), None);
                     self.hub.fire_added(path_to_name(&to), BoundValue::Null);
@@ -175,13 +192,13 @@ impl HdnsProviderContext {
         filter: &Filter,
         controls: &SearchControls,
         out: &mut Vec<SearchItem>,
-    ) {
+    ) -> Result<()> {
         for (child, entry) in self.realm.list(self.node, base) {
             if controls.count_limit > 0 && out.len() >= controls.count_limit {
-                return;
+                return Ok(());
             }
             let rel_name = rel.child(&child);
-            let attrs = from_entry_attrs(&entry);
+            let attrs = from_entry_attrs(&entry)?;
             if filter.matches(&attrs) {
                 let attrs = match &controls.return_attrs {
                     Some(ids) => {
@@ -202,9 +219,10 @@ impl HdnsProviderContext {
                 } else {
                     format!("{base}/{child}")
                 };
-                self.search_recursive(&child_base, &rel_name, filter, controls, out);
+                self.search_recursive(&child_base, &rel_name, filter, controls, out)?;
             }
         }
+        Ok(())
     }
 }
 
@@ -212,7 +230,7 @@ fn path_to_name(path: &str) -> CompositeName {
     CompositeName::from_components(path.split('/').map(String::from))
 }
 
-impl Context for HdnsProviderContext {
+impl HdnsProviderContext {
     fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
         if let Some(cont) = self.check_mount(name) {
             return Err(cont);
@@ -223,14 +241,6 @@ impl Context for HdnsProviderContext {
             .lookup(self.node, &path)
             .ok_or_else(|| NamingError::not_found(&path))?;
         Ok(from_entry_value(&entry))
-    }
-
-    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.bind_with_attrs(name, value, Attributes::new())
-    }
-
-    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.rebind_with_attrs(name, value, Attributes::new())
     }
 
     fn unbind(&self, name: &CompositeName) -> Result<()> {
@@ -323,25 +333,6 @@ impl Context for HdnsProviderContext {
         }
     }
 
-    fn add_listener(
-        &self,
-        name: &CompositeName,
-        listener: Arc<dyn NamingListener>,
-    ) -> Result<ListenerHandle> {
-        Ok(self.hub.subscribe(name.clone(), listener))
-    }
-
-    fn remove_listener(&self, handle: ListenerHandle) -> Result<()> {
-        self.hub.unsubscribe(handle);
-        Ok(())
-    }
-
-    fn provider_id(&self) -> String {
-        format!("hdns:{}#{}", self.instance, self.node)
-    }
-}
-
-impl DirContext for HdnsProviderContext {
     fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
         if let Some(cont) = self.check_mount(name) {
             return Err(cont);
@@ -351,7 +342,7 @@ impl DirContext for HdnsProviderContext {
             .realm
             .lookup(self.node, &path)
             .ok_or_else(|| NamingError::not_found(&path))?;
-        Ok(from_entry_attrs(&entry))
+        from_entry_attrs(&entry)
     }
 
     fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
@@ -360,7 +351,7 @@ impl DirContext for HdnsProviderContext {
             .realm
             .lookup(self.node, &path)
             .ok_or_else(|| NamingError::not_found(&path))?;
-        let mut attrs = from_entry_attrs(&entry);
+        let mut attrs = from_entry_attrs(&entry)?;
         for m in mods {
             m.apply(&mut attrs);
         }
@@ -380,14 +371,14 @@ impl DirContext for HdnsProviderContext {
     fn bind_with_attrs(
         &self,
         name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
+        payload: Vec<u8>,
+        attrs: &Attributes,
     ) -> Result<()> {
         if let Some(cont) = self.check_mount(name) {
             return Err(cont);
         }
         let path = self.path(name)?;
-        let entry = to_entry(&value, &attrs)?;
+        let entry = to_entry(payload, attrs);
         let r = self
             .realm
             .bind(self.node, &path, entry)
@@ -399,14 +390,14 @@ impl DirContext for HdnsProviderContext {
     fn rebind_with_attrs(
         &self,
         name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
+        payload: Vec<u8>,
+        attrs: &Attributes,
     ) -> Result<()> {
         if let Some(cont) = self.check_mount(name) {
             return Err(cont);
         }
         let path = self.path(name)?;
-        let entry = to_entry(&value, &attrs)?;
+        let entry = to_entry(payload, attrs);
         let r = self
             .realm
             .rebind(self.node, &path, entry)
@@ -433,8 +424,74 @@ impl DirContext for HdnsProviderContext {
             self.path(name)?
         };
         let mut out = Vec::new();
-        self.search_recursive(&base, &CompositeName::empty(), filter, controls, &mut out);
+        self.search_recursive(&base, &CompositeName::empty(), filter, controls, &mut out)?;
         Ok(out)
+    }
+}
+
+impl ProviderBackend for HdnsProviderContext {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        match op.kind {
+            OpKind::Lookup => self.lookup(&op.name).map(OpOutcome::Value),
+            OpKind::Bind | OpKind::BindWithAttrs => {
+                let (payload, _) = op.wire_value()?;
+                let attrs = op.attrs.clone().unwrap_or_default();
+                self.bind_with_attrs(&op.name, payload, &attrs)?;
+                Ok(OpOutcome::Done)
+            }
+            OpKind::Rebind | OpKind::RebindWithAttrs => {
+                let (payload, _) = op.wire_value()?;
+                let attrs = op.attrs.clone().unwrap_or_default();
+                self.rebind_with_attrs(&op.name, payload, &attrs)?;
+                Ok(OpOutcome::Done)
+            }
+            OpKind::Unbind => self.unbind(&op.name).map(|_| OpOutcome::Done),
+            OpKind::Rename => self
+                .rename(&op.name, op.new_name()?)
+                .map(|_| OpOutcome::Done),
+            OpKind::List => self.list(&op.name).map(OpOutcome::Names),
+            OpKind::ListBindings => self.list_bindings(&op.name).map(OpOutcome::Bindings),
+            OpKind::CreateSubcontext => self.create_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::DestroySubcontext => self.destroy_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
+            OpKind::ModifyAttributes => match &op.payload {
+                OpPayload::Mods(mods) => self
+                    .modify_attributes(&op.name, mods)
+                    .map(|_| OpOutcome::Done),
+                _ => Err(NamingError::service("modify_attributes payload missing")),
+            },
+            OpKind::Search => match &op.payload {
+                OpPayload::Query { filter, controls } => self
+                    .search(&op.name, filter, controls)
+                    .map(OpOutcome::Found),
+                _ => Err(NamingError::service("search payload missing")),
+            },
+            OpKind::AddListener => match &op.payload {
+                OpPayload::Listener(l) => Ok(OpOutcome::Subscribed(
+                    self.hub.subscribe(op.name.clone(), l.clone()),
+                )),
+                _ => Err(NamingError::service("listener payload missing")),
+            },
+            OpKind::RemoveListener => match &op.payload {
+                OpPayload::Handle(h) => {
+                    self.hub.unsubscribe(*h);
+                    Ok(OpOutcome::Done)
+                }
+                _ => Err(NamingError::service("listener handle missing")),
+            },
+        }
+    }
+
+    fn provider_id(&self) -> String {
+        format!("hdns:{}#{}", self.instance, self.node)
+    }
+
+    fn event_hub(&self) -> Option<Arc<EventHub>> {
+        Some(self.hub.clone())
+    }
+
+    fn wire_format(&self) -> WireFormat {
+        WireFormat::Encoded
     }
 }
 
@@ -442,18 +499,23 @@ impl DirContext for HdnsProviderContext {
 /// pairs registered by the deployment.
 pub struct HdnsFactory {
     hosts: Mutex<HashMap<String, (HdnsRealm, usize)>>,
+    /// One pipeline per host, so interceptor state (cache, stats) survives
+    /// across `create` calls for the same replica.
+    contexts: Mutex<HashMap<String, Arc<ProviderPipeline<HdnsProviderContext>>>>,
 }
 
 impl HdnsFactory {
     pub fn new() -> Arc<Self> {
         Arc::new(HdnsFactory {
             hosts: Mutex::new(HashMap::new()),
+            contexts: Mutex::new(HashMap::new()),
         })
     }
 
     /// Register `host` as reaching replica `node` of `realm`.
     pub fn register_host(&self, host: &str, realm: HdnsRealm, node: usize) {
         self.hosts.lock().insert(host.to_string(), (realm, node));
+        self.contexts.lock().remove(host);
     }
 }
 
@@ -462,16 +524,17 @@ impl UrlContextFactory for HdnsFactory {
         "hdns"
     }
 
-    fn create(&self, url: &RndiUrl, _env: &Environment) -> Result<Arc<dyn DirContext>> {
-        let (realm, node) = self
-            .hosts
-            .lock()
-            .get(&url.host)
-            .cloned()
-            .ok_or_else(|| {
+    fn create(&self, url: &RndiUrl, env: &Environment) -> Result<Arc<dyn DirContext>> {
+        if let Some(ctx) = self.contexts.lock().get(&url.host) {
+            return Ok(ctx.clone());
+        }
+        let (realm, node) =
+            self.hosts.lock().get(&url.host).cloned().ok_or_else(|| {
                 NamingError::service(format!("no HDNS node known as {}", url.host))
             })?;
-        Ok(HdnsProviderContext::new(realm, node, &url.host))
+        let ctx = HdnsProviderContext::with_env(realm, node, &url.host, env);
+        self.contexts.lock().insert(url.host.clone(), ctx.clone());
+        Ok(ctx)
     }
 }
 
@@ -479,10 +542,12 @@ impl UrlContextFactory for HdnsFactory {
 mod tests {
     use super::*;
     use groupcast::StackConfig;
-    use rndi_core::context::ContextExt;
+    use rndi_core::context::{Context, ContextExt};
     use rndi_core::value::Reference;
 
-    fn setup() -> (Arc<HdnsProviderContext>, Arc<HdnsProviderContext>) {
+    type Pipeline = Arc<ProviderPipeline<HdnsProviderContext>>;
+
+    fn setup() -> (Pipeline, Pipeline) {
         let realm = HdnsRealm::new("t", 2, StackConfig::default(), None, 3);
         let a = HdnsProviderContext::new(realm.clone(), 0, "t");
         let b = HdnsProviderContext::new(realm, 1, "t");

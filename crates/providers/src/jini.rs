@@ -29,15 +29,16 @@ use rlus::{
 
 use rndi_core::attrs::{AttrMod, Attributes};
 use rndi_core::context::{
-    Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
+    Binding, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
 };
 use rndi_core::env::{keys, Environment};
 use rndi_core::error::{NamingError, Result};
-use rndi_core::event::{EventHub, ListenerHandle, NamingListener};
+use rndi_core::event::EventHub;
 use rndi_core::filter::Filter;
 use rndi_core::lease::{LeaseRenewalManager, LeaseRenewer};
 use rndi_core::name::CompositeName;
-use rndi_core::spi::UrlContextFactory;
+use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload};
+use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory, WireFormat};
 use rndi_core::url::RndiUrl;
 use rndi_core::value::BoundValue;
 
@@ -83,13 +84,13 @@ fn binding_name(item: &ServiceItem) -> Option<&str> {
         .map(|s| s.as_str())
 }
 
-fn item_attrs(item: &ServiceItem) -> Attributes {
+fn item_attrs(item: &ServiceItem) -> Result<Attributes> {
     item.attribute_sets
         .iter()
         .find(|e| e.class == ATTRS_ENTRY)
         .and_then(|e| e.fields.get("json"))
         .map(|s| common::attrs_from_json(s))
-        .unwrap_or_default()
+        .unwrap_or_else(|| Ok(Attributes::new()))
 }
 
 /// Lock registers stored as registry entries: each read/write is one LUS
@@ -111,20 +112,33 @@ impl SharedRegisters for RegistrarRegisters {
     }
 
     fn write(&self, key: &str, value: &str) {
-        let item = make_item(key, &BoundValue::str(value), &Attributes::new());
+        let item = make_item_value(key, &BoundValue::str(value), &Attributes::new());
         self.registrar.register(item, self.lease_ms);
     }
 }
 
-fn make_item(name: &str, value: &BoundValue, attrs: &Attributes) -> ServiceItem {
-    let payload = common::marshal(value).unwrap_or_default();
-    ServiceItem::new(ServiceStub::new(
-        vec![STUB_TYPE.to_string(), value.class_name().to_string()],
+/// Build a fake-stub registration from a pre-marshalled payload (binds
+/// arrive wire-encoded from the pipeline's marshalling layer).
+fn make_item(
+    name: &str,
+    payload: Vec<u8>,
+    class_name: &str,
+    attrs: &Attributes,
+) -> Result<ServiceItem> {
+    Ok(ServiceItem::new(ServiceStub::new(
+        vec![STUB_TYPE.to_string(), class_name.to_string()],
         payload,
     ))
     .with_id(service_id_for(name))
     .with_entry(Entry::new(BINDING_ENTRY).with("name", name))
-    .with_entry(Entry::new(ATTRS_ENTRY).with("json", common::attrs_to_json(attrs)))
+    .with_entry(Entry::new(ATTRS_ENTRY).with("json", common::attrs_to_json(attrs)?)))
+}
+
+/// [`make_item`] for the provider's own plain values (lock registers,
+/// tombstones) — these are always simple scalars, so encoding can't fail.
+fn make_item_value(name: &str, value: &BoundValue, attrs: &Attributes) -> ServiceItem {
+    let payload = common::marshal(value).expect("plain internal value marshals");
+    make_item(name, payload, value.class_name(), attrs).expect("plain internal attrs serialize")
 }
 
 /// The paper's proposed optimization for strict bind (§5.1): "a
@@ -184,7 +198,9 @@ impl LeaseRenewer for JiniLeases {
     }
 }
 
-/// A `DirContext` over one Jini lookup service.
+/// A naming backend over one Jini lookup service. Implements
+/// [`ProviderBackend`]; the `Context`/`DirContext` surface comes from the
+/// [`ProviderPipeline`] returned by [`JiniProviderContext::new`].
 pub struct JiniProviderContext {
     registrar: Registrar,
     strict: bool,
@@ -207,7 +223,7 @@ impl JiniProviderContext {
         clock: Arc<dyn MsClock>,
         env: Environment,
         instance: &str,
-    ) -> Arc<Self> {
+    ) -> Arc<ProviderPipeline<Self>> {
         Self::with_proxy(registrar, clock, env, instance, None)
     }
 
@@ -219,7 +235,7 @@ impl JiniProviderContext {
         env: Environment,
         instance: &str,
         proxy: Option<Arc<AtomicBindProxy>>,
-    ) -> Arc<Self> {
+    ) -> Arc<ProviderPipeline<Self>> {
         let strict = env.get_bool(keys::JINI_STRICT_BIND, true);
         let lease_ms = env.get_u64(keys::LEASE_MS, DEFAULT_LEASE_MS);
         let slot = env.get_u64("rndi.jini.lock.slot", 0) as usize;
@@ -228,8 +244,7 @@ impl JiniProviderContext {
             registrar: registrar.clone(),
             by_name: Mutex::new(HashMap::new()),
         });
-        let lease_mgr =
-            LeaseRenewalManager::new(Arc::new(LeaseClockAdapter(clock.clone())), 0.5);
+        let lease_mgr = LeaseRenewalManager::new(Arc::new(LeaseClockAdapter(clock.clone())), 0.5);
         let lock = EisenbergMcGuire::new(
             RegistrarRegisters {
                 registrar: registrar.clone(),
@@ -240,7 +255,7 @@ impl JiniProviderContext {
             slot,
             slots.max(slot + 1),
         );
-        let ctx = Arc::new(JiniProviderContext {
+        let backend = Arc::new(JiniProviderContext {
             registrar: registrar.clone(),
             strict,
             proxy,
@@ -251,8 +266,8 @@ impl JiniProviderContext {
             hub: Arc::new(EventHub::new()),
             instance: instance.to_string(),
         });
-        ctx.wire_events();
-        ctx
+        backend.wire_events();
+        ProviderPipeline::standard(backend, &env)
     }
 
     /// Bridge registrar remote events into the provider's event hub.
@@ -276,11 +291,10 @@ impl JiniProviderContext {
                     .as_ref()
                     .map(|i| common::unmarshal(&i.service.payload));
                 match event.transition {
-                    Transition::Match => {
-                        self.hub.fire_added(composite, value.unwrap_or_default())
-                    }
+                    Transition::Match => self.hub.fire_added(composite, value.unwrap_or_default()),
                     Transition::Changed => {
-                        self.hub.fire_changed(composite, None, value.unwrap_or_default())
+                        self.hub
+                            .fire_changed(composite, None, value.unwrap_or_default())
                     }
                     Transition::NoMatch => self.hub.fire_removed(composite, value),
                 }
@@ -334,8 +348,14 @@ impl JiniProviderContext {
         }
     }
 
-    fn register(&self, name: &str, value: &BoundValue, attrs: &Attributes) -> Result<()> {
-        let item = make_item(name, value, attrs);
+    fn register(
+        &self,
+        name: &str,
+        payload: &[u8],
+        class_name: &str,
+        attrs: &Attributes,
+    ) -> Result<()> {
+        let item = make_item(name, payload.to_vec(), class_name, attrs)?;
         let reg = self.registrar.register(item, self.lease_ms);
         self.track_lease(name, &reg);
         Ok(())
@@ -358,16 +378,26 @@ impl JiniProviderContext {
         self.registrar.lookup(&binding_template(name)).is_some()
     }
 
-    fn do_bind(&self, name: &CompositeName, value: BoundValue, attrs: Attributes) -> Result<()> {
+    fn do_bind(
+        &self,
+        name: &CompositeName,
+        payload: &[u8],
+        class_name: &str,
+        attrs: Attributes,
+    ) -> Result<()> {
         match self.resolve(name)? {
-            ResolveStep::Elsewhere { resolved, remaining } => {
-                Err(NamingError::Continue { resolved, remaining })
-            }
+            ResolveStep::Elsewhere {
+                resolved,
+                remaining,
+            } => Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }),
             ResolveStep::Here(flat) => {
                 if let (true, Some(proxy)) = (self.strict, &self.proxy) {
                     // The paper's proxy optimization: one round trip, the
                     // lock held locally next to the LUS.
-                    let item = make_item(flat, &value, &attrs);
+                    let item = make_item(flat, payload.to_vec(), class_name, &attrs)?;
                     match proxy.bind_if_absent(flat, item, self.lease_ms) {
                         Some(reg) => {
                             self.track_lease(flat, &reg);
@@ -382,7 +412,7 @@ impl JiniProviderContext {
                         if self.exists(flat) {
                             return Err(NamingError::already_bound(flat));
                         }
-                        self.register(flat, &value, &attrs)
+                        self.register(flat, payload, class_name, &attrs)
                     })
                 } else {
                     // Relaxed: unlocked check-then-act (the documented
@@ -390,18 +420,28 @@ impl JiniProviderContext {
                     if self.exists(flat) {
                         return Err(NamingError::already_bound(flat));
                     }
-                    self.register(flat, &value, &attrs)
+                    self.register(flat, payload, class_name, &attrs)
                 }
             }
         }
     }
 
-    fn do_rebind(&self, name: &CompositeName, value: BoundValue, attrs: Attributes) -> Result<()> {
+    fn do_rebind(
+        &self,
+        name: &CompositeName,
+        payload: &[u8],
+        class_name: &str,
+        attrs: Attributes,
+    ) -> Result<()> {
         match self.resolve(name)? {
-            ResolveStep::Elsewhere { resolved, remaining } => {
-                Err(NamingError::Continue { resolved, remaining })
-            }
-            ResolveStep::Here(flat) => self.register(flat, &value, &attrs),
+            ResolveStep::Elsewhere {
+                resolved,
+                remaining,
+            } => Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }),
+            ResolveStep::Here(flat) => self.register(flat, payload, class_name, &attrs),
         }
     }
 
@@ -436,35 +476,37 @@ enum ResolveStep<'n> {
     },
 }
 
-impl Context for JiniProviderContext {
-    fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
+impl JiniProviderContext {
+    /// Lookup returns the raw stub payload; the pipeline's marshalling
+    /// layer decodes it on the way up.
+    fn lookup_wire(&self, name: &CompositeName) -> Result<Vec<u8>> {
         match self.resolve(name)? {
-            ResolveStep::Elsewhere { resolved, remaining } => {
-                Err(NamingError::Continue { resolved, remaining })
-            }
+            ResolveStep::Elsewhere {
+                resolved,
+                remaining,
+            } => Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }),
             ResolveStep::Here(flat) => {
                 let item = self
                     .registrar
                     .lookup(&binding_template(flat))
                     .ok_or_else(|| NamingError::not_found(flat))?;
-                Ok(common::unmarshal(&item.service.payload))
+                Ok(item.service.payload.clone())
             }
         }
     }
 
-    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.do_bind(name, value, Attributes::new())
-    }
-
-    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.do_rebind(name, value, Attributes::new())
-    }
-
     fn unbind(&self, name: &CompositeName) -> Result<()> {
         match self.resolve(name)? {
-            ResolveStep::Elsewhere { resolved, remaining } => {
-                Err(NamingError::Continue { resolved, remaining })
-            }
+            ResolveStep::Elsewhere {
+                resolved,
+                remaining,
+            } => Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }),
             ResolveStep::Here(flat) => {
                 self.lease_mgr.unmanage(flat);
                 let lease_id = self.leases.by_name.lock().remove(flat);
@@ -477,7 +519,7 @@ impl Context for JiniProviderContext {
                         // be cancelled. Emulate removal by overwriting with
                         // an already-expired registration and sweeping.
                         if self.exists(flat) {
-                            let item = make_item(flat, &BoundValue::Null, &Attributes::new());
+                            let item = make_item_value(flat, &BoundValue::Null, &Attributes::new());
                             self.registrar.register(item, 0);
                             self.registrar.sweep();
                         }
@@ -526,51 +568,40 @@ impl Context for JiniProviderContext {
         Ok(out)
     }
 
-    fn add_listener(
-        &self,
-        name: &CompositeName,
-        listener: Arc<dyn NamingListener>,
-    ) -> Result<ListenerHandle> {
-        Ok(self.hub.subscribe(name.clone(), listener))
-    }
-
-    fn remove_listener(&self, handle: ListenerHandle) -> Result<()> {
-        self.hub.unsubscribe(handle);
-        Ok(())
-    }
-
-    fn provider_id(&self) -> String {
-        format!("jini:{}", self.instance)
-    }
-}
-
-impl DirContext for JiniProviderContext {
     fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
         match self.resolve(name)? {
-            ResolveStep::Elsewhere { resolved, remaining } => {
-                Err(NamingError::Continue { resolved, remaining })
-            }
+            ResolveStep::Elsewhere {
+                resolved,
+                remaining,
+            } => Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }),
             ResolveStep::Here(flat) => {
                 let item = self
                     .registrar
                     .lookup(&binding_template(flat))
                     .ok_or_else(|| NamingError::not_found(flat))?;
-                Ok(item_attrs(&item))
+                item_attrs(&item)
             }
         }
     }
 
     fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
         match self.resolve(name)? {
-            ResolveStep::Elsewhere { resolved, remaining } => {
-                Err(NamingError::Continue { resolved, remaining })
-            }
+            ResolveStep::Elsewhere {
+                resolved,
+                remaining,
+            } => Err(NamingError::Continue {
+                resolved,
+                remaining,
+            }),
             ResolveStep::Here(flat) => {
                 let item = self
                     .registrar
                     .lookup(&binding_template(flat))
                     .ok_or_else(|| NamingError::not_found(flat))?;
-                let mut attrs = item_attrs(&item);
+                let mut attrs = item_attrs(&item)?;
                 for m in mods {
                     m.apply(&mut attrs);
                 }
@@ -580,30 +611,12 @@ impl DirContext for JiniProviderContext {
                         id,
                         vec![
                             Entry::new(BINDING_ENTRY).with("name", flat),
-                            Entry::new(ATTRS_ENTRY).with("json", common::attrs_to_json(&attrs)),
+                            Entry::new(ATTRS_ENTRY).with("json", common::attrs_to_json(&attrs)?),
                         ],
                     )
                     .map_err(|_| NamingError::not_found(flat))
             }
         }
-    }
-
-    fn bind_with_attrs(
-        &self,
-        name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
-    ) -> Result<()> {
-        self.do_bind(name, value, attrs)
-    }
-
-    fn rebind_with_attrs(
-        &self,
-        name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
-    ) -> Result<()> {
-        self.do_rebind(name, value, attrs)
     }
 
     fn search(
@@ -627,7 +640,7 @@ impl DirContext for JiniProviderContext {
             if controls.scope == SearchScope::Object {
                 continue;
             }
-            let attrs = item_attrs(&item);
+            let attrs = item_attrs(&item)?;
             if filter.matches(&attrs) {
                 let attrs = match &controls.return_attrs {
                     Some(ids) => {
@@ -650,14 +663,95 @@ impl DirContext for JiniProviderContext {
     }
 }
 
+impl ProviderBackend for JiniProviderContext {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        match op.kind {
+            OpKind::Lookup => self.lookup_wire(&op.name).map(OpOutcome::Wire),
+            OpKind::Bind => {
+                let (payload, class) = op.wire_value()?;
+                self.do_bind(&op.name, &payload, &class, Attributes::new())
+                    .map(|_| OpOutcome::Done)
+            }
+            OpKind::Rebind => {
+                let (payload, class) = op.wire_value()?;
+                self.do_rebind(&op.name, &payload, &class, Attributes::new())
+                    .map(|_| OpOutcome::Done)
+            }
+            OpKind::Unbind => self.unbind(&op.name).map(|_| OpOutcome::Done),
+            OpKind::List => self.list(&op.name).map(OpOutcome::Names),
+            OpKind::ListBindings => self.list_bindings(&op.name).map(OpOutcome::Bindings),
+            OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
+            OpKind::ModifyAttributes => match &op.payload {
+                OpPayload::Mods(mods) => self
+                    .modify_attributes(&op.name, mods)
+                    .map(|_| OpOutcome::Done),
+                _ => Err(NamingError::service("modify_attributes payload missing")),
+            },
+            OpKind::BindWithAttrs => {
+                let (payload, class) = op.wire_value()?;
+                self.do_bind(
+                    &op.name,
+                    &payload,
+                    &class,
+                    op.attrs.clone().unwrap_or_default(),
+                )
+                .map(|_| OpOutcome::Done)
+            }
+            OpKind::RebindWithAttrs => {
+                let (payload, class) = op.wire_value()?;
+                self.do_rebind(
+                    &op.name,
+                    &payload,
+                    &class,
+                    op.attrs.clone().unwrap_or_default(),
+                )
+                .map(|_| OpOutcome::Done)
+            }
+            OpKind::Search => match &op.payload {
+                OpPayload::Query { filter, controls } => self
+                    .search(&op.name, filter, controls)
+                    .map(OpOutcome::Found),
+                _ => Err(NamingError::service("search payload missing")),
+            },
+            OpKind::AddListener => match &op.payload {
+                OpPayload::Listener(l) => Ok(OpOutcome::Subscribed(
+                    self.hub.subscribe(op.name.clone(), l.clone()),
+                )),
+                _ => Err(NamingError::service("add_listener payload missing")),
+            },
+            OpKind::RemoveListener => match &op.payload {
+                OpPayload::Handle(h) => {
+                    self.hub.unsubscribe(*h);
+                    Ok(OpOutcome::Done)
+                }
+                _ => Err(NamingError::service("remove_listener payload missing")),
+            },
+            _ => Err(NamingError::unsupported(op.kind.label())),
+        }
+    }
+
+    fn provider_id(&self) -> String {
+        format!("jini:{}", self.instance)
+    }
+
+    fn event_hub(&self) -> Option<Arc<EventHub>> {
+        Some(self.hub.clone())
+    }
+
+    fn wire_format(&self) -> WireFormat {
+        WireFormat::Encoded
+    }
+}
+
 /// URL factory: `jini://host[:port]/...` resolves through a discovery
 /// realm, then wraps the located registrar.
 pub struct JiniFactory {
     realm: DiscoveryRealm,
     clock: Arc<dyn rlus::Clock>,
-    /// One provider context per located registrar, so lease managers and
-    /// event bridges are shared across lookups of the same URL.
-    cache: Mutex<HashMap<String, Arc<JiniProviderContext>>>,
+    /// One provider pipeline per located registrar, so lease managers,
+    /// event bridges, and cache/stats stacks are shared across lookups of
+    /// the same URL.
+    cache: Mutex<HashMap<String, Arc<ProviderPipeline<JiniProviderContext>>>>,
 }
 
 impl JiniFactory {
@@ -676,8 +770,14 @@ impl UrlContextFactory for JiniFactory {
     }
 
     fn create(&self, url: &RndiUrl, env: &Environment) -> Result<Arc<dyn DirContext>> {
-        let locator = rlus::discovery::LookupLocator::new(url.host.clone(), url.port.unwrap_or(4160));
-        let key = format!("{}:{}|strict={}", locator.host, locator.port, env.get_bool(keys::JINI_STRICT_BIND, true));
+        let locator =
+            rlus::discovery::LookupLocator::new(url.host.clone(), url.port.unwrap_or(4160));
+        let key = format!(
+            "{}:{}|strict={}",
+            locator.host,
+            locator.port,
+            env.get_bool(keys::JINI_STRICT_BIND, true)
+        );
         if let Some(ctx) = self.cache.lock().get(&key) {
             return Ok(ctx.clone());
         }
@@ -699,11 +799,17 @@ impl UrlContextFactory for JiniFactory {
 mod tests {
     use super::*;
     use rlus::ManualClock;
-    use rndi_core::context::ContextExt;
+    use rndi_core::context::{Context, ContextExt, DirContext};
     use rndi_core::event::CollectingListener;
     use rndi_core::value::Reference;
 
-    fn setup(strict: bool) -> (Arc<JiniProviderContext>, Registrar, Arc<ManualClock>) {
+    fn setup(
+        strict: bool,
+    ) -> (
+        Arc<ProviderPipeline<JiniProviderContext>>,
+        Registrar,
+        Arc<ManualClock>,
+    ) {
         let clock = ManualClock::new();
         let registrar = Registrar::new(clock.clone(), 600_000, 9);
         let env = Environment::new().with(
@@ -852,7 +958,12 @@ mod tests {
         )
         .unwrap();
 
-        let names: Vec<String> = ctx.list_str("").unwrap().into_iter().map(|p| p.name).collect();
+        let names: Vec<String> = ctx
+            .list_str("")
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
         assert_eq!(names, vec!["node1", "node2"]);
 
         let hits = ctx
@@ -913,7 +1024,8 @@ mod tests {
     fn events_bridge_to_naming_listeners() {
         let (ctx, _, _) = setup(false);
         let l = CollectingListener::new();
-        ctx.add_listener(&CompositeName::empty(), l.clone()).unwrap();
+        ctx.add_listener(&CompositeName::empty(), l.clone())
+            .unwrap();
         ctx.bind_str("watched", "1").unwrap();
         ctx.rebind_str("watched", "2").unwrap();
         let evs = l.drain();
@@ -966,7 +1078,7 @@ mod tests {
                 let proxy = proxy.clone();
                 let wins = wins.clone();
                 s.spawn(move || {
-                    let item = make_item("slot", &BoundValue::I64(t), &Attributes::new());
+                    let item = make_item_value("slot", &BoundValue::I64(t), &Attributes::new());
                     if proxy.bind_if_absent("slot", item, 60_000).is_some() {
                         wins.fetch_add(1, Ordering::SeqCst);
                     }
@@ -981,7 +1093,12 @@ mod tests {
     fn lock_registers_hidden_from_listing() {
         let (ctx, _, _) = setup(true);
         ctx.bind_str("visible", "v").unwrap(); // strict: creates lock entries
-        let names: Vec<String> = ctx.list_str("").unwrap().into_iter().map(|p| p.name).collect();
+        let names: Vec<String> = ctx
+            .list_str("")
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
         assert_eq!(names, vec!["visible"], "lock registers filtered out");
     }
 }

@@ -18,13 +18,14 @@ use dirserv::{DirectoryServer, Dn, LdapEntry, LdapFilter, Rdn, ResultCode, Scope
 
 use rndi_core::attrs::{AttrMod, AttrValue, Attribute, Attributes};
 use rndi_core::context::{
-    Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
+    Binding, DirContext, NameClassPair, SearchControls, SearchItem, SearchScope,
 };
 use rndi_core::env::{keys, Environment};
 use rndi_core::error::{NamingError, Result};
 use rndi_core::filter::Filter;
 use rndi_core::name::CompositeName;
-use rndi_core::spi::UrlContextFactory;
+use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload};
+use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory, WireFormat};
 use rndi_core::url::RndiUrl;
 use rndi_core::value::BoundValue;
 
@@ -60,7 +61,9 @@ fn to_ldap_filter(f: &Filter) -> Result<LdapFilter> {
     })
 }
 
-/// A `DirContext` over one LDAP directory server.
+/// A naming backend over one LDAP directory server. Implements
+/// [`ProviderBackend`]; the `Context`/`DirContext` surface comes from the
+/// [`ProviderPipeline`] returned by [`LdapProviderContext::new`].
 pub struct LdapProviderContext {
     conn: Connection,
     base: Dn,
@@ -77,14 +80,28 @@ impl LdapProviderContext {
         base: Dn,
         clock: Arc<dyn MsClock>,
         instance: &str,
-    ) -> Arc<Self> {
-        Arc::new(LdapProviderContext {
-            conn,
-            base,
-            clock,
-            instance: instance.to_string(),
-            throttle_delay_ms: Mutex::new(0),
-        })
+    ) -> Arc<ProviderPipeline<Self>> {
+        Self::with_env(conn, base, clock, instance, &Environment::new())
+    }
+
+    /// Construct with an environment controlling the pipeline stack.
+    pub fn with_env(
+        conn: Connection,
+        base: Dn,
+        clock: Arc<dyn MsClock>,
+        instance: &str,
+        env: &Environment,
+    ) -> Arc<ProviderPipeline<Self>> {
+        ProviderPipeline::standard(
+            Arc::new(LdapProviderContext {
+                conn,
+                base,
+                clock,
+                instance: instance.to_string(),
+                throttle_delay_ms: Mutex::new(0),
+            }),
+            env,
+        )
     }
 
     /// Total anti-DoS delay accumulated so far (and reset the counter).
@@ -94,8 +111,7 @@ impl LdapProviderContext {
 
     fn component_rdn(component: &str) -> Result<Rdn> {
         if component.contains('=') {
-            Rdn::parse(component)
-                .map_err(|reason| NamingError::invalid_name(component, reason))
+            Rdn::parse(component).map_err(|reason| NamingError::invalid_name(component, reason))
         } else if component.is_empty() {
             Err(NamingError::invalid_name(component, "empty component"))
         } else {
@@ -183,22 +199,16 @@ impl LdapProviderContext {
         out
     }
 
-    fn build_entry(
-        &self,
-        dn: Dn,
-        value: &BoundValue,
-        attrs: &Attributes,
-    ) -> Result<LdapEntry> {
+    fn build_entry(&self, dn: Dn, payload: Vec<u8>, attrs: &Attributes) -> Result<LdapEntry> {
         let mut entry = LdapEntry::new(dn.clone());
         entry.add_value(CLASS_ATTR, RNDI_CLASS);
         let rdn = dn
             .rdn()
             .ok_or_else(|| NamingError::invalid_name("", "cannot bind the base DN"))?;
         entry.add_value(&rdn.attr, rdn.value.clone());
-        let marshalled = common::marshal(value)?;
         entry.add_value(
             VALUE_ATTR,
-            String::from_utf8(marshalled)
+            String::from_utf8(payload)
                 .map_err(|_| NamingError::unsupported("non-UTF8 payloads in LDAP"))?,
         );
         for a in attrs.iter() {
@@ -212,7 +222,7 @@ impl LdapProviderContext {
     }
 }
 
-impl Context for LdapProviderContext {
+impl LdapProviderContext {
     fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
         if name.is_empty() {
             return Err(NamingError::invalid_name("", "empty name"));
@@ -225,14 +235,6 @@ impl Context for LdapProviderContext {
                 None => Err(NamingError::not_found(dn.to_string())),
             },
         }
-    }
-
-    fn bind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.bind_with_attrs(name, value, Attributes::new())
-    }
-
-    fn rebind(&self, name: &CompositeName, value: BoundValue) -> Result<()> {
-        self.rebind_with_attrs(name, value, Attributes::new())
     }
 
     fn unbind(&self, name: &CompositeName) -> Result<()> {
@@ -336,16 +338,6 @@ impl Context for LdapProviderContext {
         self.unbind(name)
     }
 
-    fn provider_id(&self) -> String {
-        format!("ldap:{}/{}", self.instance, self.base)
-    }
-
-    fn compound_syntax(&self) -> rndi_core::name::CompoundSyntax {
-        rndi_core::name::CompoundSyntax::ldap()
-    }
-}
-
-impl DirContext for LdapProviderContext {
     fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
         let dn = self.dn(name, name.len())?;
         let entry = self
@@ -391,28 +383,28 @@ impl DirContext for LdapProviderContext {
     fn bind_with_attrs(
         &self,
         name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
+        payload: Vec<u8>,
+        attrs: &Attributes,
     ) -> Result<()> {
         if let Some(cont) = self.check_mount(name)? {
             return Err(cont);
         }
         let dn = self.dn(name, name.len())?;
-        let entry = self.build_entry(dn, &value, &attrs)?;
+        let entry = self.build_entry(dn, payload, attrs)?;
         self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
     }
 
     fn rebind_with_attrs(
         &self,
         name: &CompositeName,
-        value: BoundValue,
-        attrs: Attributes,
+        payload: Vec<u8>,
+        attrs: &Attributes,
     ) -> Result<()> {
         if let Some(cont) = self.check_mount(name)? {
             return Err(cont);
         }
         let dn = self.dn(name, name.len())?;
-        let entry = self.build_entry(dn.clone(), &value, &attrs)?;
+        let entry = self.build_entry(dn.clone(), payload, attrs)?;
         match self.conn.delete(&dn) {
             Ok(()) | Err((ResultCode::NoSuchObject, _)) => {}
             Err((code, detail)) => return Err(code_err(code, detail)),
@@ -464,6 +456,61 @@ impl DirContext for LdapProviderContext {
     }
 }
 
+impl ProviderBackend for LdapProviderContext {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        match op.kind {
+            OpKind::Lookup => self.lookup(&op.name).map(OpOutcome::Value),
+            OpKind::Bind | OpKind::BindWithAttrs => {
+                let (payload, _) = op.wire_value()?;
+                let attrs = op.attrs.clone().unwrap_or_default();
+                self.bind_with_attrs(&op.name, payload, &attrs)?;
+                Ok(OpOutcome::Done)
+            }
+            OpKind::Rebind | OpKind::RebindWithAttrs => {
+                let (payload, _) = op.wire_value()?;
+                let attrs = op.attrs.clone().unwrap_or_default();
+                self.rebind_with_attrs(&op.name, payload, &attrs)?;
+                Ok(OpOutcome::Done)
+            }
+            OpKind::Unbind => self.unbind(&op.name).map(|_| OpOutcome::Done),
+            OpKind::Rename => self
+                .rename(&op.name, op.new_name()?)
+                .map(|_| OpOutcome::Done),
+            OpKind::List => self.list(&op.name).map(OpOutcome::Names),
+            OpKind::ListBindings => self.list_bindings(&op.name).map(OpOutcome::Bindings),
+            OpKind::CreateSubcontext => self.create_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::DestroySubcontext => self.destroy_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
+            OpKind::ModifyAttributes => match &op.payload {
+                OpPayload::Mods(mods) => self
+                    .modify_attributes(&op.name, mods)
+                    .map(|_| OpOutcome::Done),
+                _ => Err(NamingError::service("modify_attributes payload missing")),
+            },
+            OpKind::Search => match &op.payload {
+                OpPayload::Query { filter, controls } => self
+                    .search(&op.name, filter, controls)
+                    .map(OpOutcome::Found),
+                _ => Err(NamingError::service("search payload missing")),
+            },
+            // dirserv has no change-notification protocol.
+            _ => Err(NamingError::unsupported(op.kind.label())),
+        }
+    }
+
+    fn provider_id(&self) -> String {
+        format!("ldap:{}/{}", self.instance, self.base)
+    }
+
+    fn compound_syntax(&self) -> rndi_core::name::CompoundSyntax {
+        rndi_core::name::CompoundSyntax::ldap()
+    }
+
+    fn wire_format(&self) -> WireFormat {
+        WireFormat::Encoded
+    }
+}
+
 /// Render `dn` relative to `base` as a composite-style name.
 fn relative_name(dn: &Dn, base: &Dn) -> String {
     let extra = dn.depth().saturating_sub(base.depth());
@@ -480,6 +527,10 @@ fn relative_name(dn: &Dn, base: &Dn) -> String {
 pub struct LdapFactory {
     hosts: Mutex<HashMap<String, (DirectoryServer, Dn)>>,
     clock: Arc<dyn MsClock>,
+    /// One pipeline per `host|principal` pair — connections carry an
+    /// authentication identity, so different principals must not share a
+    /// cached context (or its lookup cache).
+    contexts: Mutex<HashMap<String, Arc<ProviderPipeline<LdapProviderContext>>>>,
 }
 
 impl LdapFactory {
@@ -487,11 +538,14 @@ impl LdapFactory {
         Arc::new(LdapFactory {
             hosts: Mutex::new(HashMap::new()),
             clock,
+            contexts: Mutex::new(HashMap::new()),
         })
     }
 
     pub fn register_host(&self, host: &str, server: DirectoryServer, base: Dn) {
         self.hosts.lock().insert(host.to_string(), (server, base));
+        let prefix = format!("{host}|");
+        self.contexts.lock().retain(|k, _| !k.starts_with(&prefix));
     }
 }
 
@@ -501,14 +555,17 @@ impl UrlContextFactory for LdapFactory {
     }
 
     fn create(&self, url: &RndiUrl, env: &Environment) -> Result<Arc<dyn DirContext>> {
-        let (server, base) = self
-            .hosts
-            .lock()
-            .get(&url.host)
-            .cloned()
-            .ok_or_else(|| {
-                NamingError::service(format!("no LDAP server registered for {}", url.host))
-            })?;
+        let key = format!(
+            "{}|{}",
+            url.host,
+            env.get(keys::SECURITY_PRINCIPAL).unwrap_or("")
+        );
+        if let Some(ctx) = self.contexts.lock().get(&key) {
+            return Ok(ctx.clone());
+        }
+        let (server, base) = self.hosts.lock().get(&url.host).cloned().ok_or_else(|| {
+            NamingError::service(format!("no LDAP server registered for {}", url.host))
+        })?;
         // Service-specific credentials flow through the environment — the
         // "service-specific configuration parameters" §3 mentions.
         let conn = match (
@@ -516,20 +573,17 @@ impl UrlContextFactory for LdapFactory {
             env.get(keys::SECURITY_CREDENTIALS),
         ) {
             (Some(principal), Some(password)) => {
-                let dn = Dn::parse(principal)
-                    .map_err(|r| NamingError::invalid_name(principal, r))?;
+                let dn =
+                    Dn::parse(principal).map_err(|r| NamingError::invalid_name(principal, r))?;
                 server
                     .simple_bind(&dn, password)
                     .map_err(|(c, d)| code_err(c, d))?
             }
             _ => server.connect_anonymous(),
         };
-        Ok(LdapProviderContext::new(
-            conn,
-            base,
-            self.clock.clone(),
-            &url.host,
-        ))
+        let ctx = LdapProviderContext::with_env(conn, base, self.clock.clone(), &url.host, env);
+        self.contexts.lock().insert(key, ctx.clone());
+        Ok(ctx)
     }
 }
 
@@ -537,7 +591,7 @@ impl UrlContextFactory for LdapFactory {
 mod tests {
     use super::*;
     use dirserv::ServerConfig;
-    use rndi_core::context::ContextExt;
+    use rndi_core::context::{Context, ContextExt, DirContext};
     use rndi_core::value::Reference;
 
     struct ZeroClock;
@@ -547,7 +601,7 @@ mod tests {
         }
     }
 
-    fn setup() -> (Arc<LdapProviderContext>, DirectoryServer) {
+    fn setup() -> (Arc<ProviderPipeline<LdapProviderContext>>, DirectoryServer) {
         let server = DirectoryServer::new(ServerConfig {
             read_throttle_per_sec: None,
             validate_schema: true,
@@ -702,7 +756,10 @@ mod tests {
         // The paper's ldap://host/n=jiniServer/... case.
         let err = ctx.lookup(&"jiniServer/grp/obj".into()).unwrap_err();
         match err {
-            NamingError::Continue { resolved, remaining } => {
+            NamingError::Continue {
+                resolved,
+                remaining,
+            } => {
                 assert_eq!(
                     resolved.as_reference().unwrap().url_addr(),
                     Some("jini://host1")

@@ -36,7 +36,7 @@ pub mod ldap;
 
 pub use dns::{DnsFactory, DnsProviderContext};
 pub use emlock::{EisenbergMcGuire, RegisterOps, SharedRegisters};
-pub use fs::{FsFactory, FsContext};
+pub use fs::{FsContext, FsFactory};
 pub use hdns::{HdnsFactory, HdnsProviderContext};
 pub use jini::{AtomicBindProxy, JiniFactory, JiniProviderContext};
 pub use ldap::{LdapFactory, LdapProviderContext};

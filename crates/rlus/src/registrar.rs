@@ -127,12 +127,8 @@ impl Registrar {
                 let _ = st.service_leases.cancel(prev.lease_id);
             }
             let lease = st.service_leases.grant(id, lease_ms, now);
-            let events = Self::transition_events(
-                &mut st,
-                id,
-                old.as_ref().map(|s| &s.item),
-                Some(&item),
-            );
+            let events =
+                Self::transition_events(&mut st, id, old.as_ref().map(|s| &s.item), Some(&item));
             st.items.insert(
                 id,
                 StoredItem {
@@ -363,7 +359,9 @@ mod tests {
         let (r, _) = registrar();
         let reg = r.register(item("a"), 10_000);
         let found = r
-            .lookup(&ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "a")))
+            .lookup(
+                &ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "a")),
+            )
             .unwrap();
         assert_eq!(found.service_id, Some(reg.service_id));
         assert_eq!(r.item_count(), 1);
@@ -379,10 +377,14 @@ mod tests {
         assert_eq!(reg1.service_id, reg2.service_id);
         assert_eq!(r.item_count(), 1);
         assert!(r
-            .lookup(&ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "a")))
+            .lookup(
+                &ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "a"))
+            )
             .is_none());
         assert!(r
-            .lookup(&ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "b")))
+            .lookup(
+                &ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "b"))
+            )
             .is_some());
         assert_eq!(r.stats().overwrites, 1);
     }
@@ -498,7 +500,12 @@ mod tests {
     fn transition_mask_filters_events() {
         let (r, _) = registrar();
         let l = BufferingListener::new();
-        r.notify(ServiceTemplate::any(), &[Transition::NoMatch], l.clone(), 60_000);
+        r.notify(
+            ServiceTemplate::any(),
+            &[Transition::NoMatch],
+            l.clone(),
+            60_000,
+        );
         let reg = r.register(item("a"), 10_000);
         assert_eq!(l.count(), 0, "Match filtered out");
         r.cancel_service_lease(reg.lease.id).unwrap();
@@ -509,7 +516,12 @@ mod tests {
     fn expired_subscription_stops_firing() {
         let (r, clock) = registrar();
         let l = BufferingListener::new();
-        r.notify(ServiceTemplate::any(), &[Transition::Match], l.clone(), 1_000);
+        r.notify(
+            ServiceTemplate::any(),
+            &[Transition::Match],
+            l.clone(),
+            1_000,
+        );
         clock.set(2_000);
         r.sweep();
         r.register(item("a"), 10_000);
@@ -520,7 +532,12 @@ mod tests {
     fn lease_expiry_fires_nomatch_events() {
         let (r, clock) = registrar();
         let l = BufferingListener::new();
-        r.notify(ServiceTemplate::any(), &[Transition::NoMatch], l.clone(), 60_000);
+        r.notify(
+            ServiceTemplate::any(),
+            &[Transition::NoMatch],
+            l.clone(),
+            60_000,
+        );
         r.register(item("dies"), 500);
         clock.set(600);
         r.sweep();
@@ -533,7 +550,12 @@ mod tests {
     fn cancel_event_lease_unsubscribes() {
         let (r, _) = registrar();
         let l = BufferingListener::new();
-        let reg = r.notify(ServiceTemplate::any(), &[Transition::Match], l.clone(), 60_000);
+        let reg = r.notify(
+            ServiceTemplate::any(),
+            &[Transition::Match],
+            l.clone(),
+            60_000,
+        );
         r.cancel_event_lease(reg.lease.id).unwrap();
         r.register(item("a"), 10_000);
         assert_eq!(l.count(), 0);

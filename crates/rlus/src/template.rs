@@ -45,10 +45,12 @@ impl EntryTemplate {
         if entry.class != self.class {
             return false;
         }
-        self.fields.iter().all(|(k, want)| match entry.fields.get(k) {
-            Some(have) => want.as_ref().is_none_or(|w| w == have),
-            None => false,
-        })
+        self.fields
+            .iter()
+            .all(|(k, want)| match entry.fields.get(k) {
+                Some(have) => want.as_ref().is_none_or(|w| w == have),
+                None => false,
+            })
     }
 }
 
@@ -152,8 +154,7 @@ mod tests {
 
     #[test]
     fn entry_template_wildcards() {
-        let t = ServiceTemplate::any()
-            .with_entry(EntryTemplate::new("Name").with("name", "laser"));
+        let t = ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "laser"));
         assert!(t.matches(&printer()));
 
         let t = ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with_any("location"));
@@ -162,8 +163,8 @@ mod tests {
         let t = ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with_any("missing"));
         assert!(!t.matches(&printer()));
 
-        let t = ServiceTemplate::any()
-            .with_entry(EntryTemplate::new("Name").with("name", "inkjet"));
+        let t =
+            ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("name", "inkjet"));
         assert!(!t.matches(&printer()));
     }
 
@@ -174,8 +175,11 @@ mod tests {
             .with_entry(EntryTemplate::new("Status").with("state", "idle"));
         assert!(t.matches(&printer()));
         // One template can't straddle two entries.
-        let t = ServiceTemplate::any()
-            .with_entry(EntryTemplate::new("Name").with("name", "laser").with("state", "idle"));
+        let t = ServiceTemplate::any().with_entry(
+            EntryTemplate::new("Name")
+                .with("name", "laser")
+                .with("state", "idle"),
+        );
         assert!(!t.matches(&printer()));
     }
 

@@ -12,10 +12,7 @@ fn entry_strategy() -> impl Strategy<Value = Entry> {
         "[A-Z][a-z]{1,6}",
         proptest::collection::btree_map("[a-z]{1,4}", "[a-z0-9]{1,6}", 0..4),
     )
-        .prop_map(|(class, fields)| Entry {
-            class,
-            fields,
-        })
+        .prop_map(|(class, fields)| Entry { class, fields })
 }
 
 fn item_strategy() -> impl Strategy<Value = ServiceItem> {

@@ -169,11 +169,7 @@ impl Network {
 
     /// Whether the node is currently alive.
     pub fn is_alive(&self, node: NodeId) -> bool {
-        self.core
-            .borrow()
-            .nodes
-            .get(&node)
-            .is_some_and(|n| n.alive)
+        self.core.borrow().nodes.get(&node).is_some_and(|n| n.alive)
     }
 
     /// Crash a node: it stops receiving packets until restarted. Handlers
@@ -255,7 +251,8 @@ impl Network {
             bytes,
             sent_at: self.sim.now(),
         };
-        self.sim.schedule(delay, move |sim| net.deliver(sim, packet));
+        self.sim
+            .schedule(delay, move |sim| net.deliver(sim, packet));
     }
 
     /// Send the same payload to several destinations (unreliable multicast).

@@ -153,9 +153,9 @@ impl QueueingServer {
                 }
             }
             core.queue.push(job);
-            core.config.memory_limit.is_some_and(|limit| {
-                core.queue.len() as u64 * core.config.bytes_per_job > limit
-            })
+            core.config
+                .memory_limit
+                .is_some_and(|limit| core.queue.len() as u64 * core.config.bytes_per_job > limit)
         };
         if crash_now {
             self.crash();

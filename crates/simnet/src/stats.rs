@@ -88,7 +88,9 @@ impl LatencyStat {
             return None;
         }
         let total: u128 = self.samples.iter().map(|d| d.as_nanos()).sum();
-        Some(Duration::from_nanos((total / self.samples.len() as u128) as u64))
+        Some(Duration::from_nanos(
+            (total / self.samples.len() as u128) as u64,
+        ))
     }
 
     pub fn min(&self) -> Option<Duration> {

@@ -21,8 +21,12 @@ fn main() {
     );
 
     println!("== normal operation ==");
-    realm.bind(0, "svc-a", HdnsEntry::leaf(b"alpha".to_vec())).unwrap();
-    realm.bind(1, "svc-b", HdnsEntry::leaf(b"beta".to_vec())).unwrap();
+    realm
+        .bind(0, "svc-a", HdnsEntry::leaf(b"alpha".to_vec()))
+        .unwrap();
+    realm
+        .bind(1, "svc-b", HdnsEntry::leaf(b"beta".to_vec()))
+        .unwrap();
     for i in 0..3 {
         assert_eq!(realm.lookup(i, "svc-a").unwrap().value, b"alpha");
     }
@@ -32,7 +36,9 @@ fn main() {
     realm.crash(2);
     assert!(!realm.is_alive(2));
     // Service continues; writes land on the survivors.
-    realm.bind(0, "svc-c", HdnsEntry::leaf(b"gamma".to_vec())).unwrap();
+    realm
+        .bind(0, "svc-c", HdnsEntry::leaf(b"gamma".to_vec()))
+        .unwrap();
     realm.restart(2);
     assert!(realm.is_alive(2));
     assert_eq!(

@@ -71,16 +71,14 @@ fn main() -> Result<()> {
         rndi::ldap::LdapEntry::new(rndi::ldap::Dn::parse("ou=dcl,o=emory").unwrap())
             .with("objectClass", "organizationalUnit")
             .with("ou", "dcl"),
-        rndi::ldap::LdapEntry::new(
-            rndi::ldap::Dn::parse("cn=mokey,ou=dcl,o=emory").unwrap(),
-        )
-        .with("objectClass", "rndiObject")
-        .with("cn", "mokey")
-        .with(
-            "rndiValue",
-            String::from_utf8(StoredValue::Str("status: alive and banana-fed".into()).encode())
-                .unwrap(),
-        ),
+        rndi::ldap::LdapEntry::new(rndi::ldap::Dn::parse("cn=mokey,ou=dcl,o=emory").unwrap())
+            .with("objectClass", "rndiObject")
+            .with("cn", "mokey")
+            .with(
+                "rndiValue",
+                String::from_utf8(StoredValue::Str("status: alive and banana-fed".into()).encode())
+                    .unwrap(),
+            ),
     ] {
         admin.add(entry).unwrap();
     }
@@ -101,11 +99,7 @@ fn main() -> Result<()> {
     registry.register(hdns_factory.clone());
 
     let ldap_factory = LdapFactory::new(clock);
-    ldap_factory.register_host(
-        "dcl-ldap",
-        ldap,
-        rndi::ldap::Dn::parse("o=emory").unwrap(),
-    );
+    ldap_factory.register_host("dcl-ldap", ldap, rndi::ldap::Dn::parse("o=emory").unwrap());
     registry.register(ldap_factory);
 
     let ctx = InitialContext::new(registry, Environment::new())?;

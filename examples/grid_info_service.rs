@@ -56,7 +56,11 @@ fn main() -> Result<()> {
     let registry = Arc::new(ProviderRegistry::new());
     registry.register(JiniFactory::new(jini_realm, rlus_clock));
     let ldap_factory = LdapFactory::new(ms_clock);
-    ldap_factory.register_host("physics-ldap", ldap, rndi::ldap::Dn::parse("o=physics").unwrap());
+    ldap_factory.register_host(
+        "physics-ldap",
+        ldap,
+        rndi::ldap::Dn::parse("o=physics").unwrap(),
+    );
     registry.register(ldap_factory);
     let hdns_factory = HdnsFactory::new();
     hdns_factory.register_host("campus", hdns_realm, 0);
@@ -112,7 +116,12 @@ fn main() -> Result<()> {
             },
         )?;
         for h in hits {
-            let endpoint = h.value.as_ref().and_then(|v| v.as_str()).unwrap_or("?").to_string();
+            let endpoint = h
+                .value
+                .as_ref()
+                .and_then(|v| v.as_str())
+                .unwrap_or("?")
+                .to_string();
             println!(
                 "  [{dept}] {:<10} cpu={:<3} mem={:<7} {endpoint}",
                 h.name,

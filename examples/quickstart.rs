@@ -72,10 +72,18 @@ fn main() -> Result<()> {
         Attributes::new().with("os", "linux").with("cpu", "4"),
     )?;
 
-    let hits = ctx.search("jini://host1", "(&(os=linux)(cpu>=8))", &SearchControls::default())?;
+    let hits = ctx.search(
+        "jini://host1",
+        "(&(os=linux)(cpu>=8))",
+        &SearchControls::default(),
+    )?;
     println!("big linux boxes in the Jini registry:");
     for h in &hits {
-        println!("  {} (cpu={})", h.name, h.attrs.get("cpu").unwrap().first_str().unwrap());
+        println!(
+            "  {} (cpu={})",
+            h.name,
+            h.attrs.get("cpu").unwrap().first_str().unwrap()
+        );
     }
     assert_eq!(hits.len(), 1);
 
@@ -91,7 +99,10 @@ fn main() -> Result<()> {
         BoundValue::Reference(Reference::url("jini://host1")),
     )?;
     let via = ctx.lookup("hdns://host2/jiniCtx/printer")?;
-    println!("hdns://host2/jiniCtx/printer -> {:?}", via.as_str().unwrap());
+    println!(
+        "hdns://host2/jiniCtx/printer -> {:?}",
+        via.as_str().unwrap()
+    );
     assert_eq!(via.as_str(), Some("laser-3rd-floor"));
 
     println!("quickstart OK");

@@ -46,7 +46,9 @@ fn main() -> Result<()> {
     ctx.bind_with_attrs(
         &"thumbnailer".into(),
         BoundValue::str("endpoint://cpu-box:7001"),
-        Attributes::new().with("service", "media").with("codec", "jpeg"),
+        Attributes::new()
+            .with("service", "media")
+            .with("codec", "jpeg"),
     )?;
 
     let hits = ctx.search(
@@ -54,7 +56,10 @@ fn main() -> Result<()> {
         &Filter::parse("(&(service=media)(codec=av1))")?,
         &SearchControls::default(),
     )?;
-    println!("services speaking AV1: {:?}", hits.iter().map(|h| &h.name).collect::<Vec<_>>());
+    println!(
+        "services speaking AV1: {:?}",
+        hits.iter().map(|h| &h.name).collect::<Vec<_>>()
+    );
     assert_eq!(hits.len(), 1);
 
     println!("== events ==");
@@ -90,7 +95,10 @@ fn main() -> Result<()> {
 
     // The registry fired removal transitions for the expiry sweeps.
     let removals = listener.drain();
-    println!("events after expiry: {} (registry-side reclamation)", removals.len());
+    println!(
+        "events after expiry: {} (registry-side reclamation)",
+        removals.len()
+    );
 
     println!("service discovery example OK");
     Ok(())

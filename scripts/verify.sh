@@ -1,0 +1,31 @@
+#!/usr/bin/env bash
+# Workspace verification: build, tests, formatting, lints.
+# Everything runs offline — all dependencies are vendored under vendor/.
+# fmt/clippy run on the product crates only: the vendored stand-ins keep
+# their upstream-derived style and are exempt from local lint policy.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+PRODUCT_CRATES=(
+  rndi rndi-core simnet groupcast rlus hdns minidns dirserv
+  rndi-providers rndi-bench
+)
+pkg_flags=()
+for crate in "${PRODUCT_CRATES[@]}"; do
+  pkg_flags+=(-p "$crate")
+done
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test -q"
+cargo test -q --workspace
+
+echo "==> cargo fmt --check"
+cargo fmt --check "${pkg_flags[@]}"
+
+echo "==> cargo clippy -D warnings"
+cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
+
+echo "verify: OK"

@@ -16,12 +16,25 @@ const REPLICAS: usize = 3;
 #[derive(Clone, Debug)]
 enum ChaosEvent {
     /// Bind/rebind `key` via replica `node` (ignored if that node is down).
-    Write { node: u8, key: u8, val: u8 },
-    Unbind { node: u8, key: u8 },
-    Crash { node: u8 },
-    Restart { node: u8 },
+    Write {
+        node: u8,
+        key: u8,
+        val: u8,
+    },
+    Unbind {
+        node: u8,
+        key: u8,
+    },
+    Crash {
+        node: u8,
+    },
+    Restart {
+        node: u8,
+    },
     /// Isolate one replica from the other two.
-    Isolate { node: u8 },
+    Isolate {
+        node: u8,
+    },
     Heal,
 }
 

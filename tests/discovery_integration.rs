@@ -14,8 +14,16 @@ fn deployment() -> (DiscoveryRealm, Registrar, Registrar, Arc<ManualClock>) {
     let realm = DiscoveryRealm::new();
     let mathcs = Registrar::new(clock.clone(), 600_000, 1);
     let physics = Registrar::new(clock.clone(), 600_000, 2);
-    realm.announce(LookupLocator::new("mathcs-lus", 4160), &["public", "mathcs"], mathcs.clone());
-    realm.announce(LookupLocator::new("physics-lus", 4160), &["public"], physics.clone());
+    realm.announce(
+        LookupLocator::new("mathcs-lus", 4160),
+        &["public", "mathcs"],
+        mathcs.clone(),
+    );
+    realm.announce(
+        LookupLocator::new("physics-lus", 4160),
+        &["public"],
+        physics.clone(),
+    );
     (realm, mathcs, physics, clock)
 }
 
@@ -35,8 +43,14 @@ fn urls_route_to_the_announced_registrars() {
     // Each write landed on its own backend.
     assert_eq!(mathcs.item_count(), 1);
     assert_eq!(physics.item_count(), 1);
-    assert_eq!(ic.lookup("jini://mathcs-lus/svc").unwrap().as_str(), Some("m"));
-    assert_eq!(ic.lookup("jini://physics-lus/svc").unwrap().as_str(), Some("p"));
+    assert_eq!(
+        ic.lookup("jini://mathcs-lus/svc").unwrap().as_str(),
+        Some("m")
+    );
+    assert_eq!(
+        ic.lookup("jini://physics-lus/svc").unwrap().as_str(),
+        Some("p")
+    );
 }
 
 #[test]
@@ -57,8 +71,12 @@ fn group_discovery_finds_the_right_subset() {
     assert_eq!(realm.discover("public").len(), 2);
     assert_eq!(realm.discover("mathcs").len(), 1);
     assert_eq!(realm.discover("chemistry").len(), 0);
-    assert!(realm.locate(&LookupLocator::new("mathcs-lus", 4160)).is_some());
-    assert!(realm.locate(&LookupLocator::new("mathcs-lus", 9999)).is_none());
+    assert!(realm
+        .locate(&LookupLocator::new("mathcs-lus", 4160))
+        .is_some());
+    assert!(realm
+        .locate(&LookupLocator::new("mathcs-lus", 9999))
+        .is_none());
 }
 
 #[test]

@@ -31,7 +31,11 @@ fn world(tag: &str) -> World {
     // DNS root: anchor for federation "global".
     let dns_server = rndi::dns::AuthServer::new();
     let mut zone = rndi::dns::Zone::new(rndi::dns::DnsName::parse("global.test").unwrap());
-    zone.insert(rndi::dns::ResourceRecord::txt("global.test", 60, "hdns://h0"));
+    zone.insert(rndi::dns::ResourceRecord::txt(
+        "global.test",
+        60,
+        "hdns://h0",
+    ));
     dns_server.add_zone(zone);
     let dns_factory = DnsFactory::new(clock.clone());
     dns_factory.register_anchor(
@@ -253,7 +257,10 @@ fn hdns_failures_do_not_break_other_systems() {
     // Take down the whole HDNS realm.
     w.hdns_realm.crash(0);
     w.hdns_realm.crash(1);
-    assert!(w.ctx.lookup("jini://lus/survivor").is_ok(), "Jini unaffected");
+    assert!(
+        w.ctx.lookup("jini://lus/survivor").is_ok(),
+        "Jini unaffected"
+    );
     // HDNS reads still serve from the (dead-but-addressable) replica's
     // last state or fail cleanly — either way, no panic and no cross-talk.
     let _ = w.ctx.lookup("hdns://h0/doomed");

@@ -65,11 +65,7 @@ fn all_providers(tag: &str) -> Vec<(&'static str, Arc<dyn DirContext>)> {
         ),
     ));
 
-    let dir = std::env::temp_dir().join(format!(
-        "rndi-conformance-{}-{}",
-        std::process::id(),
-        tag
-    ));
+    let dir = std::env::temp_dir().join(format!("rndi-conformance-{}-{}", std::process::id(), tag));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     out.push(("fs", FsContext::new(dir)));
@@ -80,7 +76,8 @@ fn all_providers(tag: &str) -> Vec<(&'static str, Arc<dyn DirContext>)> {
 #[test]
 fn bind_lookup_rebind_unbind_uniform() {
     for (name, ctx) in all_providers("crud") {
-        ctx.bind_str("key", "v1").unwrap_or_else(|e| panic!("{name}: bind: {e}"));
+        ctx.bind_str("key", "v1")
+            .unwrap_or_else(|e| panic!("{name}: bind: {e}"));
         assert_eq!(
             ctx.lookup_str("key").unwrap().as_str(),
             Some("v1"),
@@ -93,11 +90,19 @@ fn bind_lookup_rebind_unbind_uniform() {
             matches!(err, NamingError::AlreadyBound { .. }),
             "{name}: expected AlreadyBound, got {err}"
         );
-        assert_eq!(ctx.lookup_str("key").unwrap().as_str(), Some("v1"), "{name}");
+        assert_eq!(
+            ctx.lookup_str("key").unwrap().as_str(),
+            Some("v1"),
+            "{name}"
+        );
 
         // Rebind replaces.
         ctx.rebind_str("key", "v2").unwrap();
-        assert_eq!(ctx.lookup_str("key").unwrap().as_str(), Some("v2"), "{name}");
+        assert_eq!(
+            ctx.lookup_str("key").unwrap().as_str(),
+            Some("v2"),
+            "{name}"
+        );
 
         // Unbind is idempotent.
         ctx.unbind_str("key").unwrap();
@@ -117,7 +122,10 @@ fn typed_values_roundtrip_everywhere() {
             ("t-str", BoundValue::str("text")),
             ("t-int", BoundValue::I64(-42)),
             ("t-bool", BoundValue::Bool(true)),
-            ("t-json", BoundValue::Json(serde_json::json!({"a": [1, 2, 3]}))),
+            (
+                "t-json",
+                BoundValue::Json(serde_json::json!({"a": [1, 2, 3]})),
+            ),
             (
                 "t-ref",
                 BoundValue::Reference(Reference::url("jini://elsewhere")),
@@ -190,7 +198,10 @@ fn federation_mounts_continue_uniform() {
         .unwrap();
         let err = ctx.lookup(&"mnt/deeper/obj".into()).unwrap_err();
         match err {
-            NamingError::Continue { remaining, resolved } => {
+            NamingError::Continue {
+                remaining,
+                resolved,
+            } => {
                 assert_eq!(remaining.to_string(), "deeper/obj", "{name}");
                 assert!(resolved.is_federation_link(), "{name}");
             }

@@ -11,7 +11,13 @@ use rndi::providers::common::RlusClock;
 use rndi::providers::JiniProviderContext;
 use rndi::rlus::{Entry, ManualClock, Registrar, ServiceItem, ServiceStub};
 
-fn setup(lease_ms: u64) -> (Arc<JiniProviderContext>, Registrar, Arc<ManualClock>) {
+fn setup(
+    lease_ms: u64,
+) -> (
+    Arc<ProviderPipeline<JiniProviderContext>>,
+    Registrar,
+    Arc<ManualClock>,
+) {
     let clock = ManualClock::new();
     let registrar = Registrar::new(clock.clone(), u64::MAX / 4, 55);
     let env = Environment::new()
@@ -109,6 +115,14 @@ fn renewal_failure_reported_after_external_removal() {
 
     clock.set(6_000);
     let failed = ctx.poll_leases();
-    assert_eq!(failed, vec!["contested".to_string()], "renewal failure surfaced");
-    assert_eq!(ctx.managed_leases(), 0, "dead lease dropped from management");
+    assert_eq!(
+        failed,
+        vec!["contested".to_string()],
+        "renewal failure surfaced"
+    );
+    assert_eq!(
+        ctx.managed_leases(),
+        0,
+        "dead lease dropped from management"
+    );
 }

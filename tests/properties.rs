@@ -142,7 +142,11 @@ fn path_strategy() -> impl Strategy<Value = String> {
 
 fn action_strategy() -> impl Strategy<Value = StoreAction> {
     prop_oneof![
-        (path_strategy(), proptest::collection::vec(any::<u8>(), 0..4), any::<bool>())
+        (
+            path_strategy(),
+            proptest::collection::vec(any::<u8>(), 0..4),
+            any::<bool>()
+        )
             .prop_map(|(p, v, o)| StoreAction::Bind(p, v, o)),
         path_strategy().prop_map(StoreAction::Unbind),
         path_strategy().prop_map(StoreAction::CreateCtx),

@@ -1,0 +1,227 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Vendored because the build environment cannot reach crates.io. Keeps the
+//! macro/builder surface (`criterion_group!`, `criterion_main!`,
+//! `Criterion::default().sample_size(..)`, `benchmark_group`,
+//! `bench_function`, `Bencher::iter`) and measures wall-clock time with
+//! `std::time::Instant`: a warm-up period, then `sample_size` samples whose
+//! per-iteration mean/min/max are printed. No statistical regression
+//! analysis, plots, or result persistence.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark harness configuration (builder-compatible subset).
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+        }
+    }
+
+    /// Run a single benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(self, id, f);
+        self
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{id}", self.name);
+        run_benchmark(self.criterion, &full, f);
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the
+/// routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn time_batch<F>(f: &mut F, iters: u64) -> Duration
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher {
+        iters,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    b.elapsed
+}
+
+fn run_benchmark<F>(config: &Criterion, id: &str, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    // Warm up and estimate per-iteration cost so each sample batch is
+    // sized to fill its share of the measurement budget.
+    let warm_start = Instant::now();
+    let mut warm_iters: u64 = 1;
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < config.warm_up_time {
+        let took = time_batch(&mut f, warm_iters);
+        per_iter = took.max(Duration::from_nanos(1)) / warm_iters.max(1) as u32;
+        warm_iters = warm_iters.saturating_mul(2).min(1 << 20);
+    }
+
+    let per_sample = config.measurement_time / config.sample_size as u32;
+    let iters_per_sample = (per_sample.as_nanos() / per_iter.as_nanos().max(1))
+        .clamp(1, u64::MAX as u128) as u64;
+
+    let mut samples: Vec<f64> = Vec::with_capacity(config.sample_size);
+    for _ in 0..config.sample_size {
+        let took = time_batch(&mut f, iters_per_sample);
+        samples.push(took.as_secs_f64() / iters_per_sample as f64);
+    }
+
+    let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+    let min = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    println!(
+        "{id:<40} time: [{} {} {}]  ({} samples x {iters_per_sample} iters)",
+        fmt_time(min),
+        fmt_time(mean),
+        fmt_time(max),
+        samples.len(),
+    );
+}
+
+fn fmt_time(secs: f64) -> String {
+    let nanos = secs * 1e9;
+    if nanos < 1_000.0 {
+        format!("{nanos:.2} ns")
+    } else if nanos < 1_000_000.0 {
+        format!("{:.3} us", nanos / 1_000.0)
+    } else if nanos < 1_000_000_000.0 {
+        format!("{:.3} ms", nanos / 1_000_000.0)
+    } else {
+        format!("{secs:.3} s")
+    }
+}
+
+/// Define a benchmark group runner, in either the simple or the
+/// `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Define `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        let mut group = c.benchmark_group("tiny");
+        group.bench_function("add", |b| b.iter(|| black_box(1u64) + black_box(2u64)));
+        group.finish();
+    }
+
+    #[test]
+    fn harness_runs() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30))
+            .warm_up_time(Duration::from_millis(5));
+        tiny(&mut c);
+        c.bench_function("free", |b| b.iter(|| black_box(3u32).wrapping_mul(7)));
+    }
+
+    criterion_group! {
+        name = group_simple_check;
+        config = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        targets = tiny
+    }
+
+    #[test]
+    fn macro_forms_compile() {
+        group_simple_check();
+    }
+}

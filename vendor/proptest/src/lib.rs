@@ -1,0 +1,850 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Vendored because the build environment cannot reach crates.io. Provides
+//! the `proptest!` macro, `Strategy` combinators, collection/option/string
+//! strategies, and `any::<T>()` over a deterministic seeded RNG. Two
+//! deliberate simplifications versus upstream:
+//!
+//! * **No shrinking.** A failing case reports its inputs (via the assertion
+//!   message) and the per-test deterministic seed instead of a minimized
+//!   counterexample.
+//! * **Rejections** (`prop_assume!`) retry with fresh randomness up to a
+//!   bounded attempt budget rather than upstream's global reject accounting.
+//!
+//! Generation is deterministic per test name, so failures reproduce across
+//! runs without a persistence file.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+use rand::distributions::uniform::{SampleRange, SampleUniform};
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng, StandardSample};
+
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof,
+        proptest, Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy,
+    };
+}
+
+// ------------------------------------------------------------------ rng --
+
+/// Deterministic source of randomness handed to strategies.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+}
+
+// --------------------------------------------------------------- runner --
+
+/// Runner configuration (field-compatible subset of upstream's).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of successful cases required.
+    pub cases: u32,
+    /// Accepted for compatibility; shrinking is not implemented.
+    pub max_shrink_iters: u32,
+    /// Maximum rejected samples (`prop_assume!`) before giving up.
+    pub max_global_rejects: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: 256,
+            max_shrink_iters: 0,
+            max_global_rejects: 65_536,
+        }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// `prop_assume!` rejected the inputs; retry with fresh randomness.
+    Reject(String),
+    /// An assertion failed; abort the whole test.
+    Fail(String),
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Drive one property: generate inputs and evaluate until `cases` successes.
+pub fn run_cases(
+    config: &ProptestConfig,
+    test_name: &str,
+    mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
+) {
+    let base_seed = fnv1a(test_name.as_bytes());
+    let mut passed = 0u32;
+    let mut rejects = 0u32;
+    let mut attempt = 0u64;
+    while passed < config.cases {
+        attempt += 1;
+        let mut rng = TestRng::from_seed(base_seed.wrapping_add(attempt));
+        match case(&mut rng) {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejects += 1;
+                if rejects > config.max_global_rejects {
+                    panic!(
+                        "proptest `{test_name}`: too many rejected cases \
+                         ({rejects}) — weaken prop_assume! conditions"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` failed at case {} (seed {:#x}): {msg}",
+                    passed + 1,
+                    base_seed.wrapping_add(attempt),
+                );
+            }
+        }
+    }
+}
+
+// ------------------------------------------------------------- strategy --
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    type Value;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values.
+    fn prop_map<W, F>(self, f: F) -> MapStrategy<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> W,
+    {
+        MapStrategy { inner: self, f }
+    }
+
+    /// Type-erase (and reference-count) this strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy {
+            sampler: Rc::new(move |rng| self.sample(rng)),
+        }
+    }
+
+    /// Build recursive structures: `recurse` receives a strategy for the
+    /// previous depth level; generation mixes leaves with deeper cases.
+    /// `_desired_size` / `_expected_branch` are accepted for upstream
+    /// signature compatibility (depth alone bounds generation here).
+    fn prop_recursive<S, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        recurse: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Value: 'static,
+        S: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S,
+    {
+        let leaf = self.boxed();
+        let mut level = leaf.clone();
+        for _ in 0..depth {
+            let deeper = recurse(level).boxed();
+            level = Union::new(vec![(1, leaf.clone()), (3, deeper)]).boxed();
+        }
+        level
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct MapStrategy<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, W, F> Strategy for MapStrategy<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> W,
+{
+    type Value = W;
+
+    fn sample(&self, rng: &mut TestRng) -> W {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V> {
+    sampler: Rc<dyn Fn(&mut TestRng) -> V>,
+}
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy {
+            sampler: self.sampler.clone(),
+        }
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        (self.sampler)(rng)
+    }
+}
+
+/// Always yields a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<V: Clone>(pub V);
+
+impl<V: Clone> Strategy for Just<V> {
+    type Value = V;
+
+    fn sample(&self, _rng: &mut TestRng) -> V {
+        self.0.clone()
+    }
+}
+
+/// Weighted choice between strategies (backs `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<(u32, BoxedStrategy<V>)>,
+}
+
+impl<V> Union<V> {
+    pub fn new(options: Vec<(u32, BoxedStrategy<V>)>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        assert!(
+            options.iter().any(|(w, _)| *w > 0),
+            "prop_oneof! needs a positive weight"
+        );
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn sample(&self, rng: &mut TestRng) -> V {
+        let total: u64 = self.options.iter().map(|(w, _)| *w as u64).sum();
+        let mut pick = rng.next_u64() % total;
+        for (w, strat) in &self.options {
+            if pick < *w as u64 {
+                return strat.sample(rng);
+            }
+            pick -= *w as u64;
+        }
+        unreachable!("weighted choice out of range")
+    }
+}
+
+impl<T: SampleUniform + Clone + PartialOrd> Strategy for Range<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+impl<T: SampleUniform + Clone + PartialOrd> Strategy for RangeInclusive<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        self.clone().sample_single(rng)
+    }
+}
+
+/// String literals are regex-style generators, as in upstream proptest.
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn sample(&self, rng: &mut TestRng) -> String {
+        match string::compile(self) {
+            Ok(pieces) => string::sample_pieces(&pieces, rng),
+            Err(e) => panic!("invalid string strategy pattern {self:?}: {e}"),
+        }
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn sample(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A.0)
+    (A.0, B.1)
+    (A.0, B.1, C.2)
+    (A.0, B.1, C.2, D.3)
+    (A.0, B.1, C.2, D.3, E.4)
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+}
+
+// ------------------------------------------------------------ arbitrary --
+
+/// Types with a canonical strategy, used by [`any`].
+pub trait Arbitrary: Sized {
+    type Strategy: Strategy<Value = Self>;
+
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy for `T` (full domain for scalars).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Whole-domain strategy for scalar types.
+pub struct ScalarStrategy<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+impl<T: StandardSample> Strategy for ScalarStrategy<T> {
+    type Value = T;
+
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::sample_standard(rng)
+    }
+}
+
+macro_rules! impl_arbitrary_scalar {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Strategy = ScalarStrategy<$t>;
+
+            fn arbitrary() -> Self::Strategy {
+                ScalarStrategy { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_scalar!(
+    u8, u16, u32, u64, u128, usize, i8, i16, i32, i64, isize, bool, f32, f64
+);
+
+/// Fixed-size arrays of arbitrary elements.
+pub struct ArrayStrategy<S, const N: usize> {
+    elem: S,
+}
+
+impl<S: Strategy, const N: usize> Strategy for ArrayStrategy<S, N> {
+    type Value = [S::Value; N];
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        std::array::from_fn(|_| self.elem.sample(rng))
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    type Strategy = ArrayStrategy<T::Strategy, N>;
+
+    fn arbitrary() -> Self::Strategy {
+        ArrayStrategy {
+            elem: T::arbitrary(),
+        }
+    }
+}
+
+// ---------------------------------------------------------- collections --
+
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+    use std::collections::BTreeMap;
+    use std::ops::Range;
+
+    pub struct VecStrategy<S> {
+        elem: S,
+        size: Range<usize>,
+    }
+
+    /// `Vec` of `size` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, size: Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, size }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+
+    pub struct BTreeMapStrategy<K, V> {
+        key: K,
+        value: V,
+        size: Range<usize>,
+    }
+
+    /// `BTreeMap` with up to `size` entries (duplicate keys collapse).
+    pub fn btree_map<K, V>(key: K, value: V, size: Range<usize>) -> BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        BTreeMapStrategy { key, value, size }
+    }
+
+    impl<K, V> Strategy for BTreeMapStrategy<K, V>
+    where
+        K: Strategy,
+        V: Strategy,
+        K::Value: Ord,
+    {
+        type Value = BTreeMap<K::Value, V::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.clone());
+            (0..n)
+                .map(|_| (self.key.sample(rng), self.value.sample(rng)))
+                .collect()
+        }
+    }
+}
+
+pub mod option {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    pub struct OptionStrategy<S> {
+        inner: S,
+    }
+
+    /// `Option` that is `Some` roughly 3/4 of the time.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy { inner }
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.inner.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- string --
+
+pub mod string {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// One regex atom plus its repetition bounds.
+    pub(crate) type Piece = (Atom, (u32, u32));
+
+    pub(crate) enum Atom {
+        Lit(char),
+        /// Inclusive char ranges; single chars are `(c, c)`.
+        Class(Vec<(char, char)>),
+        Group(Vec<Piece>),
+    }
+
+    pub struct RegexStrategy {
+        pieces: Vec<Piece>,
+    }
+
+    impl Strategy for RegexStrategy {
+        type Value = String;
+
+        fn sample(&self, rng: &mut TestRng) -> String {
+            sample_pieces(&self.pieces, rng)
+        }
+    }
+
+    /// Compile a generator from a simplified regex: literals, `[...]`
+    /// classes (ranges, escapes), `(...)` groups, and the quantifiers
+    /// `{n}`, `{m,n}`, `?`, `*`, `+`. Alternation and anchors are not
+    /// supported (and unused in this workspace).
+    pub fn string_regex(pattern: &str) -> Result<RegexStrategy, String> {
+        compile(pattern).map(|pieces| RegexStrategy { pieces })
+    }
+
+    pub(crate) fn compile(pattern: &str) -> Result<Vec<Piece>, String> {
+        let chars: Vec<char> = pattern.chars().collect();
+        let mut pos = 0;
+        let pieces = parse_sequence(&chars, &mut pos, None)?;
+        if pos != chars.len() {
+            return Err(format!("unexpected `{}` at {pos}", chars[pos]));
+        }
+        Ok(pieces)
+    }
+
+    fn parse_sequence(
+        chars: &[char],
+        pos: &mut usize,
+        terminator: Option<char>,
+    ) -> Result<Vec<Piece>, String> {
+        let mut pieces = Vec::new();
+        while *pos < chars.len() {
+            if Some(chars[*pos]) == terminator {
+                return Ok(pieces);
+            }
+            let atom = parse_atom(chars, pos)?;
+            let bounds = parse_quantifier(chars, pos)?;
+            pieces.push((atom, bounds));
+        }
+        if terminator.is_some() {
+            return Err("unterminated group".to_string());
+        }
+        Ok(pieces)
+    }
+
+    fn parse_atom(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+        let c = chars[*pos];
+        *pos += 1;
+        match c {
+            '[' => parse_class(chars, pos),
+            '(' => {
+                let inner = parse_sequence(chars, pos, Some(')'))?;
+                if *pos >= chars.len() {
+                    return Err("unterminated group".to_string());
+                }
+                *pos += 1; // consume ')'
+                Ok(Atom::Group(inner))
+            }
+            '\\' => {
+                let e = *chars.get(*pos).ok_or("dangling escape")?;
+                *pos += 1;
+                Ok(match e {
+                    'd' => Atom::Class(vec![('0', '9')]),
+                    'w' => Atom::Class(vec![('a', 'z'), ('A', 'Z'), ('0', '9'), ('_', '_')]),
+                    's' => Atom::Class(vec![(' ', ' '), ('\t', '\t')]),
+                    other => Atom::Lit(other),
+                })
+            }
+            '.' => Ok(Atom::Class(vec![(' ', '~')])),
+            '|' | ')' | '^' | '$' => Err(format!("unsupported regex syntax `{c}`")),
+            lit => Ok(Atom::Lit(lit)),
+        }
+    }
+
+    fn parse_class(chars: &[char], pos: &mut usize) -> Result<Atom, String> {
+        let mut ranges = Vec::new();
+        loop {
+            let c = *chars.get(*pos).ok_or("unterminated character class")?;
+            *pos += 1;
+            match c {
+                ']' => return Ok(Atom::Class(ranges)),
+                '\\' => {
+                    let e = *chars.get(*pos).ok_or("dangling escape in class")?;
+                    *pos += 1;
+                    ranges.push((e, e));
+                }
+                lo => {
+                    // `x-y` range unless `-` is the class terminator.
+                    if chars.get(*pos) == Some(&'-')
+                        && chars.get(*pos + 1).is_some_and(|c| *c != ']')
+                    {
+                        let hi = chars[*pos + 1];
+                        *pos += 2;
+                        if hi < lo {
+                            return Err(format!("inverted class range {lo}-{hi}"));
+                        }
+                        ranges.push((lo, hi));
+                    } else {
+                        ranges.push((lo, lo));
+                    }
+                }
+            }
+        }
+    }
+
+    fn parse_quantifier(chars: &[char], pos: &mut usize) -> Result<(u32, u32), String> {
+        match chars.get(*pos) {
+            Some('?') => {
+                *pos += 1;
+                Ok((0, 1))
+            }
+            Some('*') => {
+                *pos += 1;
+                Ok((0, 8))
+            }
+            Some('+') => {
+                *pos += 1;
+                Ok((1, 8))
+            }
+            Some('{') => {
+                *pos += 1;
+                let mut min = String::new();
+                while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                    min.push(chars[*pos]);
+                    *pos += 1;
+                }
+                let min: u32 = min.parse().map_err(|_| "bad quantifier min")?;
+                let max = match chars.get(*pos) {
+                    Some(',') => {
+                        *pos += 1;
+                        let mut max = String::new();
+                        while chars.get(*pos).is_some_and(char::is_ascii_digit) {
+                            max.push(chars[*pos]);
+                            *pos += 1;
+                        }
+                        max.parse().map_err(|_| "bad quantifier max")?
+                    }
+                    _ => min,
+                };
+                if chars.get(*pos) != Some(&'}') {
+                    return Err("unterminated quantifier".to_string());
+                }
+                *pos += 1;
+                if max < min {
+                    return Err("inverted quantifier bounds".to_string());
+                }
+                Ok((min, max))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    pub(crate) fn sample_pieces(pieces: &[Piece], rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for (atom, (min, max)) in pieces {
+            let reps = rng.gen_range(*min..=*max);
+            for _ in 0..reps {
+                sample_atom(atom, rng, &mut out);
+            }
+        }
+        out
+    }
+
+    fn sample_atom(atom: &Atom, rng: &mut TestRng, out: &mut String) {
+        match atom {
+            Atom::Lit(c) => out.push(*c),
+            Atom::Class(ranges) => {
+                let total: u32 = ranges
+                    .iter()
+                    .map(|(lo, hi)| *hi as u32 - *lo as u32 + 1)
+                    .sum();
+                let mut pick = rng.gen_range(0..total);
+                for (lo, hi) in ranges {
+                    let size = *hi as u32 - *lo as u32 + 1;
+                    if pick < size {
+                        out.push(char::from_u32(*lo as u32 + pick).expect("class range"));
+                        return;
+                    }
+                    pick -= size;
+                }
+                unreachable!("class choice out of range")
+            }
+            Atom::Group(inner) => out.push_str(&sample_pieces(inner, rng)),
+        }
+    }
+}
+
+// --------------------------------------------------------------- macros --
+
+/// Define property tests. Each function body runs for `cases` generated
+/// inputs; use `prop_assert!`-family macros inside.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident ( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config: $crate::ProptestConfig = $cfg;
+            $crate::run_cases(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::Strategy::sample(&($strat), __rng);)+
+                let __outcome: ::std::result::Result<(), $crate::TestCaseError> =
+                    (|| {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                __outcome
+            });
+        }
+        $crate::__proptest_fns! { ($cfg) $($rest)* }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fail the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left), stringify!($right), __l, __r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l == *__r,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+), __l, __r
+        );
+    }};
+}
+
+/// Fail the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *__l != *__r,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left), stringify!($right), __l
+        );
+    }};
+}
+
+/// Discard the current case unless `cond` holds (does not count as a pass).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject(
+                stringify!($cond).to_string(),
+            ));
+        }
+    };
+}
+
+/// Weighted (`w => strat`) or uniform choice between strategies yielding the
+/// same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (($weight) as u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::Union::new(vec![
+            $( (1u32, $crate::Strategy::boxed($strat)) ),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn regex_shapes() {
+        let mut rng = super::TestRng::from_seed(1);
+        for _ in 0..200 {
+            let s = Strategy::sample(&"[a-z]{1,8}", &mut rng);
+            assert!((1..=8).contains(&s.len()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+
+            let p = Strategy::sample(&"[a-c](/[a-c]){0,2}", &mut rng);
+            assert!(p.len() % 2 == 1 && p.len() <= 5, "bad path {p:?}");
+
+            let opt = Strategy::sample(
+                &"[a-zA-Z0-9]([a-zA-Z0-9 ,=\\\\]{0,6}[a-zA-Z0-9])?",
+                &mut rng,
+            );
+            assert!(!opt.is_empty());
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = super::TestRng::from_seed(9);
+        let mut b = super::TestRng::from_seed(9);
+        let strat = super::collection::vec(0u8..255, 0..10);
+        assert_eq!(Strategy::sample(&strat, &mut a), Strategy::sample(&strat, &mut b));
+    }
+
+    proptest! {
+        #[test]
+        fn macro_smoke(
+            v in super::collection::vec(any::<u8>(), 0..8),
+            flag in any::<bool>(),
+            s in "[a-f]{2,4}",
+            choice in prop_oneof![2 => Just(1u8), 1 => Just(2u8)],
+        ) {
+            prop_assume!(v.len() != 7);
+            prop_assert!(v.len() < 8);
+            prop_assert_eq!(flag, flag);
+            prop_assert_ne!(s.len(), 0);
+            prop_assert!(choice == 1 || choice == 2);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+        #[test]
+        fn configured_cases(x in 0u32..10) {
+            prop_assert!(x < 10);
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! Offline stand-in for `rand_chacha`.
+//!
+//! Vendored because the build environment cannot reach crates.io. The
+//! simulation layer only requires a deterministic, seedable, forkable
+//! generator — not the ChaCha stream cipher itself — so `ChaCha12Rng` here
+//! delegates to the vendored `StdRng` (xoshiro256++) with a domain-separated
+//! seed. Streams differ from upstream `rand_chacha`, which is fine: every
+//! consumer in this workspace seeds both sides of any comparison itself.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Deterministic seedable RNG under the `ChaCha12Rng` name.
+#[derive(Clone, Debug)]
+pub struct ChaCha12Rng {
+    inner: StdRng,
+}
+
+impl SeedableRng for ChaCha12Rng {
+    fn seed_from_u64(state: u64) -> Self {
+        // Domain-separate from plain StdRng streams.
+        ChaCha12Rng {
+            inner: StdRng::seed_from_u64(state ^ 0x5EED_CACA_0C0F_FEE5),
+        }
+    }
+}
+
+impl RngCore for ChaCha12Rng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        let mut a = ChaCha12Rng::seed_from_u64(5);
+        let mut b = ChaCha12Rng::seed_from_u64(5);
+        assert_eq!(
+            (0..16).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..16).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn differs_from_stdrng_stream() {
+        let mut a = ChaCha12Rng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+}

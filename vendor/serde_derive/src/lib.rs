@@ -1,0 +1,430 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored value-model `serde`, using only the raw `proc_macro` API (no
+//! `syn`/`quote`, which are equally unavailable offline).
+//!
+//! Supported input shapes — exactly what this workspace derives on:
+//! non-generic named-field structs, tuple structs, unit structs, and enums
+//! with unit/tuple/struct variants. Representation is externally tagged,
+//! matching upstream serde's default:
+//!
+//! * named struct         -> `{"field": ...}`
+//! * newtype struct       -> inner value
+//! * tuple struct (n > 1) -> `[...]`
+//! * unit variant         -> `"Variant"`
+//! * newtype variant      -> `{"Variant": inner}`
+//! * tuple variant        -> `{"Variant": [...]}`
+//! * struct variant       -> `{"Variant": {...}}`
+//!
+//! Field/variant attributes (`#[serde(...)]`) are not supported and none
+//! exist in the workspace.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Item {
+    name: String,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    fields: VariantFields,
+}
+
+enum VariantFields {
+    Unit,
+    Tuple(usize),
+    Named(Vec<String>),
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Serialize impl")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive generated invalid Deserialize impl")
+}
+
+// -------------------------------------------------------------- parsing --
+
+fn parse_item(input: TokenStream) -> Item {
+    let toks: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attrs_and_vis(&toks, &mut i);
+    let kw = expect_ident(&toks, &mut i);
+    let name = expect_ident(&toks, &mut i);
+    if matches!(&toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("vendored serde_derive does not support generic type `{name}`");
+    }
+    let kind = match kw.as_str() {
+        "struct" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Kind::TupleStruct(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Kind::UnitStruct,
+            other => panic!("unsupported struct body: {other:?}"),
+        },
+        "enum" => match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Kind::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unsupported enum body: {other:?}"),
+        },
+        other => panic!("cannot derive for `{other}` items"),
+    };
+    Item { name, kind }
+}
+
+/// Skip `#[...]` attributes (incl. doc comments) and a `pub` / `pub(...)`
+/// visibility prefix.
+fn skip_attrs_and_vis(toks: &[TokenTree], i: &mut usize) {
+    loop {
+        match toks.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+                {
+                    *i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if matches!(toks.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    *i += 1;
+                }
+            }
+            _ => return,
+        }
+    }
+}
+
+fn expect_ident(toks: &[TokenTree], i: &mut usize) -> String {
+    match toks.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Skip a type (or discriminant expression) up to a top-level `,`, tracking
+/// `<...>` nesting so commas inside generic arguments don't terminate early.
+fn skip_to_field_end(toks: &[TokenTree], i: &mut usize) {
+    let mut angle_depth = 0i32;
+    while let Some(t) = toks.get(*i) {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => return,
+                _ => {}
+            }
+        }
+        *i += 1;
+    }
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        fields.push(expect_ident(&toks, &mut i));
+        match toks.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field name, found {other:?}"),
+        }
+        skip_to_field_end(&toks, &mut i);
+        i += 1; // past the `,` (or past the end)
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    if toks.is_empty() {
+        return 0;
+    }
+    let mut i = 0;
+    let mut count = 0;
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        count += 1;
+        skip_to_field_end(&toks, &mut i);
+        i += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let toks: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < toks.len() {
+        skip_attrs_and_vis(&toks, &mut i);
+        if i >= toks.len() {
+            break;
+        }
+        let name = expect_ident(&toks, &mut i);
+        let fields = match toks.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantFields::Tuple(count_tuple_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantFields::Named(parse_named_fields(g.stream()))
+            }
+            _ => VariantFields::Unit,
+        };
+        // Skip an explicit discriminant (`= expr`) if present.
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '=') {
+            i += 1;
+            skip_to_field_end(&toks, &mut i);
+        }
+        if matches!(toks.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            i += 1;
+        }
+        variants.push(Variant { name, fields });
+    }
+    variants
+}
+
+// ------------------------------------------------------------- codegen --
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut b = String::from("let mut m = ::serde::Map::new();\n");
+            for f in fields {
+                b.push_str(&format!(
+                    "m.insert(::std::string::String::from(\"{f}\"), \
+                     ::serde::Serialize::to_value(&self.{f}));\n"
+                ));
+            }
+            b.push_str("::serde::Value::Object(m)");
+            b
+        }
+        Kind::TupleStruct(0) | Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::TupleStruct(1) => "::serde::Serialize::to_value(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_value(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => arms.push_str(&format!(
+                        "{name}::{vname} => ::serde::Value::String(\
+                         ::std::string::String::from(\"{vname}\")),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let binders: Vec<String> =
+                            (0..*n).map(|i| format!("f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_value(f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                .collect();
+                            format!(
+                                "::serde::Value::Array(vec![{}])",
+                                items.join(", ")
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{vname}({binds}) => {{\n\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vname}\"), {inner});\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut inner =
+                            String::from("let mut fm = ::serde::Map::new();\n");
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "fm.insert(::std::string::String::from(\"{f}\"), \
+                                 ::serde::Serialize::to_value({f}));\n"
+                            ));
+                        }
+                        arms.push_str(&format!(
+                            "{name}::{vname} {{ {binds} }} => {{\n\
+                             {inner}\
+                             let mut m = ::serde::Map::new();\n\
+                             m.insert(::std::string::String::from(\"{vname}\"), \
+                             ::serde::Value::Object(fm));\n\
+                             ::serde::Value::Object(m)\n}}\n",
+                            binds = fields.join(", ")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            let mut ctor = String::new();
+            for f in fields {
+                ctor.push_str(&format!("{f}: ::serde::de::field(obj, \"{f}\")?,\n"));
+            }
+            format!(
+                "let obj = match v {{\n\
+                 ::serde::Value::Object(m) => m,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected object for {name}\")),\n}};\n\
+                 ::std::result::Result::Ok({name} {{\n{ctor}}})"
+            )
+        }
+        Kind::TupleStruct(0) => {
+            format!("::std::result::Result::Ok({name}())")
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::TupleStruct(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::from_value(v)?))"
+        ),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "let arr = match v {{\n\
+                 ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                 _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                 \"expected {n}-element array for {name}\")),\n}};\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::Enum(variants) => {
+            let mut unit_arms = String::new();
+            let mut tagged_arms = String::new();
+            for v in variants {
+                let vname = &v.name;
+                match &v.fields {
+                    VariantFields::Unit => unit_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}),\n"
+                    )),
+                    VariantFields::Tuple(1) => tagged_arms.push_str(&format!(
+                        "\"{vname}\" => ::std::result::Result::Ok({name}::{vname}(\
+                         ::serde::Deserialize::from_value(inner)?)),\n"
+                    )),
+                    VariantFields::Tuple(n) => {
+                        let items: Vec<String> = (0..*n)
+                            .map(|i| {
+                                format!("::serde::Deserialize::from_value(&arr[{i}])?")
+                            })
+                            .collect();
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let arr = match inner {{\n\
+                             ::serde::Value::Array(a) if a.len() == {n} => a,\n\
+                             _ => return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"expected {n}-element array \
+                             for variant {vname}\")),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vname}({items}))\n}}\n",
+                            items = items.join(", ")
+                        ));
+                    }
+                    VariantFields::Named(fields) => {
+                        let mut ctor = String::new();
+                        for f in fields {
+                            ctor.push_str(&format!(
+                                "{f}: ::serde::de::field(fobj, \"{f}\")?,\n"
+                            ));
+                        }
+                        tagged_arms.push_str(&format!(
+                            "\"{vname}\" => {{\n\
+                             let fobj = match inner {{\n\
+                             ::serde::Value::Object(m) => m,\n\
+                             _ => return ::std::result::Result::Err(\
+                             ::serde::Error::custom(\"expected object for \
+                             variant {vname}\")),\n}};\n\
+                             ::std::result::Result::Ok({name}::{vname} {{\n{ctor}}})\n}}\n"
+                        ));
+                    }
+                }
+            }
+            let tagged_branch = if tagged_arms.is_empty() {
+                format!(
+                    "::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected string variant for {name}\"))"
+                )
+            } else {
+                format!(
+                    "let obj = match v {{\n\
+                     ::serde::Value::Object(m) => m,\n\
+                     _ => return ::std::result::Result::Err(::serde::Error::custom(\
+                     \"expected externally tagged variant for {name}\")),\n}};\n\
+                     let (tag, inner) = match obj.iter().next() {{\n\
+                     ::std::option::Option::Some(kv) => kv,\n\
+                     ::std::option::Option::None => return ::std::result::Result::Err(\
+                     ::serde::Error::custom(\"empty variant object for {name}\")),\n}};\n\
+                     match tag.as_str() {{\n\
+                     {tagged_arms}\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     \"unknown variant for {name}\")),\n}}"
+                )
+            };
+            format!(
+                "if let ::serde::Value::String(s) = v {{\n\
+                 return match s.as_str() {{\n\
+                 {unit_arms}\
+                 _ => ::std::result::Result::Err(::serde::Error::custom(\
+                 \"unknown unit variant for {name}\")),\n}};\n}}\n\
+                 {tagged_branch}"
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(v: &::serde::Value) \
+         -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n}}\n"
+    )
+}

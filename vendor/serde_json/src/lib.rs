@@ -1,0 +1,371 @@
+//! Offline stand-in for `serde_json`.
+//!
+//! Vendored because the build environment cannot reach crates.io. Re-exports
+//! the vendored serde's [`Value`] model and adds a strict JSON text parser,
+//! printers, and the `json!` macro. Invalid input must fail to parse (the
+//! workspace's unmarshalling fallback path depends on that), so the parser
+//! rejects trailing garbage, malformed escapes, and non-UTF-8 input.
+
+pub use serde::{Error, Map, Number, Value};
+
+use serde::{DeserializeOwned, Serialize};
+
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Serialize to compact JSON text.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String> {
+    Ok(value.to_value().to_string())
+}
+
+/// Serialize to compact JSON bytes.
+pub fn to_vec<T: Serialize + ?Sized>(value: &T) -> Result<Vec<u8>> {
+    to_string(value).map(String::into_bytes)
+}
+
+/// Serialize to a [`Value`] tree.
+pub fn to_value<T: Serialize>(value: &T) -> Result<Value> {
+    Ok(value.to_value())
+}
+
+/// Deserialize from JSON text.
+pub fn from_str<T: DeserializeOwned>(s: &str) -> Result<T> {
+    let value = parse(s)?;
+    T::from_value(&value)
+}
+
+/// Deserialize from JSON bytes.
+pub fn from_slice<T: DeserializeOwned>(bytes: &[u8]) -> Result<T> {
+    let s = std::str::from_utf8(bytes).map_err(|_| Error::custom("invalid UTF-8"))?;
+    from_str(s)
+}
+
+/// Deserialize from a [`Value`] tree.
+pub fn from_value<T: DeserializeOwned>(value: &Value) -> Result<T> {
+    T::from_value(value)
+}
+
+/// Construct a [`Value`] from JSON-ish syntax. Supports literals, arrays,
+/// objects with literal keys, and interpolated expressions — the subset the
+/// workspace uses.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($elem:tt),* $(,)? ]) => {
+        $crate::Value::Array(vec![ $($crate::json!($elem)),* ])
+    };
+    ({ $($key:literal : $val:tt),* $(,)? }) => {{
+        #[allow(unused_mut)]
+        let mut m = $crate::Map::new();
+        $( m.insert(($key).to_string(), $crate::json!($val)); )*
+        $crate::Value::Object(m)
+    }};
+    ($other:expr) => { $crate::Value::from($other) };
+}
+
+// --------------------------------------------------------------- parser --
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+/// Parse strict JSON text into a [`Value`].
+pub fn parse(s: &str) -> Result<Value> {
+    let mut p = Parser {
+        bytes: s.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::custom("trailing characters after JSON value"));
+    }
+    Ok(v)
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn bump(&mut self) -> Result<u8> {
+        let b = self
+            .peek()
+            .ok_or_else(|| Error::custom("unexpected end of input"))?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<()> {
+        if self.bump()? != b {
+            return Err(Error::custom(format!("expected `{}`", b as char)));
+        }
+        Ok(())
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(())
+        } else {
+            Err(Error::custom(format!("expected `{kw}`")))
+        }
+    }
+
+    fn value(&mut self) -> Result<Value> {
+        match self.peek() {
+            Some(b'n') => {
+                self.eat_keyword("null")?;
+                Ok(Value::Null)
+            }
+            Some(b't') => {
+                self.eat_keyword("true")?;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') => {
+                self.eat_keyword("false")?;
+                Ok(Value::Bool(false))
+            }
+            Some(b'"') => Ok(Value::String(self.string()?)),
+            Some(b'[') => self.array(),
+            Some(b'{') => self.object(),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(c) => Err(Error::custom(format!(
+                "unexpected character `{}`",
+                c as char
+            ))),
+            None => Err(Error::custom("unexpected end of input")),
+        }
+    }
+
+    fn array(&mut self) -> Result<Value> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Value::Array(items));
+        }
+        loop {
+            self.skip_ws();
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b']' => return Ok(Value::Array(items)),
+                _ => return Err(Error::custom("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Value> {
+        self.expect(b'{')?;
+        let mut map = Map::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Value::Object(map));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            let value = self.value()?;
+            map.insert(key, value);
+            self.skip_ws();
+            match self.bump()? {
+                b',' => continue,
+                b'}' => return Ok(Value::Object(map)),
+                _ => return Err(Error::custom("expected `,` or `}` in object")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            let b = self.bump()?;
+            match b {
+                b'"' => return Ok(out),
+                b'\\' => match self.bump()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'/' => out.push('/'),
+                    b'b' => out.push('\u{8}'),
+                    b'f' => out.push('\u{c}'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let hi = self.hex4()?;
+                        let c = if (0xD800..0xDC00).contains(&hi) {
+                            // Surrogate pair.
+                            self.expect(b'\\')?;
+                            self.expect(b'u')?;
+                            let lo = self.hex4()?;
+                            if !(0xDC00..0xE000).contains(&lo) {
+                                return Err(Error::custom("invalid low surrogate"));
+                            }
+                            let c =
+                                0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                            char::from_u32(c)
+                                .ok_or_else(|| Error::custom("invalid codepoint"))?
+                        } else {
+                            char::from_u32(hi)
+                                .ok_or_else(|| Error::custom("invalid codepoint"))?
+                        };
+                        out.push(c);
+                    }
+                    _ => return Err(Error::custom("invalid escape sequence")),
+                },
+                // Multi-byte UTF-8: the input is already a valid &str, so
+                // collect continuation bytes directly.
+                b if b >= 0x80 => {
+                    let start = self.pos - 1;
+                    while matches!(self.peek(), Some(c) if c & 0xC0 == 0x80) {
+                        self.pos += 1;
+                    }
+                    let chunk = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                    out.push_str(chunk);
+                }
+                b if b < 0x20 => {
+                    return Err(Error::custom("unescaped control character"))
+                }
+                b => out.push(b as char),
+            }
+        }
+    }
+
+    fn hex4(&mut self) -> Result<u32> {
+        let mut v = 0u32;
+        for _ in 0..4 {
+            let b = self.bump()?;
+            let d = (b as char)
+                .to_digit(16)
+                .ok_or_else(|| Error::custom("invalid hex digit"))?;
+            v = v * 16 + d;
+        }
+        Ok(v)
+    }
+
+    fn number(&mut self) -> Result<Value> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        let int_start = self.pos;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.pos == int_start {
+            return Err(Error::custom("expected digits in number"));
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            let frac_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == frac_start {
+                return Err(Error::custom("expected digits after decimal point"));
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            let exp_start = self.pos;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+            if self.pos == exp_start {
+                return Err(Error::custom("expected digits in exponent"));
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::custom("invalid number"))?;
+        let number = if is_float {
+            Number::F(text.parse().map_err(|_| Error::custom("invalid float"))?)
+        } else if let Some(stripped) = text.strip_prefix('-') {
+            match stripped.parse::<u64>() {
+                Ok(0) => Number::U(0),
+                _ => Number::I(
+                    text.parse().map_err(|_| Error::custom("integer overflow"))?,
+                ),
+            }
+        } else {
+            Number::U(text.parse().map_err(|_| Error::custom("integer overflow"))?)
+        };
+        Ok(Value::Number(number))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_roundtrip() {
+        let text = r#"{"a":[1,2],"b":"x","c":true,"d":null,"e":-3,"f":1.5}"#;
+        let v = parse(text).unwrap();
+        assert_eq!(v.to_string(), text);
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        assert!(parse("garbage").is_err());
+        assert!(parse("").is_err());
+        assert!(parse("{\"a\":}").is_err());
+        assert!(parse("[1,2,]").is_err());
+        assert!(parse("123abc").is_err());
+        assert!(from_slice::<Value>(b"\xff\xfe").is_err());
+    }
+
+    #[test]
+    fn escapes() {
+        let v = parse(r#""a\"b\\c\ndAé""#).unwrap();
+        assert_eq!(v.as_str(), Some("a\"b\\c\ndA\u{e9}"));
+        let v = parse(r#""😀""#).unwrap();
+        assert_eq!(v.as_str(), Some("\u{1F600}"));
+    }
+
+    #[test]
+    fn unicode_passthrough() {
+        let original = Value::String("héllo wörld — ☃".to_string());
+        let text = to_string(&original).unwrap();
+        assert_eq!(parse(&text).unwrap(), original);
+    }
+
+    #[test]
+    fn json_macro() {
+        let v = json!({"a": [1, 2], "b": "x", "c": null, "d": true});
+        assert_eq!(v.get("a").unwrap().as_array().unwrap().len(), 2);
+        assert_eq!(v.get("b").unwrap().as_str(), Some("x"));
+        assert!(v.get("c").unwrap().is_null());
+        assert_eq!(v.get("d").unwrap().as_bool(), Some(true));
+        let text = to_string(&v).unwrap();
+        assert_eq!(parse(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn float_integrality_survives_roundtrip() {
+        let v = Value::from(2.0);
+        let back = parse(&v.to_string()).unwrap();
+        assert_eq!(back, v, "whole floats must stay floats");
+    }
+}
