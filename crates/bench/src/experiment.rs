@@ -140,11 +140,14 @@ pub fn print_figure(title: &str, series: &[Series]) {
 pub fn print_latency(series: &Series) {
     println!();
     println!("# latency — {}", series.label);
-    println!("{:>8}  {:>12}  {:>12}", "clients", "mean_ms", "p95_ms");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
+        "clients", "mean_ms", "p50_ms", "p95_ms", "p99_ms"
+    );
     for p in &series.points {
         println!(
-            "{:>8}  {:>12.2}  {:>12.2}",
-            p.clients, p.mean_latency_ms, p.p95_latency_ms
+            "{:>8}  {:>12.2}  {:>12.2}  {:>12.2}  {:>12.2}",
+            p.clients, p.mean_latency_ms, p.p50_latency_ms, p.p95_latency_ms, p.p99_latency_ms
         );
     }
 }

@@ -146,7 +146,9 @@ pub struct LoadResult {
     /// Successfully completed operations per second inside the window.
     pub throughput: f64,
     pub mean_latency_ms: f64,
+    pub p50_latency_ms: f64,
     pub p95_latency_ms: f64,
+    pub p99_latency_ms: f64,
     pub completed: u64,
     pub failed: u64,
 }
@@ -200,6 +202,12 @@ pub fn run_closed_loop(
 
     let st = state.borrow();
     let throughput = st.meter.rate().unwrap_or(0.0);
+    let quantile_ms = |q: f64| {
+        st.latencies
+            .quantile(q)
+            .map(|d| d.as_secs_f64() * 1e3)
+            .unwrap_or(0.0)
+    };
     LoadResult {
         clients,
         throughput,
@@ -208,11 +216,9 @@ pub fn run_closed_loop(
             .mean()
             .map(|d| d.as_secs_f64() * 1e3)
             .unwrap_or(0.0),
-        p95_latency_ms: st
-            .latencies
-            .quantile(0.95)
-            .map(|d| d.as_secs_f64() * 1e3)
-            .unwrap_or(0.0),
+        p50_latency_ms: quantile_ms(0.5),
+        p95_latency_ms: quantile_ms(0.95),
+        p99_latency_ms: quantile_ms(0.99),
         completed: st.meter.count(),
         failed: st.failed,
     }

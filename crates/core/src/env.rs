@@ -22,9 +22,15 @@ pub mod keys {
     pub const LEASE_MS: &str = "rndi.lease.ms";
     /// Maximum federation hops before resolution aborts (cycle guard).
     pub const MAX_FEDERATION_DEPTH: &str = "rndi.federation.max-depth";
+    /// Maximum worker threads a federated subtree search fans out across
+    /// mounted naming systems with. `1` degenerates to sequential visits.
+    pub const FEDERATION_FANOUT: &str = "rndi.federation.fanout";
     /// TTL, in milliseconds, of the pipeline's read-through lookup cache.
     /// `0` (the default) disables the cache layer entirely.
     pub const CACHE_TTL_MS: &str = "rndi.pipeline.cache.ttl.ms";
+    /// Maximum entries the pipeline's read-through cache retains before
+    /// evicting least-recently-used ones.
+    pub const CACHE_MAX_ENTRIES: &str = "rndi.pipeline.cache.max-entries";
     /// Maximum attempts the pipeline's retry layer makes per operation on
     /// transient backend errors. `1` (the default) means no retries.
     pub const RETRY_MAX_ATTEMPTS: &str = "rndi.pipeline.retry.max-attempts";

@@ -8,13 +8,17 @@
 //! URL scheme where needed) and re-issues the operation with the remaining
 //! name, until the operation completes or the hop limit trips.
 
+use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
 
-use crate::context::DirContext;
+use parking_lot::Mutex;
+
+use crate::context::{DirContext, SearchControls, SearchItem, SearchScope};
 use crate::env::{keys, Environment};
 use crate::error::{NamingError, Result};
+use crate::filter::Filter;
 use crate::name::CompositeName;
-use crate::op::{self, NamingOp, OpOutcome};
+use crate::op::{self, NamingOp, OpKind, OpOutcome};
 use crate::spi::ProviderRegistry;
 use crate::url::RndiUrl;
 use crate::value::BoundValue;
@@ -22,6 +26,10 @@ use crate::value::BoundValue;
 /// Default maximum federation hops (overridable via
 /// [`keys::MAX_FEDERATION_DEPTH`]).
 pub const DEFAULT_MAX_DEPTH: u64 = 16;
+
+/// Default worker-pool width for federated subtree search fan-out
+/// (overridable via [`keys::FEDERATION_FANOUT`]).
+pub const DEFAULT_FANOUT: u64 = 8;
 
 /// Turn a resolved boundary object into the continuation context plus the
 /// name prefix it contributes (URL references contribute their path).
@@ -132,6 +140,114 @@ impl FederatedContext {
     pub fn run_op(&self, op: &NamingOp) -> crate::error::Result<OpOutcome> {
         drive_op(self.base.clone(), op, &self.registry, &self.env)
     }
+
+    /// Subtree search across mounted naming systems.
+    ///
+    /// The base system is searched first (through the normal continuation
+    /// loop), then every federation link bound directly under `name` is
+    /// searched concurrently by a bounded worker pool of
+    /// [`keys::FEDERATION_FANOUT`] threads, recursing into nested mounts
+    /// up to [`keys::MAX_FEDERATION_DEPTH`] levels. The merge order is
+    /// deterministic regardless of worker scheduling: base hits first,
+    /// then each mount's hits in mount-name order, each hit renamed to
+    /// `"{mount}/{hit}"`. Mounts that cannot be resolved or searched are
+    /// skipped — aggregation over heterogeneous member registries is
+    /// best-effort, one unreachable system must not fail the federation.
+    fn search_federated(
+        &self,
+        name: &CompositeName,
+        filter: &Filter,
+        controls: &SearchControls,
+        depth: usize,
+    ) -> Result<Vec<SearchItem>> {
+        let mut out = self
+            .run_op(&NamingOp::search(
+                name.clone(),
+                filter.clone(),
+                controls.clone(),
+            ))?
+            .into_found(OpKind::Search)?;
+        let max_depth =
+            self.env
+                .get_u64(keys::MAX_FEDERATION_DEPTH, DEFAULT_MAX_DEPTH) as usize;
+        if controls.scope != SearchScope::Subtree || depth >= max_depth {
+            return Ok(Self::truncate(out, controls.count_limit));
+        }
+        // Federation links bound directly under the base, in name order.
+        let mut mounts: Vec<(String, BoundValue)> = match self
+            .run_op(&NamingOp::list_bindings(name.clone()))
+            .and_then(|o| o.into_bindings(OpKind::ListBindings))
+        {
+            Ok(bindings) => bindings
+                .into_iter()
+                .filter(|b| b.value.is_federation_link())
+                .map(|b| (b.name, b.value))
+                .collect(),
+            // Base isn't enumerable (flat service, foreign leaf): nothing
+            // to fan out over.
+            Err(_) => Vec::new(),
+        };
+        if mounts.is_empty() {
+            return Ok(Self::truncate(out, controls.count_limit));
+        }
+        mounts.sort_by(|a, b| a.0.cmp(&b.0));
+
+        let fanout = self
+            .env
+            .get_u64(keys::FEDERATION_FANOUT, DEFAULT_FANOUT)
+            .max(1) as usize;
+        let workers = fanout.min(mounts.len());
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Vec<SearchItem>>>> =
+            mounts.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some((_, link)) = mounts.get(i) else {
+                        break;
+                    };
+                    let hits = self
+                        .search_mount(link.clone(), filter, controls, depth + 1)
+                        .unwrap_or_default();
+                    *slots[i].lock() = Some(hits);
+                });
+            }
+        });
+        for ((mount, _), slot) in mounts.iter().zip(slots) {
+            let hits = slot.into_inner().expect("worker filled every slot");
+            out.extend(hits.into_iter().map(|mut hit| {
+                hit.name = if hit.name.is_empty() {
+                    mount.clone()
+                } else {
+                    format!("{mount}/{}", hit.name)
+                };
+                hit
+            }));
+        }
+        Ok(Self::truncate(out, controls.count_limit))
+    }
+
+    /// Resolve one federation link and run the subtree search inside it
+    /// (itself federated, so nested mounts keep aggregating).
+    fn search_mount(
+        &self,
+        link: BoundValue,
+        filter: &Filter,
+        controls: &SearchControls,
+        depth: usize,
+    ) -> Result<Vec<SearchItem>> {
+        let (ctx, prefix) = continuation_context(link, &self.registry, &self.env)?;
+        let child = FederatedContext::new(ctx, self.registry.clone(), self.env.clone());
+        child.search_federated(&prefix, filter, controls, depth)
+    }
+
+    fn truncate(mut hits: Vec<SearchItem>, limit: usize) -> Vec<SearchItem> {
+        if limit > 0 && hits.len() > limit {
+            hits.truncate(limit);
+        }
+        hits
+    }
 }
 
 impl crate::context::Context for FederatedContext {
@@ -235,12 +351,7 @@ impl crate::context::DirContext for FederatedContext {
         filter: &crate::filter::Filter,
         controls: &crate::context::SearchControls,
     ) -> crate::error::Result<Vec<crate::context::SearchItem>> {
-        self.run_op(&NamingOp::search(
-            name.clone(),
-            filter.clone(),
-            controls.clone(),
-        ))?
-        .into_found(crate::op::OpKind::Search)
+        self.search_federated(name, filter, controls, 0)
     }
 }
 
@@ -466,6 +577,117 @@ mod tests {
             )
             .unwrap();
         assert_eq!(hits.len(), 1);
+    }
+
+    #[test]
+    fn subtree_search_fans_out_across_mounts_in_name_order() {
+        use crate::attrs::Attributes;
+        use crate::context::{SearchControls, SearchScope};
+        use crate::filter::Filter;
+
+        // root { local(k=v), mount-b -> far_b{hit-b}, mount-a -> far_a{hit-a, nested -> deep{hit-deep}} }
+        let root = MemContext::new();
+        root.bind_with_attrs(
+            &"local".into(),
+            BoundValue::Null,
+            Attributes::new().with("k", "v"),
+        )
+        .unwrap();
+        let deep = MemContext::new();
+        deep.bind_with_attrs(
+            &"hit-deep".into(),
+            BoundValue::Null,
+            Attributes::new().with("k", "v"),
+        )
+        .unwrap();
+        let far_a = MemContext::new();
+        far_a
+            .bind_with_attrs(
+                &"hit-a".into(),
+                BoundValue::Null,
+                Attributes::new().with("k", "v"),
+            )
+            .unwrap();
+        far_a
+            .bind(&"nested".into(), BoundValue::Context(Arc::new(deep)))
+            .unwrap();
+        let far_b = MemContext::new();
+        far_b
+            .bind_with_attrs(
+                &"hit-b".into(),
+                BoundValue::Null,
+                Attributes::new().with("k", "v"),
+            )
+            .unwrap();
+        root.bind(&"mount-b".into(), BoundValue::Context(Arc::new(far_b)))
+            .unwrap();
+        root.bind(&"mount-a".into(), BoundValue::Context(Arc::new(far_a)))
+            .unwrap();
+
+        let controls = SearchControls {
+            scope: SearchScope::Subtree,
+            ..Default::default()
+        };
+        let filter = Filter::parse("(k=v)").unwrap();
+        for fanout in ["1", "8"] {
+            let fed = FederatedContext::new(
+                Arc::new(root.clone()),
+                Arc::new(ProviderRegistry::new()),
+                Environment::new().with(keys::FEDERATION_FANOUT, fanout),
+            );
+            let names: Vec<String> = crate::context::DirContext::search(
+                fed.as_ref(),
+                &CompositeName::empty(),
+                &filter,
+                &controls,
+            )
+            .unwrap()
+            .into_iter()
+            .map(|h| h.name)
+            .collect();
+            // Base hits first, then mounts in name order (a before b),
+            // nested mounts recursed — identical for any pool width.
+            assert_eq!(
+                names,
+                vec![
+                    "local",
+                    "mount-a/hit-a",
+                    "mount-a/nested/hit-deep",
+                    "mount-b/hit-b"
+                ],
+                "fanout={fanout}"
+            );
+        }
+    }
+
+    #[test]
+    fn subtree_search_skips_unresolvable_mounts() {
+        use crate::context::{SearchControls, SearchScope};
+        use crate::filter::Filter;
+
+        let root = MemContext::new();
+        root.bind(
+            &"dead".into(),
+            BoundValue::Reference(Reference::url("nosuch://host")),
+        )
+        .unwrap();
+        let fed = FederatedContext::new(
+            Arc::new(root),
+            Arc::new(ProviderRegistry::new()),
+            Environment::new(),
+        );
+        let controls = SearchControls {
+            scope: SearchScope::Subtree,
+            ..Default::default()
+        };
+        let hits = crate::context::DirContext::search(
+            fed.as_ref(),
+            &CompositeName::empty(),
+            &Filter::parse("(k=v)").unwrap(),
+            &controls,
+        )
+        .unwrap();
+        assert!(hits.is_empty(), "unreachable mount is skipped, not fatal");
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //!   converts the application object into the provider's storable form on
 //!   `bind`, and an object factory reverses the transformation on `lookup`.
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex as StdMutex, OnceLock};
 use std::time::{Duration, Instant};
@@ -441,19 +441,83 @@ enum CachedResult {
 struct CacheEntry {
     result: CachedResult,
     expires_ms: u64,
+    /// Recency stamp: the key's position in [`CacheMap::recency`].
+    tick: u64,
 }
 
-/// Read-through lookup cache with TTL expiry. Entries are invalidated by
-/// mutations flowing through the pipeline and by the provider's own naming
-/// events (subscribe via [`CacheInterceptor::listener`] or let
-/// [`ProviderPipeline::standard`] wire it to the backend's hub).
+/// Default [`CacheInterceptor`] capacity (entries), overridable via
+/// [`keys::CACHE_MAX_ENTRIES`].
+pub const DEFAULT_CACHE_MAX_ENTRIES: usize = 4096;
+
+/// The map plus an LRU order over its keys. `recency` maps a monotonically
+/// increasing tick to the key touched at that tick; each key owns exactly
+/// one tick (its entry's `tick`), so the `recency` minimum is always the
+/// least-recently-used key.
+#[derive(Default)]
+struct CacheMap {
+    map: HashMap<String, CacheEntry>,
+    recency: BTreeMap<u64, String>,
+    next_tick: u64,
+}
+
+impl CacheMap {
+    fn touch(&mut self, key: &str) {
+        let Some(entry) = self.map.get_mut(key) else {
+            return;
+        };
+        self.recency.remove(&entry.tick);
+        entry.tick = self.next_tick;
+        self.recency.insert(self.next_tick, key.to_string());
+        self.next_tick += 1;
+    }
+
+    fn remove(&mut self, key: &str) -> Option<CacheEntry> {
+        let entry = self.map.remove(key)?;
+        self.recency.remove(&entry.tick);
+        Some(entry)
+    }
+
+    /// Insert, evicting least-recently-used entries past `max_entries`
+    /// (`0` = unbounded). Returns how many entries were evicted.
+    fn insert(&mut self, key: String, result: CachedResult, expires_ms: u64, max: usize) -> u64 {
+        self.remove(&key);
+        let mut evicted = 0;
+        if max > 0 {
+            while self.map.len() >= max {
+                let (_, lru) = self.recency.pop_first().expect("map non-empty");
+                self.map.remove(&lru);
+                evicted += 1;
+            }
+        }
+        let tick = self.next_tick;
+        self.next_tick += 1;
+        self.recency.insert(tick, key.clone());
+        self.map.insert(
+            key,
+            CacheEntry {
+                result,
+                expires_ms,
+                tick,
+            },
+        );
+        evicted
+    }
+}
+
+/// Read-through lookup cache with TTL expiry and a max-entries LRU bound.
+/// Entries are invalidated by mutations flowing through the pipeline and
+/// by the provider's own naming events (subscribe via
+/// [`CacheInterceptor::listener`] or let [`ProviderPipeline::standard`]
+/// wire it to the backend's hub).
 pub struct CacheInterceptor {
     ttl_ms: u64,
+    max_entries: usize,
     clock: Arc<dyn LeaseClock>,
-    entries: Mutex<HashMap<String, CacheEntry>>,
+    entries: Mutex<CacheMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl CacheInterceptor {
@@ -464,12 +528,20 @@ impl CacheInterceptor {
     pub fn with_clock(ttl_ms: u64, clock: Arc<dyn LeaseClock>) -> Self {
         CacheInterceptor {
             ttl_ms,
+            max_entries: DEFAULT_CACHE_MAX_ENTRIES,
             clock,
-            entries: Mutex::new(HashMap::new()),
+            entries: Mutex::new(CacheMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
+    }
+
+    /// Builder-style capacity bound; `0` means unbounded.
+    pub fn with_max_entries(mut self, max_entries: usize) -> Self {
+        self.max_entries = max_entries;
+        self
     }
 
     pub fn hits(&self) -> u64 {
@@ -484,23 +556,42 @@ impl CacheInterceptor {
         self.invalidations.load(Ordering::Relaxed)
     }
 
+    /// Entries dropped by the LRU capacity bound (distinct from
+    /// invalidations, which are correctness-driven).
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Live entry count (diagnostics).
+    pub fn len(&self) -> usize {
+        self.entries.lock().map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     /// Drop entries at, under, or above `name` (a changed mount affects
     /// everything resolved through it, in both directions).
     fn invalidate(&self, name: &str) {
         let mut entries = self.entries.lock();
-        let before = entries.len();
-        if name.is_empty() {
-            entries.clear();
-        } else {
-            entries.retain(|key, _| {
-                !(key == name
+        let doomed: Vec<String> = entries
+            .map
+            .keys()
+            .filter(|key| {
+                name.is_empty()
+                    || *key == name
                     || key.starts_with(&format!("{name}/"))
-                    || name.starts_with(&format!("{key}/")))
-            });
+                    || name.starts_with(&format!("{key}/"))
+            })
+            .cloned()
+            .collect();
+        for key in &doomed {
+            entries.remove(key);
         }
-        let dropped = (before - entries.len()) as u64;
-        if dropped > 0 {
-            self.invalidations.fetch_add(dropped, Ordering::Relaxed);
+        if !doomed.is_empty() {
+            self.invalidations
+                .fetch_add(doomed.len() as u64, Ordering::Relaxed);
         }
     }
 }
@@ -533,8 +624,15 @@ impl Interceptor for CacheInterceptor {
 
         let key = op.name.to_string();
         let now = self.clock.now_ms();
-        if let Some(entry) = self.entries.lock().get(&key) {
-            if entry.expires_ms > now {
+        {
+            let mut entries = self.entries.lock();
+            let fresh = entries
+                .map
+                .get(&key)
+                .is_some_and(|entry| entry.expires_ms > now);
+            if fresh {
+                entries.touch(&key);
+                let entry = entries.map.get(&key).expect("checked above");
                 self.hits.fetch_add(1, Ordering::Relaxed);
                 return match &entry.result {
                     CachedResult::Outcome(out) => Ok(out.clone()),
@@ -562,13 +660,15 @@ impl Interceptor for CacheInterceptor {
             Err(_) => None,
         };
         if let Some(result) = cached {
-            self.entries.lock().insert(
+            let evicted = self.entries.lock().insert(
                 key,
-                CacheEntry {
-                    result,
-                    expires_ms: now.saturating_add(self.ttl_ms),
-                },
+                result,
+                now.saturating_add(self.ttl_ms),
+                self.max_entries,
             );
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+            }
         }
         result
     }
@@ -674,7 +774,10 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
         }
 
         let ttl_ms = env.get_u64(keys::CACHE_TTL_MS, 0);
-        let cache = (ttl_ms > 0).then(|| Arc::new(CacheInterceptor::new(ttl_ms)));
+        let max_entries =
+            env.get_u64(keys::CACHE_MAX_ENTRIES, DEFAULT_CACHE_MAX_ENTRIES as u64) as usize;
+        let cache = (ttl_ms > 0)
+            .then(|| Arc::new(CacheInterceptor::new(ttl_ms).with_max_entries(max_entries)));
         if let Some(c) = &cache {
             if let Some(hub) = backend.event_hub() {
                 hub.subscribe(CompositeName::empty(), c.clone());
@@ -918,6 +1021,7 @@ pub mod telemetry {
         pub hits: u64,
         pub misses: u64,
         pub invalidations: u64,
+        pub evictions: u64,
     }
 
     impl CacheCounters {
@@ -973,6 +1077,7 @@ pub mod telemetry {
                 c.hits += cache.hits();
                 c.misses += cache.misses();
                 c.invalidations += cache.invalidations();
+                c.evictions += cache.evictions();
             }
             if let Some(retry) = &reg.retry {
                 entry.retries += retry.retries();
@@ -1296,6 +1401,33 @@ mod tests {
         assert_eq!(backend.calls(), 1, "second lookup served from cache");
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits(), 1);
+    }
+
+    #[test]
+    fn cache_capacity_evicts_least_recently_used() {
+        let backend = Arc::new(MockBackend::new());
+        let cache = Arc::new(CacheInterceptor::new(60_000).with_max_entries(2));
+        let p = ProviderPipeline::with_stack(backend.clone(), vec![cache.clone()]);
+        p.lookup(&name("a")).unwrap();
+        p.lookup(&name("b")).unwrap();
+        // Touch "a" so "b" becomes the LRU entry, then overflow.
+        p.lookup(&name("a")).unwrap();
+        p.lookup(&name("c")).unwrap();
+        assert_eq!(cache.evictions(), 1);
+        assert_eq!(cache.len(), 2);
+
+        let calls = backend.calls();
+        p.lookup(&name("a")).unwrap();
+        p.lookup(&name("c")).unwrap();
+        assert_eq!(backend.calls(), calls, "survivors still cached");
+        p.lookup(&name("b")).unwrap();
+        assert_eq!(backend.calls(), calls + 1, "LRU entry was evicted");
+        assert_eq!(
+            cache.evictions(),
+            2,
+            "re-caching b evicted the next LRU entry"
+        );
+        assert_eq!(cache.invalidations(), 0, "evictions counted separately");
     }
 
     #[test]

@@ -136,21 +136,26 @@ impl HdnsStore {
     }
 
     /// Direct children of `prefix` (`""` = root).
+    ///
+    /// Non-root prefixes scan only the `"{prefix}/"` key range (the
+    /// subtree is contiguous in the ordered map) instead of the whole
+    /// store; the root has no such range in a flat path map, so it keeps
+    /// the full iteration.
     pub fn list(&self, prefix: &str) -> Vec<(String, &HdnsEntry)> {
         let norm = prefix.trim_matches('/');
-        let depth = if norm.is_empty() {
-            1
-        } else {
-            norm.matches('/').count() + 2
-        };
-        let range_prefix = if norm.is_empty() {
-            String::new()
-        } else {
-            format!("{norm}/")
-        };
+        if norm.is_empty() {
+            return self
+                .entries
+                .iter()
+                .filter(|(k, _)| !k.contains('/'))
+                .map(|(k, v)| (k.clone(), v))
+                .collect();
+        }
+        let depth = norm.matches('/').count() + 2;
+        let range_prefix = format!("{norm}/");
         self.entries
-            .iter()
-            .filter(|(k, _)| k.starts_with(&range_prefix))
+            .range(range_prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&range_prefix))
             .filter(|(k, _)| k.matches('/').count() + 1 == depth)
             .map(|(k, v)| {
                 let child = k.rsplit('/').next().expect("non-empty key").to_string();

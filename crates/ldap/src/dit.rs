@@ -3,12 +3,27 @@
 //! Entries keyed by normalized DN, with structural invariants enforced:
 //! an entry's parent must exist (except suffixes at the tree root) and only
 //! leaf entries can be deleted.
+//!
+//! Read-path layout: the entry map is keyed by the *root-first* normalized
+//! DN (RDNs reversed, joined with an unprintable separator), so every
+//! subtree is one contiguous key range and `OneLevel`/`Subtree` searches
+//! are bounded range scans instead of full-tree walks. An equality index
+//! over `(attribute, value)` pairs additionally lets searches whose filter
+//! contains an equality conjunct start from the posting set instead of the
+//! scope range. Both structures only *prune*: every candidate is still
+//! verified with the real scope predicate and `LdapFilter::matches`.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 
 use crate::dn::{Dn, Rdn};
 use crate::entry::LdapEntry;
 use crate::filter::LdapFilter;
+
+/// Separator between RDNs in root-first tree keys. An information
+/// separator that normal DN text never contains; even if a value smuggles
+/// one in, candidates are re-verified against the actual `Dn`, so the
+/// range scan stays a pruning step rather than a correctness assumption.
+const KEY_SEP: char = '\u{1f}';
 
 /// Search scope.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -30,15 +45,64 @@ pub enum DitError {
     NoSuchParent(String),
 }
 
-/// The tree. BTreeMap keeps deterministic enumeration order.
+/// The best read strategy the equality index offers for a filter.
+enum Posting<'a> {
+    /// No equality conjunct indexed — fall back to the scope range scan.
+    Unindexed,
+    /// An equality conjunct nothing satisfies — the result is empty.
+    Empty,
+    /// Candidate tree keys (a superset of the matches).
+    Keys(&'a BTreeSet<String>),
+}
+
+/// The tree. BTreeMap keeps deterministic enumeration order (root-first).
 #[derive(Default, Debug, Clone)]
 pub struct Dit {
+    /// Root-first tree key → entry; each subtree is a contiguous range.
     entries: BTreeMap<String, LdapEntry>,
+    /// `(attr lowercase, value lowercase)` → tree keys of entries holding
+    /// that value. Maintained by every mutation, alongside `entries`.
+    eq_index: HashMap<(String, String), BTreeSet<String>>,
 }
 
 impl Dit {
     pub fn new() -> Self {
         Dit::default()
+    }
+
+    /// Root-first map key: `o=emory` before its whole subtree, which makes
+    /// the subtree a contiguous `entries` range.
+    fn tree_key(dn: &Dn) -> String {
+        let mut parts: Vec<String> = dn.rdns().iter().map(|r| r.normalized()).collect();
+        parts.reverse();
+        parts.join(&KEY_SEP.to_string())
+    }
+
+    fn index_entry(&mut self, key: &str, entry: &LdapEntry) {
+        for attr in entry.attrs() {
+            let id = attr.id.to_ascii_lowercase();
+            for value in &attr.values {
+                self.eq_index
+                    .entry((id.clone(), value.to_ascii_lowercase()))
+                    .or_default()
+                    .insert(key.to_string());
+            }
+        }
+    }
+
+    fn unindex_entry(&mut self, key: &str, entry: &LdapEntry) {
+        for attr in entry.attrs() {
+            let id = attr.id.to_ascii_lowercase();
+            for value in &attr.values {
+                let ik = (id.clone(), value.to_ascii_lowercase());
+                if let Some(set) = self.eq_index.get_mut(&ik) {
+                    set.remove(key);
+                    if set.is_empty() {
+                        self.eq_index.remove(&ik);
+                    }
+                }
+            }
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -50,17 +114,17 @@ impl Dit {
     }
 
     pub fn contains(&self, dn: &Dn) -> bool {
-        self.entries.contains_key(&dn.normalized())
+        self.entries.contains_key(&Self::tree_key(dn))
     }
 
     pub fn get(&self, dn: &Dn) -> Option<&LdapEntry> {
-        self.entries.get(&dn.normalized())
+        self.entries.get(&Self::tree_key(dn))
     }
 
     /// Add an entry. The parent must already exist unless the entry is a
     /// suffix (depth 1) or the root itself.
     pub fn add(&mut self, entry: LdapEntry) -> Result<(), DitError> {
-        let key = entry.dn.normalized();
+        let key = Self::tree_key(&entry.dn);
         if self.entries.contains_key(&key) {
             return Err(DitError::AlreadyExists(entry.dn.to_string()));
         }
@@ -69,33 +133,52 @@ impl Dit {
                 return Err(DitError::NoSuchParent(parent.to_string()));
             }
         }
+        self.index_entry(&key, &entry);
         self.entries.insert(key, entry);
         Ok(())
     }
 
     /// Delete a leaf entry.
     pub fn delete(&mut self, dn: &Dn) -> Result<LdapEntry, DitError> {
-        let key = dn.normalized();
+        let key = Self::tree_key(dn);
         if !self.entries.contains_key(&key) {
             return Err(DitError::NoSuchObject(dn.to_string()));
         }
         if self.has_children(dn) {
             return Err(DitError::NotAllowedOnNonLeaf(dn.to_string()));
         }
-        Ok(self.entries.remove(&key).expect("checked present"))
+        let entry = self.entries.remove(&key).expect("checked present");
+        self.unindex_entry(&key, &entry);
+        Ok(entry)
     }
 
     /// Whether the entry has any children.
+    ///
+    /// A range probe over the entry's key block: because parents must exist
+    /// and only leaves can be deleted, any descendant implies a direct
+    /// child, so probing for *descendants* answers the child question.
     pub fn has_children(&self, dn: &Dn) -> bool {
-        self.entries.values().any(|e| e.dn.is_child_of(dn))
+        if dn.is_root() {
+            return self.entries.keys().any(|k| !k.is_empty());
+        }
+        let mut prefix = Self::tree_key(dn);
+        prefix.push(KEY_SEP);
+        self.entries
+            .range(prefix.clone()..)
+            .take_while(|(k, _)| k.starts_with(&prefix))
+            .any(|(_, e)| e.dn != *dn && e.dn.is_under(dn))
     }
 
     /// Replace an entry's content in place (same DN).
     pub fn update(&mut self, entry: LdapEntry) -> Result<(), DitError> {
-        let key = entry.dn.normalized();
+        let key = Self::tree_key(&entry.dn);
         if !self.entries.contains_key(&key) {
             return Err(DitError::NoSuchObject(entry.dn.to_string()));
         }
+        if let Some(old) = self.entries.remove(&key) {
+            self.unindex_entry(&key, &old);
+        }
+        self.index_entry(&key, &entry);
         self.entries.insert(key, entry);
         Ok(())
     }
@@ -116,12 +199,136 @@ impl Dit {
         if !entry.has_value(&new_rdn.attr, &new_rdn.value) {
             entry.add_value(&new_rdn.attr, new_rdn.value.clone());
         }
-        self.entries.insert(new_dn.normalized(), entry);
+        let new_key = Self::tree_key(&new_dn);
+        self.index_entry(&new_key, &entry);
+        self.entries.insert(new_key, entry);
         Ok(new_dn)
     }
 
+    /// The most selective indexed read strategy for `filter`: the smallest
+    /// equality posting among conjuncts that *must* hold for a match.
+    /// Recurses through `And` only — `Or`/`Not` arms don't constrain the
+    /// candidate set.
+    fn filter_posting(&self, filter: &LdapFilter) -> Posting<'_> {
+        match filter {
+            LdapFilter::Equality(attr, value) => {
+                match self
+                    .eq_index
+                    .get(&(attr.to_ascii_lowercase(), value.to_ascii_lowercase()))
+                {
+                    Some(set) => Posting::Keys(set),
+                    None => Posting::Empty,
+                }
+            }
+            LdapFilter::And(fs) => {
+                let mut best = Posting::Unindexed;
+                for f in fs {
+                    match self.filter_posting(f) {
+                        Posting::Empty => return Posting::Empty,
+                        Posting::Keys(set) => {
+                            best = match best {
+                                Posting::Keys(b) if b.len() <= set.len() => Posting::Keys(b),
+                                _ => Posting::Keys(set),
+                            };
+                        }
+                        Posting::Unindexed => {}
+                    }
+                }
+                best
+            }
+            _ => Posting::Unindexed,
+        }
+    }
+
     /// Search from `base` with the given scope and filter.
+    ///
+    /// Index-driven: an equality conjunct in the filter turns the search
+    /// into a walk of that posting set; otherwise `OneLevel`/`Subtree`
+    /// scan only the base's contiguous key range and `Base` is a direct
+    /// map probe. Every candidate is verified against the real scope
+    /// predicate and the full filter.
     pub fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &LdapFilter,
+        size_limit: usize,
+    ) -> Result<Vec<&LdapEntry>, DitError> {
+        if !base.is_root() && !self.contains(base) {
+            return Err(DitError::NoSuchObject(base.to_string()));
+        }
+        let in_scope = |e: &LdapEntry| match scope {
+            Scope::Base => e.dn == *base,
+            Scope::OneLevel => e.dn.is_child_of(base),
+            Scope::Subtree => e.dn.is_under(base),
+        };
+        let cap = if size_limit == 0 {
+            usize::MAX
+        } else {
+            size_limit
+        };
+        let mut out = Vec::new();
+        match self.filter_posting(filter) {
+            Posting::Empty => {}
+            Posting::Keys(keys) => {
+                for key in keys {
+                    let Some(e) = self.entries.get(key) else {
+                        continue;
+                    };
+                    if in_scope(e) && filter.matches(e) {
+                        out.push(e);
+                        if out.len() >= cap {
+                            break;
+                        }
+                    }
+                }
+            }
+            Posting::Unindexed => match scope {
+                Scope::Base => {
+                    // Keyed probe; `in_scope` re-checks exact (case-
+                    // preserving) DN equality, matching the scan semantics.
+                    if let Some(e) = self.get(base) {
+                        if in_scope(e) && filter.matches(e) {
+                            out.push(e);
+                        }
+                    }
+                }
+                Scope::OneLevel | Scope::Subtree if base.is_root() => {
+                    for e in self.entries.values() {
+                        if in_scope(e) && filter.matches(e) {
+                            out.push(e);
+                            if out.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+                Scope::OneLevel | Scope::Subtree => {
+                    let base_key = Self::tree_key(base);
+                    let mut prefix = base_key.clone();
+                    prefix.push(KEY_SEP);
+                    let range = self
+                        .entries
+                        .range(base_key.clone()..)
+                        .take_while(|(k, _)| **k == base_key || k.starts_with(&prefix));
+                    for (_, e) in range {
+                        if in_scope(e) && filter.matches(e) {
+                            out.push(e);
+                            if out.len() >= cap {
+                                break;
+                            }
+                        }
+                    }
+                }
+            },
+        }
+        Ok(out)
+    }
+
+    /// Reference implementation of [`Dit::search`]: a linear scan over
+    /// every entry, ignoring both indexes. Retained as the oracle the
+    /// property tests and the `readpath_scale` bench compare against.
+    pub fn search_scan(
         &self,
         base: &Dn,
         scope: Scope,
@@ -148,7 +355,7 @@ impl Dit {
         Ok(out)
     }
 
-    /// Iterate all entries (diagnostics, persistence).
+    /// Iterate all entries (diagnostics, persistence), root-first.
     pub fn iter(&self) -> impl Iterator<Item = &LdapEntry> {
         self.entries.values()
     }

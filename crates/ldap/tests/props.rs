@@ -107,4 +107,84 @@ proptest! {
         }
         prop_assert!(a.is_under(&Dn::root()));
     }
+
+    /// Oracle equivalence: the indexed/range-scan `search` agrees with the
+    /// retained full-iteration `search_scan` for every scope, arbitrary
+    /// bases (existing or not) and a spread of filters, after arbitrary
+    /// add/delete/rename/update interleavings.
+    #[test]
+    fn indexed_search_matches_scan_oracle(
+        ops in proptest::collection::vec(op_strategy(), 0..50),
+        bases in proptest::collection::vec(dn_strategy(), 1..4),
+        needle in "[a-d]{1,2}",
+    ) {
+        let mut dit = Dit::new();
+        for (i, op) in ops.iter().enumerate() {
+            match op {
+                DitOp::Add(dn) => {
+                    let value = dn.rdn().map(|r| r.value.clone()).unwrap_or_default();
+                    let _ = dit.add(
+                        LdapEntry::new(dn.clone())
+                            .with("cn", value)
+                            .with("seq", format!("{}", i % 5)),
+                    );
+                }
+                DitOp::Delete(dn) => {
+                    let _ = dit.delete(dn);
+                }
+                DitOp::Rename(dn, v) => {
+                    let _ = dit.modify_rdn(dn, Rdn::new("cn", v.clone()));
+                }
+            }
+        }
+        // Exercise update (attribute rewrite) on an existing entry too.
+        let first = dit.iter().next().map(|e| e.dn.clone());
+        if let Some(dn) = first {
+            let _ = dit.update(LdapEntry::new(dn).with("cn", needle.clone()));
+        }
+
+        let filters = [
+            format!("(cn={needle})"),
+            format!("(&(cn={needle})(seq=1))"),
+            format!("(|(cn={needle})(seq=2))"),
+            "(cn=*)".to_string(),
+            format!("(!(cn={needle}))"),
+        ];
+        let mut all_bases = vec![Dn::root()];
+        all_bases.extend(bases);
+        for base in &all_bases {
+            for scope in [Scope::Base, Scope::OneLevel, Scope::Subtree] {
+                for (raw, limit) in filters.iter().flat_map(|f| [(f, 0usize), (f, 2)]) {
+                    let filter = LdapFilter::parse(raw).unwrap();
+                    let indexed = dit.search(base, scope, &filter, limit);
+                    let scanned = dit.search_scan(base, scope, &filter, limit);
+                    match (&indexed, &scanned) {
+                        (Ok(a), Ok(b)) => {
+                            let dns = |v: &[&LdapEntry]| {
+                                let mut d: Vec<String> =
+                                    v.iter().map(|e| e.dn.normalized()).collect();
+                                d.sort();
+                                d
+                            };
+                            if limit == 0 {
+                                prop_assert_eq!(
+                                    dns(a), dns(b),
+                                    "scope {:?} base {} filter {}", scope, base, raw
+                                );
+                            } else {
+                                // Capped searches may pick different subsets;
+                                // the cap itself must bite identically.
+                                prop_assert_eq!(a.len(), b.len());
+                            }
+                        }
+                        (Err(_), Err(_)) => {}
+                        _ => prop_assert!(
+                            false,
+                            "divergent error: {:?} vs {:?}", indexed, scanned
+                        ),
+                    }
+                }
+            }
+        }
+    }
 }

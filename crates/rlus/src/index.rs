@@ -1,0 +1,218 @@
+//! Secondary indexes over registered service items.
+//!
+//! [`ServiceIndex`] maintains posting sets keyed by service type, entry
+//! class, and `(class, field, value)` so template lookups resolve by
+//! intersecting a few small sets instead of scanning every item. The
+//! postings are *supersets* of the true match set: a candidate drawn from
+//! them must still be verified with [`ServiceTemplate::matches`], which
+//! keeps the index logic simple (it only has to never miss a match) and
+//! the matching semantics in exactly one place.
+//!
+//! Coherence rule: every mutation of the item map (`register`,
+//! `set_attributes`, lease cancel/expiry) removes the *old* item from the
+//! index before inserting the *new* one, under the same write lock. The
+//! index therefore never refers to a service id absent from the item map.
+
+use std::collections::{BTreeSet, HashMap};
+
+use crate::id::ServiceId;
+use crate::item::ServiceItem;
+use crate::template::ServiceTemplate;
+
+/// Posting sets for the registrar's read path.
+///
+/// `BTreeSet` postings make candidate enumeration (and hence
+/// `lookup_all`) deterministic in service-id order.
+#[derive(Debug, Default)]
+pub(crate) struct ServiceIndex {
+    /// service type name → ids of items whose stub implements it.
+    by_type: HashMap<String, BTreeSet<ServiceId>>,
+    /// entry class → ids of items carrying an entry of that class.
+    by_class: HashMap<String, BTreeSet<ServiceId>>,
+    /// (entry class, field, value) → ids of items with a matching entry field.
+    by_field: HashMap<(String, String, String), BTreeSet<ServiceId>>,
+}
+
+impl ServiceIndex {
+    /// Add `item` (registered under `id`) to every relevant posting set.
+    pub(crate) fn insert(&mut self, id: ServiceId, item: &ServiceItem) {
+        for t in &item.service.type_names {
+            self.by_type.entry(t.clone()).or_default().insert(id);
+        }
+        for entry in &item.attribute_sets {
+            self.by_class
+                .entry(entry.class.clone())
+                .or_default()
+                .insert(id);
+            for (field, value) in &entry.fields {
+                self.by_field
+                    .entry((entry.class.clone(), field.clone(), value.clone()))
+                    .or_default()
+                    .insert(id);
+            }
+        }
+    }
+
+    /// Remove `item` from every posting set, dropping sets that empty out
+    /// so long-lived registrars don't accumulate dead keys.
+    pub(crate) fn remove(&mut self, id: ServiceId, item: &ServiceItem) {
+        for t in &item.service.type_names {
+            if let Some(set) = self.by_type.get_mut(t) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.by_type.remove(t);
+                }
+            }
+        }
+        for entry in &item.attribute_sets {
+            if let Some(set) = self.by_class.get_mut(&entry.class) {
+                set.remove(&id);
+                if set.is_empty() {
+                    self.by_class.remove(&entry.class);
+                }
+            }
+            for (field, value) in &entry.fields {
+                let key = (entry.class.clone(), field.clone(), value.clone());
+                if let Some(set) = self.by_field.get_mut(&key) {
+                    set.remove(&id);
+                    if set.is_empty() {
+                        self.by_field.remove(&key);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Candidate service ids for `template`, or `None` when the template
+    /// carries no indexable constraint (wildcard → caller scans).
+    ///
+    /// The result is a superset of the true match set (callers verify with
+    /// `template.matches`), in ascending service-id order. An explicit
+    /// `service_id` constraint is the caller's fast path and not handled
+    /// here.
+    pub(crate) fn candidates(&self, template: &ServiceTemplate) -> Option<Vec<ServiceId>> {
+        let mut postings: Vec<&BTreeSet<ServiceId>> = Vec::new();
+        for t in &template.service_types {
+            match self.by_type.get(t) {
+                Some(set) => postings.push(set),
+                // No item implements the type: the intersection is empty.
+                None => return Some(Vec::new()),
+            }
+        }
+        for tmpl in &template.attribute_templates {
+            // Pick the most selective posting this entry template offers:
+            // the smallest (class, field, value) set among its equality
+            // fields, falling back to the class posting when it only has
+            // wildcard fields.
+            let mut best: Option<&BTreeSet<ServiceId>> = None;
+            let mut has_equality = false;
+            for (field, value) in &tmpl.fields {
+                let Some(value) = value else { continue };
+                has_equality = true;
+                match self
+                    .by_field
+                    .get(&(tmpl.class.clone(), field.clone(), value.clone()))
+                {
+                    Some(set) => {
+                        if best.is_none_or(|b| set.len() < b.len()) {
+                            best = Some(set);
+                        }
+                    }
+                    None => return Some(Vec::new()),
+                }
+            }
+            if !has_equality {
+                match self.by_class.get(&tmpl.class) {
+                    Some(set) => best = Some(set),
+                    None => return Some(Vec::new()),
+                }
+            }
+            postings.push(best.expect("equality or class posting chosen above"));
+        }
+        if postings.is_empty() {
+            return None;
+        }
+        // Intersect starting from the smallest posting set.
+        postings.sort_by_key(|s| s.len());
+        let (first, rest) = postings.split_first().expect("non-empty");
+        Some(
+            first
+                .iter()
+                .copied()
+                .filter(|id| rest.iter().all(|s| s.contains(id)))
+                .collect(),
+        )
+    }
+
+    #[cfg(test)]
+    fn posting_count(&self) -> usize {
+        self.by_type.len() + self.by_class.len() + self.by_field.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::item::{Entry, ServiceStub};
+    use crate::template::EntryTemplate;
+
+    fn item(id: u64, types: &[&str], entries: Vec<Entry>) -> (ServiceId, ServiceItem) {
+        let sid = ServiceId::new(id, id);
+        let mut it = ServiceItem::new(ServiceStub::new(
+            types.iter().map(|t| t.to_string()).collect(),
+            vec![],
+        ))
+        .with_id(sid);
+        it.attribute_sets = entries;
+        (sid, it)
+    }
+
+    #[test]
+    fn wildcard_template_has_no_plan() {
+        let idx = ServiceIndex::default();
+        assert_eq!(idx.candidates(&ServiceTemplate::any()), None);
+    }
+
+    #[test]
+    fn type_and_field_intersection() {
+        let mut idx = ServiceIndex::default();
+        let (a, ia) = item(1, &["Printer"], vec![Entry::name("laser")]);
+        let (b, ib) = item(2, &["Printer"], vec![Entry::name("inkjet")]);
+        let (c, ic) = item(3, &["Scanner"], vec![Entry::name("laser")]);
+        idx.insert(a, &ia);
+        idx.insert(b, &ib);
+        idx.insert(c, &ic);
+
+        let t = ServiceTemplate::by_type("Printer")
+            .with_entry(EntryTemplate::new("Name").with("name", "laser"));
+        assert_eq!(idx.candidates(&t), Some(vec![a]));
+
+        let t = ServiceTemplate::by_type("Printer");
+        assert_eq!(idx.candidates(&t), Some(vec![a, b]));
+
+        // Unknown type short-circuits to empty.
+        let t = ServiceTemplate::by_type("Fax");
+        assert_eq!(idx.candidates(&t), Some(Vec::new()));
+    }
+
+    #[test]
+    fn wildcard_field_uses_class_posting() {
+        let mut idx = ServiceIndex::default();
+        let (a, ia) = item(1, &["S"], vec![Entry::name("x")]);
+        idx.insert(a, &ia);
+        // with_any("name") has no equality field → class posting (a superset:
+        // it would also admit Name entries lacking the field).
+        let t = ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with_any("name"));
+        assert_eq!(idx.candidates(&t), Some(vec![a]));
+    }
+
+    #[test]
+    fn remove_drains_postings() {
+        let mut idx = ServiceIndex::default();
+        let (a, ia) = item(1, &["S"], vec![Entry::name("x").with("loc", "y")]);
+        idx.insert(a, &ia);
+        assert!(idx.posting_count() > 0);
+        idx.remove(a, &ia);
+        assert_eq!(idx.posting_count(), 0, "empty posting sets are dropped");
+    }
+}

@@ -28,6 +28,7 @@ pub mod clock;
 pub mod discovery;
 pub mod event;
 pub mod id;
+mod index;
 pub mod item;
 pub mod lease;
 pub mod registrar;

@@ -13,15 +13,17 @@
 //!   transitions.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::RwLock;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::clock::Clock;
 use crate::event::{ServiceEvent, ServiceListener, Transition};
 use crate::id::ServiceId;
+use crate::index::ServiceIndex;
 use crate::item::{Entry, ServiceItem};
 use crate::lease::{Lease, LeaseError, LeaseSet};
 use crate::template::ServiceTemplate;
@@ -62,13 +64,26 @@ struct EventReg {
     sequence: u64,
 }
 
+/// Stats live outside the item map so the read path never needs a write
+/// lock just to bump a counter.
+#[derive(Default)]
+struct StatsCounters {
+    registrations: AtomicU64,
+    overwrites: AtomicU64,
+    lookups: AtomicU64,
+    events_fired: AtomicU64,
+    leases_expired: AtomicU64,
+}
+
 struct State {
     rng: StdRng,
     items: HashMap<ServiceId, StoredItem>,
+    /// Posting sets over `items`; updated under the same write lock as
+    /// every `items` mutation (see `crate::index` for the coherence rule).
+    index: ServiceIndex,
     service_leases: LeaseSet<ServiceId>,
     event_regs: HashMap<u64, EventReg>,
     event_leases: LeaseSet<u64>,
-    stats: RegistrarStats,
 }
 
 /// A lookup service instance. Cloneable handle; thread-safe.
@@ -88,7 +103,8 @@ struct State {
 #[derive(Clone)]
 pub struct Registrar {
     clock: Arc<dyn Clock>,
-    state: Arc<Mutex<State>>,
+    state: Arc<RwLock<State>>,
+    stats: Arc<StatsCounters>,
 }
 
 impl Registrar {
@@ -96,14 +112,15 @@ impl Registrar {
     pub fn new(clock: Arc<dyn Clock>, max_lease_ms: u64, seed: u64) -> Self {
         Registrar {
             clock,
-            state: Arc::new(Mutex::new(State {
+            state: Arc::new(RwLock::new(State {
                 rng: StdRng::seed_from_u64(seed),
                 items: HashMap::new(),
+                index: ServiceIndex::default(),
                 service_leases: LeaseSet::new(max_lease_ms),
                 event_regs: HashMap::new(),
                 event_leases: LeaseSet::new(max_lease_ms),
-                stats: RegistrarStats::default(),
             })),
+            stats: Arc::new(StatsCounters::default()),
         }
     }
 
@@ -111,8 +128,8 @@ impl Registrar {
     pub fn register(&self, mut item: ServiceItem, lease_ms: u64) -> ServiceRegistration {
         let now = self.clock.now_ms();
         let (reg, events) = {
-            let mut st = self.state.lock();
-            st.stats.registrations += 1;
+            let mut st = self.state.write();
+            self.stats.registrations.fetch_add(1, Ordering::Relaxed);
             let id = match item.service_id {
                 Some(id) => id,
                 None => {
@@ -123,12 +140,14 @@ impl Registrar {
             };
             let old = st.items.remove(&id);
             if let Some(prev) = &old {
-                st.stats.overwrites += 1;
+                self.stats.overwrites.fetch_add(1, Ordering::Relaxed);
+                st.index.remove(id, &prev.item);
                 let _ = st.service_leases.cancel(prev.lease_id);
             }
             let lease = st.service_leases.grant(id, lease_ms, now);
             let events =
-                Self::transition_events(&mut st, id, old.as_ref().map(|s| &s.item), Some(&item));
+                self.transition_events(&mut st, id, old.as_ref().map(|s| &s.item), Some(&item));
+            st.index.insert(id, &item);
             st.items.insert(
                 id,
                 StoredItem {
@@ -151,12 +170,14 @@ impl Registrar {
     /// Replace the attribute entries of a registered service.
     pub fn set_attributes(&self, id: ServiceId, entries: Vec<Entry>) -> Result<(), LeaseError> {
         let events = {
-            let mut st = self.state.lock();
+            let mut st = self.state.write();
             let stored = st.items.get(&id).ok_or(LeaseError::Unknown(0))?;
             let old = stored.item.clone();
             let mut new = old.clone();
             new.attribute_sets = entries;
-            let events = Self::transition_events(&mut st, id, Some(&old), Some(&new));
+            let events = self.transition_events(&mut st, id, Some(&old), Some(&new));
+            st.index.remove(id, &old);
+            st.index.insert(id, &new);
             st.items.get_mut(&id).expect("checked above").item = new;
             events
         };
@@ -166,19 +187,30 @@ impl Registrar {
 
     /// First item matching `template`, if any.
     pub fn lookup(&self, template: &ServiceTemplate) -> Option<ServiceItem> {
-        let mut st = self.state.lock();
-        st.stats.lookups += 1;
-        st.items
-            .values()
-            .map(|s| &s.item)
-            .find(|i| template.matches(i))
-            .cloned()
+        let st = self.state.read();
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        Self::collect_matches(&st, template, 1).pop()
     }
 
     /// Up to `max` items matching `template` (0 = unlimited).
+    ///
+    /// Resolved via the secondary indexes: an explicit service id is a
+    /// direct map hit, otherwise the template's type/entry constraints are
+    /// intersected over posting sets and only the (usually few) candidates
+    /// are verified against the full template. A wildcard template still
+    /// scans — everything matches it anyway.
     pub fn lookup_all(&self, template: &ServiceTemplate, max: usize) -> Vec<ServiceItem> {
-        let mut st = self.state.lock();
-        st.stats.lookups += 1;
+        let st = self.state.read();
+        self.stats.lookups.fetch_add(1, Ordering::Relaxed);
+        Self::collect_matches(&st, template, max)
+    }
+
+    /// Reference implementation of [`Registrar::lookup_all`]: a linear scan
+    /// over every item, bypassing the indexes. Retained as the oracle the
+    /// property/stress tests and the `readpath_scale` bench compare the
+    /// indexed path against. Does not count toward [`RegistrarStats`].
+    pub fn lookup_all_scan(&self, template: &ServiceTemplate, max: usize) -> Vec<ServiceItem> {
+        let st = self.state.read();
         let iter = st
             .items
             .values()
@@ -192,19 +224,60 @@ impl Registrar {
         }
     }
 
+    fn collect_matches(st: &State, template: &ServiceTemplate, max: usize) -> Vec<ServiceItem> {
+        let cap = if max == 0 { usize::MAX } else { max };
+        let mut out = Vec::new();
+        if let Some(id) = template.service_id {
+            // Id-constrained templates resolve to at most one item directly.
+            if let Some(stored) = st.items.get(&id) {
+                if template.matches(&stored.item) {
+                    out.push(stored.item.clone());
+                }
+            }
+            return out;
+        }
+        match st.index.candidates(template) {
+            Some(ids) => {
+                for id in ids {
+                    let stored = st.items.get(&id).expect("index coherent with items");
+                    if template.matches(&stored.item) {
+                        out.push(stored.item.clone());
+                        if out.len() == cap {
+                            break;
+                        }
+                    }
+                }
+            }
+            None => {
+                for stored in st.items.values() {
+                    if template.matches(&stored.item) {
+                        out.push(stored.item.clone());
+                        if out.len() == cap {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
     /// Renew a service lease.
     pub fn renew_service_lease(&self, lease_id: u64, ms: u64) -> Result<Lease, LeaseError> {
         let now = self.clock.now_ms();
-        self.state.lock().service_leases.renew(lease_id, ms, now)
+        self.state.write().service_leases.renew(lease_id, ms, now)
     }
 
     /// Cancel a service lease, removing the item (fires `NoMatch` events).
     pub fn cancel_service_lease(&self, lease_id: u64) -> Result<(), LeaseError> {
         let events = {
-            let mut st = self.state.lock();
+            let mut st = self.state.write();
             let id = st.service_leases.cancel(lease_id)?;
             let old = st.items.remove(&id);
-            Self::transition_events(&mut st, id, old.as_ref().map(|s| &s.item), None)
+            if let Some(prev) = &old {
+                st.index.remove(id, &prev.item);
+            }
+            self.transition_events(&mut st, id, old.as_ref().map(|s| &s.item), None)
         };
         self.fire(events);
         Ok(())
@@ -219,7 +292,7 @@ impl Registrar {
         lease_ms: u64,
     ) -> EventRegistration {
         let now = self.clock.now_ms();
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         // The registration id doubles as the lease resource: reuse the id
         // the next grant will receive, so each subscription has one id.
         let reg_id = st.event_leases.peek_next_id();
@@ -243,12 +316,12 @@ impl Registrar {
     /// Renew an event-subscription lease.
     pub fn renew_event_lease(&self, lease_id: u64, ms: u64) -> Result<Lease, LeaseError> {
         let now = self.clock.now_ms();
-        self.state.lock().event_leases.renew(lease_id, ms, now)
+        self.state.write().event_leases.renew(lease_id, ms, now)
     }
 
     /// Cancel an event-subscription lease.
     pub fn cancel_event_lease(&self, lease_id: u64) -> Result<(), LeaseError> {
-        let mut st = self.state.lock();
+        let mut st = self.state.write();
         let reg_id = st.event_leases.cancel(lease_id)?;
         st.event_regs.remove(&reg_id);
         Ok(())
@@ -259,13 +332,16 @@ impl Registrar {
     pub fn sweep(&self) {
         let now = self.clock.now_ms();
         let events = {
-            let mut st = self.state.lock();
+            let mut st = self.state.write();
             let dead_services = st.service_leases.sweep(now);
             let mut events = Vec::new();
             for id in dead_services {
-                st.stats.leases_expired += 1;
+                self.stats.leases_expired.fetch_add(1, Ordering::Relaxed);
                 let old = st.items.remove(&id);
-                events.extend(Self::transition_events(
+                if let Some(prev) = &old {
+                    st.index.remove(id, &prev.item);
+                }
+                events.extend(self.transition_events(
                     &mut st,
                     id,
                     old.as_ref().map(|s| &s.item),
@@ -274,7 +350,7 @@ impl Registrar {
             }
             let dead_regs = st.event_leases.sweep(now);
             for reg_id in dead_regs {
-                st.stats.leases_expired += 1;
+                self.stats.leases_expired.fetch_add(1, Ordering::Relaxed);
                 st.event_regs.remove(&reg_id);
             }
             events
@@ -284,17 +360,24 @@ impl Registrar {
 
     /// Number of live registrations.
     pub fn item_count(&self) -> usize {
-        self.state.lock().items.len()
+        self.state.read().items.len()
     }
 
     /// Counter snapshot.
     pub fn stats(&self) -> RegistrarStats {
-        self.state.lock().stats
+        RegistrarStats {
+            registrations: self.stats.registrations.load(Ordering::Relaxed),
+            overwrites: self.stats.overwrites.load(Ordering::Relaxed),
+            lookups: self.stats.lookups.load(Ordering::Relaxed),
+            events_fired: self.stats.events_fired.load(Ordering::Relaxed),
+            leases_expired: self.stats.leases_expired.load(Ordering::Relaxed),
+        }
     }
 
     /// Compute the events produced by transitioning `id` from `old` to
     /// `new` across all subscriptions.
     fn transition_events(
+        &self,
         st: &mut State,
         id: ServiceId,
         old: Option<&ServiceItem>,
@@ -314,7 +397,7 @@ impl Registrar {
                 continue;
             }
             reg.sequence += 1;
-            st.stats.events_fired += 1;
+            self.stats.events_fired.fetch_add(1, Ordering::Relaxed);
             out.push((
                 reg.listener.clone(),
                 ServiceEvent {

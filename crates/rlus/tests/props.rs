@@ -151,4 +151,92 @@ proptest! {
         let id = ServiceId::new(hi, lo);
         prop_assert_eq!(id.to_string().parse::<ServiceId>().unwrap(), id);
     }
+
+    /// Oracle equivalence: the indexed `lookup_all` agrees with the
+    /// retained linear-scan implementation after arbitrary interleavings
+    /// of registration, cancellation, attribute mutation and lease expiry,
+    /// across a spread of selective and wildcard templates.
+    #[test]
+    fn indexed_lookup_matches_scan_oracle(
+        script in proptest::collection::vec(
+            (0u8..5, 0u64..1_500, any::<u8>()),
+            1..50
+        )
+    ) {
+        let clock = ManualClock::new();
+        let registrar = Registrar::new(clock.clone(), 120_000, 7);
+        let mut lease_ids: Vec<u64> = Vec::new();
+        let mut ids: Vec<ServiceId> = Vec::new();
+        let mut now = 0u64;
+        for (op, dt, tag) in script {
+            now += dt;
+            clock.set(now);
+            let entry = |prefix: &str| Entry {
+                class: format!("C{}", tag % 3),
+                fields: [("k".to_string(), format!("{prefix}{}", tag % 4))]
+                    .into_iter()
+                    .collect(),
+            };
+            match op {
+                0 | 1 => {
+                    // Short leases on op 1 so the sweeps below expire some.
+                    let lease_ms = if op == 0 { 60_000 } else { 400 };
+                    let item = ServiceItem::new(ServiceStub::new(
+                        vec![format!("T{}", tag % 5)],
+                        vec![tag],
+                    ))
+                    .with_entry(entry("v"));
+                    let reg = registrar.register(item, lease_ms);
+                    lease_ids.push(reg.lease.id);
+                    ids.push(reg.service_id);
+                }
+                2 => {
+                    if let Some(lease_id) = lease_ids.pop() {
+                        let _ = registrar.cancel_service_lease(lease_id);
+                    }
+                }
+                3 => {
+                    if let Some(id) = ids.get(usize::from(tag) % ids.len().max(1)) {
+                        let _ = registrar.set_attributes(*id, vec![entry("w")]);
+                    }
+                }
+                _ => registrar.sweep(),
+            }
+            registrar.sweep();
+
+            let mut templates = vec![
+                ServiceTemplate::any(),
+                ServiceTemplate::any().with_type(format!("T{}", tag % 5)),
+                ServiceTemplate::any()
+                    .with_entry(EntryTemplate::new(format!("C{}", tag % 3))),
+                ServiceTemplate::any().with_entry(
+                    EntryTemplate::new(format!("C{}", tag % 3))
+                        .with("k", format!("v{}", tag % 4)),
+                ),
+                ServiceTemplate::any()
+                    .with_type(format!("T{}", tag % 5))
+                    .with_entry(
+                        EntryTemplate::new(format!("C{}", tag % 3))
+                            .with("k", format!("w{}", tag % 4)),
+                    ),
+            ];
+            if let Some(id) = ids.first() {
+                templates.push(ServiceTemplate::by_id(*id));
+            }
+            let key = |items: Vec<ServiceItem>| {
+                let mut k: Vec<_> = items
+                    .into_iter()
+                    .map(|i| (i.service_id, i.service.payload, i.attribute_sets))
+                    .collect();
+                // Ids are unique per item, so this sort is total.
+                k.sort_by_key(|(id, _, _)| *id);
+                k
+            };
+            for t in &templates {
+                let indexed = key(registrar.lookup_all(t, usize::MAX));
+                let scanned = key(registrar.lookup_all_scan(t, usize::MAX));
+                prop_assert_eq!(indexed, scanned, "template {:?}", t);
+            }
+        }
+    }
 }

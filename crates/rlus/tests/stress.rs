@@ -1,0 +1,162 @@
+//! Concurrency stress: hammer one registrar from many threads and check
+//! that the secondary indexes stay coherent with the item table — no lost
+//! registrations, no ghosts after cancellation, no stale index hits after
+//! lease expiry.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use rlus::{
+    Entry, EntryTemplate, ManualClock, Registrar, ServiceId, ServiceItem, ServiceStub,
+    ServiceTemplate,
+};
+
+const WRITERS: usize = 4;
+const READERS: usize = 4;
+const OPS_PER_WRITER: usize = 300;
+
+fn item(writer: usize, op: usize) -> ServiceItem {
+    ServiceItem::new(ServiceStub::new(
+        vec![format!("T{}", op % 3), "Stress".to_string()],
+        vec![writer as u8, (op % 251) as u8],
+    ))
+    .with_entry(Entry {
+        class: "Name".to_string(),
+        fields: [("v".to_string(), format!("{}", op % 7))]
+            .into_iter()
+            .collect(),
+    })
+}
+
+/// N writers register/cancel while M readers run wildcard, typed and
+/// attribute lookups concurrently. Afterwards the surviving set must be
+/// exactly what the writers say survived.
+#[test]
+fn concurrent_writers_and_readers_stay_coherent() {
+    let clock = ManualClock::new();
+    let registrar = Registrar::new(clock.clone(), 600_000, 99);
+    let done = Arc::new(AtomicU64::new(0));
+
+    let survivors: Vec<Vec<(ServiceId, u64)>> = std::thread::scope(|s| {
+        let mut writer_handles = Vec::new();
+        for w in 0..WRITERS {
+            let registrar = registrar.clone();
+            writer_handles.push(s.spawn(move || {
+                let mut live: Vec<(ServiceId, u64)> = Vec::new();
+                for op in 0..OPS_PER_WRITER {
+                    let reg = registrar.register(item(w, op), 600_000);
+                    live.push((reg.service_id, reg.lease.id));
+                    // Cancel roughly half of what we register, interleaved.
+                    if op % 2 == 1 {
+                        let victim = live.swap_remove(op % live.len());
+                        registrar
+                            .cancel_service_lease(victim.1)
+                            .expect("own live lease cancels");
+                    }
+                    if op % 16 == 0 {
+                        let _ = registrar.set_attributes(
+                            live[0].0,
+                            vec![Entry {
+                                class: "Name".to_string(),
+                                fields: [("v".to_string(), "mut".to_string())]
+                                    .into_iter()
+                                    .collect(),
+                            }],
+                        );
+                    }
+                }
+                live
+            }));
+        }
+
+        for _ in 0..READERS {
+            let registrar = registrar.clone();
+            let done = done.clone();
+            s.spawn(move || {
+                let typed = ServiceTemplate::any().with_type("Stress".to_string());
+                let attr =
+                    ServiceTemplate::any().with_entry(EntryTemplate::new("Name").with("v", "3"));
+                while done.load(Ordering::Relaxed) == 0 {
+                    // Every hit an index hands back must genuinely match.
+                    for hit in registrar.lookup_all(&typed, usize::MAX) {
+                        assert!(typed.matches(&hit), "index returned a non-match");
+                    }
+                    for hit in registrar.lookup_all(&attr, usize::MAX) {
+                        assert!(attr.matches(&hit), "index returned a non-match");
+                    }
+                    let _ = registrar.lookup(&ServiceTemplate::any());
+                }
+            });
+        }
+
+        let survivors: Vec<_> = writer_handles
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .collect();
+        done.store(1, Ordering::Relaxed);
+        survivors
+    });
+
+    let live: Vec<(ServiceId, u64)> = survivors.into_iter().flatten().collect();
+    assert_eq!(registrar.item_count(), live.len(), "no lost or ghost items");
+    for (id, _) in &live {
+        assert!(
+            registrar.lookup(&ServiceTemplate::by_id(*id)).is_some(),
+            "surviving registration findable by id"
+        );
+    }
+    // The wildcard scan and the indexed typed lookup agree on the world.
+    let all = registrar.lookup_all(&ServiceTemplate::any(), usize::MAX);
+    let typed = registrar.lookup_all(
+        &ServiceTemplate::any().with_type("Stress".to_string()),
+        usize::MAX,
+    );
+    assert_eq!(all.len(), live.len());
+    assert_eq!(typed.len(), live.len(), "every item carries type Stress");
+}
+
+/// Lease expiry under concurrent readers: once the clock passes the lease
+/// horizon and a sweep runs, no template — indexed or not — may surface
+/// an expired registration.
+#[test]
+fn no_stale_index_hits_after_expiry() {
+    let clock = ManualClock::new();
+    let registrar = Registrar::new(clock.clone(), 600_000, 7);
+
+    let mut short_ids = Vec::new();
+    for op in 0..200 {
+        let reg = registrar.register(item(0, op), 1_000); // expires at t=1000
+        short_ids.push(reg.service_id);
+    }
+    for op in 0..50 {
+        registrar.register(item(1, op), 600_000); // long-lived
+    }
+
+    clock.set(2_000);
+    std::thread::scope(|s| {
+        for _ in 0..READERS {
+            let registrar = registrar.clone();
+            s.spawn(move || {
+                for _ in 0..50 {
+                    registrar.sweep();
+                    let _ = registrar.lookup_all(&ServiceTemplate::any(), usize::MAX);
+                }
+            });
+        }
+    });
+
+    registrar.sweep();
+    assert_eq!(registrar.item_count(), 50);
+    for id in short_ids {
+        assert!(
+            registrar.lookup(&ServiceTemplate::by_id(id)).is_none(),
+            "expired item resolvable by id"
+        );
+    }
+    let typed = registrar.lookup_all(
+        &ServiceTemplate::any().with_type("Stress".to_string()),
+        usize::MAX,
+    );
+    assert_eq!(typed.len(), 50, "index retains only unexpired items");
+    assert!(registrar.stats().leases_expired >= 200);
+}

@@ -28,4 +28,7 @@ cargo fmt --check "${pkg_flags[@]}"
 echo "==> cargo clippy -D warnings"
 cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
 
+echo "==> cargo bench --no-run"
+cargo bench --workspace --no-run
+
 echo "verify: OK"
