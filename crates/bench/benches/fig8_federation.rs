@@ -32,6 +32,11 @@ fn main() {
     // telemetry below shows the hit rate repeated resolutions achieve.
     fig8_cached_lookups(1_000);
     print_pipeline_telemetry();
+    // `fig8_federation --obs-dump` (or RNDI_OBS_DUMP=1) appends the full
+    // metrics exposition plus the slowest end-to-end traces.
+    if rndi_bench::obsdump::requested() {
+        rndi_bench::obsdump::dump(10);
+    }
 }
 
 /// Per-provider pipeline telemetry: op counts by kind, mean latency, cache

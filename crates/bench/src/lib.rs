@@ -32,6 +32,7 @@ pub mod cost;
 pub mod experiment;
 pub mod figures;
 pub mod loadgen;
+pub mod obsdump;
 
 pub use experiment::{print_figure, sweep, Series, SweepConfig};
 pub use loadgen::{run_closed_loop, LoadResult, Operation, RoundTrips};

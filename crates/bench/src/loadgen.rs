@@ -15,6 +15,7 @@ use simnet::{JobOutcome, QueueingServer, Sim, SimRng, SimTime, ThroughputMeter};
 
 use rndi_core::context::DirContext;
 use rndi_core::op::{dispatch, NamingOp};
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
 /// Completion callback: `(sim, ok)`.
 pub type DoneFn = Box<dyn FnOnce(&Sim, bool)>;
@@ -58,6 +59,9 @@ pub struct RoundTrips {
     pub work_every: u32,
     /// Extra completion delay, e.g. the LDAP throttle's verdict.
     pub extra_delay: Option<DelayFn>,
+    /// When set, each logical op mints a root trace whose id groups the
+    /// per-segment server spans; the label names the client-layer span.
+    pub trace_label: Option<String>,
     counter: RefCell<u32>,
 }
 
@@ -80,6 +84,7 @@ impl RoundTrips {
             work: None,
             work_every: 1,
             extra_delay: None,
+            trace_label: None,
             counter: RefCell::new(0),
         }
     }
@@ -95,7 +100,13 @@ impl RoundTrips {
         self
     }
 
-    fn run_segment(self: &Rc<Self>, sim: &Sim, idx: usize, done: DoneFn) {
+    /// Trace every logical op under `label` (see [`RoundTrips::trace_label`]).
+    pub fn with_trace_label(mut self, label: impl Into<String>) -> Self {
+        self.trace_label = Some(label.into());
+        self
+    }
+
+    fn run_segment(self: &Rc<Self>, sim: &Sim, idx: usize, trace: Option<TraceCtx>, done: DoneFn) {
         let mean = self.segments[idx];
         // ±15% uniform jitter decorrelates clients without changing means.
         let service = self.rng.jittered(mean, 0.15);
@@ -103,14 +114,14 @@ impl RoundTrips {
         let half_rtt = self.net_rtt / 2;
         sim.schedule(half_rtt, move |_sim| {
             let this2 = this.clone();
-            this.server.submit(service, move |sim, outcome| {
+            let complete = move |sim: &Sim, outcome: JobOutcome| {
                 if outcome != JobOutcome::Completed {
                     done(sim, false);
                     return;
                 }
                 let last = idx + 1 == this2.segments.len();
                 if !last {
-                    this2.run_segment(sim, idx + 1, done);
+                    this2.run_segment(sim, idx + 1, trace, done);
                     return;
                 }
                 // Real backend logic (sampled) + throttle verdict.
@@ -128,14 +139,45 @@ impl RoundTrips {
                     extra = delay_fn(sim);
                 }
                 sim.schedule(extra + this2.net_rtt / 2, move |sim| done(sim, true));
-            });
+            };
+            // Untraced ops keep the exact pre-observability submit path so
+            // tracing stays strictly opt-in for throughput sweeps.
+            match trace {
+                Some(_) => this.server.submit_traced(service, trace, complete),
+                None => this.server.submit(service, complete),
+            }
         });
     }
 }
 
 impl Operation for Rc<RoundTrips> {
     fn issue(&self, sim: &Sim, done: DoneFn) {
-        self.run_segment(sim, 0, done);
+        let Some(label) = &self.trace_label else {
+            self.run_segment(sim, 0, None, done);
+            return;
+        };
+        // One root span per logical op; every segment's server span links
+        // under it, so `--obs-dump` can show whole-op traces.
+        let ctx = TraceCtx::root();
+        let label = label.clone();
+        let issued = sim.now();
+        let wrapped: DoneFn = Box::new(move |sim, ok| {
+            let elapsed = sim.now() - issued;
+            rndi_obs::trace::record(SpanRecord::new(
+                &ctx,
+                "client",
+                "loadgen",
+                &label,
+                if ok {
+                    SpanOutcome::Ok
+                } else {
+                    SpanOutcome::Err
+                },
+                elapsed,
+            ));
+            done(sim, ok);
+        });
+        self.run_segment(sim, 0, Some(ctx), wrapped);
     }
 }
 
@@ -155,7 +197,9 @@ pub struct LoadResult {
 
 struct LoadState {
     meter: ThroughputMeter,
-    latencies: simnet::LatencyStat,
+    /// The same log2-bucket histogram the pipeline's telemetry uses — one
+    /// quantile implementation serves both the figures and the exposition.
+    latencies: rndi_obs::Histogram,
     failed: u64,
     window_start: SimTime,
     window_end: SimTime,
@@ -181,7 +225,7 @@ pub fn run_closed_loop(
     let window_end = window_start + measure;
     let state = Rc::new(RefCell::new(LoadState {
         meter: ThroughputMeter::new(),
-        latencies: simnet::LatencyStat::new(),
+        latencies: rndi_obs::Histogram::new(),
         failed: 0,
         window_start,
         window_end,
@@ -202,20 +246,11 @@ pub fn run_closed_loop(
 
     let st = state.borrow();
     let throughput = st.meter.rate().unwrap_or(0.0);
-    let quantile_ms = |q: f64| {
-        st.latencies
-            .quantile(q)
-            .map(|d| d.as_secs_f64() * 1e3)
-            .unwrap_or(0.0)
-    };
+    let quantile_ms = |q: f64| st.latencies.quantile(q).map(|ns| ns / 1e6).unwrap_or(0.0);
     LoadResult {
         clients,
         throughput,
-        mean_latency_ms: st
-            .latencies
-            .mean()
-            .map(|d| d.as_secs_f64() * 1e3)
-            .unwrap_or(0.0),
+        mean_latency_ms: st.latencies.mean().map(|ns| ns / 1e6).unwrap_or(0.0),
         p50_latency_ms: quantile_ms(0.5),
         p95_latency_ms: quantile_ms(0.95),
         p99_latency_ms: quantile_ms(0.99),
@@ -245,7 +280,7 @@ fn client_iteration(
                 if ok {
                     st.meter.record(now);
                     if now >= st.window_start && now < st.window_end {
-                        st.latencies.record(now - issued_at);
+                        st.latencies.record_duration(now - issued_at);
                     }
                 } else if now >= st.window_start && now < st.window_end {
                     st.failed += 1;
@@ -371,6 +406,49 @@ mod tests {
             "rate {}",
             r.throughput
         );
+    }
+
+    #[test]
+    fn trace_label_links_client_and_server_spans() {
+        let sim = Sim::new();
+        let rng = SimRng::seed_from_u64(4);
+        let server = QueueingServer::new(&sim, ServerConfig::default());
+        server.set_obs_label("obs-loadgen-test");
+        let op = Rc::new(
+            RoundTrips::new(
+                server,
+                rng.fork(),
+                Duration::from_micros(200),
+                vec![Duration::from_millis(1); 2],
+            )
+            .with_trace_label("obs-loadgen-op"),
+        );
+        let r = run_closed_loop(
+            &sim,
+            Rc::new(op) as Rc<dyn Operation>,
+            1,
+            Duration::from_millis(50),
+            Duration::ZERO,
+            Duration::from_secs(1),
+            &rng,
+        );
+        assert!(r.completed > 0);
+        let spans = rndi_obs::trace::ring().snapshot();
+        let client = spans
+            .iter()
+            .rev()
+            .find(|s| s.op == "obs-loadgen-op")
+            .expect("client root span recorded");
+        assert_eq!(client.layer, "client");
+        assert_eq!(client.parent_span, 0, "root span has no parent");
+        // Both segments' server spans hang off this op's root.
+        let children: Vec<_> = rndi_obs::trace::ring()
+            .trace(client.trace_id)
+            .into_iter()
+            .filter(|s| s.parent_span == client.span_id && s.layer == "server")
+            .collect();
+        assert_eq!(children.len(), 2, "one server span per round trip");
+        assert!(children.iter().all(|s| s.provider == "obs-loadgen-test"));
     }
 
     #[test]

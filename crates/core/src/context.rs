@@ -127,6 +127,16 @@ pub trait Context: Send + Sync {
         "anonymous".to_string()
     }
 
+    /// Execute a reified operation natively, or `None` to have
+    /// [`crate::op::dispatch`] bridge to the per-method trait calls.
+    /// Contexts that understand op values (provider pipelines, federated
+    /// facades) override this so op annotations — the trace context above
+    /// all — survive instead of being dropped when the bridge rebuilds a
+    /// bare op from trait-method arguments.
+    fn execute_reified(&self, _op: &crate::op::NamingOp) -> Option<Result<crate::op::OpOutcome>> {
+        None
+    }
+
     /// The compound-name syntax of this naming system (JNDI's
     /// `getNameParser`): how a single composite component would be written
     /// natively — dots for DNS, commas for LDAP, slashes by default.

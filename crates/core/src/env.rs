@@ -36,6 +36,15 @@ pub mod keys {
     pub const RETRY_MAX_ATTEMPTS: &str = "rndi.pipeline.retry.max-attempts";
     /// Base backoff, in milliseconds, doubled per retry attempt.
     pub const RETRY_BACKOFF_MS: &str = "rndi.pipeline.retry.backoff.ms";
+    /// `"true"`/`"false"`: whether pipelines install the observability
+    /// layer (trace spans + per-op metrics). Default true.
+    pub const OBS_ENABLED: &str = "rndi.obs.enabled";
+    /// Path of a JSONL file that finished spans are appended to, in
+    /// addition to the in-memory ring buffer. Unset (the default) means no
+    /// file sink.
+    pub const OBS_TRACE_FILE: &str = "rndi.obs.trace-file";
+    /// Capacity of the process-wide span ring buffer (default 4096).
+    pub const OBS_RING_CAPACITY: &str = "rndi.obs.ring-capacity";
 }
 
 /// An immutable-by-convention string property map.

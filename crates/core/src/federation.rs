@@ -10,15 +10,18 @@
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use rndi_obs::metrics::names;
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
 use crate::context::{DirContext, SearchControls, SearchItem, SearchScope};
 use crate::env::{keys, Environment};
 use crate::error::{NamingError, Result};
 use crate::filter::Filter;
 use crate::name::CompositeName;
-use crate::op::{self, NamingOp, OpKind, OpOutcome};
+use crate::op::{self, NamingOp, OpKind, OpOutcome, OpPayload};
 use crate::spi::ProviderRegistry;
 use crate::url::RndiUrl;
 use crate::value::BoundValue;
@@ -94,8 +97,47 @@ pub fn drive_op(
     env: &Environment,
 ) -> Result<OpOutcome> {
     let max_depth = env.get_u64(keys::MAX_FEDERATION_DEPTH, DEFAULT_MAX_DEPTH) as usize;
-    let mut ctx = ctx;
     let mut op = op.clone();
+    // The driver is the outermost instrumented layer for reified ops: when
+    // the caller didn't trace the op, mint the trace root here so every
+    // hop, pipeline layer, and remote server below joins one trace. An op
+    // arriving already traced belongs to the annotating layer's span —
+    // don't record a second root for it.
+    let root = match op.trace_ctx() {
+        Some(_) => None,
+        None => {
+            let root = TraceCtx::root();
+            op.set_trace_ctx(&root);
+            Some((root, ctx.provider_id(), Instant::now()))
+        }
+    };
+    let kind = op.kind;
+    let result = drive_op_loop(ctx, op, registry, env, max_depth);
+    if let Some((span_ctx, provider, start)) = root {
+        let outcome = match &result {
+            Ok(_) => SpanOutcome::Ok,
+            Err(e) if e.is_continue() => SpanOutcome::Continue,
+            Err(_) => SpanOutcome::Err,
+        };
+        rndi_obs::trace::record(SpanRecord::new(
+            &span_ctx,
+            "federation",
+            &provider,
+            kind.label(),
+            outcome,
+            start.elapsed(),
+        ));
+    }
+    result
+}
+
+fn drive_op_loop(
+    mut ctx: Arc<dyn DirContext>,
+    mut op: NamingOp,
+    registry: &ProviderRegistry,
+    env: &Environment,
+    max_depth: usize,
+) -> Result<OpOutcome> {
     for _ in 0..=max_depth {
         match op::dispatch(ctx.as_ref(), &op) {
             Err(NamingError::Continue {
@@ -159,14 +201,45 @@ impl FederatedContext {
         filter: &Filter,
         controls: &SearchControls,
         depth: usize,
+        parent: Option<&TraceCtx>,
     ) -> Result<Vec<SearchItem>> {
-        let mut out = self
-            .run_op(&NamingOp::search(
-                name.clone(),
-                filter.clone(),
-                controls.clone(),
-            ))?
-            .into_found(OpKind::Search)?;
+        // One span per (sub)federation searched: the root span of the whole
+        // aggregate search at depth 0, a child of the owning mount's span
+        // when recursing.
+        let span_ctx = match parent {
+            Some(p) => p.child(),
+            None => TraceCtx::root(),
+        };
+        let start = Instant::now();
+        let result = self.search_federated_inner(name, filter, controls, depth, &span_ctx);
+        let outcome = match &result {
+            Ok(_) => SpanOutcome::Ok,
+            Err(e) if e.is_continue() => SpanOutcome::Continue,
+            Err(_) => SpanOutcome::Err,
+        };
+        rndi_obs::trace::record(SpanRecord::new(
+            &span_ctx,
+            "federation",
+            crate::context::Context::provider_id(self),
+            "search",
+            outcome,
+            start.elapsed(),
+        ));
+        result
+    }
+
+    fn search_federated_inner(
+        &self,
+        name: &CompositeName,
+        filter: &Filter,
+        controls: &SearchControls,
+        depth: usize,
+        span_ctx: &TraceCtx,
+    ) -> Result<Vec<SearchItem>> {
+        rndi_obs::metrics::histogram(names::FED_DEPTH, &[]).record(depth as u64);
+        let mut base_search = NamingOp::search(name.clone(), filter.clone(), controls.clone());
+        base_search.set_trace_ctx(span_ctx);
+        let mut out = self.run_op(&base_search)?.into_found(OpKind::Search)?;
         let max_depth =
             self.env
                 .get_u64(keys::MAX_FEDERATION_DEPTH, DEFAULT_MAX_DEPTH) as usize;
@@ -174,8 +247,10 @@ impl FederatedContext {
             return Ok(Self::truncate(out, controls.count_limit));
         }
         // Federation links bound directly under the base, in name order.
+        let mut list_mounts = NamingOp::list_bindings(name.clone());
+        list_mounts.set_trace_ctx(span_ctx);
         let mut mounts: Vec<(String, BoundValue)> = match self
-            .run_op(&NamingOp::list_bindings(name.clone()))
+            .run_op(&list_mounts)
             .and_then(|o| o.into_bindings(OpKind::ListBindings))
         {
             Ok(bindings) => bindings
@@ -191,6 +266,7 @@ impl FederatedContext {
             return Ok(Self::truncate(out, controls.count_limit));
         }
         mounts.sort_by(|a, b| a.0.cmp(&b.0));
+        rndi_obs::metrics::histogram(names::FED_FANOUT, &[]).record(mounts.len() as u64);
 
         let fanout = self
             .env
@@ -204,13 +280,29 @@ impl FederatedContext {
             for _ in 0..workers {
                 s.spawn(|| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((_, link)) = mounts.get(i) else {
+                    let Some((mount, link)) = mounts.get(i) else {
                         break;
                     };
-                    let hits = self
-                        .search_mount(link.clone(), filter, controls, depth + 1)
-                        .unwrap_or_default();
-                    *slots[i].lock() = Some(hits);
+                    // One child span per mount, recorded by the worker that
+                    // searched it; parent links keep the tree intact no
+                    // matter which thread ran which mount.
+                    let mount_ctx = span_ctx.child();
+                    let mount_start = Instant::now();
+                    let searched =
+                        self.search_mount(link.clone(), filter, controls, depth + 1, &mount_ctx);
+                    rndi_obs::trace::record(SpanRecord::new(
+                        &mount_ctx,
+                        "federation",
+                        mount,
+                        "search",
+                        if searched.is_ok() {
+                            SpanOutcome::Ok
+                        } else {
+                            SpanOutcome::Err
+                        },
+                        mount_start.elapsed(),
+                    ));
+                    *slots[i].lock() = Some(searched.unwrap_or_default());
                 });
             }
         });
@@ -236,10 +328,11 @@ impl FederatedContext {
         filter: &Filter,
         controls: &SearchControls,
         depth: usize,
+        parent: &TraceCtx,
     ) -> Result<Vec<SearchItem>> {
         let (ctx, prefix) = continuation_context(link, &self.registry, &self.env)?;
         let child = FederatedContext::new(ctx, self.registry.clone(), self.env.clone());
-        child.search_federated(&prefix, filter, controls, depth)
+        child.search_federated(&prefix, filter, controls, depth, Some(parent))
     }
 
     fn truncate(mut hits: Vec<SearchItem>, limit: usize) -> Vec<SearchItem> {
@@ -305,6 +398,20 @@ impl crate::context::Context for FederatedContext {
     fn provider_id(&self) -> String {
         format!("federated({})", self.base.provider_id())
     }
+
+    fn execute_reified(&self, op: &NamingOp) -> Option<Result<OpOutcome>> {
+        // Keep annotated ops (trace context above all) intact instead of
+        // letting `op::dispatch` rebuild them through the trait methods.
+        // Searches take the federated fan-out path, everything else the
+        // continuation loop — exactly what the trait methods would do.
+        match (op.kind, &op.payload) {
+            (OpKind::Search, OpPayload::Query { filter, controls }) => Some(
+                self.search_federated(&op.name, filter, controls, 0, op.trace_ctx().as_ref())
+                    .map(OpOutcome::Found),
+            ),
+            _ => Some(self.run_op(op)),
+        }
+    }
 }
 
 impl crate::context::DirContext for FederatedContext {
@@ -351,7 +458,7 @@ impl crate::context::DirContext for FederatedContext {
         filter: &crate::filter::Filter,
         controls: &crate::context::SearchControls,
     ) -> crate::error::Result<Vec<crate::context::SearchItem>> {
-        self.search_federated(name, filter, controls, 0)
+        self.search_federated(name, filter, controls, 0, None)
     }
 }
 
@@ -658,6 +765,96 @@ mod tests {
                 "fanout={fanout}"
             );
         }
+    }
+
+    #[test]
+    fn federated_search_emits_one_linked_trace() {
+        use crate::attrs::Attributes;
+        use crate::context::{SearchControls, SearchScope};
+        use crate::filter::Filter;
+
+        // Mount names unique to this test, so ring lookups are immune to
+        // spans emitted by concurrently running tests.
+        let root = MemContext::new();
+        let deep = MemContext::new();
+        deep.bind_with_attrs(
+            &"hit-deep".into(),
+            BoundValue::Null,
+            Attributes::new().with("k", "v"),
+        )
+        .unwrap();
+        let far_a = MemContext::new();
+        far_a
+            .bind_with_attrs(
+                &"hit-a".into(),
+                BoundValue::Null,
+                Attributes::new().with("k", "v"),
+            )
+            .unwrap();
+        far_a
+            .bind(&"obs-nested".into(), BoundValue::Context(Arc::new(deep)))
+            .unwrap();
+        let far_b = MemContext::new();
+        far_b
+            .bind_with_attrs(
+                &"hit-b".into(),
+                BoundValue::Null,
+                Attributes::new().with("k", "v"),
+            )
+            .unwrap();
+        root.bind(&"obs-mount-a".into(), BoundValue::Context(Arc::new(far_a)))
+            .unwrap();
+        root.bind(&"obs-mount-b".into(), BoundValue::Context(Arc::new(far_b)))
+            .unwrap();
+
+        let fed = FederatedContext::new(
+            Arc::new(root),
+            Arc::new(ProviderRegistry::new()),
+            Environment::new(),
+        );
+        let controls = SearchControls {
+            scope: SearchScope::Subtree,
+            ..Default::default()
+        };
+        let filter = Filter::parse("(k=v)").unwrap();
+        let hits = crate::context::DirContext::search(
+            fed.as_ref(),
+            &CompositeName::empty(),
+            &filter,
+            &controls,
+        )
+        .unwrap();
+        assert!(hits.len() >= 3, "expected all three hits, got {hits:?}");
+
+        let ring = rndi_obs::trace::ring();
+        let anchor = ring
+            .snapshot()
+            .into_iter()
+            .rev()
+            .find(|s| s.provider == "obs-mount-a")
+            .expect("per-mount span recorded");
+        let trace = ring.trace(anchor.trace_id);
+        let roots: Vec<_> = trace.iter().filter(|s| s.parent_span == 0).collect();
+        assert_eq!(roots.len(), 1, "one root span per federated search");
+        let root_span = roots[0];
+        assert_eq!(root_span.layer, "federation");
+        assert_eq!(root_span.op, "search");
+        assert_eq!(root_span.depth, 0);
+        // One child span per mount, all linked to the same root.
+        for mount in ["obs-mount-a", "obs-mount-b"] {
+            let m = trace
+                .iter()
+                .find(|s| s.provider == mount)
+                .unwrap_or_else(|| panic!("child span for {mount}"));
+            assert_eq!(m.parent_span, root_span.span_id);
+            assert_eq!(m.depth, 1);
+        }
+        // The nested mount inside mount-a joins the same trace, deeper.
+        let nested = trace
+            .iter()
+            .find(|s| s.provider == "obs-nested")
+            .expect("nested mount span");
+        assert!(nested.depth > 1, "nested span below the mount span");
     }
 
     #[test]

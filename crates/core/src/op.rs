@@ -19,6 +19,11 @@ use crate::event::{ListenerHandle, NamingListener};
 use crate::filter::Filter;
 use crate::name::CompositeName;
 use crate::value::BoundValue;
+use rndi_obs::TraceCtx;
+
+/// Meta key under which an op's encoded [`TraceCtx`] travels the pipeline
+/// (and federation hops — [`NamingOp::with_name`] preserves meta).
+pub const TRACE_META_KEY: &str = "obs.trace";
 
 /// The marshalling codec shared by every provider whose backing store holds
 /// opaque bytes (Jini entry payloads, HDNS leaf values, LDAP attribute
@@ -40,12 +45,35 @@ pub mod codec {
     }
 
     /// Unmarshal provider bytes back into a bound value. Undecodable bytes
-    /// surface as raw `Bytes` (foreign data bound by non-RNDI clients).
+    /// surface as raw `Bytes` (foreign data bound by non-RNDI clients). A
+    /// trace frame, if present, is stripped and discarded — readers that
+    /// care about the context use [`decode_frame`].
     pub fn unmarshal(bytes: &[u8]) -> BoundValue {
-        match StoredValue::decode(bytes) {
+        let (_, payload) = rndi_obs::frame::strip(bytes);
+        match StoredValue::decode(payload) {
             Some(s) => s.into_bound(),
             None => BoundValue::Bytes(bytes.to_vec()),
         }
+    }
+
+    /// Marshal a value for the wire, prepending a trace header when the
+    /// originating op carries a trace context. With `trace == None` the
+    /// output is byte-identical to [`marshal`], so untraced clients write
+    /// exactly the legacy encoding (old servers keep working).
+    pub fn encode_frame(value: &BoundValue, trace: Option<&TraceCtx>) -> Result<Vec<u8>> {
+        let bytes = marshal(value)?;
+        Ok(match trace {
+            Some(ctx) => rndi_obs::frame::wrap(ctx, &bytes),
+            None => bytes,
+        })
+    }
+
+    /// Inverse of [`encode_frame`]: split off the trace header (if any) and
+    /// unmarshal the remaining payload. Bytes written by an old client
+    /// (no header) decode with `None` for the context.
+    pub fn decode_frame(bytes: &[u8]) -> (BoundValue, Option<TraceCtx>) {
+        let (ctx, payload) = rndi_obs::frame::strip(bytes);
+        (unmarshal(payload), ctx)
     }
 }
 
@@ -357,6 +385,17 @@ impl NamingOp {
             _ => Err(NamingError::service("rename payload missing")),
         }
     }
+
+    /// The trace context this op is executing under, if any layer above
+    /// annotated one.
+    pub fn trace_ctx(&self) -> Option<TraceCtx> {
+        self.meta.get(TRACE_META_KEY).and_then(TraceCtx::parse)
+    }
+
+    /// Annotate this op with a trace context (overwriting any previous one).
+    pub fn set_trace_ctx(&mut self, ctx: &TraceCtx) {
+        self.meta.set(TRACE_META_KEY, ctx.encode());
+    }
 }
 
 /// The reified response of a [`NamingOp`].
@@ -461,6 +500,13 @@ impl OpOutcome {
 /// and [`crate::spi::ContextBackend`] both route through it, so any legacy
 /// context participates in the reified path unchanged.
 pub fn dispatch(ctx: &dyn DirContext, op: &NamingOp) -> Result<OpOutcome> {
+    // Contexts that understand reified ops natively (provider pipelines,
+    // federated facades) take the op as-is, preserving its annotations
+    // (trace context, retry attempt) instead of rebuilding a bare op from
+    // the trait-method arguments.
+    if let Some(result) = ctx.execute_reified(op) {
+        return result;
+    }
     match op.kind {
         OpKind::Lookup => ctx.lookup(&op.name).map(OpOutcome::Value),
         OpKind::Bind => ctx.bind(&op.name, op.value()?).map(|_| OpOutcome::Done),

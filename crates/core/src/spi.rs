@@ -12,10 +12,12 @@
 
 use std::collections::{BTreeMap, HashMap};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex as StdMutex, OnceLock};
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
+use rndi_obs::metrics::names;
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
 use crate::attrs::{AttrMod, Attributes};
 use crate::context::{Binding, Context, DirContext, NameClassPair, SearchControls, SearchItem};
@@ -371,6 +373,8 @@ pub struct RetryInterceptor {
     max_attempts: u32,
     base_backoff: Duration,
     retries: AtomicU64,
+    /// Mirror of `retries` in the process-wide metrics registry.
+    metric: Option<Arc<rndi_obs::Counter>>,
     sleeper: Box<dyn Fn(Duration) + Send + Sync>,
 }
 
@@ -389,8 +393,19 @@ impl RetryInterceptor {
             max_attempts: max_attempts.max(1),
             base_backoff,
             retries: AtomicU64::new(0),
+            metric: None,
             sleeper,
         }
+    }
+
+    /// Also count retries into the process-wide `rndi_retries_total`
+    /// family, labelled by provider.
+    pub fn with_metrics(mut self, provider: &str) -> Self {
+        self.metric = Some(rndi_obs::metrics::counter(
+            names::RETRIES,
+            &[("provider", provider)],
+        ));
+        self
     }
 
     /// Total retries performed (attempts beyond the first).
@@ -417,6 +432,9 @@ impl Interceptor for RetryInterceptor {
             match result {
                 Err(ref e) if is_transient(e) && attempt + 1 < self.max_attempts => {
                     self.retries.fetch_add(1, Ordering::Relaxed);
+                    if let Some(m) = &self.metric {
+                        m.inc();
+                    }
                     (self.sleeper)(self.base_backoff * 2u32.saturating_pow(attempt));
                     attempt += 1;
                 }
@@ -518,6 +536,10 @@ pub struct CacheInterceptor {
     misses: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
+    /// Mirrors of the counters above in the process-wide metrics registry
+    /// (`rndi_cache_events_total{provider,event}`), in the same order:
+    /// hit, miss, invalidation, eviction.
+    metrics: Option<[Arc<rndi_obs::Counter>; 4]>,
 }
 
 impl CacheInterceptor {
@@ -535,6 +557,7 @@ impl CacheInterceptor {
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            metrics: None,
         }
     }
 
@@ -542,6 +565,25 @@ impl CacheInterceptor {
     pub fn with_max_entries(mut self, max_entries: usize) -> Self {
         self.max_entries = max_entries;
         self
+    }
+
+    /// Also count cache events into the process-wide
+    /// `rndi_cache_events_total` family, labelled by provider.
+    pub fn with_metrics(mut self, provider: &str) -> Self {
+        let mk = |event: &str| {
+            rndi_obs::metrics::counter(
+                names::CACHE_EVENTS,
+                &[("provider", provider), ("event", event)],
+            )
+        };
+        self.metrics = Some([mk("hit"), mk("miss"), mk("invalidation"), mk("eviction")]);
+        self
+    }
+
+    fn metric_add(&self, slot: usize, n: u64) {
+        if let Some(m) = &self.metrics {
+            m[slot].add(n);
+        }
     }
 
     pub fn hits(&self) -> u64 {
@@ -592,6 +634,7 @@ impl CacheInterceptor {
         if !doomed.is_empty() {
             self.invalidations
                 .fetch_add(doomed.len() as u64, Ordering::Relaxed);
+            self.metric_add(2, doomed.len() as u64);
         }
     }
 }
@@ -634,6 +677,7 @@ impl Interceptor for CacheInterceptor {
                 entries.touch(&key);
                 let entry = entries.map.get(&key).expect("checked above");
                 self.hits.fetch_add(1, Ordering::Relaxed);
+                self.metric_add(0, 1);
                 return match &entry.result {
                     CachedResult::Outcome(out) => Ok(out.clone()),
                     CachedResult::Continue {
@@ -647,6 +691,7 @@ impl Interceptor for CacheInterceptor {
             }
         }
         self.misses.fetch_add(1, Ordering::Relaxed);
+        self.metric_add(1, 1);
         let result = next.invoke(op);
         let cached = match &result {
             Ok(out) => Some(CachedResult::Outcome(out.clone())),
@@ -668,6 +713,7 @@ impl Interceptor for CacheInterceptor {
             );
             if evicted > 0 {
                 self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.metric_add(3, evicted);
             }
         }
         result
@@ -710,6 +756,100 @@ impl Interceptor for MarshalInterceptor {
     }
 }
 
+// --------------------------------------------------------------- obs --
+
+/// The observability layer.
+///
+/// Each call derives a child [`TraceCtx`] from the op's annotation (or
+/// mints a fresh root when the op enters untraced), re-annotates the op so
+/// layers below — and, through [`NamingOp::with_name`] and the wire frame,
+/// federation hops and remote servers — join the same trace, then records
+/// one finished [`SpanRecord`] plus the `rndi_ops_total` /
+/// `rndi_op_duration_ns` instruments for `(provider, op, layer)`.
+///
+/// [`ProviderPipeline::standard`] installs two instances: one outermost
+/// (`layer="pipeline"`, the op as the caller sees it, cache hits included)
+/// and one innermost (`layer="backend"`, the backend round-trip only), so
+/// the gap between the two histograms is middleware + queueing time.
+/// Instrument handles are resolved once per pipeline at construction; the
+/// per-op cost is one op clone, two atomics, and a ring push.
+pub struct ObsInterceptor {
+    provider: String,
+    position: &'static str,
+    durations: [Arc<rndi_obs::Histogram>; 16],
+    outcomes: [[Arc<rndi_obs::Counter>; 3]; 16],
+}
+
+impl ObsInterceptor {
+    pub fn new(provider: &str, position: &'static str) -> Self {
+        let durations = std::array::from_fn(|i| {
+            rndi_obs::metrics::histogram(
+                names::OP_DURATION,
+                &[
+                    ("provider", provider),
+                    ("op", ALL_OP_KINDS[i].label()),
+                    ("layer", position),
+                ],
+            )
+        });
+        let outcomes = std::array::from_fn(|i| {
+            let mk = |outcome: &str| {
+                rndi_obs::metrics::counter(
+                    names::OPS_TOTAL,
+                    &[
+                        ("provider", provider),
+                        ("op", ALL_OP_KINDS[i].label()),
+                        ("layer", position),
+                        ("outcome", outcome),
+                    ],
+                )
+            };
+            [mk("ok"), mk("err"), mk("continue")]
+        });
+        ObsInterceptor {
+            provider: provider.to_string(),
+            position,
+            durations,
+            outcomes,
+        }
+    }
+}
+
+impl Interceptor for ObsInterceptor {
+    fn layer(&self) -> &'static str {
+        self.position
+    }
+
+    fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome> {
+        let ctx = match op.trace_ctx() {
+            Some(parent) => parent.child(),
+            None => TraceCtx::root(),
+        };
+        let mut annotated = op.clone();
+        annotated.set_trace_ctx(&ctx);
+        let start = Instant::now();
+        let result = next.invoke(&annotated);
+        let took = start.elapsed();
+        let (slot, outcome) = match &result {
+            Ok(_) => (0, SpanOutcome::Ok),
+            Err(e) if e.is_continue() => (2, SpanOutcome::Continue),
+            Err(_) => (1, SpanOutcome::Err),
+        };
+        let k = op.kind.index();
+        self.durations[k].record_duration(took);
+        self.outcomes[k][slot].inc();
+        rndi_obs::trace::record(SpanRecord::new(
+            &ctx,
+            self.position,
+            &self.provider,
+            op.kind.label(),
+            outcome,
+            took,
+        ));
+        result
+    }
+}
+
 // ----------------------------------------------------------- pipeline --
 
 /// An ordered interceptor stack in front of a [`ProviderBackend`].
@@ -749,7 +889,8 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
         })
     }
 
-    /// The standard stack: stats → retry → cache → marshalling → backend.
+    /// The standard stack: obs → stats → retry → cache → marshalling →
+    /// obs → backend.
     ///
     /// Stats always record. Retry engages when
     /// [`keys::RETRY_MAX_ATTEMPTS`] > 1 and the cache when
@@ -757,17 +898,43 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
     /// single-shot, uncached semantics. The marshalling layer joins for
     /// [`WireFormat::Encoded`] backends. The cache subscribes to the
     /// backend's event hub for invalidation.
+    ///
+    /// The two [`ObsInterceptor`] instances (outermost `"pipeline"`,
+    /// innermost `"backend"`) engage unless [`keys::OBS_ENABLED`] is
+    /// `false`; [`keys::OBS_TRACE_FILE`] additionally streams finished
+    /// spans to a JSONL file and [`keys::OBS_RING_CAPACITY`] resizes the
+    /// process-wide span ring.
     pub fn standard(backend: Arc<B>, env: &Environment) -> Arc<Self> {
+        let provider_label = backend.provider_id();
+        let obs = env.get_bool(keys::OBS_ENABLED, true);
+        if obs {
+            if let Some(path) = env.get(keys::OBS_TRACE_FILE) {
+                rndi_obs::trace::install_jsonl(path);
+            }
+            let ring_capacity = env.get_u64(keys::OBS_RING_CAPACITY, 0);
+            if ring_capacity > 0 {
+                rndi_obs::trace::ring().set_capacity(ring_capacity as usize);
+            }
+        }
+
         let stats = Arc::new(PipelineStats::new());
-        let mut stack: Vec<Arc<dyn Interceptor>> =
-            vec![Arc::new(StatsInterceptor::new(stats.clone()))];
+        let mut stack: Vec<Arc<dyn Interceptor>> = Vec::new();
+        if obs {
+            stack.push(Arc::new(ObsInterceptor::new(&provider_label, "pipeline")));
+        }
+        stack.push(Arc::new(StatsInterceptor::new(stats.clone())));
 
         let max_attempts = env.get_u64(keys::RETRY_MAX_ATTEMPTS, 1);
         let retry = (max_attempts > 1).then(|| {
-            Arc::new(RetryInterceptor::new(
+            let retry = RetryInterceptor::new(
                 max_attempts as u32,
                 Duration::from_millis(env.get_u64(keys::RETRY_BACKOFF_MS, 5)),
-            ))
+            );
+            Arc::new(if obs {
+                retry.with_metrics(&provider_label)
+            } else {
+                retry
+            })
         });
         if let Some(r) = &retry {
             stack.push(r.clone());
@@ -776,8 +943,14 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
         let ttl_ms = env.get_u64(keys::CACHE_TTL_MS, 0);
         let max_entries =
             env.get_u64(keys::CACHE_MAX_ENTRIES, DEFAULT_CACHE_MAX_ENTRIES as u64) as usize;
-        let cache = (ttl_ms > 0)
-            .then(|| Arc::new(CacheInterceptor::new(ttl_ms).with_max_entries(max_entries)));
+        let cache = (ttl_ms > 0).then(|| {
+            let cache = CacheInterceptor::new(ttl_ms).with_max_entries(max_entries);
+            Arc::new(if obs {
+                cache.with_metrics(&provider_label)
+            } else {
+                cache
+            })
+        });
         if let Some(c) = &cache {
             if let Some(hub) = backend.event_hub() {
                 hub.subscribe(CompositeName::empty(), c.clone());
@@ -787,6 +960,9 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
 
         if backend.wire_format() == WireFormat::Encoded {
             stack.push(Arc::new(MarshalInterceptor));
+        }
+        if obs {
+            stack.push(Arc::new(ObsInterceptor::new(&provider_label, "backend")));
         }
 
         let pipeline = Arc::new(ProviderPipeline {
@@ -905,6 +1081,13 @@ impl<B: ProviderBackend + ?Sized> Context for ProviderPipeline<B> {
     fn compound_syntax(&self) -> CompoundSyntax {
         self.backend.compound_syntax()
     }
+
+    fn execute_reified(&self, op: &NamingOp) -> Option<Result<OpOutcome>> {
+        // Take annotated ops (trace context above all) into the stack
+        // as-is instead of having `op::dispatch` rebuild a bare op via the
+        // trait methods above.
+        Some(self.execute(op))
+    }
 }
 
 impl<B: ProviderBackend + ?Sized> DirContext for ProviderPipeline<B> {
@@ -999,14 +1182,17 @@ pub mod telemetry {
         retry: Option<Arc<RetryInterceptor>>,
     }
 
-    fn registry() -> &'static StdMutex<Vec<Registered>> {
-        static REGISTRY: OnceLock<StdMutex<Vec<Registered>>> = OnceLock::new();
-        REGISTRY.get_or_init(|| StdMutex::new(Vec::new()))
+    // parking_lot::Mutex: unlike a std mutex, it cannot be poisoned, so a
+    // panicking bench thread no longer cascades into `register`/`snapshot`
+    // panics on every later pipeline construction.
+    fn registry() -> &'static Mutex<Vec<Registered>> {
+        static REGISTRY: OnceLock<Mutex<Vec<Registered>>> = OnceLock::new();
+        REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
     }
 
     pub(super) fn register<B: ProviderBackend + ?Sized>(pipeline: &ProviderPipeline<B>) {
         if let Some(stats) = pipeline.stats() {
-            registry().lock().expect("telemetry lock").push(Registered {
+            registry().lock().push(Registered {
                 label: pipeline.backend().provider_id(),
                 stats,
                 cache: pipeline.cache(),
@@ -1051,7 +1237,7 @@ pub mod telemetry {
     pub fn snapshot() -> Vec<PipelineTelemetry> {
         let mut by_label: std::collections::BTreeMap<String, PipelineTelemetry> =
             Default::default();
-        for reg in registry().lock().expect("telemetry lock").iter() {
+        for reg in registry().lock().iter() {
             let entry = by_label
                 .entry(reg.label.clone())
                 .or_insert_with(|| PipelineTelemetry {
@@ -1088,7 +1274,87 @@ pub mod telemetry {
 
     /// Drop all registered handles (test isolation).
     pub fn reset() {
-        registry().lock().expect("telemetry lock").clear();
+        registry().lock().clear();
+    }
+
+    /// Render every registered pipeline's telemetry *and* the process-wide
+    /// metrics registry (spans, histograms, provider/server counters) as
+    /// one Prometheus-style text exposition. The pipeline families use
+    /// names disjoint from the registry's (`rndi_pipeline_*`), so the two
+    /// sources concatenate without duplicate samples.
+    pub fn render() -> String {
+        use rndi_obs::expo::write_sample;
+
+        let mut out = String::new();
+        let snap = snapshot();
+        if snap.iter().any(|t| !t.ops.is_empty()) {
+            out.push_str("# TYPE rndi_pipeline_ops_total counter\n");
+            for t in &snap {
+                for row in &t.ops {
+                    write_sample(
+                        &mut out,
+                        "rndi_pipeline_ops_total",
+                        &[("provider", &t.label), ("op", row.kind.label())],
+                        row.ops as f64,
+                    );
+                }
+            }
+            out.push_str("# TYPE rndi_pipeline_op_errors_total counter\n");
+            for t in &snap {
+                for row in &t.ops {
+                    write_sample(
+                        &mut out,
+                        "rndi_pipeline_op_errors_total",
+                        &[("provider", &t.label), ("op", row.kind.label())],
+                        row.errors as f64,
+                    );
+                }
+            }
+            out.push_str("# TYPE rndi_pipeline_op_seconds_total counter\n");
+            for t in &snap {
+                for row in &t.ops {
+                    write_sample(
+                        &mut out,
+                        "rndi_pipeline_op_seconds_total",
+                        &[("provider", &t.label), ("op", row.kind.label())],
+                        row.total.as_secs_f64(),
+                    );
+                }
+            }
+        }
+        if snap.iter().any(|t| t.cache.is_some()) {
+            out.push_str("# TYPE rndi_pipeline_cache_events_total counter\n");
+            for t in &snap {
+                if let Some(c) = &t.cache {
+                    for (event, n) in [
+                        ("hit", c.hits),
+                        ("miss", c.misses),
+                        ("invalidation", c.invalidations),
+                        ("eviction", c.evictions),
+                    ] {
+                        write_sample(
+                            &mut out,
+                            "rndi_pipeline_cache_events_total",
+                            &[("provider", &t.label), ("event", event)],
+                            n as f64,
+                        );
+                    }
+                }
+            }
+        }
+        if snap.iter().any(|t| t.retries > 0) {
+            out.push_str("# TYPE rndi_pipeline_retries_total counter\n");
+            for t in &snap {
+                write_sample(
+                    &mut out,
+                    "rndi_pipeline_retries_total",
+                    &[("provider", &t.label)],
+                    t.retries as f64,
+                );
+            }
+        }
+        out.push_str(&rndi_obs::metrics::render());
+        out
     }
 }
 

@@ -95,6 +95,47 @@ impl Resolver {
         *self.stats.lock()
     }
 
+    /// [`Resolver::resolve`] carrying the caller's trace context: the
+    /// resolution is counted and timed under the `minidns` server label,
+    /// and when a context is supplied a `server`-layer span is linked into
+    /// the caller's trace.
+    pub fn resolve_traced(
+        &self,
+        name: &DnsName,
+        rtype: RecordType,
+        now_ms: u64,
+        trace: Option<&rndi_obs::TraceCtx>,
+    ) -> Result<Vec<ResourceRecord>, ResolveError> {
+        use rndi_obs::metrics::names;
+        let start = std::time::Instant::now();
+        let result = self.resolve(name, rtype, now_ms);
+        rndi_obs::metrics::counter(
+            names::SERVER_OPS,
+            &[("server", "minidns"), ("op", "resolve")],
+        )
+        .inc();
+        rndi_obs::metrics::histogram(
+            names::SERVER_DURATION,
+            &[("server", "minidns"), ("op", "resolve")],
+        )
+        .record_duration(start.elapsed());
+        if let Some(ctx) = trace {
+            rndi_obs::trace::record(rndi_obs::SpanRecord::new(
+                &ctx.child(),
+                "server",
+                "minidns",
+                "resolve",
+                if result.is_ok() {
+                    rndi_obs::SpanOutcome::Ok
+                } else {
+                    rndi_obs::SpanOutcome::Err
+                },
+                start.elapsed(),
+            ));
+        }
+        result
+    }
+
     /// Resolve `name`/`rtype` at virtual time `now_ms`.
     pub fn resolve(
         &self,

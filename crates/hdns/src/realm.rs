@@ -8,8 +8,11 @@
 
 use std::path::PathBuf;
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use rndi_obs::metrics::names;
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
 use groupcast::{Addr, Cluster, StackConfig};
 
@@ -150,7 +153,81 @@ impl HdnsRealm {
         self.cluster.stable_round();
     }
 
+    /// Detach an inbound trace frame (if any) from a bind payload: the
+    /// client's context comes back so the server-side span links into its
+    /// trace, and the stored bytes end up identical to what an untraced
+    /// client would have written.
+    fn strip_trace(op: Op) -> (Op, Option<TraceCtx>) {
+        match op {
+            Op::Bind {
+                path,
+                mut entry,
+                overwrite,
+            } => {
+                let (ctx, payload) = rndi_obs::frame::strip(&entry.value);
+                if ctx.is_some() {
+                    entry.value = payload.to_vec();
+                }
+                (
+                    Op::Bind {
+                        path,
+                        entry,
+                        overwrite,
+                    },
+                    ctx,
+                )
+            }
+            other => (other, None),
+        }
+    }
+
+    fn op_label(op: &Op) -> &'static str {
+        match op {
+            Op::Bind {
+                overwrite: false, ..
+            } => "bind",
+            Op::Bind {
+                overwrite: true, ..
+            } => "rebind",
+            Op::Unbind { .. } => "unbind",
+            Op::Rename { .. } => "rename",
+            Op::CreateContext { .. } => "create_subcontext",
+            Op::SetAttrs { .. } => "modify_attributes",
+        }
+    }
+
     fn write(&self, node: usize, op: Op) -> Result<(), RealmError> {
+        let (op, trace) = Self::strip_trace(op);
+        let label = Self::op_label(&op);
+        let start = Instant::now();
+        let result = self.write_inner(node, op);
+        let server = format!("hdns:{}", self.group);
+        rndi_obs::metrics::counter(names::SERVER_OPS, &[("server", &server), ("op", label)]).inc();
+        rndi_obs::metrics::histogram(
+            names::SERVER_DURATION,
+            &[("server", &server), ("op", label)],
+        )
+        .record_duration(start.elapsed());
+        // A span is emitted only when the client shipped a trace frame —
+        // it becomes a child of the client-side span that wrapped it.
+        if let Some(client_ctx) = trace {
+            rndi_obs::trace::record(SpanRecord::new(
+                &client_ctx.child(),
+                "server",
+                &server,
+                label,
+                if result.is_ok() {
+                    SpanOutcome::Ok
+                } else {
+                    SpanOutcome::Err
+                },
+                start.elapsed(),
+            ));
+        }
+        result
+    }
+
+    fn write_inner(&self, node: usize, op: Op) -> Result<(), RealmError> {
         let handle = self.nodes.lock()[node].clone();
         let ticket: Ticket = handle
             .lock()

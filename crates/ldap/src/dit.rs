@@ -14,6 +14,7 @@
 //! verified with the real scope predicate and `LdapFilter::matches`.
 
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use crate::dn::{Dn, Rdn};
 use crate::entry::LdapEntry;
@@ -53,6 +54,18 @@ enum Posting<'a> {
     Empty,
     /// Candidate tree keys (a superset of the matches).
     Keys(&'a BTreeSet<String>),
+}
+
+/// `[index, scan]` read-path counters, resolved once per process.
+fn read_path_counters() -> &'static [Arc<rndi_obs::metrics::Counter>; 2] {
+    static COUNTERS: OnceLock<[Arc<rndi_obs::metrics::Counter>; 2]> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let name = rndi_obs::metrics::names::INDEX_READS;
+        [
+            rndi_obs::metrics::counter(name, &[("server", "dirserv"), ("path", "index")]),
+            rndi_obs::metrics::counter(name, &[("server", "dirserv"), ("path", "scan")]),
+        ]
+    })
 }
 
 /// The tree. BTreeMap keeps deterministic enumeration order (root-first).
@@ -268,7 +281,17 @@ impl Dit {
             size_limit
         };
         let mut out = Vec::new();
-        match self.filter_posting(filter) {
+        let posting = self.filter_posting(filter);
+        // Record which read path served the search: a posting-set walk
+        // (index) or the scope range scan. Handles are cached in a static
+        // so the hot path pays one atomic increment, not a registry lock.
+        let [index_reads, scan_reads] = read_path_counters();
+        if matches!(posting, Posting::Unindexed) {
+            scan_reads.inc();
+        } else {
+            index_reads.inc();
+        }
+        match posting {
             Posting::Empty => {}
             Posting::Keys(keys) => {
                 for key in keys {

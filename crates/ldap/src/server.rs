@@ -1,8 +1,11 @@
 //! The directory server: connections, authentication, result codes.
 
 use std::sync::Arc;
+use std::time::Instant;
 
 use parking_lot::Mutex;
+use rndi_obs::metrics::names;
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
 use crate::dit::{Dit, DitError, Scope};
 use crate::dn::{Dn, Rdn};
@@ -200,6 +203,37 @@ impl DirectoryServer {
 }
 
 impl Connection {
+    /// Count and time a server-side operation; when the caller shipped a
+    /// trace context (a traced RNDI client), also emit a `server`-layer
+    /// span linked into the client's trace.
+    fn observe<T>(
+        &self,
+        op: &'static str,
+        trace: Option<&TraceCtx>,
+        f: impl FnOnce() -> LdapResult<T>,
+    ) -> LdapResult<T> {
+        let start = Instant::now();
+        let result = f();
+        rndi_obs::metrics::counter(names::SERVER_OPS, &[("server", "dirserv"), ("op", op)]).inc();
+        rndi_obs::metrics::histogram(names::SERVER_DURATION, &[("server", "dirserv"), ("op", op)])
+            .record_duration(start.elapsed());
+        if let Some(ctx) = trace {
+            rndi_obs::trace::record(SpanRecord::new(
+                &ctx.child(),
+                "server",
+                "dirserv",
+                op,
+                if result.is_ok() {
+                    SpanOutcome::Ok
+                } else {
+                    SpanOutcome::Err
+                },
+                start.elapsed(),
+            ));
+        }
+        result
+    }
+
     fn guard_write(&self) -> LdapResult<()> {
         if self.server.config.writes_require_auth && !self.authenticated {
             return Err((
@@ -212,27 +246,55 @@ impl Connection {
 
     /// Add an entry.
     pub fn add(&self, entry: LdapEntry) -> LdapResult<()> {
-        self.guard_write()?;
-        if self.server.config.validate_schema {
-            if let Err(reason) = self.server.config.schema.validate(&entry) {
-                return Err((ResultCode::ObjectClassViolation, reason));
+        self.add_traced(entry, None)
+    }
+
+    /// [`Connection::add`] carrying the caller's trace context.
+    pub fn add_traced(&self, entry: LdapEntry, trace: Option<&TraceCtx>) -> LdapResult<()> {
+        self.observe("add", trace, || {
+            self.guard_write()?;
+            if self.server.config.validate_schema {
+                if let Err(reason) = self.server.config.schema.validate(&entry) {
+                    return Err((ResultCode::ObjectClassViolation, reason));
+                }
             }
-        }
-        let mut inner = self.server.inner.lock();
-        inner.stats.writes += 1;
-        inner.dit.add(entry).map_err(dit_err)
+            let mut inner = self.server.inner.lock();
+            inner.stats.writes += 1;
+            inner.dit.add(entry).map_err(dit_err)
+        })
     }
 
     /// Delete a leaf entry.
     pub fn delete(&self, dn: &Dn) -> LdapResult<()> {
-        self.guard_write()?;
-        let mut inner = self.server.inner.lock();
-        inner.stats.writes += 1;
-        inner.dit.delete(dn).map(|_| ()).map_err(dit_err)
+        self.delete_traced(dn, None)
+    }
+
+    /// [`Connection::delete`] carrying the caller's trace context.
+    pub fn delete_traced(&self, dn: &Dn, trace: Option<&TraceCtx>) -> LdapResult<()> {
+        self.observe("delete", trace, || {
+            self.guard_write()?;
+            let mut inner = self.server.inner.lock();
+            inner.stats.writes += 1;
+            inner.dit.delete(dn).map(|_| ()).map_err(dit_err)
+        })
     }
 
     /// Apply modifications to an entry.
     pub fn modify(&self, dn: &Dn, mods: &[Modification]) -> LdapResult<()> {
+        self.modify_traced(dn, mods, None)
+    }
+
+    /// [`Connection::modify`] carrying the caller's trace context.
+    pub fn modify_traced(
+        &self,
+        dn: &Dn,
+        mods: &[Modification],
+        trace: Option<&TraceCtx>,
+    ) -> LdapResult<()> {
+        self.observe("modify", trace, || self.modify_inner(dn, mods))
+    }
+
+    fn modify_inner(&self, dn: &Dn, mods: &[Modification]) -> LdapResult<()> {
         self.guard_write()?;
         let config = &self.server.config;
         let mut inner = self.server.inner.lock();
@@ -273,6 +335,33 @@ impl Connection {
     /// meaningful clock can pass 0 (throttle then acts per-"second" of
     /// request count only).
     pub fn search(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &LdapFilter,
+        attrs: Option<&[String]>,
+        now_ms: u64,
+    ) -> LdapResult<SearchOutcome> {
+        self.search_traced(base, scope, filter, attrs, now_ms, None)
+    }
+
+    /// [`Connection::search`] carrying the caller's trace context.
+    #[allow(clippy::too_many_arguments)]
+    pub fn search_traced(
+        &self,
+        base: &Dn,
+        scope: Scope,
+        filter: &LdapFilter,
+        attrs: Option<&[String]>,
+        now_ms: u64,
+        trace: Option<&TraceCtx>,
+    ) -> LdapResult<SearchOutcome> {
+        self.observe("search", trace, || {
+            self.search_inner(base, scope, filter, attrs, now_ms)
+        })
+    }
+
+    fn search_inner(
         &self,
         base: &Dn,
         scope: Scope,

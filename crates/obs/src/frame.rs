@@ -1,0 +1,97 @@
+//! The optional trace header carried alongside wire payloads.
+//!
+//! Providers that ship opaque bytes to a server (HDNS replicated writes,
+//! LDAP attribute strings) prepend an ASCII header line so the server can
+//! link its span to the client's. Servers [`strip`] the header before
+//! storing the payload, so stored data is identical to what an untraced
+//! client would have written:
+//!
+//! ```text
+//! %RNDI-TRACE:<trace>-<span>-<parent>-<depth>\n<payload bytes…>
+//! ```
+//!
+//! Backward compatibility is structural: a payload without the header
+//! (old client → new server) passes through `strip` untouched, and a
+//! client that has no trace context simply doesn't wrap (new client → old
+//! server sees the byte-identical legacy encoding).
+
+use crate::trace::TraceCtx;
+
+/// Header magic. ASCII so framed payloads stay valid UTF-8 whenever the
+/// payload itself is.
+pub const MAGIC: &[u8] = b"%RNDI-TRACE:";
+
+/// Prefix `payload` with a trace header.
+pub fn wrap(ctx: &TraceCtx, payload: &[u8]) -> Vec<u8> {
+    let header = ctx.encode();
+    let mut out = Vec::with_capacity(MAGIC.len() + header.len() + 1 + payload.len());
+    out.extend_from_slice(MAGIC);
+    out.extend_from_slice(header.as_bytes());
+    out.push(b'\n');
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Split a possibly-framed payload into its trace context and the bare
+/// payload. Unframed input (or a magic-prefixed payload whose header does
+/// not parse — foreign bytes) comes back unchanged with no context.
+pub fn strip(bytes: &[u8]) -> (Option<TraceCtx>, &[u8]) {
+    let Some(rest) = bytes.strip_prefix(MAGIC) else {
+        return (None, bytes);
+    };
+    let Some(newline) = rest.iter().position(|b| *b == b'\n') else {
+        return (None, bytes);
+    };
+    let Some(ctx) = std::str::from_utf8(&rest[..newline])
+        .ok()
+        .and_then(TraceCtx::parse)
+    else {
+        return (None, bytes);
+    };
+    (Some(ctx), &rest[newline + 1..])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wrap_strip_roundtrip() {
+        let ctx = TraceCtx::root().child();
+        let payload = br#"{"Str":"hello"}"#;
+        let framed = wrap(&ctx, payload);
+        let (got, bare) = strip(&framed);
+        assert_eq!(got, Some(ctx));
+        assert_eq!(bare, payload);
+    }
+
+    #[test]
+    fn unframed_bytes_pass_through() {
+        for payload in [&b"plain"[..], b"", b"\x00\x01binary"] {
+            let (ctx, bare) = strip(payload);
+            assert_eq!(ctx, None);
+            assert_eq!(bare, payload);
+        }
+    }
+
+    #[test]
+    fn bad_header_is_treated_as_payload() {
+        // Magic prefix but no parseable header: foreign data, untouched.
+        for bytes in [
+            &b"%RNDI-TRACE:junk\npayload"[..],
+            b"%RNDI-TRACE:no-newline",
+            b"%RNDI-TRACE:\npayload",
+        ] {
+            let (ctx, bare) = strip(bytes);
+            assert_eq!(ctx, None);
+            assert_eq!(bare, bytes);
+        }
+    }
+
+    #[test]
+    fn framed_utf8_stays_utf8() {
+        let ctx = TraceCtx::root();
+        let framed = wrap(&ctx, "héllo".as_bytes());
+        assert!(std::str::from_utf8(&framed).is_ok());
+    }
+}

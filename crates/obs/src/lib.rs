@@ -1,0 +1,27 @@
+//! Observability primitives for the RNDI pipeline.
+//!
+//! This crate sits *below* every other workspace crate (it depends only on
+//! vendored `parking_lot`/`serde`), so providers, servers, and the core
+//! pipeline can all emit into one process-wide view:
+//!
+//! * [`trace`] — structured tracing. A [`TraceCtx`] (trace id, span id,
+//!   parent, depth) is minted at the pipeline entry, propagated through
+//!   interceptors and federation fan-out, and carried across the wire via
+//!   [`frame`]. Finished spans land in every installed [`TraceSink`]
+//!   (bounded ring buffer by default, optional JSONL file sink).
+//! * [`metrics`] — a registry of counters, gauges, and fixed-bucket (log2)
+//!   latency histograms keyed by `(name, labels)`.
+//! * [`expo`] — Prometheus-style text exposition: `metrics::render()`
+//!   produces it, [`expo::parse`] validates it (used by tests and the CI
+//!   smoke job).
+//! * [`frame`] — the optional trace header wrapped around wire payloads so
+//!   server-side spans link to client spans without the servers needing
+//!   the naming core's value codec.
+
+pub mod expo;
+pub mod frame;
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{Counter, Gauge, Histogram};
+pub use trace::{RingSink, SpanOutcome, SpanRecord, TraceCtx, TraceSink};

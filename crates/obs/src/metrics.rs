@@ -1,0 +1,486 @@
+//! Counters, gauges, log2-bucket latency histograms, and the process-wide
+//! registry that renders them as Prometheus-style text.
+//!
+//! Instruments are cheap handles over atomics: look one up once
+//! (`counter("rndi_ops_total", &[("provider", p)])`), keep the `Arc`, and
+//! bump it lock-free on the hot path. The registry lock is only taken on
+//! first registration and at render/reset time.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+/// Number of histogram buckets. Bucket `i` counts values `<= 2^i`
+/// nanoseconds; the last bucket is the `+Inf` overflow. 2^38 ns ≈ 275 s,
+/// far beyond any naming op.
+pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Canonical metric names shared across the workspace, so the core
+/// pipeline, providers, servers, and benches all feed the same families.
+pub mod names {
+    /// Histogram, ns: `{provider, op, layer}`.
+    pub const OP_DURATION: &str = "rndi_op_duration_ns";
+    /// Counter: `{provider, op, layer, outcome}`.
+    pub const OPS_TOTAL: &str = "rndi_ops_total";
+    /// Counter: `{provider, event}` with `event` one of
+    /// `hit|miss|invalidation|eviction`.
+    pub const CACHE_EVENTS: &str = "rndi_cache_events_total";
+    /// Counter: `{provider}` — retry re-submissions (attempts beyond the
+    /// first).
+    pub const RETRIES: &str = "rndi_retries_total";
+    /// Counter: `{provider, event}` with `event` one of
+    /// `grant|renew|expire|cancel`.
+    pub const LEASE_EVENTS: &str = "rndi_lease_events_total";
+    /// Counter: `{provider, event}` — distributed mutex events
+    /// (`acquire|wait|release`).
+    pub const MUTEX_EVENTS: &str = "rndi_mutex_events_total";
+    /// Counter: `{provider, path}` with `path` one of `index|scan` — how a
+    /// read was satisfied, so the fallback-to-scan rate is visible.
+    pub const INDEX_READS: &str = "rndi_index_reads_total";
+    /// Histogram: mounts fanned out per federated search.
+    pub const FED_FANOUT: &str = "rndi_federation_fanout_width";
+    /// Histogram: federation recursion depth per federated search.
+    pub const FED_DEPTH: &str = "rndi_federation_depth";
+    /// Counter: `{server, op}` — ops observed server-side.
+    pub const SERVER_OPS: &str = "rndi_server_ops_total";
+    /// Histogram, ns: `{server, op}` — server-side service time.
+    pub const SERVER_DURATION: &str = "rndi_server_duration_ns";
+    /// Counter: `{provider, dir}` with `dir` one of `read|write` — bytes
+    /// moved through a storage-backed provider.
+    pub const IO_BYTES: &str = "rndi_io_bytes_total";
+}
+
+/// A monotonically increasing counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A value that can go up and down.
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Fixed-bucket latency histogram with power-of-two bucket bounds.
+///
+/// Recording is two relaxed atomic adds plus one for the bucket — no lock,
+/// no allocation — so it can sit on the per-op hot path. Quantiles are
+/// estimated by linear interpolation inside the winning bucket, giving
+/// sub-bucket resolution that is plenty for p50/p95/p99 reporting.
+pub struct Histogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    sum: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            count: AtomicU64::new(0),
+        }
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    fn bucket_index(value: u64) -> usize {
+        // ceil(log2(value)): the smallest i with value <= 2^i.
+        let i = if value <= 1 {
+            0
+        } else {
+            (64 - (value - 1).leading_zeros()) as usize
+        };
+        i.min(HISTOGRAM_BUCKETS - 1)
+    }
+
+    /// Upper bound of bucket `i` (the last bucket reports `+Inf`).
+    pub fn bucket_bound(i: usize) -> Option<u64> {
+        (i + 1 < HISTOGRAM_BUCKETS).then(|| 1u64 << i)
+    }
+
+    /// Record one observation (nanoseconds by convention).
+    pub fn record(&self, value: u64) {
+        self.buckets[Self::bucket_index(value)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub fn record_duration(&self, d: Duration) {
+        self.record(d.as_nanos().min(u64::MAX as u128) as u64);
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub fn sum(&self) -> u64 {
+        self.sum.load(Ordering::Relaxed)
+    }
+
+    pub fn mean(&self) -> Option<f64> {
+        let n = self.count();
+        (n > 0).then(|| self.sum() as f64 / n as f64)
+    }
+
+    /// Per-bucket counts (diagnostics and exposition).
+    pub fn bucket_counts(&self) -> [u64; HISTOGRAM_BUCKETS] {
+        std::array::from_fn(|i| self.buckets[i].load(Ordering::Relaxed))
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of recorded values.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+        let mut cum = 0u64;
+        for i in 0..HISTOGRAM_BUCKETS {
+            let n = self.buckets[i].load(Ordering::Relaxed);
+            if n == 0 {
+                continue;
+            }
+            if (cum + n) as f64 >= target {
+                let lower = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+                let upper = match Self::bucket_bound(i) {
+                    Some(b) => b,
+                    None => lower.saturating_mul(2),
+                };
+                let frac = (target - cum as f64) / n as f64;
+                return Some(lower as f64 + frac * (upper - lower) as f64);
+            }
+            cum += n;
+        }
+        Some(self.sum() as f64 / total as f64)
+    }
+}
+
+// ----------------------------------------------------------- registry --
+
+/// Canonical label set: sorted key/value pairs.
+pub type Labels = Vec<(String, String)>;
+
+fn canonical(labels: &[(&str, &str)]) -> Labels {
+    let mut v: Labels = labels
+        .iter()
+        .map(|(k, v)| (k.to_string(), v.to_string()))
+        .collect();
+    v.sort();
+    v
+}
+
+pub(crate) fn escape(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+fn label_block(labels: &Labels) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+fn label_block_with(labels: &Labels, extra_key: &str, extra_value: &str) -> String {
+    let mut all = labels.clone();
+    all.push((extra_key.to_string(), extra_value.to_string()));
+    all.sort();
+    label_block(&all)
+}
+
+#[derive(Default)]
+struct Family<T> {
+    /// label-block string → instrument, per metric name (BTreeMap for a
+    /// deterministic render order).
+    by_name: BTreeMap<String, BTreeMap<String, (Labels, Arc<T>)>>,
+}
+
+impl<T: Default> Family<T> {
+    fn get(&mut self, name: &str, labels: &[(&str, &str)]) -> Arc<T> {
+        let labels = canonical(labels);
+        let key = label_block(&labels);
+        self.by_name
+            .entry(name.to_string())
+            .or_default()
+            .entry(key)
+            .or_insert_with(|| (labels, Arc::new(T::default())))
+            .1
+            .clone()
+    }
+}
+
+/// A set of named, labeled instruments. Most code uses the process-wide
+/// [`global`] registry through the free functions below; tests can build
+/// private registries.
+#[derive(Default)]
+pub struct Registry {
+    counters: Mutex<Family<Counter>>,
+    gauges: Mutex<Family<Gauge>>,
+    histograms: Mutex<Family<Histogram>>,
+}
+
+impl Registry {
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    /// The counter `name{labels}`, created on first use.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.counters.lock().get(name, labels)
+    }
+
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+        self.gauges.lock().get(name, labels)
+    }
+
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+        self.histograms.lock().get(name, labels)
+    }
+
+    /// Sum of a counter family across all label sets (tests, reports).
+    pub fn counter_total(&self, name: &str) -> u64 {
+        self.counters
+            .lock()
+            .by_name
+            .get(name)
+            .map(|f| f.values().map(|(_, c)| c.get()).sum())
+            .unwrap_or(0)
+    }
+
+    /// Drop every registered instrument (test isolation). Handles already
+    /// held elsewhere keep counting into detached instruments.
+    pub fn reset(&self) {
+        self.counters.lock().by_name.clear();
+        self.gauges.lock().by_name.clear();
+        self.histograms.lock().by_name.clear();
+    }
+
+    /// Render every instrument as Prometheus-style text exposition lines.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for (name, family) in &self.counters.lock().by_name {
+            out.push_str(&format!("# TYPE {name} counter\n"));
+            for (labels, counter) in family.values() {
+                out.push_str(&format!(
+                    "{name}{} {}\n",
+                    label_block(labels),
+                    counter.get()
+                ));
+            }
+        }
+        for (name, family) in &self.gauges.lock().by_name {
+            out.push_str(&format!("# TYPE {name} gauge\n"));
+            for (labels, gauge) in family.values() {
+                out.push_str(&format!("{name}{} {}\n", label_block(labels), gauge.get()));
+            }
+        }
+        for (name, family) in &self.histograms.lock().by_name {
+            out.push_str(&format!("# TYPE {name} histogram\n"));
+            for (labels, histogram) in family.values() {
+                let counts = histogram.bucket_counts();
+                let mut cum = 0u64;
+                for (i, n) in counts.iter().enumerate() {
+                    cum += n;
+                    // Omit empty leading/inner buckets to keep the text
+                    // readable; cumulative counts stay correct because
+                    // every non-empty bucket and +Inf are printed.
+                    if *n == 0 && i + 1 != HISTOGRAM_BUCKETS {
+                        continue;
+                    }
+                    let le = match Histogram::bucket_bound(i) {
+                        Some(b) => b.to_string(),
+                        None => "+Inf".to_string(),
+                    };
+                    out.push_str(&format!(
+                        "{name}_bucket{} {cum}\n",
+                        label_block_with(labels, "le", &le)
+                    ));
+                }
+                let block = label_block(labels);
+                out.push_str(&format!("{name}_sum{block} {}\n", histogram.sum()));
+                out.push_str(&format!("{name}_count{block} {}\n", histogram.count()));
+            }
+        }
+        out
+    }
+}
+
+fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+/// The process-wide counter `name{labels}`.
+pub fn counter(name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+    global().counter(name, labels)
+}
+
+/// The process-wide gauge `name{labels}`.
+pub fn gauge(name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
+    global().gauge(name, labels)
+}
+
+/// The process-wide histogram `name{labels}`.
+pub fn histogram(name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
+    global().histogram(name, labels)
+}
+
+/// Sum one process-wide counter family across label sets.
+pub fn counter_total(name: &str) -> u64 {
+    global().counter_total(name)
+}
+
+/// Render the process-wide registry as exposition text.
+pub fn render() -> String {
+    global().render()
+}
+
+/// Clear the process-wide registry (test isolation).
+pub fn reset() {
+    global().reset()
+}
+
+/// Every histogram of one process-wide family, as
+/// `(labels, histogram)` pairs — reports iterate these for per-provider
+/// latency rows.
+pub fn histogram_family(name: &str) -> Vec<(Labels, Arc<Histogram>)> {
+    global()
+        .histograms
+        .lock()
+        .by_name
+        .get(name)
+        .map(|f| f.values().cloned().collect())
+        .unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let r = Registry::new();
+        let c = r.counter("ops_total", &[("provider", "p1")]);
+        c.inc();
+        c.add(2);
+        assert_eq!(c.get(), 3);
+        // Same (name, labels) → same instrument; label order is canonical.
+        let again = r.counter("ops_total", &[("provider", "p1")]);
+        again.inc();
+        assert_eq!(c.get(), 4);
+        assert_eq!(r.counter_total("ops_total"), 4);
+
+        let g = r.gauge("queue_depth", &[]);
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let h = Histogram::new();
+        assert_eq!(Histogram::bucket_index(0), 0);
+        assert_eq!(Histogram::bucket_index(1), 0);
+        assert_eq!(Histogram::bucket_index(2), 1);
+        assert_eq!(Histogram::bucket_index(3), 2);
+        assert_eq!(Histogram::bucket_index(4), 2);
+        assert_eq!(Histogram::bucket_index(5), 3);
+        assert_eq!(Histogram::bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+
+        for v in 1..=1000u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 1000);
+        assert_eq!(h.sum(), 500_500);
+        let p50 = h.quantile(0.5).unwrap();
+        assert!((300.0..700.0).contains(&p50), "p50 {p50}");
+        let p99 = h.quantile(0.99).unwrap();
+        assert!(p99 > p50 && p99 <= 1024.0, "p99 {p99}");
+        assert!(h.quantile(1.0).unwrap() <= 1024.0);
+        assert_eq!(Histogram::new().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_monotone_in_q() {
+        let h = Histogram::new();
+        for v in [10u64, 100, 1_000, 10_000, 100_000] {
+            for _ in 0..20 {
+                h.record(v);
+            }
+        }
+        let mut last = 0.0;
+        for q in [0.1, 0.5, 0.9, 0.99] {
+            let v = h.quantile(q).unwrap();
+            assert!(v >= last, "quantile({q}) = {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn render_is_parseable_and_labeled() {
+        let r = Registry::new();
+        r.counter("rndi_ops_total", &[("provider", "a\"b")]).inc();
+        r.gauge("rndi_up", &[]).set(1);
+        let h = r.histogram("rndi_latency_ns", &[("op", "lookup")]);
+        h.record(3);
+        h.record(900);
+        let text = r.render();
+        assert!(text.contains("# TYPE rndi_ops_total counter"));
+        assert!(text.contains("rndi_ops_total{provider=\"a\\\"b\"} 1"));
+        assert!(text.contains("# TYPE rndi_latency_ns histogram"));
+        assert!(text.contains("le=\"+Inf\""));
+        assert!(text.contains("rndi_latency_ns_count{op=\"lookup\"} 2"));
+        let samples = crate::expo::parse(&text).expect("own render parses");
+        assert!(samples.len() >= 5);
+        // +Inf cumulative count equals _count.
+        let inf = samples
+            .iter()
+            .find(|s| {
+                s.name == "rndi_latency_ns_bucket"
+                    && s.labels.iter().any(|(k, v)| k == "le" && v == "+Inf")
+            })
+            .unwrap();
+        assert_eq!(inf.value, 2.0);
+        r.reset();
+        assert_eq!(r.render(), "");
+    }
+}

@@ -1,0 +1,438 @@
+//! Trace contexts, span records, and span sinks.
+//!
+//! A trace is a tree of spans sharing one `trace_id`. The root span is
+//! minted wherever an operation first enters instrumented code (pipeline
+//! entry, federation driver); every layer below derives a child via
+//! [`TraceCtx::child`], so parent links reconstruct the tree even when
+//! spans arrive out of order from worker threads or remote servers.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::io::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use parking_lot::{Mutex, RwLock};
+use serde::Serialize;
+
+/// Default capacity of the process-wide span ring buffer.
+pub const DEFAULT_RING_CAPACITY: usize = 4096;
+
+// ----------------------------------------------------------- identity --
+
+/// splitmix64: cheap, well-distributed id stream from a counter.
+fn mix(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e3779b97f4a7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+fn next_id() -> u64 {
+    static SEED: OnceLock<u64> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let seed = *SEED.get_or_init(|| {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x5eed)
+    });
+    // Never 0: a zero parent id means "no parent".
+    mix(seed ^ COUNTER.fetch_add(1, Ordering::Relaxed)) | 1
+}
+
+/// The propagated trace context: where in which trace the current
+/// operation is executing.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceCtx {
+    pub trace_id: u64,
+    pub span_id: u64,
+    /// `0` when this is the root span of its trace.
+    pub parent_span: u64,
+    /// Hop count from the root (federation depth, layer nesting).
+    pub depth: u32,
+}
+
+impl TraceCtx {
+    /// Mint a fresh root context (new trace).
+    pub fn root() -> Self {
+        TraceCtx {
+            trace_id: next_id(),
+            span_id: next_id(),
+            parent_span: 0,
+            depth: 0,
+        }
+    }
+
+    /// A child context within the same trace.
+    pub fn child(&self) -> Self {
+        TraceCtx {
+            trace_id: self.trace_id,
+            span_id: next_id(),
+            parent_span: self.span_id,
+            depth: self.depth + 1,
+        }
+    }
+
+    /// Compact ASCII encoding used in op metadata and wire frames:
+    /// `trace-span-parent-depth`, hex fields.
+    pub fn encode(&self) -> String {
+        format!(
+            "{:x}-{:x}-{:x}-{:x}",
+            self.trace_id, self.span_id, self.parent_span, self.depth
+        )
+    }
+
+    /// Inverse of [`TraceCtx::encode`]; `None` on any malformed input.
+    pub fn parse(s: &str) -> Option<Self> {
+        let mut parts = s.split('-');
+        let trace_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let span_id = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let parent_span = u64::from_str_radix(parts.next()?, 16).ok()?;
+        let depth = u32::from_str_radix(parts.next()?, 16).ok()?;
+        if parts.next().is_some() || trace_id == 0 || span_id == 0 {
+            return None;
+        }
+        Some(TraceCtx {
+            trace_id,
+            span_id,
+            parent_span,
+            depth,
+        })
+    }
+}
+
+impl fmt::Display for TraceCtx {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.encode())
+    }
+}
+
+// -------------------------------------------------------------- spans --
+
+/// How a span's operation ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpanOutcome {
+    Ok,
+    Err,
+    /// A federation continuation — control flow, not a failure.
+    Continue,
+}
+
+impl Serialize for SpanOutcome {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::String(self.label().to_string())
+    }
+}
+
+impl SpanOutcome {
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanOutcome::Ok => "ok",
+            SpanOutcome::Err => "err",
+            SpanOutcome::Continue => "continue",
+        }
+    }
+}
+
+/// One finished span.
+#[derive(Clone, Debug, Serialize)]
+pub struct SpanRecord {
+    pub trace_id: u64,
+    pub span_id: u64,
+    pub parent_span: u64,
+    pub depth: u32,
+    /// Which layer produced the span ("pipeline", "backend", "federation",
+    /// "server", "client").
+    pub layer: String,
+    /// Provider / server instance label.
+    pub provider: String,
+    /// Operation kind label ("lookup", "search", …).
+    pub op: String,
+    pub outcome: SpanOutcome,
+    pub duration_ns: u64,
+}
+
+impl SpanRecord {
+    /// Build a record from the context the span executed under.
+    pub fn new(
+        ctx: &TraceCtx,
+        layer: impl Into<String>,
+        provider: impl Into<String>,
+        op: impl Into<String>,
+        outcome: SpanOutcome,
+        duration: std::time::Duration,
+    ) -> Self {
+        SpanRecord {
+            trace_id: ctx.trace_id,
+            span_id: ctx.span_id,
+            parent_span: ctx.parent_span,
+            depth: ctx.depth,
+            layer: layer.into(),
+            provider: provider.into(),
+            op: op.into(),
+            outcome,
+            duration_ns: duration.as_nanos().min(u64::MAX as u128) as u64,
+        }
+    }
+}
+
+// -------------------------------------------------------------- sinks --
+
+/// Receives finished spans. Implementations must tolerate concurrent
+/// callers and must never panic (sinks run inside every pipeline op).
+pub trait TraceSink: Send + Sync {
+    fn record(&self, span: &SpanRecord);
+}
+
+/// Bounded in-memory ring buffer: the default sink, always installed.
+/// When full, the oldest span is dropped.
+pub struct RingSink {
+    capacity: AtomicU64,
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl RingSink {
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            capacity: AtomicU64::new(capacity.max(1) as u64),
+            spans: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    pub fn set_capacity(&self, capacity: usize) {
+        self.capacity
+            .store(capacity.max(1) as u64, Ordering::Relaxed);
+        let cap = capacity.max(1);
+        let mut spans = self.spans.lock();
+        while spans.len() > cap {
+            spans.pop_front();
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.spans.lock().len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    pub fn clear(&self) {
+        self.spans.lock().clear();
+    }
+
+    /// All buffered spans, oldest first.
+    pub fn snapshot(&self) -> Vec<SpanRecord> {
+        self.spans.lock().iter().cloned().collect()
+    }
+
+    /// Every buffered span of one trace, oldest first.
+    pub fn trace(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// The `n` slowest root spans (no parent), slowest first — the entry
+    /// point for "top-N slowest traces" reports.
+    pub fn slowest_roots(&self, n: usize) -> Vec<SpanRecord> {
+        let mut roots: Vec<SpanRecord> = self
+            .spans
+            .lock()
+            .iter()
+            .filter(|s| s.parent_span == 0)
+            .cloned()
+            .collect();
+        roots.sort_by_key(|s| std::cmp::Reverse(s.duration_ns));
+        roots.truncate(n);
+        roots
+    }
+}
+
+impl TraceSink for RingSink {
+    fn record(&self, span: &SpanRecord) {
+        let cap = self.capacity.load(Ordering::Relaxed) as usize;
+        let mut spans = self.spans.lock();
+        while spans.len() >= cap {
+            spans.pop_front();
+        }
+        spans.push_back(span.clone());
+    }
+}
+
+/// Appends one JSON object per span to a file (the `rndi.obs.trace-file`
+/// knob). Write errors are swallowed — tracing must never fail an op.
+pub struct JsonlSink {
+    file: Mutex<std::fs::File>,
+}
+
+impl JsonlSink {
+    pub fn create(path: &str) -> std::io::Result<Self> {
+        let file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        Ok(JsonlSink {
+            file: Mutex::new(file),
+        })
+    }
+}
+
+impl TraceSink for JsonlSink {
+    fn record(&self, span: &SpanRecord) {
+        if let Ok(line) = serde_json::to_string(span) {
+            let mut file = self.file.lock();
+            let _ = writeln!(file, "{line}");
+        }
+    }
+}
+
+// ------------------------------------------------------ global wiring --
+
+struct Sinks {
+    extra: Vec<Arc<dyn TraceSink>>,
+    /// Paths already backed by a JSONL sink (idempotent installs).
+    jsonl_paths: Vec<String>,
+}
+
+fn sinks() -> &'static RwLock<Sinks> {
+    static SINKS: OnceLock<RwLock<Sinks>> = OnceLock::new();
+    SINKS.get_or_init(|| {
+        RwLock::new(Sinks {
+            extra: Vec::new(),
+            jsonl_paths: Vec::new(),
+        })
+    })
+}
+
+/// The always-installed process-wide ring buffer.
+pub fn ring() -> &'static RingSink {
+    static RING: OnceLock<RingSink> = OnceLock::new();
+    RING.get_or_init(|| RingSink::new(DEFAULT_RING_CAPACITY))
+}
+
+/// Fan one finished span out to the ring and every installed sink.
+pub fn record(span: SpanRecord) {
+    ring().record(&span);
+    for sink in sinks().read().extra.iter() {
+        sink.record(&span);
+    }
+}
+
+/// Install an additional sink alongside the ring buffer.
+pub fn install_sink(sink: Arc<dyn TraceSink>) {
+    sinks().write().extra.push(sink);
+}
+
+/// Install a JSONL file sink for `path`, once per path per process.
+/// Returns `false` (without error) when the file cannot be opened.
+pub fn install_jsonl(path: &str) -> bool {
+    {
+        let guard = sinks().read();
+        if guard.jsonl_paths.iter().any(|p| p == path) {
+            return true;
+        }
+    }
+    let mut guard = sinks().write();
+    if guard.jsonl_paths.iter().any(|p| p == path) {
+        return true;
+    }
+    match JsonlSink::create(path) {
+        Ok(sink) => {
+            guard.extra.push(Arc::new(sink));
+            guard.jsonl_paths.push(path.to_string());
+            true
+        }
+        Err(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn ctx_encode_parse_roundtrip() {
+        let root = TraceCtx::root();
+        assert_eq!(TraceCtx::parse(&root.encode()), Some(root));
+        let child = root.child();
+        assert_eq!(child.trace_id, root.trace_id);
+        assert_eq!(child.parent_span, root.span_id);
+        assert_eq!(child.depth, 1);
+        assert_ne!(child.span_id, root.span_id);
+        assert_eq!(TraceCtx::parse(&child.encode()), Some(child));
+    }
+
+    #[test]
+    fn ctx_parse_rejects_malformed() {
+        for bad in [
+            "",
+            "xyz",
+            "1-2",
+            "1-2-3-4-5",
+            "0-1-0-0",
+            "1-0-0-0",
+            "g-1-0-0",
+        ] {
+            assert_eq!(TraceCtx::parse(bad), None, "input {bad:?}");
+        }
+    }
+
+    #[test]
+    fn ids_are_unique_and_nonzero() {
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..10_000 {
+            let id = next_id();
+            assert_ne!(id, 0);
+            assert!(seen.insert(id), "duplicate id {id}");
+        }
+    }
+
+    fn span(trace: &TraceCtx, ns: u64) -> SpanRecord {
+        SpanRecord::new(
+            trace,
+            "pipeline",
+            "p",
+            "lookup",
+            SpanOutcome::Ok,
+            Duration::from_nanos(ns),
+        )
+    }
+
+    #[test]
+    fn ring_bounds_and_queries() {
+        let ring = RingSink::new(3);
+        let a = TraceCtx::root();
+        let b = TraceCtx::root();
+        ring.record(&span(&a, 5));
+        ring.record(&span(&b, 10));
+        ring.record(&span(&a.child(), 1));
+        ring.record(&span(&b, 20));
+        assert_eq!(ring.len(), 3, "oldest span evicted at capacity");
+        assert_eq!(ring.trace(b.trace_id).len(), 2);
+        let slow = ring.slowest_roots(10);
+        assert!(slow.iter().all(|s| s.parent_span == 0));
+        assert_eq!(slow.first().map(|s| s.duration_ns), Some(20));
+        ring.set_capacity(1);
+        assert_eq!(ring.len(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+    }
+
+    #[test]
+    fn jsonl_sink_writes_parseable_lines() {
+        let path = std::env::temp_dir().join(format!("obs-test-{}.jsonl", next_id()));
+        let sink = JsonlSink::create(path.to_str().unwrap()).unwrap();
+        sink.record(&span(&TraceCtx::root(), 7));
+        let text = std::fs::read_to_string(&path).unwrap();
+        let v: serde_json::Value = serde_json::from_str(text.trim()).unwrap();
+        assert_eq!(v.get("duration_ns").and_then(|n| n.as_u64()), Some(7));
+        assert_eq!(v.get("outcome").and_then(|o| o.as_str()), Some("ok"));
+        let _ = std::fs::remove_file(&path);
+    }
+}

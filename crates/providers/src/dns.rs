@@ -91,10 +91,14 @@ impl DnsProviderContext {
         Ok(out)
     }
 
-    fn txt_at(&self, dns_name: &DnsName) -> Result<Option<String>> {
+    fn txt_at(
+        &self,
+        dns_name: &DnsName,
+        trace: Option<&rndi_obs::TraceCtx>,
+    ) -> Result<Option<String>> {
         match self
             .resolver
-            .resolve(dns_name, RecordType::Txt, self.clock.now_ms())
+            .resolve_traced(dns_name, RecordType::Txt, self.clock.now_ms(), trace)
         {
             Ok(rrs) => Ok(rrs.iter().find_map(|rr| match &rr.rdata {
                 RData::Txt(t) => Some(t.clone()),
@@ -117,10 +121,14 @@ impl DnsProviderContext {
     /// resolves to a federation link continues into the linked system,
     /// which may well be writable (binding through
     /// `dns://global/…/hdns-entry` is exactly the paper's scenario).
-    fn continue_write(&self, name: &CompositeName) -> Result<NamingError> {
+    fn continue_write(
+        &self,
+        name: &CompositeName,
+        trace: Option<&rndi_obs::TraceCtx>,
+    ) -> Result<NamingError> {
         for k in (0..name.len()).rev() {
             let dns_name = self.dns_name(name, k)?;
-            let Some(text) = self.txt_at(&dns_name)? else {
+            let Some(text) = self.txt_at(&dns_name, trace)? else {
                 continue;
             };
             let value = Self::decode(&text);
@@ -137,18 +145,22 @@ impl DnsProviderContext {
         ))
     }
 
-    fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
+    fn lookup(
+        &self,
+        name: &CompositeName,
+        trace: Option<&rndi_obs::TraceCtx>,
+    ) -> Result<BoundValue> {
         if name.is_empty() {
             // The anchor itself: return its TXT value if any.
             let text = self
-                .txt_at(&self.anchor)?
+                .txt_at(&self.anchor, trace)?
                 .ok_or_else(|| NamingError::not_found(self.anchor.to_string()))?;
             return Ok(Self::decode(&text));
         }
         // Longest bound prefix wins.
         for k in (0..=name.len()).rev() {
             let dns_name = self.dns_name(name, k)?;
-            let Some(text) = self.txt_at(&dns_name)? else {
+            let Some(text) = self.txt_at(&dns_name, trace)? else {
                 continue;
             };
             let value = Self::decode(&text);
@@ -168,12 +180,16 @@ impl DnsProviderContext {
         Err(NamingError::not_found(name.to_string()))
     }
 
-    fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
+    fn get_attributes(
+        &self,
+        name: &CompositeName,
+        trace: Option<&rndi_obs::TraceCtx>,
+    ) -> Result<Attributes> {
         // Expose the record's TTL as the sole attribute.
         let dns_name = self.dns_name(name, name.len())?;
         match self
             .resolver
-            .resolve(&dns_name, RecordType::Txt, self.clock.now_ms())
+            .resolve_traced(&dns_name, RecordType::Txt, self.clock.now_ms(), trace)
         {
             Ok(rrs) if !rrs.is_empty() => Ok(Attributes::new().with("ttl", rrs[0].ttl.to_string())),
             Ok(_) => Ok(Attributes::new()),
@@ -185,19 +201,21 @@ impl DnsProviderContext {
 
 impl ProviderBackend for DnsProviderContext {
     fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        let trace = op.trace_ctx();
+        let trace = trace.as_ref();
         match op.kind {
-            OpKind::Lookup => self.lookup(&op.name).map(OpOutcome::Value),
+            OpKind::Lookup => self.lookup(&op.name, trace).map(OpOutcome::Value),
             // Writes cannot land in DNS; they either continue through a
             // federation link or report NotSupported.
             OpKind::Bind
             | OpKind::Rebind
             | OpKind::Unbind
             | OpKind::BindWithAttrs
-            | OpKind::RebindWithAttrs => Err(self.continue_write(&op.name)?),
+            | OpKind::RebindWithAttrs => Err(self.continue_write(&op.name, trace)?),
             // DNS offers no enumeration (zone transfers are not a client
             // API).
             OpKind::List | OpKind::ListBindings => Err(NamingError::unsupported("DNS enumeration")),
-            OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
+            OpKind::GetAttributes => self.get_attributes(&op.name, trace).map(OpOutcome::Attrs),
             _ => Err(NamingError::unsupported(op.kind.label())),
         }
     }

@@ -61,6 +61,17 @@ const IDLE: &str = "idle";
 const WAITING: &str = "waiting";
 const ACTIVE: &str = "active";
 
+/// `[acquire, release]` counters for the distributed-mutex critical
+/// section, resolved once per process.
+fn mutex_counters() -> &'static [Arc<rndi_obs::Counter>; 2] {
+    static COUNTERS: std::sync::OnceLock<[Arc<rndi_obs::Counter>; 2]> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let name = rndi_obs::metrics::names::MUTEX_EVENTS;
+        ["acquire", "release"]
+            .map(|event| rndi_obs::metrics::counter(name, &[("lock", "emlock"), ("event", event)]))
+    })
+}
+
 /// One process's handle on the E&M lock: process index `me` of `n`
 /// statically configured slots.
 pub struct EisenbergMcGuire<R: SharedRegisters> {
@@ -139,6 +150,7 @@ impl<R: SharedRegisters> EisenbergMcGuire<R> {
                 let t = self.turn();
                 if t == self.me || self.flag(t) == IDLE {
                     self.set_turn(self.me);
+                    mutex_counters()[0].inc();
                     return;
                 }
             }
@@ -156,6 +168,7 @@ impl<R: SharedRegisters> EisenbergMcGuire<R> {
         }
         self.set_turn(j);
         self.set_flag(self.me, IDLE);
+        mutex_counters()[1].inc();
     }
 
     /// Run `f` inside the critical section.

@@ -34,6 +34,24 @@ fn io_err(e: std::io::Error, what: &str) -> NamingError {
     NamingError::service(format!("filesystem provider: {what}: {e}"))
 }
 
+/// `[read, write]` byte counters for value payloads, resolved once per
+/// process.
+fn io_counters() -> &'static [Arc<rndi_obs::Counter>; 2] {
+    static COUNTERS: std::sync::OnceLock<[Arc<rndi_obs::Counter>; 2]> = std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let name = rndi_obs::metrics::names::IO_BYTES;
+        ["read", "write"]
+            .map(|dir| rndi_obs::metrics::counter(name, &[("provider", "fs"), ("dir", dir)]))
+    })
+}
+
+/// Read a value file, tallying the bytes moved.
+fn read_val_file(path: &Path) -> std::io::Result<Vec<u8>> {
+    let bytes = std::fs::read(path)?;
+    io_counters()[0].add(bytes.len() as u64);
+    Ok(bytes)
+}
+
 /// A naming backend rooted at a directory. Implements [`ProviderBackend`];
 /// the `Context`/`DirContext` surface comes from the [`ProviderPipeline`]
 /// returned by [`FsContext::new`].
@@ -93,7 +111,7 @@ impl FsContext {
             }
             let val = dir.join(format!("{c}.{VAL_EXT}"));
             if val.is_file() {
-                let bytes = std::fs::read(&val).map_err(|e| io_err(e, "read"))?;
+                let bytes = read_val_file(&val).map_err(|e| io_err(e, "read"))?;
                 let v = common::unmarshal(&bytes);
                 if v.is_federation_link() {
                     return Err(NamingError::Continue {
@@ -154,6 +172,7 @@ impl FsContext {
         }
         std::fs::create_dir_all(&dir).map_err(|e| io_err(e, "mkdir"))?;
         std::fs::write(&val, bytes).map_err(|e| io_err(e, "write"))?;
+        io_counters()[1].add(bytes.len() as u64);
         Self::write_attrs(&dir, &leaf, &attrs)
     }
 
@@ -218,7 +237,7 @@ impl FsContext {
                     None => attrs,
                 };
                 let value = if controls.return_values && kind == EntryKind::Value {
-                    let bytes = std::fs::read(Self::val_path(dir, &child))
+                    let bytes = read_val_file(&Self::val_path(dir, &child))
                         .map_err(|e| io_err(e, "read"))?;
                     Some(common::unmarshal(&bytes))
                 } else {
@@ -252,7 +271,7 @@ impl FsContext {
         let (dir, leaf) = self.parent_dir(name)?;
         let val = Self::val_path(&dir, &leaf);
         if val.is_file() {
-            let bytes = std::fs::read(&val).map_err(|e| io_err(e, "read"))?;
+            let bytes = read_val_file(&val).map_err(|e| io_err(e, "read"))?;
             return Ok(common::unmarshal(&bytes));
         }
         if dir.join(&leaf).is_dir() {

@@ -230,6 +230,17 @@ fn path_to_name(path: &str) -> CompositeName {
     CompositeName::from_components(path.split('/').map(String::from))
 }
 
+/// Wrap a wire payload in a trace frame when the op is traced, so the
+/// realm's server side can link its span to the client's. The realm strips
+/// the frame before storing, keeping stored bytes identical to an untraced
+/// client's.
+fn frame_payload(payload: Vec<u8>, op: &NamingOp) -> Vec<u8> {
+    match op.trace_ctx() {
+        Some(ctx) => rndi_obs::frame::wrap(&ctx, &payload),
+        None => payload,
+    }
+}
+
 impl HdnsProviderContext {
     fn lookup(&self, name: &CompositeName) -> Result<BoundValue> {
         if let Some(cont) = self.check_mount(name) {
@@ -436,13 +447,13 @@ impl ProviderBackend for HdnsProviderContext {
             OpKind::Bind | OpKind::BindWithAttrs => {
                 let (payload, _) = op.wire_value()?;
                 let attrs = op.attrs.clone().unwrap_or_default();
-                self.bind_with_attrs(&op.name, payload, &attrs)?;
+                self.bind_with_attrs(&op.name, frame_payload(payload, op), &attrs)?;
                 Ok(OpOutcome::Done)
             }
             OpKind::Rebind | OpKind::RebindWithAttrs => {
                 let (payload, _) = op.wire_value()?;
                 let attrs = op.attrs.clone().unwrap_or_default();
-                self.rebind_with_attrs(&op.name, payload, &attrs)?;
+                self.rebind_with_attrs(&op.name, frame_payload(payload, op), &attrs)?;
                 Ok(OpOutcome::Done)
             }
             OpKind::Unbind => self.unbind(&op.name).map(|_| OpOutcome::Done),
@@ -678,6 +689,35 @@ mod tests {
         a.bind_str("e", "1").unwrap();
         b.poll_events();
         assert!(l.count() >= 1, "replica 1 saw the replicated bind");
+    }
+
+    #[test]
+    fn traced_bind_links_server_span_and_stores_bare_payload() {
+        let realm = HdnsRealm::new("obs-hdns", 2, StackConfig::default(), None, 3);
+        let a = HdnsProviderContext::new(realm.clone(), 0, "obs-hdns");
+        let b = HdnsProviderContext::new(realm.clone(), 1, "obs-hdns");
+        a.bind_str("traced", "payload").unwrap();
+        // The frame is stripped server-side: the stored bytes decode like
+        // an untraced write and replicate normally.
+        assert_eq!(b.lookup_str("traced").unwrap().as_str(), Some("payload"));
+        let raw = realm.lookup(0, "traced").unwrap();
+        assert!(!raw.value.starts_with(rndi_obs::frame::MAGIC));
+        // And the realm recorded a server span linked into the client's
+        // trace: its parent is the client-side span that framed the write.
+        let spans = rndi_obs::trace::ring().snapshot();
+        let server = spans
+            .iter()
+            .rev()
+            .find(|s| s.layer == "server" && s.provider == "hdns:obs-hdns" && s.op == "bind")
+            .expect("server span recorded");
+        assert_ne!(server.parent_span, 0);
+        let trace = rndi_obs::trace::ring().trace(server.trace_id);
+        assert!(
+            trace
+                .iter()
+                .any(|s| s.span_id == server.parent_span && s.layer != "server"),
+            "server span links to a client-side span in the same trace"
+        );
     }
 
     #[test]

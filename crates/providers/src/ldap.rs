@@ -28,6 +28,7 @@ use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload};
 use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory, WireFormat};
 use rndi_core::url::RndiUrl;
 use rndi_core::value::BoundValue;
+use rndi_obs::TraceCtx;
 
 use crate::common::{self, MsClock};
 
@@ -237,9 +238,9 @@ impl LdapProviderContext {
         }
     }
 
-    fn unbind(&self, name: &CompositeName) -> Result<()> {
+    fn unbind(&self, name: &CompositeName, trace: Option<&TraceCtx>) -> Result<()> {
         let dn = self.dn(name, name.len())?;
-        match self.conn.delete(&dn) {
+        match self.conn.delete_traced(&dn, trace) {
             Ok(()) => Ok(()),
             Err((ResultCode::NoSuchObject, _)) => Ok(()), // idempotent
             Err((code, detail)) => Err(code_err(code, detail)),
@@ -317,7 +318,7 @@ impl LdapProviderContext {
             .collect())
     }
 
-    fn create_subcontext(&self, name: &CompositeName) -> Result<()> {
+    fn create_subcontext(&self, name: &CompositeName, trace: Option<&TraceCtx>) -> Result<()> {
         let dn = self.dn(name, name.len())?;
         let rdn = dn
             .rdn()
@@ -331,11 +332,13 @@ impl LdapProviderContext {
         };
         entry.add_value(CLASS_ATTR, class);
         entry.add_value(&rdn.attr, rdn.value.clone());
-        self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
+        self.conn
+            .add_traced(entry, trace)
+            .map_err(|(c, d)| code_err(c, d))
     }
 
-    fn destroy_subcontext(&self, name: &CompositeName) -> Result<()> {
-        self.unbind(name)
+    fn destroy_subcontext(&self, name: &CompositeName, trace: Option<&TraceCtx>) -> Result<()> {
+        self.unbind(name, trace)
     }
 
     fn get_attributes(&self, name: &CompositeName) -> Result<Attributes> {
@@ -346,7 +349,12 @@ impl LdapProviderContext {
         Ok(Self::core_attrs(&entry))
     }
 
-    fn modify_attributes(&self, name: &CompositeName, mods: &[AttrMod]) -> Result<()> {
+    fn modify_attributes(
+        &self,
+        name: &CompositeName,
+        mods: &[AttrMod],
+        trace: Option<&TraceCtx>,
+    ) -> Result<()> {
         let dn = self.dn(name, name.len())?;
         let ldap_mods: Vec<Modification> = mods
             .iter()
@@ -376,7 +384,7 @@ impl LdapProviderContext {
             })
             .collect();
         self.conn
-            .modify(&dn, &ldap_mods)
+            .modify_traced(&dn, &ldap_mods, trace)
             .map_err(|(c, d)| code_err(c, d))
     }
 
@@ -385,13 +393,16 @@ impl LdapProviderContext {
         name: &CompositeName,
         payload: Vec<u8>,
         attrs: &Attributes,
+        trace: Option<&TraceCtx>,
     ) -> Result<()> {
         if let Some(cont) = self.check_mount(name)? {
             return Err(cont);
         }
         let dn = self.dn(name, name.len())?;
         let entry = self.build_entry(dn, payload, attrs)?;
-        self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
+        self.conn
+            .add_traced(entry, trace)
+            .map_err(|(c, d)| code_err(c, d))
     }
 
     fn rebind_with_attrs(
@@ -399,17 +410,20 @@ impl LdapProviderContext {
         name: &CompositeName,
         payload: Vec<u8>,
         attrs: &Attributes,
+        trace: Option<&TraceCtx>,
     ) -> Result<()> {
         if let Some(cont) = self.check_mount(name)? {
             return Err(cont);
         }
         let dn = self.dn(name, name.len())?;
         let entry = self.build_entry(dn.clone(), payload, attrs)?;
-        match self.conn.delete(&dn) {
+        match self.conn.delete_traced(&dn, trace) {
             Ok(()) | Err((ResultCode::NoSuchObject, _)) => {}
             Err((code, detail)) => return Err(code_err(code, detail)),
         }
-        self.conn.add(entry).map_err(|(c, d)| code_err(c, d))
+        self.conn
+            .add_traced(entry, trace)
+            .map_err(|(c, d)| code_err(c, d))
     }
 
     fn search(
@@ -417,6 +431,7 @@ impl LdapProviderContext {
         name: &CompositeName,
         filter: &Filter,
         controls: &SearchControls,
+        trace: Option<&TraceCtx>,
     ) -> Result<Vec<SearchItem>> {
         if let Some(cont) = self.check_base_mount(name)? {
             return Err(cont);
@@ -431,12 +446,13 @@ impl LdapProviderContext {
         let attrs_proj: Option<Vec<String>> = controls.return_attrs.clone();
         let out = self
             .conn
-            .search(
+            .search_traced(
                 &base,
                 scope,
                 &ldap_filter,
                 attrs_proj.as_deref(),
                 self.clock.now_ms(),
+                trace,
             )
             .map_err(|(c, d)| code_err(c, d))?;
         *self.throttle_delay_ms.lock() += out.delay_ms;
@@ -458,38 +474,47 @@ impl LdapProviderContext {
 
 impl ProviderBackend for LdapProviderContext {
     fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        // The server accepts the client's trace context directly (same
+        // process), standing in for the wire frame a remote LDAP
+        // connection would carry.
+        let trace = op.trace_ctx();
+        let trace = trace.as_ref();
         match op.kind {
             OpKind::Lookup => self.lookup(&op.name).map(OpOutcome::Value),
             OpKind::Bind | OpKind::BindWithAttrs => {
                 let (payload, _) = op.wire_value()?;
                 let attrs = op.attrs.clone().unwrap_or_default();
-                self.bind_with_attrs(&op.name, payload, &attrs)?;
+                self.bind_with_attrs(&op.name, payload, &attrs, trace)?;
                 Ok(OpOutcome::Done)
             }
             OpKind::Rebind | OpKind::RebindWithAttrs => {
                 let (payload, _) = op.wire_value()?;
                 let attrs = op.attrs.clone().unwrap_or_default();
-                self.rebind_with_attrs(&op.name, payload, &attrs)?;
+                self.rebind_with_attrs(&op.name, payload, &attrs, trace)?;
                 Ok(OpOutcome::Done)
             }
-            OpKind::Unbind => self.unbind(&op.name).map(|_| OpOutcome::Done),
+            OpKind::Unbind => self.unbind(&op.name, trace).map(|_| OpOutcome::Done),
             OpKind::Rename => self
                 .rename(&op.name, op.new_name()?)
                 .map(|_| OpOutcome::Done),
             OpKind::List => self.list(&op.name).map(OpOutcome::Names),
             OpKind::ListBindings => self.list_bindings(&op.name).map(OpOutcome::Bindings),
-            OpKind::CreateSubcontext => self.create_subcontext(&op.name).map(|_| OpOutcome::Done),
-            OpKind::DestroySubcontext => self.destroy_subcontext(&op.name).map(|_| OpOutcome::Done),
+            OpKind::CreateSubcontext => self
+                .create_subcontext(&op.name, trace)
+                .map(|_| OpOutcome::Done),
+            OpKind::DestroySubcontext => self
+                .destroy_subcontext(&op.name, trace)
+                .map(|_| OpOutcome::Done),
             OpKind::GetAttributes => self.get_attributes(&op.name).map(OpOutcome::Attrs),
             OpKind::ModifyAttributes => match &op.payload {
                 OpPayload::Mods(mods) => self
-                    .modify_attributes(&op.name, mods)
+                    .modify_attributes(&op.name, mods, trace)
                     .map(|_| OpOutcome::Done),
                 _ => Err(NamingError::service("modify_attributes payload missing")),
             },
             OpKind::Search => match &op.payload {
                 OpPayload::Query { filter, controls } => self
-                    .search(&op.name, filter, controls)
+                    .search(&op.name, filter, controls, trace)
                     .map(OpOutcome::Found),
                 _ => Err(NamingError::service("search payload missing")),
             },

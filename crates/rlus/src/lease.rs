@@ -60,6 +60,19 @@ pub struct LeaseSet<R> {
     leases: HashMap<u64, (u64 /* expires */, R)>,
 }
 
+/// `[grant, renew, cancel, expire]` lease-lifecycle counters, resolved
+/// once per process (shared by every `LeaseSet` regardless of `R`).
+fn lease_counters() -> &'static [std::sync::Arc<rndi_obs::Counter>; 4] {
+    static COUNTERS: std::sync::OnceLock<[std::sync::Arc<rndi_obs::Counter>; 4]> =
+        std::sync::OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let name = rndi_obs::metrics::names::LEASE_EVENTS;
+        ["grant", "renew", "cancel", "expire"].map(|event| {
+            rndi_obs::metrics::counter(name, &[("component", "rlus"), ("event", event)])
+        })
+    })
+}
+
 impl<R: Clone> LeaseSet<R> {
     pub fn new(max_duration_ms: u64) -> Self {
         LeaseSet {
@@ -77,6 +90,7 @@ impl<R: Clone> LeaseSet<R> {
         self.next_id += 1;
         let expires = now_ms + duration;
         self.leases.insert(id, (expires, resource));
+        lease_counters()[0].inc();
         Lease {
             id,
             expires_at_ms: expires,
@@ -91,6 +105,7 @@ impl<R: Clone> LeaseSet<R> {
         }
         let duration = requested_ms.min(self.max_duration_ms);
         entry.0 = now_ms + duration;
+        lease_counters()[1].inc();
         Ok(Lease {
             id,
             expires_at_ms: entry.0,
@@ -99,10 +114,15 @@ impl<R: Clone> LeaseSet<R> {
 
     /// Cancel a lease, returning its resource.
     pub fn cancel(&mut self, id: u64) -> Result<R, LeaseError> {
-        self.leases
+        let out = self
+            .leases
             .remove(&id)
             .map(|(_, r)| r)
-            .ok_or(LeaseError::Unknown(id))
+            .ok_or(LeaseError::Unknown(id));
+        if out.is_ok() {
+            lease_counters()[2].inc();
+        }
+        out
     }
 
     /// Reclaim every expired lease, returning the resources.
@@ -113,10 +133,12 @@ impl<R: Clone> LeaseSet<R> {
             .filter(|(_, (exp, _))| now_ms >= *exp)
             .map(|(id, _)| *id)
             .collect();
-        expired
+        let out: Vec<R> = expired
             .into_iter()
             .filter_map(|id| self.leases.remove(&id).map(|(_, r)| r))
-            .collect()
+            .collect();
+        lease_counters()[3].add(out.len() as u64);
+        out
     }
 
     /// The id the next [`LeaseSet::grant`] will assign. Callers that need

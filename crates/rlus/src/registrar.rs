@@ -224,11 +224,23 @@ impl Registrar {
         }
     }
 
+    /// `[index, scan]` read-path counters, resolved once per process.
+    fn read_path_counters() -> &'static [std::sync::Arc<rndi_obs::Counter>; 2] {
+        static COUNTERS: std::sync::OnceLock<[std::sync::Arc<rndi_obs::Counter>; 2]> =
+            std::sync::OnceLock::new();
+        COUNTERS.get_or_init(|| {
+            let name = rndi_obs::metrics::names::INDEX_READS;
+            ["index", "scan"]
+                .map(|path| rndi_obs::metrics::counter(name, &[("server", "rlus"), ("path", path)]))
+        })
+    }
+
     fn collect_matches(st: &State, template: &ServiceTemplate, max: usize) -> Vec<ServiceItem> {
         let cap = if max == 0 { usize::MAX } else { max };
         let mut out = Vec::new();
         if let Some(id) = template.service_id {
             // Id-constrained templates resolve to at most one item directly.
+            Self::read_path_counters()[0].inc();
             if let Some(stored) = st.items.get(&id) {
                 if template.matches(&stored.item) {
                     out.push(stored.item.clone());
@@ -238,6 +250,7 @@ impl Registrar {
         }
         match st.index.candidates(template) {
             Some(ids) => {
+                Self::read_path_counters()[0].inc();
                 for id in ids {
                     let stored = st.items.get(&id).expect("index coherent with items");
                     if template.matches(&stored.item) {
@@ -249,6 +262,7 @@ impl Registrar {
                 }
             }
             None => {
+                Self::read_path_counters()[1].inc();
                 for stored in st.items.values() {
                     if template.matches(&stored.item) {
                         out.push(stored.item.clone());

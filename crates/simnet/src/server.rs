@@ -89,6 +89,9 @@ struct Core {
     /// (pre-crash) are ignored.
     epoch: u64,
     stats: ServerStats,
+    /// When set, traced submissions report under this server label in the
+    /// process-wide metrics registry and trace ring.
+    obs_label: Option<String>,
 }
 
 /// A simulated queueing server. Cloneable handle.
@@ -110,8 +113,15 @@ impl QueueingServer {
                 up: true,
                 epoch: 0,
                 stats: ServerStats::default(),
+                obs_label: None,
             })),
         }
+    }
+
+    /// Name this server in the process-wide observability registry; traced
+    /// submissions ([`QueueingServer::submit_traced`]) report under it.
+    pub fn set_obs_label(&self, label: impl Into<String>) {
+        self.core.borrow_mut().obs_label = Some(label.into());
     }
 
     /// Submit a job needing `service_time` of a worker. When the job finishes
@@ -121,6 +131,61 @@ impl QueueingServer {
         F: FnOnce(&Sim, JobOutcome) + 'static,
     {
         self.submit_with_work(service_time, |_| {}, done)
+    }
+
+    /// Like [`QueueingServer::submit`], but observable: the job is counted
+    /// and its *virtual* sojourn time (queueing + service) recorded under
+    /// the server's obs label, and when the submitter ships a trace context
+    /// a `server`-layer span is linked into its trace.
+    pub fn submit_traced<F>(
+        &self,
+        service_time: Duration,
+        trace: Option<rndi_obs::TraceCtx>,
+        done: F,
+    ) where
+        F: FnOnce(&Sim, JobOutcome) + 'static,
+    {
+        let label = self
+            .core
+            .borrow()
+            .obs_label
+            .clone()
+            .unwrap_or_else(|| "simnet".to_string());
+        let submitted_ns = self.sim.now().as_nanos();
+        self.submit(service_time, move |sim, outcome| {
+            use rndi_obs::metrics::names;
+            let sojourn = Duration::from_nanos(sim.now().as_nanos().saturating_sub(submitted_ns));
+            rndi_obs::metrics::counter(names::SERVER_OPS, &[("server", &label), ("op", "job")])
+                .inc();
+            rndi_obs::metrics::histogram(
+                names::SERVER_DURATION,
+                &[("server", &label), ("op", "job")],
+            )
+            .record_duration(sojourn);
+            if let Some(ctx) = &trace {
+                rndi_obs::trace::record(rndi_obs::SpanRecord::new(
+                    &ctx.child(),
+                    "server",
+                    &label,
+                    "job",
+                    match outcome {
+                        JobOutcome::Completed => rndi_obs::SpanOutcome::Ok,
+                        JobOutcome::Rejected | JobOutcome::Crashed => rndi_obs::SpanOutcome::Err,
+                    },
+                    sojourn,
+                ));
+            }
+            done(sim, outcome);
+        });
+    }
+
+    /// The server's observability endpoint: a Prometheus-style text
+    /// snapshot of the process-wide metrics registry (every simulated
+    /// server shares the process, so each endpoint serves the same
+    /// registry — exactly like scraping any one replica of a co-located
+    /// deployment).
+    pub fn obs_exposition(&self) -> String {
+        rndi_obs::metrics::render()
     }
 
     /// Like [`QueueingServer::submit`], but runs `work` at service-completion
@@ -448,6 +513,27 @@ mod tests {
         );
         sim.run();
         assert_eq!(*order.borrow(), vec!["work", "done"]);
+    }
+
+    #[test]
+    fn traced_submit_reports_span_and_metrics() {
+        let sim = Sim::new();
+        let srv = QueueingServer::new(&sim, ServerConfig::default());
+        srv.set_obs_label("obs-simnet-test");
+        let ctx = rndi_obs::TraceCtx::root();
+        srv.submit_traced(Duration::from_millis(5), Some(ctx), |_, _| {});
+        sim.run();
+        let spans = rndi_obs::trace::ring().snapshot();
+        let span = spans
+            .iter()
+            .rev()
+            .find(|s| s.provider == "obs-simnet-test")
+            .expect("server span recorded");
+        assert_eq!(span.layer, "server");
+        assert_eq!(span.trace_id, ctx.trace_id);
+        assert_eq!(span.parent_span, ctx.span_id, "span links to submitter");
+        assert_eq!(span.duration_ns, 5_000_000, "virtual sojourn time");
+        assert!(srv.obs_exposition().contains("rndi_server_ops_total"));
     }
 
     #[test]

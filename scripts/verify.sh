@@ -8,7 +8,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRODUCT_CRATES=(
-  rndi rndi-core simnet groupcast rlus hdns minidns dirserv
+  rndi rndi-core rndi-obs simnet groupcast rlus hdns minidns dirserv
   rndi-providers rndi-bench
 )
 pkg_flags=()
@@ -30,5 +30,12 @@ cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
 
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
+
+echo "==> obs smoke: fig8_federation --obs-dump emits the exposition"
+fig8_out="$(RNDI_BENCH_QUICK=1 RNDI_OBS_DUMP=1 cargo bench -p rndi-bench --bench fig8_federation 2>/dev/null)"
+grep -q "obs dump: metrics exposition" <<<"$fig8_out"
+grep -q "rndi_ops_total"               <<<"$fig8_out"
+grep -q "rndi_op_duration_ns_bucket"   <<<"$fig8_out"
+grep -q "slowest traces"               <<<"$fig8_out"
 
 echo "verify: OK"

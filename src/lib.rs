@@ -39,6 +39,7 @@
 //! ```
 
 pub use rndi_core as core;
+pub use rndi_obs as obs;
 pub use rndi_providers as providers;
 
 pub use dirserv as ldap;
