@@ -1,0 +1,152 @@
+//! In-process dispatch vs loopback TCP: what does the wire cost?
+//!
+//! Both arms run the *same* HDNS backend pipeline; the only difference is
+//! the [`Transport`] in front of it — direct calls, or a framed
+//! request/response over a pooled loopback connection (JSON codec, length
+//! prefix, two syscall round trips). Numbers are recorded in
+//! `bench_figures.txt`.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use criterion::{criterion_group, Criterion};
+
+use rndi_bench::loadgen::{via_transport, Transport, TransportHandle};
+use rndi_core::env::Environment;
+use rndi_core::op::{dispatch, NamingOp};
+use rndi_core::spi::ProviderBackend;
+use rndi_core::value::BoundValue;
+use rndi_providers::HdnsProviderContext;
+
+const ARMS: [(&str, Transport); 2] = [
+    ("in_process", Transport::InProcess),
+    ("loopback_tcp", Transport::Tcp),
+];
+
+fn backend(name: &str) -> Arc<dyn ProviderBackend> {
+    let realm = hdns::HdnsRealm::new(name, 1, groupcast::StackConfig::default(), None, 5);
+    HdnsProviderContext::with_env(realm, 0, name, &Environment::new())
+}
+
+/// Health checks off for the bench client: a per-request ping would make
+/// the TCP arm pay two round trips per op and measure the pool, not the
+/// wire.
+fn bench_env() -> Environment {
+    Environment::new().with(rndi_core::env::keys::NET_CLIENT_HEALTH_CHECK, "false")
+}
+
+fn arm(label: &str, transport: Transport) -> TransportHandle {
+    let handle = via_transport(
+        transport,
+        backend(&format!("net-bench-{label}")),
+        &bench_env(),
+    )
+    .expect("transport assembles");
+    let seed = NamingOp::rebind("bench".into(), BoundValue::str("payload"));
+    dispatch(handle.ctx().as_ref(), &seed).expect("seed write lands");
+    handle
+}
+
+fn bench_transport_ops(c: &mut Criterion) {
+    let mut group = c.benchmark_group("transport");
+    let mut handles = Vec::new();
+    for (label, transport) in ARMS {
+        let handle = arm(label, transport);
+        let ctx = handle.ctx();
+        let lookup = NamingOp::lookup("bench".into());
+        group.bench_function(&format!("lookup/{label}"), |b| {
+            b.iter(|| dispatch(ctx.as_ref(), std::hint::black_box(&lookup)).unwrap())
+        });
+        let rebind = NamingOp::rebind("bench".into(), BoundValue::str("payload"));
+        group.bench_function(&format!("rebind/{label}"), |b| {
+            b.iter(|| dispatch(ctx.as_ref(), std::hint::black_box(&rebind)).unwrap())
+        });
+        handles.push(handle);
+    }
+    group.finish();
+    for handle in handles {
+        handle.shutdown();
+    }
+}
+
+/// Self-measured median table for `bench_figures.txt` (same shape as the
+/// readpath_scale tables).
+fn summary_table() {
+    fn median_ns(mut run: impl FnMut()) -> f64 {
+        // Warm up, then sample medians of small batches.
+        for _ in 0..200 {
+            run();
+        }
+        let mut samples = Vec::with_capacity(30);
+        for _ in 0..30 {
+            let start = Instant::now();
+            for _ in 0..50 {
+                run();
+            }
+            samples.push(start.elapsed().as_nanos() as f64 / 50.0);
+        }
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[samples.len() / 2]
+    }
+    fn fmt(ns: f64) -> String {
+        if ns < 1_000.0 {
+            format!("{ns:.0} ns")
+        } else if ns < 1_000_000.0 {
+            format!("{:.2} us", ns / 1_000.0)
+        } else {
+            format!("{:.2} ms", ns / 1_000_000.0)
+        }
+    }
+
+    println!();
+    println!("# net transport — in-process dispatch vs loopback TCP (net_transport bench) [median ns/op]");
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>8}",
+        "op", "in_process", "loopback_tcp", "ratio"
+    );
+    for (op_label, op) in [
+        ("lookup", NamingOp::lookup("bench".into())),
+        (
+            "rebind",
+            NamingOp::rebind("bench".into(), BoundValue::str("payload")),
+        ),
+    ] {
+        let mut row = Vec::new();
+        for (label, transport) in ARMS {
+            let handle = arm(&format!("{label}-{op_label}"), transport);
+            let ctx = handle.ctx();
+            row.push(median_ns(|| {
+                dispatch(ctx.as_ref(), &op).unwrap();
+            }));
+            handle.shutdown();
+        }
+        println!(
+            "{:>8}  {:>12}  {:>12}  {:>7.1}x",
+            op_label,
+            fmt(row[0]),
+            fmt(row[1]),
+            row[1] / row[0],
+        );
+    }
+    println!("## both arms run the identical HDNS pipeline; the ratio is the framed");
+    println!("## JSON codec plus two loopback syscall round trips on a pooled connection.");
+    println!();
+}
+
+fn configured() -> Criterion {
+    Criterion::default()
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2))
+        .warm_up_time(Duration::from_millis(300))
+}
+
+criterion_group! {
+    name = benches;
+    config = configured();
+    targets = bench_transport_ops
+}
+
+fn main() {
+    benches();
+    summary_table();
+}

@@ -177,7 +177,7 @@ impl FromIterator<Attribute> for Attributes {
 }
 
 /// Modification operations for `modify_attributes`.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum AttrMod {
     /// Add values (creating the attribute if needed).
     Add(Attribute),

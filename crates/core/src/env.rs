@@ -7,6 +7,8 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
+use crate::error::NamingError;
+
 /// Well-known property names.
 pub mod keys {
     /// URL of the initial/default naming service, e.g. `"hdns://host2"`.
@@ -45,6 +47,21 @@ pub mod keys {
     pub const OBS_TRACE_FILE: &str = "rndi.obs.trace-file";
     /// Capacity of the process-wide span ring buffer (default 4096).
     pub const OBS_RING_CAPACITY: &str = "rndi.obs.ring-capacity";
+    /// `host:port` a `NetServer` listens on. `127.0.0.1:0` (the default)
+    /// binds an ephemeral loopback port.
+    pub const NET_LISTEN: &str = "rndi.net.listen";
+    /// Maximum concurrent connections a `NetServer` serves; accepts beyond
+    /// this are refused until a slot drains. Default 64.
+    pub const NET_SERVER_MAX_CONNS: &str = "rndi.net.server.max-conns";
+    /// Per-request deadline, in milliseconds, that clients propagate and
+    /// servers enforce. `0` disables deadlines. Default 5000.
+    pub const NET_DEADLINE_MS: &str = "rndi.net.deadline-ms";
+    /// Maximum idle pooled connections a `NetClient` keeps per endpoint.
+    /// Default 4.
+    pub const NET_CLIENT_POOL_SIZE: &str = "rndi.net.client.pool-size";
+    /// `"true"`/`"false"`: whether a `NetClient` pings pooled connections
+    /// before reuse (health check). Default true.
+    pub const NET_CLIENT_HEALTH_CHECK: &str = "rndi.net.client.health-check";
 }
 
 /// An immutable-by-convention string property map.
@@ -72,23 +89,70 @@ impl Environment {
         self.props.get(key).map(|s| s.as_str())
     }
 
-    /// Boolean property; absent or unparsable returns `default`.
+    /// Boolean property; absent returns `default`. An unparsable value
+    /// also falls back to `default` but is no longer silent: it bumps
+    /// `rndi_config_parse_errors_total{key}` so misconfiguration is
+    /// visible in metrics. Use [`Environment::try_get_bool`] to fail fast
+    /// instead.
     pub fn get_bool(&self, key: &str, default: bool) -> bool {
-        match self.get(key) {
-            Some(v) => match v.to_ascii_lowercase().as_str() {
-                "true" | "1" | "yes" | "on" => true,
-                "false" | "0" | "no" | "off" => false,
-                _ => default,
-            },
-            None => default,
+        match self.parse_bool(key) {
+            Ok(v) => v.unwrap_or(default),
+            Err(_) => {
+                note_parse_error(key);
+                default
+            }
         }
     }
 
-    /// Unsigned integer property; absent or unparsable returns `default`.
+    /// Unsigned integer property; absent returns `default`. An unparsable
+    /// value falls back to `default` and bumps
+    /// `rndi_config_parse_errors_total{key}`. Use
+    /// [`Environment::try_get_u64`] to fail fast instead.
     pub fn get_u64(&self, key: &str, default: u64) -> u64 {
-        self.get(key)
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(default)
+        match self.parse_u64(key) {
+            Ok(v) => v.unwrap_or(default),
+            Err(_) => {
+                note_parse_error(key);
+                default
+            }
+        }
+    }
+
+    /// Strict boolean accessor: absent returns `Ok(default)`, present but
+    /// unparsable returns a `ConfigurationError` naming the key.
+    pub fn try_get_bool(&self, key: &str, default: bool) -> Result<bool, NamingError> {
+        self.parse_bool(key)
+            .map(|v| v.unwrap_or(default))
+            .map_err(|raw| config_error(key, &raw, "boolean"))
+    }
+
+    /// Strict unsigned-integer accessor: absent returns `Ok(default)`,
+    /// present but unparsable returns a `ConfigurationError` naming the
+    /// key.
+    pub fn try_get_u64(&self, key: &str, default: u64) -> Result<u64, NamingError> {
+        self.parse_u64(key)
+            .map(|v| v.unwrap_or(default))
+            .map_err(|raw| config_error(key, &raw, "unsigned integer"))
+    }
+
+    /// `Ok(None)` absent, `Ok(Some(v))` parsed, `Err(raw)` unparsable.
+    fn parse_bool(&self, key: &str) -> Result<Option<bool>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => match v.to_ascii_lowercase().as_str() {
+                "true" | "1" | "yes" | "on" => Ok(Some(true)),
+                "false" | "0" | "no" | "off" => Ok(Some(false)),
+                _ => Err(v.to_string()),
+            },
+        }
+    }
+
+    /// `Ok(None)` absent, `Ok(Some(v))` parsed, `Err(raw)` unparsable.
+    fn parse_u64(&self, key: &str) -> Result<Option<u64>, String> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(v) => v.trim().parse().map(Some).map_err(|_| v.to_string()),
+        }
     }
 
     pub fn len(&self) -> usize {
@@ -101,6 +165,20 @@ impl Environment {
 
     pub fn iter(&self) -> impl Iterator<Item = (&str, &str)> {
         self.props.iter().map(|(k, v)| (k.as_str(), v.as_str()))
+    }
+}
+
+fn note_parse_error(key: &str) {
+    rndi_obs::metrics::counter(
+        rndi_obs::metrics::names::CONFIG_PARSE_ERRORS,
+        &[("key", key)],
+    )
+    .inc();
+}
+
+fn config_error(key: &str, raw: &str, kind: &str) -> NamingError {
+    NamingError::ConfigurationError {
+        detail: format!("property {key}: expected {kind}, got {raw:?}"),
     }
 }
 
@@ -135,6 +213,44 @@ mod tests {
         assert_eq!(env.get_u64("num", 0), 42);
         assert_eq!(env.get_u64("junk", 7), 7);
         assert_eq!(env.get("num"), Some("42"));
+    }
+
+    #[test]
+    fn strict_accessors_surface_config_errors() {
+        let env = Environment::new()
+            .with("flag", "true")
+            .with("num", "42")
+            .with("junk", "zzz");
+        assert_eq!(env.try_get_bool("flag", false), Ok(true));
+        assert_eq!(env.try_get_bool("missing", true), Ok(true));
+        assert_eq!(env.try_get_u64("num", 0), Ok(42));
+        assert_eq!(env.try_get_u64("missing", 9), Ok(9));
+        match env.try_get_bool("junk", true) {
+            Err(NamingError::ConfigurationError { detail }) => {
+                assert!(detail.contains("junk"), "{detail}");
+                assert!(detail.contains("zzz"), "{detail}");
+            }
+            other => panic!("expected ConfigurationError, got {other:?}"),
+        }
+        assert!(env.try_get_u64("junk", 7).is_err());
+    }
+
+    #[test]
+    fn lenient_fallback_counts_parse_errors() {
+        let env = Environment::new().with("env-test.bad", "not-a-number");
+        let before = rndi_obs::metrics::counter(
+            rndi_obs::metrics::names::CONFIG_PARSE_ERRORS,
+            &[("key", "env-test.bad")],
+        )
+        .get();
+        assert_eq!(env.get_u64("env-test.bad", 3), 3);
+        assert!(env.get_bool("env-test.bad", true));
+        let after = rndi_obs::metrics::counter(
+            rndi_obs::metrics::names::CONFIG_PARSE_ERRORS,
+            &[("key", "env-test.bad")],
+        )
+        .get();
+        assert_eq!(after - before, 2, "both lenient reads count a parse error");
     }
 
     #[test]

@@ -1006,6 +1006,34 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
     }
 }
 
+/// A pipeline is itself a backend, so transports (and other hosts that
+/// speak reified ops) can serve a fully-assembled interceptor stack: the
+/// host dispatches into the pipeline and every layer below — cache, retry,
+/// obs spans — runs server-side.
+impl<B: ProviderBackend + ?Sized> ProviderBackend for ProviderPipeline<B> {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        ProviderPipeline::execute(self, op)
+    }
+
+    fn provider_id(&self) -> String {
+        self.backend.provider_id()
+    }
+
+    fn compound_syntax(&self) -> CompoundSyntax {
+        self.backend.compound_syntax()
+    }
+
+    fn event_hub(&self) -> Option<Arc<EventHub>> {
+        self.backend.event_hub()
+    }
+
+    fn wire_format(&self) -> WireFormat {
+        // The stack already marshals for encoded backends; callers above
+        // the pipeline always see live values.
+        WireFormat::Native
+    }
+}
+
 impl<B: ProviderBackend + ?Sized> std::ops::Deref for ProviderPipeline<B> {
     type Target = B;
 

@@ -1,0 +1,315 @@
+//! `NetClient`: a [`ProviderBackend`] whose backing service is a remote
+//! [`NetServer`](crate::server::NetServer).
+//!
+//! Because the client is *itself* a backend, the whole existing pipeline
+//! stack — cache, retry, stats, obs — composes over it unchanged:
+//! [`NetClient::connect`] returns a standard
+//! [`ProviderPipeline`](rndi_core::spi::ProviderPipeline) whose innermost
+//! layer speaks TCP. Transport failures map to transient
+//! [`NamingError::ServiceFailure`]/[`NamingError::Timeout`] errors, which
+//! is exactly what the retry interceptor re-submits, so
+//! `rndi.pipeline.retry.max-attempts=3` buys reconnect-on-drop for free.
+
+use std::io::ErrorKind;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rndi_core::env::{keys, Environment};
+use rndi_core::error::{NamingError, Result};
+use rndi_core::name::CompoundSyntax;
+use rndi_core::op::{NamingOp, OpOutcome};
+use rndi_core::spi::{ProviderBackend, ProviderPipeline, UrlContextFactory};
+use rndi_core::url::RndiUrl;
+use rndi_obs::metrics::{self, names};
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
+
+use crate::proto::{self, Request, Response};
+
+/// Resolved client configuration (see the `rndi.net.*` environment keys).
+#[derive(Clone, Debug)]
+pub struct ClientConfig {
+    /// Per-request deadline budget in milliseconds; `0` disables. Also
+    /// used as the socket read/write timeout.
+    pub deadline_ms: u64,
+    /// Idle pooled connections kept per endpoint.
+    pub pool_size: usize,
+    /// Ping pooled connections before reuse.
+    pub health_check: bool,
+}
+
+impl ClientConfig {
+    /// Read the `rndi.net.*` keys strictly: a present-but-unparsable value
+    /// is a [`NamingError::ConfigurationError`], not a silent default.
+    pub fn from_env(env: &Environment) -> Result<ClientConfig> {
+        Ok(ClientConfig {
+            deadline_ms: env.try_get_u64(keys::NET_DEADLINE_MS, 5_000)?,
+            pool_size: env.try_get_u64(keys::NET_CLIENT_POOL_SIZE, 4)? as usize,
+            health_check: env.try_get_bool(keys::NET_CLIENT_HEALTH_CHECK, true)?,
+        })
+    }
+}
+
+/// A pooled TCP client for one server endpoint.
+pub struct NetClient {
+    endpoint: String,
+    config: ClientConfig,
+    pool: Mutex<Vec<TcpStream>>,
+    label: String,
+}
+
+/// A connection checked out of the pool, remembering whether it was
+/// reused — a send failure on a *reused* connection is redialed once
+/// transparently (the server may simply have dropped an idle socket).
+struct Checked {
+    stream: TcpStream,
+    reused: bool,
+}
+
+impl NetClient {
+    /// A bare client backend for `endpoint` (`host:port`).
+    pub fn new(endpoint: impl Into<String>, env: &Environment) -> Result<NetClient> {
+        let endpoint = endpoint.into();
+        let label = format!("net-client:{endpoint}");
+        Ok(NetClient {
+            config: ClientConfig::from_env(env)?,
+            pool: Mutex::new(Vec::new()),
+            endpoint,
+            label,
+        })
+    }
+
+    /// The standard composition: this client wrapped in the standard
+    /// interceptor stack, so caching/retry/obs apply to remote calls
+    /// exactly as they do to in-process backends.
+    pub fn connect(
+        endpoint: impl Into<String>,
+        env: &Environment,
+    ) -> Result<Arc<ProviderPipeline<NetClient>>> {
+        let client = Arc::new(NetClient::new(endpoint, env)?);
+        Ok(ProviderPipeline::standard(client, env))
+    }
+
+    /// The endpoint this client dials.
+    pub fn endpoint(&self) -> &str {
+        &self.endpoint
+    }
+
+    /// Idle pooled connections right now (diagnostics, tests).
+    pub fn pooled(&self) -> usize {
+        self.pool.lock().len()
+    }
+
+    fn event(&self, event: &str) {
+        metrics::counter(
+            names::NET_CLIENT_EVENTS,
+            &[("endpoint", &self.endpoint), ("event", event)],
+        )
+        .inc();
+    }
+
+    fn timeout(&self) -> Option<Duration> {
+        (self.config.deadline_ms > 0).then(|| Duration::from_millis(self.config.deadline_ms))
+    }
+
+    fn dial(&self) -> Result<TcpStream> {
+        let stream = match self.timeout() {
+            Some(budget) => {
+                let addr = self.endpoint.parse().map_err(|e| {
+                    NamingError::service(format!("endpoint {}: {e}", self.endpoint))
+                })?;
+                TcpStream::connect_timeout(&addr, budget)
+            }
+            None => TcpStream::connect(&self.endpoint),
+        }
+        .map_err(|e| io_error(&self.endpoint, "connect", e))?;
+        let _ = stream.set_nodelay(true);
+        let _ = stream.set_read_timeout(self.timeout());
+        let _ = stream.set_write_timeout(self.timeout());
+        Ok(stream)
+    }
+
+    /// Round-trip a ping on a pooled connection; `false` means the socket
+    /// is stale and should be dropped.
+    fn healthy(&self, stream: &mut TcpStream) -> bool {
+        let Ok(ping) = proto::encode_message(&Request::Ping) else {
+            return false;
+        };
+        if proto::write_frame(stream, &ping).is_err() {
+            return false;
+        }
+        match proto::read_frame(stream) {
+            Ok(frame) => matches!(
+                proto::decode_response(rndi_obs::frame::strip(&frame).1),
+                Ok(Response::Pong)
+            ),
+            Err(_) => false,
+        }
+    }
+
+    fn checkout(&self) -> Result<Checked> {
+        while let Some(mut stream) = self.pool.lock().pop() {
+            if self.config.health_check {
+                if !self.healthy(&mut stream) {
+                    self.event("health_fail");
+                    continue;
+                }
+                self.event("health_ok");
+            }
+            self.event("reuse");
+            return Ok(Checked {
+                stream,
+                reused: true,
+            });
+        }
+        self.event("dial");
+        Ok(Checked {
+            stream: self.dial()?,
+            reused: false,
+        })
+    }
+
+    fn checkin(&self, stream: TcpStream) {
+        let mut pool = self.pool.lock();
+        if pool.len() < self.config.pool_size {
+            pool.push(stream);
+        } else {
+            self.event("drop");
+        }
+    }
+
+    /// One request/response exchange on one connection.
+    fn exchange(&self, stream: &mut TcpStream, request_bytes: &[u8]) -> Result<Response> {
+        proto::write_frame(stream, request_bytes)
+            .map_err(|e| io_error(&self.endpoint, "send", e))?;
+        metrics::counter(names::NET_BYTES, &[("server", &self.label), ("dir", "out")])
+            .add((request_bytes.len() + 4) as u64);
+        let frame =
+            proto::read_frame(stream).map_err(|e| io_error(&self.endpoint, "receive", e))?;
+        metrics::counter(names::NET_BYTES, &[("server", &self.label), ("dir", "in")])
+            .add((frame.len() + 4) as u64);
+        proto::decode_response(rndi_obs::frame::strip(&frame).1)
+    }
+
+    fn call(&self, op: &NamingOp, ctx: &TraceCtx) -> Result<OpOutcome> {
+        // The op already carries the client span's context in its meta (we
+        // re-annotated before this call); additionally wrap the payload in
+        // the transport-level trace header for cross-wire linking.
+        let wire_op = proto::encode_op(op)?;
+        let request = Request::Call {
+            v: proto::PROTOCOL_VERSION,
+            op: Box::new(wire_op),
+            deadline_ms: self.config.deadline_ms,
+        };
+        let bytes = proto::encode_message(&request)?;
+        let framed = rndi_obs::frame::wrap(ctx, &bytes);
+
+        let mut checked = self.checkout()?;
+        let response = match self.exchange(&mut checked.stream, &framed) {
+            Ok(resp) => resp,
+            Err(first) => {
+                // A reused socket may have been dropped server-side while
+                // idle; redial once before surfacing the failure.
+                if !checked.reused {
+                    return Err(first);
+                }
+                self.event("redial");
+                let mut fresh = self.dial()?;
+                let resp = self.exchange(&mut fresh, &framed)?;
+                checked.stream = fresh;
+                resp
+            }
+        };
+        match response {
+            Response::Ok(out) => {
+                self.checkin(checked.stream);
+                proto::decode_outcome(&out)
+            }
+            Response::Err(e) => {
+                self.checkin(checked.stream);
+                Err(proto::decode_error(&e))
+            }
+            Response::Pong => Err(NamingError::service("unexpected pong response")),
+        }
+    }
+}
+
+/// Map transport errors onto the naming error model: timeouts stay
+/// timeouts, everything else is a (transient, hence retryable)
+/// service failure.
+fn io_error(endpoint: &str, stage: &str, e: std::io::Error) -> NamingError {
+    if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+        NamingError::Timeout {
+            detail: format!("{stage} {endpoint}: {e}"),
+        }
+    } else {
+        NamingError::service(format!("{stage} {endpoint}: {e}"))
+    }
+}
+
+impl ProviderBackend for NetClient {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        let ctx = match op.trace_ctx() {
+            Some(parent) => parent.child(),
+            None => TraceCtx::root(),
+        };
+        let mut annotated = op.clone();
+        annotated.set_trace_ctx(&ctx);
+        let start = Instant::now();
+        let result = self.call(&annotated, &ctx);
+        let outcome = match &result {
+            Ok(_) => SpanOutcome::Ok,
+            Err(e) if e.is_continue() => SpanOutcome::Continue,
+            Err(_) => SpanOutcome::Err,
+        };
+        rndi_obs::trace::record(SpanRecord::new(
+            &ctx,
+            "client",
+            &self.label,
+            op.kind.label(),
+            outcome,
+            start.elapsed(),
+        ));
+        result
+    }
+
+    fn provider_id(&self) -> String {
+        self.label.clone()
+    }
+
+    fn compound_syntax(&self) -> CompoundSyntax {
+        CompoundSyntax::path()
+    }
+}
+
+/// URL factory for `rtcp://host:port` — lets `InitialContext` federation
+/// mount remote servers like any other provider scheme.
+pub struct NetClientFactory {
+    env: Environment,
+}
+
+impl NetClientFactory {
+    pub fn new(env: Environment) -> Self {
+        NetClientFactory { env }
+    }
+}
+
+impl UrlContextFactory for NetClientFactory {
+    fn scheme(&self) -> &str {
+        "rtcp"
+    }
+
+    fn create(
+        &self,
+        url: &RndiUrl,
+        env: &Environment,
+    ) -> Result<Arc<dyn rndi_core::context::DirContext>> {
+        let port = url.port.ok_or_else(|| NamingError::ConfigurationError {
+            detail: format!("rtcp URL needs an explicit port: {url:?}"),
+        })?;
+        let endpoint = format!("{}:{port}", url.host);
+        let merged = if env.is_empty() { &self.env } else { env };
+        Ok(NetClient::connect(endpoint, merged)? as Arc<dyn rndi_core::context::DirContext>)
+    }
+}

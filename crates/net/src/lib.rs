@@ -1,0 +1,34 @@
+//! rndi-net: a length-prefixed framed wire protocol over TCP for RNDI
+//! naming operations.
+//!
+//! The transport reifies the same [`NamingOp`](rndi_core::op::NamingOp) /
+//! [`OpOutcome`](rndi_core::op::OpOutcome) vocabulary the in-process
+//! pipeline already speaks, so putting a network between a context and
+//! its provider is a composition change, not a semantic one:
+//!
+//! - [`NetServer`] hosts **any** [`ProviderBackend`](rndi_core::spi::ProviderBackend)
+//!   — including a full `ProviderPipeline`, which means server-side
+//!   cache/retry/obs layers keep working — behind a bounded
+//!   thread-per-connection accept loop with per-request deadlines and
+//!   graceful drain.
+//! - [`NetClient`] **is** a `ProviderBackend`, so the client-side
+//!   pipeline stack (cache, retry, obs interceptors) wraps remote calls
+//!   unchanged. It pools connections, health-checks them before reuse,
+//!   propagates deadlines, and maps transport failures to transient
+//!   naming errors so the retry interceptor recovers from dropped
+//!   servers.
+//!
+//! ## Wire format
+//!
+//! Every frame is a `u32` big-endian length prefix followed by that many
+//! payload bytes (16 MiB cap). Request payloads are optionally wrapped
+//! in the `%RNDI-TRACE:<ctx>\n` header from `rndi_obs::frame`, linking
+//! client spans to server spans across the wire. The payload proper is
+//! JSON: see [`proto::Request`] / [`proto::Response`].
+
+pub mod client;
+pub mod proto;
+pub mod server;
+
+pub use client::{ClientConfig, NetClient, NetClientFactory};
+pub use server::{NetServer, ServerConfig};

@@ -1,0 +1,685 @@
+//! The wire protocol: framing and the request/response message schema.
+//!
+//! A connection carries a sequence of frames in each direction. Every frame
+//! is a big-endian `u32` length prefix followed by that many payload bytes
+//! (capped at [`MAX_FRAME_LEN`]). A request payload is optionally wrapped
+//! in the `%RNDI-TRACE:` header from [`rndi_obs::frame`] — the same frame
+//! providers already use for stored bytes — so the server can link its
+//! spans to the client's trace; the bytes after the optional header are a
+//! JSON-encoded [`Request`]. Response payloads are bare JSON [`Response`]s.
+//!
+//! The message schema reuses the codec types the in-process pipeline
+//! already standardised on: values cross the wire as
+//! [`StoredValue`](rndi_core::StoredValue) (exactly what
+//! `rndi_core::op::codec` marshals), names and filters as their canonical
+//! string forms, and errors as a mirrored enum that round-trips every
+//! [`NamingError`] variant — including federation `Continue`, so a remote
+//! provider can hand resolution back across the wire.
+//!
+//! Not everything can cross a socket: live `Context` values and event
+//! listeners are process-local. Encoding them fails with
+//! [`NamingError::NotSupported`] before any bytes are written.
+
+use std::collections::BTreeMap;
+use std::io::{Read, Write};
+
+use rndi_core::attrs::{AttrMod, Attributes};
+use rndi_core::context::{Binding, NameClassPair, SearchControls, SearchItem, SearchScope};
+use rndi_core::error::{NamingError, Result};
+use rndi_core::filter::Filter;
+use rndi_core::name::CompositeName;
+use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload, ALL_OP_KINDS};
+use rndi_core::value::{BoundValue, StoredValue};
+use serde::{Deserialize, Serialize};
+
+/// Protocol version tag carried in every request.
+pub const PROTOCOL_VERSION: u32 = 1;
+
+/// Hard cap on a single frame's payload, request or response.
+pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+// ------------------------------------------------------------ framing --
+
+/// Write one length-prefixed frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> std::io::Result<()> {
+    if payload.len() > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds cap", payload.len()),
+        ));
+    }
+    w.write_all(&(payload.len() as u32).to_be_bytes())?;
+    w.write_all(payload)?;
+    w.flush()
+}
+
+/// Read one length-prefixed frame. Oversized length prefixes error out
+/// before any allocation, so a corrupt or hostile peer cannot force a
+/// multi-gigabyte buffer.
+pub fn read_frame(r: &mut impl Read) -> std::io::Result<Vec<u8>> {
+    let mut len = [0u8; 4];
+    r.read_exact(&mut len)?;
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    Ok(buf)
+}
+
+// ----------------------------------------------------------- messages --
+
+/// One client→server message.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Request {
+    /// Connection health probe; the server answers [`Response::Pong`].
+    Ping,
+    /// Execute one naming operation. `deadline_ms` is the client's
+    /// remaining per-request budget (`0` = no deadline).
+    Call {
+        v: u32,
+        op: Box<WireOp>,
+        deadline_ms: u64,
+    },
+}
+
+/// One server→client message.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Response {
+    Pong,
+    Ok(WireOutcome),
+    Err(WireError),
+}
+
+/// A [`NamingOp`] in wire form.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireOp {
+    /// [`OpKind::label`] string.
+    pub kind: String,
+    /// Canonical composite-name string.
+    pub name: String,
+    pub payload: WirePayload,
+    pub attrs: Option<Attributes>,
+    /// Op metadata — this is how the trace context
+    /// (`obs.trace`) rides along even without the transport-level header.
+    pub meta: BTreeMap<String, String>,
+}
+
+/// [`OpPayload`] in wire form. Listener registrations are process-local
+/// and have no wire representation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WirePayload {
+    None,
+    Value(StoredValue),
+    Wire {
+        bytes: Vec<u8>,
+        class_name: String,
+    },
+    NewName(String),
+    Mods(Vec<AttrMod>),
+    Query {
+        filter: String,
+        scope: String,
+        count_limit: u64,
+        return_attrs: Option<Vec<String>>,
+        return_values: bool,
+    },
+}
+
+/// [`OpOutcome`] in wire form. `Subscribed` handles are process-local and
+/// have no wire representation.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WireOutcome {
+    Done,
+    Value(StoredValue),
+    Wire(Vec<u8>),
+    Names(Vec<WireNameClass>),
+    Bindings(Vec<WireBinding>),
+    Attrs(Attributes),
+    Found(Vec<WireHit>),
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireNameClass {
+    pub name: String,
+    pub class_name: String,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireBinding {
+    pub name: String,
+    pub value: StoredValue,
+}
+
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct WireHit {
+    pub name: String,
+    pub value: Option<StoredValue>,
+    pub attrs: Attributes,
+}
+
+/// [`NamingError`] in wire form, one variant per source variant so every
+/// error a remote backend can produce round-trips with full fidelity.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum WireError {
+    NameNotFound {
+        name: String,
+    },
+    AlreadyBound {
+        name: String,
+    },
+    NotAContext {
+        name: String,
+    },
+    ContextExpected {
+        name: String,
+    },
+    InvalidName {
+        name: String,
+        reason: String,
+    },
+    InvalidSearchFilter {
+        filter: String,
+        reason: String,
+    },
+    NotSupported {
+        operation: String,
+    },
+    NoPermission {
+        detail: String,
+    },
+    ServiceFailure {
+        detail: String,
+    },
+    Timeout {
+        detail: String,
+    },
+    NoProvider {
+        scheme: String,
+    },
+    ConfigurationError {
+        detail: String,
+    },
+    ContextNotEmpty {
+        name: String,
+    },
+    LeaseExpired {
+        name: String,
+    },
+    Continue {
+        resolved: StoredValue,
+        remaining: String,
+    },
+    FederationDepthExceeded {
+        depth: u64,
+    },
+}
+
+// -------------------------------------------------------- conversions --
+
+fn not_remotable(what: &str) -> NamingError {
+    NamingError::unsupported(format!("{what} cannot cross a network transport"))
+}
+
+fn stored(v: &BoundValue) -> Result<StoredValue> {
+    StoredValue::try_from_bound(v).ok_or_else(|| not_remotable("a live context value"))
+}
+
+fn scope_label(scope: SearchScope) -> &'static str {
+    match scope {
+        SearchScope::Object => "object",
+        SearchScope::OneLevel => "onelevel",
+        SearchScope::Subtree => "subtree",
+    }
+}
+
+fn parse_scope(s: &str) -> Result<SearchScope> {
+    match s {
+        "object" => Ok(SearchScope::Object),
+        "onelevel" => Ok(SearchScope::OneLevel),
+        "subtree" => Ok(SearchScope::Subtree),
+        other => Err(NamingError::service(format!(
+            "unknown search scope {other:?}"
+        ))),
+    }
+}
+
+/// Encode a reified op for the wire. Fails — without touching the socket —
+/// for op shapes that are inherently process-local (listeners, handles,
+/// live context payloads).
+pub fn encode_op(op: &NamingOp) -> Result<WireOp> {
+    let payload = match &op.payload {
+        OpPayload::None => WirePayload::None,
+        OpPayload::Value(v) => WirePayload::Value(stored(v)?),
+        OpPayload::Wire { bytes, class_name } => WirePayload::Wire {
+            bytes: bytes.clone(),
+            class_name: class_name.clone(),
+        },
+        OpPayload::NewName(n) => WirePayload::NewName(n.to_string()),
+        OpPayload::Mods(mods) => WirePayload::Mods(mods.clone()),
+        OpPayload::Query { filter, controls } => WirePayload::Query {
+            filter: filter.to_string(),
+            scope: scope_label(controls.scope).to_string(),
+            count_limit: controls.count_limit as u64,
+            return_attrs: controls.return_attrs.clone(),
+            return_values: controls.return_values,
+        },
+        OpPayload::Listener(_) => return Err(not_remotable("an event listener")),
+        OpPayload::Handle(_) => return Err(not_remotable("a listener handle")),
+    };
+    Ok(WireOp {
+        kind: op.kind.label().to_string(),
+        name: op.name.to_string(),
+        payload,
+        attrs: op.attrs.clone(),
+        meta: op.meta.iter().map(|(k, v)| (k.into(), v.into())).collect(),
+    })
+}
+
+fn parse_kind(label: &str) -> Result<OpKind> {
+    ALL_OP_KINDS
+        .iter()
+        .copied()
+        .find(|k| k.label() == label)
+        .ok_or_else(|| NamingError::service(format!("unknown op kind {label:?}")))
+}
+
+/// Decode a wire op back into a reified [`NamingOp`] (server side).
+pub fn decode_op(wire: &WireOp) -> Result<NamingOp> {
+    let kind = parse_kind(&wire.kind)?;
+    let name = CompositeName::parse(&wire.name)?;
+    let payload = match &wire.payload {
+        WirePayload::None => OpPayload::None,
+        WirePayload::Value(s) => OpPayload::Value(s.clone().into_bound()),
+        WirePayload::Wire { bytes, class_name } => OpPayload::Wire {
+            bytes: bytes.clone(),
+            class_name: class_name.clone(),
+        },
+        WirePayload::NewName(n) => OpPayload::NewName(CompositeName::parse(n)?),
+        WirePayload::Mods(mods) => OpPayload::Mods(mods.clone()),
+        WirePayload::Query {
+            filter,
+            scope,
+            count_limit,
+            return_attrs,
+            return_values,
+        } => OpPayload::Query {
+            filter: Filter::parse(filter)?,
+            controls: SearchControls {
+                scope: parse_scope(scope)?,
+                count_limit: *count_limit as usize,
+                return_attrs: return_attrs.clone(),
+                return_values: *return_values,
+            },
+        },
+    };
+    let mut op = NamingOp::lookup(name);
+    op.kind = kind;
+    op.payload = payload;
+    op.attrs = wire.attrs.clone();
+    for (k, v) in &wire.meta {
+        op.meta.set(k.clone(), v.clone());
+    }
+    Ok(op)
+}
+
+/// Encode an outcome for the wire (server side).
+pub fn encode_outcome(out: &OpOutcome) -> Result<WireOutcome> {
+    Ok(match out {
+        OpOutcome::Done => WireOutcome::Done,
+        OpOutcome::Value(v) => WireOutcome::Value(stored(v)?),
+        OpOutcome::Wire(b) => WireOutcome::Wire(b.clone()),
+        OpOutcome::Names(names) => WireOutcome::Names(
+            names
+                .iter()
+                .map(|n| WireNameClass {
+                    name: n.name.clone(),
+                    class_name: n.class_name.clone(),
+                })
+                .collect(),
+        ),
+        OpOutcome::Bindings(bindings) => WireOutcome::Bindings(
+            bindings
+                .iter()
+                .map(|b| {
+                    Ok(WireBinding {
+                        name: b.name.clone(),
+                        value: stored(&b.value)?,
+                    })
+                })
+                .collect::<Result<_>>()?,
+        ),
+        OpOutcome::Attrs(a) => WireOutcome::Attrs(a.clone()),
+        OpOutcome::Found(hits) => WireOutcome::Found(
+            hits.iter()
+                .map(|h| {
+                    Ok(WireHit {
+                        name: h.name.clone(),
+                        value: h.value.as_ref().map(stored).transpose()?,
+                        attrs: h.attrs.clone(),
+                    })
+                })
+                .collect::<Result<_>>()?,
+        ),
+        OpOutcome::Subscribed(_) => return Err(not_remotable("a listener subscription")),
+    })
+}
+
+/// Decode a wire outcome (client side).
+pub fn decode_outcome(wire: &WireOutcome) -> Result<OpOutcome> {
+    Ok(match wire {
+        WireOutcome::Done => OpOutcome::Done,
+        WireOutcome::Value(s) => OpOutcome::Value(s.clone().into_bound()),
+        WireOutcome::Wire(b) => OpOutcome::Wire(b.clone()),
+        WireOutcome::Names(names) => OpOutcome::Names(
+            names
+                .iter()
+                .map(|n| NameClassPair {
+                    name: n.name.clone(),
+                    class_name: n.class_name.clone(),
+                })
+                .collect(),
+        ),
+        WireOutcome::Bindings(bindings) => OpOutcome::Bindings(
+            bindings
+                .iter()
+                .map(|b| Binding {
+                    name: b.name.clone(),
+                    value: b.value.clone().into_bound(),
+                })
+                .collect(),
+        ),
+        WireOutcome::Attrs(a) => OpOutcome::Attrs(a.clone()),
+        WireOutcome::Found(hits) => OpOutcome::Found(
+            hits.iter()
+                .map(|h| SearchItem {
+                    name: h.name.clone(),
+                    value: h.value.clone().map(StoredValue::into_bound),
+                    attrs: h.attrs.clone(),
+                })
+                .collect(),
+        ),
+    })
+}
+
+/// Encode an error for the wire (server side). Every variant has a wire
+/// form except it degrades `Continue` with a live-context boundary object
+/// into a `ServiceFailure` (a context handle cannot cross the socket).
+pub fn encode_error(e: &NamingError) -> WireError {
+    match e {
+        NamingError::NameNotFound { name } => WireError::NameNotFound { name: name.clone() },
+        NamingError::AlreadyBound { name } => WireError::AlreadyBound { name: name.clone() },
+        NamingError::NotAContext { name } => WireError::NotAContext { name: name.clone() },
+        NamingError::ContextExpected { name } => WireError::ContextExpected { name: name.clone() },
+        NamingError::InvalidName { name, reason } => WireError::InvalidName {
+            name: name.clone(),
+            reason: reason.clone(),
+        },
+        NamingError::InvalidSearchFilter { filter, reason } => WireError::InvalidSearchFilter {
+            filter: filter.clone(),
+            reason: reason.clone(),
+        },
+        NamingError::NotSupported { operation } => WireError::NotSupported {
+            operation: operation.clone(),
+        },
+        NamingError::NoPermission { detail } => WireError::NoPermission {
+            detail: detail.clone(),
+        },
+        NamingError::ServiceFailure { detail } => WireError::ServiceFailure {
+            detail: detail.clone(),
+        },
+        NamingError::Timeout { detail } => WireError::Timeout {
+            detail: detail.clone(),
+        },
+        NamingError::NoProvider { scheme } => WireError::NoProvider {
+            scheme: scheme.clone(),
+        },
+        NamingError::ConfigurationError { detail } => WireError::ConfigurationError {
+            detail: detail.clone(),
+        },
+        NamingError::ContextNotEmpty { name } => WireError::ContextNotEmpty { name: name.clone() },
+        NamingError::LeaseExpired { name } => WireError::LeaseExpired { name: name.clone() },
+        NamingError::Continue {
+            resolved,
+            remaining,
+        } => match StoredValue::try_from_bound(resolved) {
+            Some(resolved) => WireError::Continue {
+                resolved,
+                remaining: remaining.to_string(),
+            },
+            None => WireError::ServiceFailure {
+                detail: "federation continuation with a live context cannot cross the wire"
+                    .to_string(),
+            },
+        },
+        NamingError::FederationDepthExceeded { depth } => WireError::FederationDepthExceeded {
+            depth: *depth as u64,
+        },
+    }
+}
+
+/// Decode a wire error (client side).
+pub fn decode_error(wire: &WireError) -> NamingError {
+    match wire {
+        WireError::NameNotFound { name } => NamingError::NameNotFound { name: name.clone() },
+        WireError::AlreadyBound { name } => NamingError::AlreadyBound { name: name.clone() },
+        WireError::NotAContext { name } => NamingError::NotAContext { name: name.clone() },
+        WireError::ContextExpected { name } => NamingError::ContextExpected { name: name.clone() },
+        WireError::InvalidName { name, reason } => NamingError::InvalidName {
+            name: name.clone(),
+            reason: reason.clone(),
+        },
+        WireError::InvalidSearchFilter { filter, reason } => NamingError::InvalidSearchFilter {
+            filter: filter.clone(),
+            reason: reason.clone(),
+        },
+        WireError::NotSupported { operation } => NamingError::NotSupported {
+            operation: operation.clone(),
+        },
+        WireError::NoPermission { detail } => NamingError::NoPermission {
+            detail: detail.clone(),
+        },
+        WireError::ServiceFailure { detail } => NamingError::ServiceFailure {
+            detail: detail.clone(),
+        },
+        WireError::Timeout { detail } => NamingError::Timeout {
+            detail: detail.clone(),
+        },
+        WireError::NoProvider { scheme } => NamingError::NoProvider {
+            scheme: scheme.clone(),
+        },
+        WireError::ConfigurationError { detail } => NamingError::ConfigurationError {
+            detail: detail.clone(),
+        },
+        WireError::ContextNotEmpty { name } => NamingError::ContextNotEmpty { name: name.clone() },
+        WireError::LeaseExpired { name } => NamingError::LeaseExpired { name: name.clone() },
+        WireError::Continue {
+            resolved,
+            remaining,
+        } => NamingError::Continue {
+            resolved: resolved.clone().into_bound(),
+            remaining: CompositeName::parse(remaining).unwrap_or_else(|_| CompositeName::empty()),
+        },
+        WireError::FederationDepthExceeded { depth } => NamingError::FederationDepthExceeded {
+            depth: *depth as usize,
+        },
+    }
+}
+
+/// Parse request bytes (after the optional transport trace header has been
+/// stripped). Any decode failure maps to `ServiceFailure` — the server
+/// answers with an error response instead of dropping the connection.
+pub fn decode_request(payload: &[u8]) -> Result<Request> {
+    serde_json::from_slice(payload)
+        .map_err(|e| NamingError::service(format!("malformed request: {e}")))
+}
+
+/// Parse response bytes.
+pub fn decode_response(payload: &[u8]) -> Result<Response> {
+    serde_json::from_slice(payload)
+        .map_err(|e| NamingError::service(format!("malformed response: {e}")))
+}
+
+/// Serialize any message to bytes.
+pub fn encode_message<T: Serialize>(msg: &T) -> Result<Vec<u8>> {
+    serde_json::to_vec(msg).map_err(|e| NamingError::service(format!("encode failed: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rndi_core::attrs::Attribute;
+    use rndi_core::value::Reference;
+
+    #[test]
+    fn frame_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, b"hello").unwrap();
+        assert_eq!(buf.len(), 4 + 5);
+        let mut r = &buf[..];
+        assert_eq!(read_frame(&mut r).unwrap(), b"hello");
+    }
+
+    #[test]
+    fn frame_rejects_oversized_length() {
+        let mut bytes = (MAX_FRAME_LEN as u32 + 1).to_be_bytes().to_vec();
+        bytes.extend_from_slice(b"x");
+        let mut r = &bytes[..];
+        assert!(read_frame(&mut r).is_err());
+    }
+
+    #[test]
+    fn op_roundtrip_covers_payload_shapes() {
+        let ops = vec![
+            NamingOp::lookup("a/b".into()),
+            NamingOp::bind("x".into(), BoundValue::str("v")),
+            NamingOp::rename("a".into(), "b".into()),
+            NamingOp::modify_attributes(
+                "n".into(),
+                vec![
+                    AttrMod::Add(Attribute::single("cpu", "8")),
+                    AttrMod::Remove("mem".into()),
+                ],
+            ),
+            NamingOp::bind_with_attrs(
+                "s".into(),
+                BoundValue::Reference(Reference::url("hdns://h")),
+                Attributes::new().with("kind", "service"),
+            ),
+            NamingOp::search(
+                "base".into(),
+                Filter::parse("(&(a=1)(b>=2))").unwrap(),
+                SearchControls {
+                    scope: SearchScope::Subtree,
+                    count_limit: 5,
+                    return_attrs: Some(vec!["a".into()]),
+                    return_values: true,
+                },
+            ),
+        ];
+        for op in ops {
+            let mut traced = op.clone();
+            traced.meta.set("obs.trace", "1-2-0-0");
+            let wire = encode_op(&traced).unwrap();
+            let bytes = encode_message(&wire).unwrap();
+            let parsed: WireOp = serde_json::from_slice(&bytes).unwrap();
+            let back = decode_op(&parsed).unwrap();
+            assert_eq!(back.kind, op.kind);
+            assert_eq!(back.name.to_string(), op.name.to_string());
+            assert_eq!(back.meta.get("obs.trace"), Some("1-2-0-0"));
+        }
+    }
+
+    #[test]
+    fn local_only_ops_are_rejected_before_the_wire() {
+        struct NopListener;
+        impl rndi_core::event::NamingListener for NopListener {
+            fn on_event(&self, _: &rndi_core::event::NamingEvent) {}
+        }
+        let err = encode_op(&NamingOp::add_listener(
+            "a".into(),
+            std::sync::Arc::new(NopListener),
+        ))
+        .unwrap_err();
+        assert!(matches!(err, NamingError::NotSupported { .. }));
+    }
+
+    #[test]
+    fn outcome_roundtrip() {
+        let outs = vec![
+            OpOutcome::Done,
+            OpOutcome::Value(BoundValue::I64(9)),
+            OpOutcome::Names(vec![NameClassPair {
+                name: "a".into(),
+                class_name: "string".into(),
+            }]),
+            OpOutcome::Bindings(vec![Binding {
+                name: "b".into(),
+                value: BoundValue::str("v"),
+            }]),
+            OpOutcome::Attrs(Attributes::new().with("k", "v")),
+            OpOutcome::Found(vec![SearchItem {
+                name: "hit".into(),
+                value: Some(BoundValue::Bool(true)),
+                attrs: Attributes::new(),
+            }]),
+        ];
+        for out in outs {
+            let wire = encode_outcome(&out).unwrap();
+            let bytes = encode_message(&wire).unwrap();
+            let parsed: WireOutcome = serde_json::from_slice(&bytes).unwrap();
+            let back = decode_outcome(&parsed).unwrap();
+            assert_eq!(format!("{back:?}"), format!("{out:?}"));
+        }
+    }
+
+    #[test]
+    fn error_roundtrip_including_continue() {
+        let errors = vec![
+            NamingError::not_found("a"),
+            NamingError::already_bound("b"),
+            NamingError::Timeout {
+                detail: "slow".into(),
+            },
+            NamingError::Continue {
+                resolved: BoundValue::Reference(Reference::url("ldap://h/dc=x")),
+                remaining: CompositeName::parse("rest/of/name").unwrap(),
+            },
+            NamingError::FederationDepthExceeded { depth: 9 },
+        ];
+        for e in errors {
+            let wire = encode_error(&e);
+            let bytes = encode_message(&wire).unwrap();
+            let parsed: WireError = serde_json::from_slice(&bytes).unwrap();
+            assert_eq!(decode_error(&parsed), e);
+        }
+    }
+
+    #[test]
+    fn request_response_roundtrip() {
+        let req = Request::Call {
+            v: PROTOCOL_VERSION,
+            op: Box::new(encode_op(&NamingOp::lookup("x".into())).unwrap()),
+            deadline_ms: 250,
+        };
+        let parsed = decode_request(&encode_message(&req).unwrap()).unwrap();
+        match parsed {
+            Request::Call { v, deadline_ms, .. } => {
+                assert_eq!(v, PROTOCOL_VERSION);
+                assert_eq!(deadline_ms, 250);
+            }
+            other => panic!("wrong request {other:?}"),
+        }
+        let resp = Response::Err(encode_error(&NamingError::not_found("y")));
+        match decode_response(&encode_message(&resp).unwrap()).unwrap() {
+            Response::Err(e) => assert_eq!(decode_error(&e), NamingError::not_found("y")),
+            other => panic!("wrong response {other:?}"),
+        }
+        assert!(decode_request(b"not json").is_err());
+        assert!(decode_response(b"{\"halfway\":").is_err());
+    }
+}

@@ -1,0 +1,403 @@
+//! `NetServer`: hosts any [`ProviderBackend`] behind a TCP listener.
+//!
+//! Thread-per-connection with a bounded connection count: the accept loop
+//! refuses connections past `rndi.net.server.max-conns` instead of
+//! queueing them, so a stalled client cannot exhaust server threads.
+//! Each connection thread polls its socket with a short read timeout and
+//! re-checks the shutdown flag between frames, which gives
+//! [`NetServer::shutdown`] drain semantics (in-flight requests finish,
+//! idle connections close). [`NetServer::abort`] is the unclean variant
+//! used by fault-injection tests: it tears the sockets down mid-request.
+
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use rndi_core::env::{keys, Environment};
+use rndi_core::error::{NamingError, Result};
+use rndi_core::op::NamingOp;
+use rndi_core::spi::ProviderBackend;
+use rndi_obs::metrics::{self, names};
+use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
+
+use crate::proto::{self, Request, Response};
+
+/// How often blocked reads wake up to re-check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Resolved server configuration (see the `rndi.net.*` environment keys).
+#[derive(Clone, Debug)]
+pub struct ServerConfig {
+    /// `host:port` to listen on; port `0` binds ephemerally.
+    pub listen: String,
+    /// Maximum concurrently served connections.
+    pub max_conns: usize,
+    /// Per-request deadline budget in milliseconds; `0` disables.
+    pub deadline_ms: u64,
+}
+
+impl ServerConfig {
+    /// Read the `rndi.net.*` keys strictly: a present-but-unparsable value
+    /// is a [`NamingError::ConfigurationError`], not a silent default.
+    pub fn from_env(env: &Environment) -> Result<ServerConfig> {
+        Ok(ServerConfig {
+            listen: env
+                .get(keys::NET_LISTEN)
+                .unwrap_or("127.0.0.1:0")
+                .to_string(),
+            max_conns: env.try_get_u64(keys::NET_SERVER_MAX_CONNS, 64)? as usize,
+            deadline_ms: env.try_get_u64(keys::NET_DEADLINE_MS, 5_000)?,
+        })
+    }
+}
+
+struct ServerState {
+    backend: Arc<dyn ProviderBackend>,
+    label: String,
+    config: ServerConfig,
+    shutdown: AtomicBool,
+    active: AtomicUsize,
+    /// Live sockets, for `abort` to tear down mid-request.
+    conns: Mutex<Vec<TcpStream>>,
+}
+
+impl ServerState {
+    fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<rndi_obs::Counter> {
+        let mut all = vec![("server", self.label.as_str())];
+        all.extend_from_slice(labels);
+        metrics::counter(name, &all)
+    }
+}
+
+/// A running TCP server hosting one backend (typically a fully-assembled
+/// [`ProviderPipeline`](rndi_core::spi::ProviderPipeline), so cache, retry
+/// and obs layers run server-side too).
+pub struct NetServer {
+    addr: SocketAddr,
+    state: Arc<ServerState>,
+    accept: Option<JoinHandle<()>>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+}
+
+impl NetServer {
+    /// Bind and start serving `backend` with configuration from `env`.
+    pub fn bind(backend: Arc<dyn ProviderBackend>, env: &Environment) -> Result<NetServer> {
+        Self::with_config(backend, ServerConfig::from_env(env)?)
+    }
+
+    /// Bind and start serving with an explicit configuration.
+    pub fn with_config(
+        backend: Arc<dyn ProviderBackend>,
+        config: ServerConfig,
+    ) -> Result<NetServer> {
+        let listener = TcpListener::bind(&config.listen)
+            .map_err(|e| NamingError::service(format!("bind {}: {e}", config.listen)))?;
+        listener
+            .set_nonblocking(true)
+            .map_err(|e| NamingError::service(format!("listener setup: {e}")))?;
+        let addr = listener
+            .local_addr()
+            .map_err(|e| NamingError::service(format!("listener addr: {e}")))?;
+        let label = format!("net:{}", backend.provider_id());
+        let state = Arc::new(ServerState {
+            backend,
+            label,
+            config,
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+        });
+        let workers: Arc<Mutex<Vec<JoinHandle<()>>>> = Arc::new(Mutex::new(Vec::new()));
+        let accept = {
+            let state = state.clone();
+            let workers = workers.clone();
+            std::thread::spawn(move || accept_loop(listener, state, workers))
+        };
+        Ok(NetServer {
+            addr,
+            state,
+            accept: Some(accept),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's telemetry label (`net:<backend provider id>`).
+    pub fn label(&self) -> &str {
+        &self.state.label
+    }
+
+    /// Connections currently being served.
+    pub fn active_connections(&self) -> usize {
+        self.state.active.load(Ordering::Relaxed)
+    }
+
+    /// Graceful shutdown: stop accepting, let in-flight requests finish,
+    /// close every connection, and join all server threads.
+    pub fn shutdown(mut self) {
+        self.stop(false);
+    }
+
+    /// Unclean shutdown: tear sockets down immediately, mid-request if
+    /// need be. Fault-injection tests use this to simulate a server crash.
+    pub fn abort(mut self) {
+        self.stop(true);
+    }
+
+    fn stop(&mut self, abort: bool) {
+        self.state.shutdown.store(true, Ordering::SeqCst);
+        if abort {
+            for conn in self.state.conns.lock().iter() {
+                let _ = conn.shutdown(std::net::Shutdown::Both);
+            }
+        }
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+        let workers: Vec<JoinHandle<()>> = std::mem::take(&mut *self.workers.lock());
+        for handle in workers {
+            let _ = handle.join();
+        }
+        self.state.conns.lock().clear();
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if self.accept.is_some() {
+            self.stop(false);
+        }
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    state: Arc<ServerState>,
+    workers: Arc<Mutex<Vec<JoinHandle<()>>>>,
+) {
+    let active_gauge = metrics::gauge(names::NET_ACTIVE_CONNS, &[("server", &state.label)]);
+    while !state.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                if state.active.load(Ordering::SeqCst) >= state.config.max_conns {
+                    state
+                        .counter(names::NET_CONNS, &[("event", "refused")])
+                        .inc();
+                    drop(stream);
+                    continue;
+                }
+                state
+                    .counter(names::NET_CONNS, &[("event", "accepted")])
+                    .inc();
+                state.active.fetch_add(1, Ordering::SeqCst);
+                active_gauge.add(1);
+                if let Ok(clone) = stream.try_clone() {
+                    state.conns.lock().push(clone);
+                }
+                let conn_state = state.clone();
+                let gauge = active_gauge.clone();
+                let handle = std::thread::spawn(move || {
+                    serve_connection(stream, &conn_state);
+                    conn_state.active.fetch_sub(1, Ordering::SeqCst);
+                    gauge.add(-1);
+                });
+                workers.lock().push(handle);
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => break,
+        }
+    }
+}
+
+/// Fill `buf` from a socket whose read timeout is [`POLL_INTERVAL`].
+/// Timeouts between frames (`interruptible` with nothing read yet) return
+/// `Ok(false)` when the server is draining; timeouts mid-frame keep
+/// reading so a slow writer does not desync the stream.
+fn read_full(
+    stream: &mut TcpStream,
+    state: &ServerState,
+    buf: &mut [u8],
+    interruptible: bool,
+) -> std::io::Result<bool> {
+    use std::io::Read;
+
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return Err(ErrorKind::UnexpectedEof.into()),
+            Ok(n) => filled += n,
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if interruptible && filled == 0 && state.shutdown.load(Ordering::SeqCst) {
+                    return Ok(false);
+                }
+            }
+            Err(e) if e.kind() == ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(true)
+}
+
+/// Read one length-prefixed frame, polling for shutdown while idle.
+/// `Ok(None)` means the server is draining and no request was in flight.
+fn read_frame_polling(
+    stream: &mut TcpStream,
+    state: &ServerState,
+) -> std::io::Result<Option<Vec<u8>>> {
+    let mut len = [0u8; 4];
+    if !read_full(stream, state, &mut len, true)? {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > proto::MAX_FRAME_LEN {
+        return Err(std::io::Error::new(
+            ErrorKind::InvalidData,
+            format!("frame length {len} exceeds cap"),
+        ));
+    }
+    let mut buf = vec![0u8; len];
+    read_full(stream, state, &mut buf, false)?;
+    Ok(Some(buf))
+}
+
+fn serve_connection(mut stream: TcpStream, state: &ServerState) {
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_nodelay(true);
+    let bytes_in = state.counter(names::NET_BYTES, &[("dir", "in")]);
+    let bytes_out = state.counter(names::NET_BYTES, &[("dir", "out")]);
+    loop {
+        let frame = match read_frame_polling(&mut stream, state) {
+            Ok(Some(frame)) => frame,
+            Ok(None) => return, // draining
+            Err(_) => return,   // peer hung up or sent garbage framing
+        };
+        bytes_in.add((frame.len() + 4) as u64);
+        // The transport-level trace header links the server's spans to the
+        // client's trace even for requests whose op meta was stripped.
+        let (frame_ctx, payload) = rndi_obs::frame::strip(&frame);
+        let response = match proto::decode_request(payload) {
+            Ok(Request::Ping) => Response::Pong,
+            Ok(Request::Call {
+                op, deadline_ms, ..
+            }) => handle_call(state, &op, deadline_ms, frame_ctx),
+            Err(e) => Response::Err(proto::encode_error(&e)),
+        };
+        let Ok(bytes) = proto::encode_message(&response) else {
+            return;
+        };
+        bytes_out.add((bytes.len() + 4) as u64);
+        if proto::write_frame(&mut stream, &bytes).is_err() {
+            return;
+        }
+    }
+}
+
+fn handle_call(
+    state: &ServerState,
+    wire_op: &proto::WireOp,
+    deadline_ms: u64,
+    frame_ctx: Option<TraceCtx>,
+) -> Response {
+    let start = Instant::now();
+    let op_label = wire_op.kind.clone();
+    let result = dispatch_call(state, wire_op, deadline_ms, frame_ctx, start);
+    let took = start.elapsed();
+    let outcome_label = if result.is_ok() { "ok" } else { "err" };
+    state
+        .counter(
+            names::NET_REQUESTS,
+            &[("op", &op_label), ("outcome", outcome_label)],
+        )
+        .inc();
+    metrics::histogram(
+        names::NET_REQUEST_DURATION,
+        &[("server", &state.label), ("op", &op_label)],
+    )
+    .record_duration(took);
+    match result {
+        Ok(out) => Response::Ok(out),
+        Err(e) => Response::Err(proto::encode_error(&e)),
+    }
+}
+
+fn dispatch_call(
+    state: &ServerState,
+    wire_op: &proto::WireOp,
+    deadline_ms: u64,
+    frame_ctx: Option<TraceCtx>,
+    start: Instant,
+) -> Result<proto::WireOutcome> {
+    let mut op = proto::decode_op(wire_op)?;
+    // Prefer the op-meta context (set by the client's span), falling back
+    // to the transport header; record a "server" span as its child and
+    // re-annotate so the backend pipeline's spans nest under this one.
+    let inbound = op.trace_ctx().or(frame_ctx);
+    let server_ctx = match &inbound {
+        Some(parent) => parent.child(),
+        None => TraceCtx::root(),
+    };
+    op.set_trace_ctx(&server_ctx);
+    let deadline = effective_deadline(deadline_ms, state.config.deadline_ms);
+    let result = run_with_deadline(state, &op, deadline, start);
+    let span_outcome = match &result {
+        Ok(_) => SpanOutcome::Ok,
+        Err(e) if e.is_continue() => SpanOutcome::Continue,
+        Err(_) => SpanOutcome::Err,
+    };
+    rndi_obs::trace::record(SpanRecord::new(
+        &server_ctx,
+        "server",
+        &state.label,
+        op.kind.label(),
+        span_outcome,
+        start.elapsed(),
+    ));
+    result.and_then(|out| proto::encode_outcome(&out))
+}
+
+/// The stricter of the client's request budget and the server's own cap
+/// (`0` on either side = that side imposes none).
+fn effective_deadline(client_ms: u64, server_ms: u64) -> Option<Duration> {
+    match (client_ms, server_ms) {
+        (0, 0) => None,
+        (0, s) => Some(Duration::from_millis(s)),
+        (c, 0) => Some(Duration::from_millis(c)),
+        (c, s) => Some(Duration::from_millis(c.min(s))),
+    }
+}
+
+fn run_with_deadline(
+    state: &ServerState,
+    op: &NamingOp,
+    deadline: Option<Duration>,
+    start: Instant,
+) -> Result<rndi_core::op::OpOutcome> {
+    if let Some(budget) = deadline {
+        if start.elapsed() >= budget {
+            return Err(NamingError::Timeout {
+                detail: format!("request expired before dispatch ({budget:?} budget)"),
+            });
+        }
+    }
+    let result = state.backend.execute(op);
+    if let Some(budget) = deadline {
+        if start.elapsed() > budget {
+            // The op may have landed; deadline semantics report the miss
+            // (the client's socket timeout has likely fired anyway).
+            return Err(NamingError::Timeout {
+                detail: format!("request exceeded its {budget:?} deadline"),
+            });
+        }
+    }
+    result
+}

@@ -1,0 +1,91 @@
+//! Fuzz-style hardening for the wire decoder: arbitrary, malformed, or
+//! truncated bytes must surface as errors — never panics, never huge
+//! allocations from attacker-controlled length prefixes.
+
+use std::io::Cursor;
+
+use proptest::prelude::*;
+
+use rndi_net::proto;
+
+proptest! {
+    /// Arbitrary bytes through the frame reader: error or frame, no panic.
+    #[test]
+    fn read_frame_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = proto::read_frame(&mut Cursor::new(&bytes));
+    }
+
+    /// A length prefix promising more than the cap is rejected before any
+    /// allocation, regardless of what follows.
+    #[test]
+    fn oversized_length_prefix_is_rejected(
+        extra in 1u64..u32::MAX as u64 - proto::MAX_FRAME_LEN as u64,
+        tail in proptest::collection::vec(any::<u8>(), 0..16),
+    ) {
+        let len = (proto::MAX_FRAME_LEN as u64 + extra) as u32;
+        let mut bytes = len.to_be_bytes().to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(proto::read_frame(&mut Cursor::new(&bytes)).is_err());
+    }
+
+    /// A well-formed frame truncated at any byte is an error, not a panic
+    /// or a partial frame.
+    #[test]
+    fn truncated_frames_error(
+        payload in proptest::collection::vec(any::<u8>(), 0..64),
+        cut in 0usize..68,
+    ) {
+        let mut framed = Vec::new();
+        proto::write_frame(&mut framed, &payload).expect("frame writes");
+        let cut = cut.min(framed.len());
+        if cut < framed.len() {
+            prop_assert!(proto::read_frame(&mut Cursor::new(&framed[..cut])).is_err());
+        } else {
+            let back = proto::read_frame(&mut Cursor::new(&framed[..])).expect("intact frame");
+            prop_assert_eq!(back, payload);
+        }
+    }
+
+    /// Request/response decoders on arbitrary bytes: typed error, no panic.
+    #[test]
+    fn message_decoders_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let _ = proto::decode_request(&bytes);
+        let _ = proto::decode_response(&bytes);
+    }
+
+    /// Near-miss JSON — structurally valid but semantically wrong — is
+    /// rejected as an error, not a panic.
+    #[test]
+    fn near_miss_json_is_rejected(
+        key in "[a-zA-Z]{1,8}",
+        val in "[a-zA-Z0-9]{0,8}",
+        deep in 0usize..6,
+    ) {
+        let mut json = format!("{{\"{key}\":\"{val}\"}}");
+        for _ in 0..deep {
+            json = format!("{{\"{key}\":{json}}}");
+        }
+        prop_assert!(proto::decode_request(json.as_bytes()).is_err());
+        prop_assert!(proto::decode_response(json.as_bytes()).is_err());
+    }
+
+    /// Frames whose payload is valid JSON for the right shape but with a
+    /// corrupted op kind or scope string decode to an error.
+    #[test]
+    fn unknown_op_kinds_error(kind in "[a-z]{1,12}") {
+        let known = rndi_core::op::ALL_OP_KINDS.iter().any(|k| k.label() == kind);
+        let json = format!(
+            "{{\"Call\":{{\"v\":1,\"op\":{{\"kind\":\"{kind}\",\"name\":\"a\",\
+             \"payload\":\"None\",\"attrs\":null,\"meta\":{{}}}},\"deadline_ms\":0}}}}"
+        );
+        match proto::decode_request(json.as_bytes()) {
+            Ok(proto::Request::Call { op, .. }) => {
+                // Decoding the envelope is fine; materializing the op must
+                // reject unknown kinds.
+                prop_assert_eq!(proto::decode_op(&op).is_ok(), known);
+            }
+            Ok(_) => prop_assert!(false, "ping from a call payload"),
+            Err(_) => prop_assert!(!known),
+        }
+    }
+}

@@ -51,6 +51,26 @@ pub mod names {
     /// Counter: `{provider, dir}` with `dir` one of `read|write` — bytes
     /// moved through a storage-backed provider.
     pub const IO_BYTES: &str = "rndi_io_bytes_total";
+    /// Counter: `{server, dir}` with `dir` one of `in|out` — payload bytes
+    /// moved across the TCP transport, server side.
+    pub const NET_BYTES: &str = "rndi_net_bytes_total";
+    /// Counter: `{server}` — connections accepted over the server's life.
+    pub const NET_CONNS: &str = "rndi_net_connections_total";
+    /// Gauge: `{server}` — connections currently being served.
+    pub const NET_ACTIVE_CONNS: &str = "rndi_net_active_connections";
+    /// Counter: `{server, op, outcome}` — requests decoded and dispatched
+    /// by a `NetServer` (`outcome` is `ok|err`).
+    pub const NET_REQUESTS: &str = "rndi_net_requests_total";
+    /// Histogram, ns: `{server, op}` — server-side request service time,
+    /// decode through encode.
+    pub const NET_REQUEST_DURATION: &str = "rndi_net_request_duration_ns";
+    /// Counter: `{endpoint, event}` with `event` one of
+    /// `dial|redial|reuse|drop|health_ok|health_fail` — client-side
+    /// connection-pool activity.
+    pub const NET_CLIENT_EVENTS: &str = "rndi_net_client_events_total";
+    /// Counter: `{key}` — environment properties whose value failed to
+    /// parse and fell back to a default (config hygiene warning).
+    pub const CONFIG_PARSE_ERRORS: &str = "rndi_config_parse_errors_total";
 }
 
 /// A monotonically increasing counter.

@@ -8,7 +8,7 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRODUCT_CRATES=(
-  rndi rndi-core rndi-obs simnet groupcast rlus hdns minidns dirserv
+  rndi rndi-core rndi-obs rndi-net simnet groupcast rlus hdns minidns dirserv
   rndi-providers rndi-bench
 )
 pkg_flags=()
@@ -27,6 +27,9 @@ cargo fmt --check "${pkg_flags[@]}"
 
 echo "==> cargo clippy -D warnings"
 cargo clippy "${pkg_flags[@]}" --all-targets -- -D warnings
+
+echo "==> cargo build --examples"
+cargo build --examples
 
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run

@@ -38,7 +38,10 @@
 //! assert_eq!(v.as_str(), Some("laser-3"));
 //! ```
 
+pub mod serve;
+
 pub use rndi_core as core;
+pub use rndi_net as net;
 pub use rndi_obs as obs;
 pub use rndi_providers as providers;
 

@@ -1,0 +1,67 @@
+//! Serving the workspace's backends over the network transport.
+//!
+//! The net layer only knows the [`ProviderBackend`] vocabulary; these
+//! helpers do the provider-specific assembly — build the provider's
+//! standard pipeline (so the *server* side keeps its cache/retry/obs
+//! layers) and bind a [`NetServer`] in front of it. A remote
+//! [`NetClient`](rndi_net::NetClient) then composes its own pipeline on
+//! the other end of the wire.
+
+use std::sync::Arc;
+
+use rndi_core::env::Environment;
+use rndi_core::error::Result;
+use rndi_core::spi::ProviderBackend;
+use rndi_net::NetServer;
+
+use dirserv::server::Connection;
+use dirserv::Dn;
+use hdns::HdnsRealm;
+use rlus::Registrar;
+use rndi_providers::common::MsClock;
+use rndi_providers::hdns::HdnsProviderContext;
+use rndi_providers::jini::JiniProviderContext;
+use rndi_providers::ldap::LdapProviderContext;
+
+/// Host an arbitrary backend (or pipeline — `ProviderPipeline` is itself
+/// a backend) behind a TCP listener configured by `rndi.net.*` keys.
+pub fn serve_backend(backend: Arc<dyn ProviderBackend>, env: &Environment) -> Result<NetServer> {
+    NetServer::bind(backend, env)
+}
+
+/// Expose one HDNS replica as a network endpoint: every node of a realm
+/// can be served independently, giving remote clients the paper's
+/// "nearest node" choice.
+pub fn serve_hdns(
+    realm: HdnsRealm,
+    node: usize,
+    instance: &str,
+    env: &Environment,
+) -> Result<NetServer> {
+    let pipeline = HdnsProviderContext::with_env(realm, node, instance, env);
+    NetServer::bind(pipeline, env)
+}
+
+/// Expose an LDAP directory connection as a network endpoint.
+pub fn serve_ldap(
+    conn: Connection,
+    base: Dn,
+    clock: Arc<dyn MsClock>,
+    instance: &str,
+    env: &Environment,
+) -> Result<NetServer> {
+    let pipeline = LdapProviderContext::with_env(conn, base, clock, instance, env);
+    NetServer::bind(pipeline, env)
+}
+
+/// Expose an rlus registrar (the Jini-analog lookup service) as a
+/// network endpoint.
+pub fn serve_jini(
+    registrar: Registrar,
+    clock: Arc<dyn MsClock>,
+    instance: &str,
+    env: &Environment,
+) -> Result<NetServer> {
+    let pipeline = JiniProviderContext::new(registrar, clock, env.clone(), instance);
+    NetServer::bind(pipeline, env)
+}
