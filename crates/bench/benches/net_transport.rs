@@ -1,9 +1,11 @@
 //! In-process dispatch vs loopback TCP: what does the wire cost?
 //!
-//! Both arms run the *same* HDNS backend pipeline; the only difference is
-//! the [`Transport`] in front of it — direct calls, or a framed
-//! request/response over a pooled loopback connection (JSON codec, length
-//! prefix, two syscall round trips). Numbers are recorded in
+//! All arms run the *same* HDNS backend pipeline; the only difference is
+//! the [`Transport`] in front of it — direct calls, the v1 framed-JSON
+//! lock-step protocol, or the v2 binary-envelope multiplexed protocol.
+//! A second table measures sustained ops/s with concurrent callers:
+//! the v1 lock-step client (one round trip in flight per connection)
+//! against the v2 pipelined client at depth 8. Numbers are recorded in
 //! `bench_figures.txt`.
 
 use std::sync::Arc;
@@ -12,15 +14,16 @@ use std::time::{Duration, Instant};
 use criterion::{criterion_group, Criterion};
 
 use rndi_bench::loadgen::{via_transport, Transport, TransportHandle};
-use rndi_core::env::Environment;
+use rndi_core::env::{keys, Environment};
 use rndi_core::op::{dispatch, NamingOp};
 use rndi_core::spi::ProviderBackend;
 use rndi_core::value::BoundValue;
 use rndi_providers::HdnsProviderContext;
 
-const ARMS: [(&str, Transport); 2] = [
+const ARMS: [(&str, Transport); 3] = [
     ("in_process", Transport::InProcess),
-    ("loopback_tcp", Transport::Tcp),
+    ("loopback_v1", Transport::TcpV1),
+    ("loopback_v2", Transport::Tcp),
 ];
 
 fn backend(name: &str) -> Arc<dyn ProviderBackend> {
@@ -29,10 +32,10 @@ fn backend(name: &str) -> Arc<dyn ProviderBackend> {
 }
 
 /// Health checks off for the bench client: a per-request ping would make
-/// the TCP arm pay two round trips per op and measure the pool, not the
-/// wire.
+/// the v1 TCP arm pay two round trips per op and measure the pool, not
+/// the wire.
 fn bench_env() -> Environment {
-    Environment::new().with(rndi_core::env::keys::NET_CLIENT_HEALTH_CHECK, "false")
+    Environment::new().with(keys::NET_CLIENT_HEALTH_CHECK, "false")
 }
 
 fn arm(label: &str, transport: Transport) -> TransportHandle {
@@ -71,38 +74,39 @@ fn bench_transport_ops(c: &mut Criterion) {
 
 /// Self-measured median table for `bench_figures.txt` (same shape as the
 /// readpath_scale tables).
-fn summary_table() {
-    fn median_ns(mut run: impl FnMut()) -> f64 {
-        // Warm up, then sample medians of small batches.
-        for _ in 0..200 {
+fn median_ns(mut run: impl FnMut()) -> f64 {
+    // Warm up, then sample medians of small batches.
+    for _ in 0..200 {
+        run();
+    }
+    let mut samples = Vec::with_capacity(30);
+    for _ in 0..30 {
+        let start = Instant::now();
+        for _ in 0..50 {
             run();
         }
-        let mut samples = Vec::with_capacity(30);
-        for _ in 0..30 {
-            let start = Instant::now();
-            for _ in 0..50 {
-                run();
-            }
-            samples.push(start.elapsed().as_nanos() as f64 / 50.0);
-        }
-        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
-        samples[samples.len() / 2]
+        samples.push(start.elapsed().as_nanos() as f64 / 50.0);
     }
-    fn fmt(ns: f64) -> String {
-        if ns < 1_000.0 {
-            format!("{ns:.0} ns")
-        } else if ns < 1_000_000.0 {
-            format!("{:.2} us", ns / 1_000.0)
-        } else {
-            format!("{:.2} ms", ns / 1_000_000.0)
-        }
-    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
 
+fn fmt(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} us", ns / 1_000.0)
+    } else {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    }
+}
+
+fn latency_table() {
     println!();
-    println!("# net transport — in-process dispatch vs loopback TCP (net_transport bench) [median ns/op]");
+    println!("# net transport — in-process dispatch vs loopback TCP, v1 JSON vs v2 binary (net_transport bench) [median ns/op]");
     println!(
-        "{:>8}  {:>12}  {:>12}  {:>8}",
-        "op", "in_process", "loopback_tcp", "ratio"
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>9}  {:>9}",
+        "op", "in_process", "loopback_v1", "loopback_v2", "v1_ratio", "v2_ratio"
     );
     for (op_label, op) in [
         ("lookup", NamingOp::lookup("bench".into())),
@@ -121,15 +125,176 @@ fn summary_table() {
             handle.shutdown();
         }
         println!(
-            "{:>8}  {:>12}  {:>12}  {:>7.1}x",
+            "{:>8}  {:>12}  {:>12}  {:>12}  {:>8.1}x  {:>8.1}x",
             op_label,
             fmt(row[0]),
             fmt(row[1]),
+            fmt(row[2]),
             row[1] / row[0],
+            row[2] / row[0],
         );
     }
-    println!("## both arms run the identical HDNS pipeline; the ratio is the framed");
-    println!("## JSON codec plus two loopback syscall round trips on a pooled connection.");
+    println!("## all arms run the identical HDNS pipeline; ratios are the wire cost over");
+    println!("## in-process dispatch. v1 = framed JSON, one lock-step round trip per op;");
+    println!("## v2 = binary envelopes on a multiplexed connection.");
+    println!();
+}
+
+/// Sustained ops/s over ONE socket: the v1 lock-step client (one round
+/// trip in flight, ever) vs the v2 connection at pipeline depth 8 —
+/// first as 8 concurrent callers multiplexing through `NetClient`, then
+/// as a single caller driving batches of 8 through the sans-IO
+/// `conn::ClientConn` (pure protocol pipelining, no thread handoffs).
+fn throughput_table() {
+    const DEPTH: usize = 8;
+    const WINDOW: Duration = Duration::from_millis(1200);
+
+    fn timed(mut tick: impl FnMut() -> u64) -> f64 {
+        // Warm up, then count completed ops over the window.
+        for _ in 0..20 {
+            tick();
+        }
+        let start = Instant::now();
+        let mut done = 0u64;
+        while start.elapsed() < WINDOW {
+            done += tick();
+        }
+        done as f64 / start.elapsed().as_secs_f64()
+    }
+
+    // v1 lock-step: a single caller, one request per round trip.
+    let v1_handle = via_transport(Transport::TcpV1, backend("net-bench-tp-v1"), &bench_env())
+        .expect("v1 transport");
+    let op = NamingOp::rebind("bench".into(), BoundValue::str("payload"));
+    dispatch(v1_handle.ctx().as_ref(), &op).unwrap();
+    let lookup = NamingOp::lookup("bench".into());
+    let v1_ctx = v1_handle.ctx();
+    let v1_rate = timed(|| {
+        dispatch(v1_ctx.as_ref(), &lookup).unwrap();
+        1
+    });
+    v1_handle.shutdown();
+
+    // v2 multiplexed: 8 caller threads share one socket through the
+    // NetClient, so up to 8 requests ride the wire concurrently.
+    let v2_handle = via_transport(
+        Transport::Tcp,
+        backend("net-bench-tp-v2"),
+        &bench_env()
+            .with(keys::NET_CLIENT_POOL_SIZE, "1")
+            .with(keys::NET_CLIENT_PIPELINE_DEPTH, DEPTH.to_string()),
+    )
+    .expect("v2 transport");
+    dispatch(v2_handle.ctx().as_ref(), &op).unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let workers: Vec<_> = (0..DEPTH)
+        .map(|_| {
+            let ctx = v2_handle.ctx();
+            let stop = stop.clone();
+            let lookup = lookup.clone();
+            std::thread::spawn(move || {
+                let mut done = 0u64;
+                while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                    dispatch(ctx.as_ref(), &lookup).unwrap();
+                    done += 1;
+                }
+                done
+            })
+        })
+        .collect();
+    let start = Instant::now();
+    std::thread::sleep(WINDOW);
+    stop.store(true, std::sync::atomic::Ordering::Relaxed);
+    let total: u64 = workers.into_iter().map(|w| w.join().unwrap()).sum();
+    let v2_mux_rate = total as f64 / start.elapsed().as_secs_f64();
+    v2_handle.shutdown();
+
+    // v2 pipelined: a single caller keeps `depth` requests in flight on
+    // one socket via the sans-IO client — writes coalesce into one
+    // syscall per batch and responses drain in bulk. depth 1 is the
+    // lock-step degenerate case (protocol cost without pipelining).
+    let pipe_handle = via_transport(Transport::Tcp, backend("net-bench-tp-pipe"), &bench_env())
+        .expect("v2 transport");
+    dispatch(pipe_handle.ctx().as_ref(), &op).unwrap();
+    let addr = pipe_handle
+        .server_addr()
+        .expect("tcp transport has an addr");
+    let pipelined_rate = |depth: usize| {
+        use std::io::{Read, Write};
+        let mut stream = std::net::TcpStream::connect(addr).expect("connect");
+        stream.set_nodelay(true).ok();
+        let mut machine = rndi_net::conn::ClientConn::new();
+        let wire_op = rndi_net::proto::encode_op(&lookup).unwrap();
+        let mut scratch = vec![0u8; 64 * 1024];
+        timed(|| {
+            let mut wire = Vec::with_capacity(depth * 64);
+            let mut waiting = 0usize;
+            for _ in 0..depth {
+                let env = rndi_net::proto::Envelope {
+                    req_id: machine.next_req_id(),
+                    body: rndi_net::proto::EnvelopeBody::Call {
+                        op: Box::new(wire_op.clone()),
+                        deadline_ms: 10_000,
+                        trace: None,
+                    },
+                };
+                wire.extend_from_slice(&machine.encode(&env).unwrap());
+                waiting += 1;
+            }
+            stream.write_all(&wire).unwrap();
+            let mut done = 0u64;
+            while waiting > 0 {
+                let n = stream.read(&mut scratch).unwrap();
+                assert!(n > 0, "server closed");
+                for env in machine.receive(&scratch[..n]).unwrap() {
+                    assert!(matches!(env.body, rndi_net::proto::EnvelopeBody::Ok(_)));
+                    waiting -= 1;
+                    done += 1;
+                }
+            }
+            done
+        })
+    };
+    let v2_d1_rate = pipelined_rate(1);
+    let v2_pipe_rate = pipelined_rate(DEPTH);
+    pipe_handle.shutdown();
+
+    println!("# net transport — sustained lookups/s over ONE socket, v1 lock-step vs v2 at depth 8 (net_transport bench)");
+    println!(
+        "{:>22}  {:>8}  {:>7}  {:>10}  {:>8}",
+        "arm", "callers", "depth", "ops/s", "speedup"
+    );
+    println!(
+        "{:>22}  {:>8}  {:>7}  {:>10.0}  {:>8}",
+        "v1_lockstep", 1, 1, v1_rate, "1.0x"
+    );
+    println!(
+        "{:>22}  {:>8}  {:>7}  {:>10.0}  {:>7.1}x",
+        "v2_mux_threads",
+        DEPTH,
+        DEPTH,
+        v2_mux_rate,
+        v2_mux_rate / v1_rate
+    );
+    println!(
+        "{:>22}  {:>8}  {:>7}  {:>10.0}  {:>7.1}x",
+        "v2_pipelined_d1",
+        1,
+        1,
+        v2_d1_rate,
+        v2_d1_rate / v1_rate
+    );
+    println!(
+        "{:>22}  {:>8}  {:>7}  {:>10.0}  {:>7.1}x",
+        "v2_pipelined",
+        1,
+        DEPTH,
+        v2_pipe_rate,
+        v2_pipe_rate / v1_rate
+    );
+    println!("## one socket in every arm. v1 lock-steps a round trip per op; v2_mux_threads");
+    println!("## multiplexes 8 callers' requests onto the socket; v2_pipelined keeps batches");
+    println!("## of 8 in flight from one caller via the sans-IO conn layer.");
     println!();
 }
 
@@ -147,6 +312,12 @@ criterion_group! {
 }
 
 fn main() {
+    match std::env::var("PROBE").as_deref() {
+        Ok("tp") => return throughput_table(),
+        Ok("lat") => return latency_table(),
+        _ => {}
+    }
     benches();
-    summary_table();
+    latency_table();
+    throughput_table();
 }

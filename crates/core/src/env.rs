@@ -62,6 +62,18 @@ pub mod keys {
     /// `"true"`/`"false"`: whether a `NetClient` pings pooled connections
     /// before reuse (health check). Default true.
     pub const NET_CLIENT_HEALTH_CHECK: &str = "rndi.net.client.health-check";
+    /// Wire protocol version a `NetClient` speaks: `2` (the default)
+    /// opens with the binary-envelope preamble and multiplexes requests;
+    /// `1` speaks lock-step framed JSON (what every server still accepts
+    /// as the negotiated fallback).
+    pub const NET_PROTO_VERSION: &str = "rndi.net.proto.version";
+    /// Maximum in-flight requests a v2 `NetClient` pipelines per
+    /// connection before a new call blocks. Default 32.
+    pub const NET_CLIENT_PIPELINE_DEPTH: &str = "rndi.net.client.pipeline-depth";
+    /// Event-loop shards (worker threads) a `NetServer` spreads its
+    /// connections across. `0` (the default) sizes to the machine:
+    /// `min(available cores, 4)`.
+    pub const NET_SERVER_SHARDS: &str = "rndi.net.server.shards";
 }
 
 /// An immutable-by-convention string property map.

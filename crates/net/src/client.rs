@@ -9,9 +9,32 @@
 //! [`NamingError::ServiceFailure`]/[`NamingError::Timeout`] errors, which
 //! is exactly what the retry interceptor re-submits, so
 //! `rndi.pipeline.retry.max-attempts=3` buys reconnect-on-drop for free.
+//!
+//! ## v2: multiplexed, pipelined connections
+//!
+//! With `rndi.net.proto.version=2` (the default) the client speaks the
+//! binary envelope protocol and **multiplexes** concurrent calls over a
+//! small pool of connections instead of checking out one socket per
+//! request. Each call stamps its envelope with a fresh request ID,
+//! registers a response slot, and writes under a brief send lock; the
+//! response side uses a *caller-as-driver* scheme — whichever caller can
+//! take the read lock drives the socket, delivering responses to their
+//! owners' slots by request ID, and hands the read baton to another
+//! waiter when its own answer arrives. The serial case therefore never
+//! pays a cross-thread handoff (the one caller writes, then immediately
+//! reads its own reply), while N concurrent callers share one socket with
+//! requests pipelined back-to-back up to
+//! `rndi.net.client.pipeline-depth` in flight per connection.
+//!
+//! `rndi.net.proto.version=1` keeps the lock-step framed-JSON path —
+//! one request per round trip on a checked-out pooled socket — which
+//! every server still accepts as the negotiated fallback.
 
-use std::io::ErrorKind;
+use std::collections::HashMap;
+use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -25,7 +48,8 @@ use rndi_core::url::RndiUrl;
 use rndi_obs::metrics::{self, names};
 use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
-use crate::proto::{self, Request, Response};
+use crate::conn::{ClientConn, ClientDecoder, ClientEncoder};
+use crate::proto::{self, Envelope, EnvelopeBody, Request, Response};
 
 /// Resolved client configuration (see the `rndi.net.*` environment keys).
 #[derive(Clone, Debug)]
@@ -33,21 +57,100 @@ pub struct ClientConfig {
     /// Per-request deadline budget in milliseconds; `0` disables. Also
     /// used as the socket read/write timeout.
     pub deadline_ms: u64,
-    /// Idle pooled connections kept per endpoint.
+    /// Idle pooled connections kept per endpoint (v1), or maximum
+    /// multiplexed connections (v2).
     pub pool_size: usize,
-    /// Ping pooled connections before reuse.
+    /// Ping pooled connections before reuse (v1 only; v2 connections
+    /// prove liveness per call and are redialed on failure).
     pub health_check: bool,
+    /// Wire protocol to speak: 2 = binary envelopes, multiplexed;
+    /// 1 = lock-step framed JSON.
+    pub proto_version: u32,
+    /// Maximum in-flight requests per v2 connection before the pool
+    /// prefers dialing another.
+    pub pipeline_depth: usize,
 }
 
 impl ClientConfig {
     /// Read the `rndi.net.*` keys strictly: a present-but-unparsable value
     /// is a [`NamingError::ConfigurationError`], not a silent default.
     pub fn from_env(env: &Environment) -> Result<ClientConfig> {
+        let proto_version = env.try_get_u64(keys::NET_PROTO_VERSION, 2)? as u32;
+        if proto_version != proto::PROTOCOL_V1 && proto_version != proto::PROTOCOL_V2 {
+            return Err(NamingError::ConfigurationError {
+                detail: format!(
+                    "{}: unknown protocol version {proto_version} (valid: 1, 2)",
+                    keys::NET_PROTO_VERSION
+                ),
+            });
+        }
         Ok(ClientConfig {
             deadline_ms: env.try_get_u64(keys::NET_DEADLINE_MS, 5_000)?,
-            pool_size: env.try_get_u64(keys::NET_CLIENT_POOL_SIZE, 4)? as usize,
+            pool_size: (env.try_get_u64(keys::NET_CLIENT_POOL_SIZE, 4)? as usize).max(1),
             health_check: env.try_get_bool(keys::NET_CLIENT_HEALTH_CHECK, true)?,
+            proto_version,
+            pipeline_depth: (env.try_get_u64(keys::NET_CLIENT_PIPELINE_DEPTH, 32)? as usize).max(1),
         })
+    }
+}
+
+/// What a response-driving caller delivers to a waiting caller's slot.
+enum Delivery {
+    /// Your response body.
+    Body(EnvelopeBody),
+    /// The previous driver is done; a waiter must take over the read side.
+    TakeOver,
+    /// The connection failed; all in-flight requests are lost.
+    Broken(String),
+}
+
+struct MuxWriter {
+    enc: ClientEncoder,
+    stream: TcpStream,
+}
+
+struct MuxReader {
+    dec: ClientDecoder,
+    stream: TcpStream,
+    scratch: Vec<u8>,
+}
+
+/// One multiplexed v2 connection: many in-flight request IDs over one
+/// socket. Send and receive halves lock independently; `pending` maps
+/// request IDs to the channel of the caller awaiting that response.
+struct MuxConn {
+    writer: Mutex<MuxWriter>,
+    reader: Mutex<MuxReader>,
+    pending: Mutex<HashMap<u64, SyncSender<Delivery>>>,
+    broken: AtomicBool,
+}
+
+impl MuxConn {
+    fn inflight(&self) -> usize {
+        self.pending.lock().len()
+    }
+
+    /// Mark the connection dead and fail every in-flight request.
+    fn fail(&self, detail: &str) {
+        self.broken.store(true, Ordering::SeqCst);
+        let waiters: Vec<_> = self.pending.lock().drain().collect();
+        for (_, tx) in waiters {
+            let _ = tx.try_send(Delivery::Broken(detail.to_string()));
+        }
+    }
+
+    /// Hand the read baton to some waiting caller, if any.
+    fn wake_someone(&self) {
+        let pending = self.pending.lock();
+        for tx in pending.values() {
+            match tx.try_send(Delivery::TakeOver) {
+                Ok(()) => return,
+                // Full means that waiter already has a wakeup queued.
+                Err(TrySendError::Full(_)) => return,
+                // Disconnected: that caller gave up (timeout); try another.
+                Err(TrySendError::Disconnected(_)) => continue,
+            }
+        }
     }
 }
 
@@ -55,11 +158,20 @@ impl ClientConfig {
 pub struct NetClient {
     endpoint: String,
     config: ClientConfig,
+    /// v1: idle checked-in sockets.
     pool: Mutex<Vec<TcpStream>>,
+    /// v2: live multiplexed connections, shared by all callers.
+    mux_pool: Mutex<Vec<Arc<MuxConn>>>,
     label: String,
+    /// Instrument handles resolved once at construction — a registry
+    /// lookup allocates label strings under a global lock, which is too
+    /// expensive per request.
+    bytes_out: Arc<metrics::Counter>,
+    bytes_in: Arc<metrics::Counter>,
+    events: Vec<(&'static str, Arc<metrics::Counter>)>,
 }
 
-/// A connection checked out of the pool, remembering whether it was
+/// A v1 connection checked out of the pool, remembering whether it was
 /// reused — a send failure on a *reused* connection is redialed once
 /// transparently (the server may simply have dropped an idle socket).
 struct Checked {
@@ -72,11 +184,34 @@ impl NetClient {
     pub fn new(endpoint: impl Into<String>, env: &Environment) -> Result<NetClient> {
         let endpoint = endpoint.into();
         let label = format!("net-client:{endpoint}");
+        let bytes_out = metrics::counter(names::NET_BYTES, &[("server", &label), ("dir", "out")]);
+        let bytes_in = metrics::counter(names::NET_BYTES, &[("server", &label), ("dir", "in")]);
+        let events = [
+            "reuse",
+            "dial",
+            "drop",
+            "redial",
+            "health_ok",
+            "health_fail",
+        ]
+        .into_iter()
+        .map(|ev| {
+            let counter = metrics::counter(
+                names::NET_CLIENT_EVENTS,
+                &[("endpoint", &endpoint), ("event", ev)],
+            );
+            (ev, counter)
+        })
+        .collect();
         Ok(NetClient {
             config: ClientConfig::from_env(env)?,
             pool: Mutex::new(Vec::new()),
+            mux_pool: Mutex::new(Vec::new()),
             endpoint,
             label,
+            bytes_out,
+            bytes_in,
+            events,
         })
     }
 
@@ -96,17 +231,26 @@ impl NetClient {
         &self.endpoint
     }
 
-    /// Idle pooled connections right now (diagnostics, tests).
+    /// Idle pooled (v1) or live multiplexed (v2) connections right now
+    /// (diagnostics, tests).
     pub fn pooled(&self) -> usize {
-        self.pool.lock().len()
+        if self.config.proto_version == proto::PROTOCOL_V2 {
+            self.mux_pool.lock().len()
+        } else {
+            self.pool.lock().len()
+        }
     }
 
     fn event(&self, event: &str) {
-        metrics::counter(
-            names::NET_CLIENT_EVENTS,
-            &[("endpoint", &self.endpoint), ("event", event)],
-        )
-        .inc();
+        if let Some((_, counter)) = self.events.iter().find(|(name, _)| *name == event) {
+            counter.inc();
+        } else {
+            metrics::counter(
+                names::NET_CLIENT_EVENTS,
+                &[("endpoint", &self.endpoint), ("event", event)],
+            )
+            .inc();
+        }
     }
 
     fn timeout(&self) -> Option<Duration> {
@@ -129,6 +273,8 @@ impl NetClient {
         let _ = stream.set_write_timeout(self.timeout());
         Ok(stream)
     }
+
+    // ------------------------------------------------------ v1 path --
 
     /// Round-trip a ping on a pooled connection; `false` means the socket
     /// is stale and should be dropped.
@@ -183,22 +329,19 @@ impl NetClient {
     fn exchange(&self, stream: &mut TcpStream, request_bytes: &[u8]) -> Result<Response> {
         proto::write_frame(stream, request_bytes)
             .map_err(|e| io_error(&self.endpoint, "send", e))?;
-        metrics::counter(names::NET_BYTES, &[("server", &self.label), ("dir", "out")])
-            .add((request_bytes.len() + 4) as u64);
+        self.bytes_out.add((request_bytes.len() + 4) as u64);
         let frame =
             proto::read_frame(stream).map_err(|e| io_error(&self.endpoint, "receive", e))?;
-        metrics::counter(names::NET_BYTES, &[("server", &self.label), ("dir", "in")])
-            .add((frame.len() + 4) as u64);
+        self.bytes_in.add((frame.len() + 4) as u64);
         proto::decode_response(rndi_obs::frame::strip(&frame).1)
     }
 
-    fn call(&self, op: &NamingOp, ctx: &TraceCtx) -> Result<OpOutcome> {
+    fn call_v1(&self, wire_op: proto::WireOp, ctx: &TraceCtx) -> Result<OpOutcome> {
         // The op already carries the client span's context in its meta (we
         // re-annotated before this call); additionally wrap the payload in
         // the transport-level trace header for cross-wire linking.
-        let wire_op = proto::encode_op(op)?;
         let request = Request::Call {
-            v: proto::PROTOCOL_VERSION,
+            v: proto::PROTOCOL_V1,
             op: Box::new(wire_op),
             deadline_ms: self.config.deadline_ms,
         };
@@ -233,6 +376,239 @@ impl NetClient {
             Response::Pong => Err(NamingError::service("unexpected pong response")),
         }
     }
+
+    // ------------------------------------------------------ v2 path --
+
+    fn dial_mux(&self) -> Result<Arc<MuxConn>> {
+        self.event("dial");
+        let stream = self.dial()?;
+        let read_half = stream
+            .try_clone()
+            .map_err(|e| io_error(&self.endpoint, "clone", e))?;
+        let (enc, dec) = ClientConn::new().into_split();
+        Ok(Arc::new(MuxConn {
+            writer: Mutex::new(MuxWriter { enc, stream }),
+            reader: Mutex::new(MuxReader {
+                dec,
+                stream: read_half,
+                scratch: vec![0u8; 64 * 1024],
+            }),
+            pending: Mutex::new(HashMap::new()),
+            broken: AtomicBool::new(false),
+        }))
+    }
+
+    /// Pick the least-loaded live connection, dialing a new one when all
+    /// are at pipeline depth and the pool has room. The bool is whether
+    /// the connection was freshly dialed (a failure on a *reused* one is
+    /// retried once on a fresh dial).
+    fn mux_checkout(&self) -> Result<(Arc<MuxConn>, bool)> {
+        {
+            let mut pool = self.mux_pool.lock();
+            pool.retain(|c| !c.broken.load(Ordering::SeqCst));
+            if let Some(best) = pool.iter().min_by_key(|c| c.inflight()) {
+                if best.inflight() < self.config.pipeline_depth
+                    || pool.len() >= self.config.pool_size
+                {
+                    self.event("reuse");
+                    return Ok((best.clone(), false));
+                }
+            }
+        }
+        let conn = self.dial_mux()?;
+        self.mux_pool.lock().push(conn.clone());
+        Ok((conn, true))
+    }
+
+    fn call_v2(&self, wire_op: proto::WireOp, ctx: &TraceCtx) -> Result<OpOutcome> {
+        // The request ID is assigned per attempt, under the writer lock.
+        let mut env = Envelope {
+            req_id: 0,
+            body: EnvelopeBody::Call {
+                op: Box::new(wire_op),
+                deadline_ms: self.config.deadline_ms,
+                trace: Some(*ctx),
+            },
+        };
+        let (conn, fresh) = self.mux_checkout()?;
+        match self.mux_exchange(&conn, &mut env) {
+            Ok(body) => decode_body(body),
+            Err(e) if !fresh && is_transport(&e) => {
+                // A pooled connection may have been dropped server-side
+                // while idle; redial once before surfacing the failure.
+                conn.fail("superseded by redial");
+                self.event("redial");
+                let conn = self.dial_mux()?;
+                self.mux_pool.lock().push(conn.clone());
+                decode_body(self.mux_exchange(&conn, &mut env)?)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Send one call and wait for its response, driving the shared read
+    /// side if no other caller is. Returns transport-level errors only;
+    /// remote typed errors come back as `Ok(EnvelopeBody::Err(..))`.
+    fn mux_exchange(&self, conn: &MuxConn, env: &mut Envelope) -> Result<EnvelopeBody> {
+        let start = Instant::now();
+        // Buffer 3: worst case one Body plus queued TakeOver wakeups.
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Delivery>(3);
+        let req_id;
+        {
+            let mut w = conn.writer.lock();
+            req_id = w.enc.next_req_id();
+            env.req_id = req_id;
+            conn.pending.lock().insert(req_id, tx);
+            let bytes = w.enc.encode(env)?;
+            if let Err(e) = w.stream.write_all(&bytes) {
+                conn.pending.lock().remove(&req_id);
+                conn.fail(&format!("send {}: {e}", self.endpoint));
+                return Err(io_error(&self.endpoint, "send", e));
+            }
+            self.bytes_out.add(bytes.len() as u64);
+        }
+        loop {
+            // A driver may have delivered our body while we were between
+            // states (e.g. just after a TakeOver wakeup).
+            if let Ok(Delivery::Body(body)) = rx.try_recv() {
+                return Ok(body);
+            }
+            if let Some(mut r) = conn.reader.try_lock() {
+                let outcome = self.drive(conn, &mut r, req_id, start);
+                drop(r);
+                // Pass the read baton before returning, whatever happened
+                // to our own request.
+                if !conn.broken.load(Ordering::SeqCst) {
+                    conn.wake_someone();
+                }
+                match outcome {
+                    // The previous driver delivered our body just before
+                    // we took the lock; it is waiting in our channel.
+                    Ok(None) => continue,
+                    Ok(Some(body)) => return Ok(body),
+                    Err(e) => return Err(e),
+                }
+            }
+            let wait = match self.remaining(start) {
+                None => Duration::from_millis(50),
+                Some(rem) if rem.is_zero() => {
+                    conn.pending.lock().remove(&req_id);
+                    return Err(NamingError::Timeout {
+                        detail: format!("receive {}: response deadline", self.endpoint),
+                    });
+                }
+                Some(rem) => rem.min(Duration::from_millis(50)),
+            };
+            match rx.recv_timeout(wait) {
+                Ok(Delivery::Body(body)) => return Ok(body),
+                Ok(Delivery::TakeOver) => continue,
+                Ok(Delivery::Broken(detail)) => {
+                    return Err(NamingError::service(format!("mux {detail}")))
+                }
+                // Re-check the clock and the reader lock; the 50ms cap
+                // also covers a lost-baton race (driver exited just as we
+                // entered recv).
+                Err(RecvTimeoutError::Timeout) => continue,
+                Err(RecvTimeoutError::Disconnected) => {
+                    return Err(NamingError::service(format!(
+                        "mux receive {}: response slot dropped",
+                        self.endpoint
+                    )))
+                }
+            }
+        }
+    }
+
+    fn remaining(&self, start: Instant) -> Option<Duration> {
+        self.timeout()
+            .map(|budget| budget.saturating_sub(start.elapsed()))
+    }
+
+    /// Drive the shared read side until our own response arrives,
+    /// delivering everyone else's responses to their slots along the way.
+    /// `Ok(None)` means a previous driver already delivered our body to
+    /// our channel — the caller should receive from it, not the socket.
+    fn drive(
+        &self,
+        conn: &MuxConn,
+        r: &mut MuxReader,
+        my_id: u64,
+        start: Instant,
+    ) -> Result<Option<EnvelopeBody>> {
+        if conn.pending.lock().get(&my_id).is_none() {
+            return Ok(None);
+        }
+        loop {
+            let n = match r.stream.read(&mut r.scratch) {
+                Ok(0) => {
+                    conn.fail(&format!("receive {}: connection closed", self.endpoint));
+                    return Err(NamingError::service(format!(
+                        "receive {}: connection closed",
+                        self.endpoint
+                    )));
+                }
+                Ok(n) => n,
+                Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                    // Our read timed out. Give up on our request but leave
+                    // the connection alive for the others.
+                    conn.pending.lock().remove(&my_id);
+                    return Err(io_error(&self.endpoint, "receive", e));
+                }
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(e) => {
+                    conn.fail(&format!("receive {}: {e}", self.endpoint));
+                    return Err(io_error(&self.endpoint, "receive", e));
+                }
+            };
+            self.bytes_in.add(n as u64);
+            let envelopes = match r.dec.receive(&r.scratch[..n]) {
+                Ok(envs) => envs,
+                Err(e) => {
+                    conn.fail(&format!("receive {}: {e}", self.endpoint));
+                    return Err(e);
+                }
+            };
+            let mut mine = None;
+            for env in envelopes {
+                if env.req_id == my_id {
+                    mine = Some(env.body);
+                } else if let Some(tx) = conn.pending.lock().remove(&env.req_id) {
+                    let _ = tx.send(Delivery::Body(env.body));
+                }
+            }
+            if let Some(body) = mine {
+                conn.pending.lock().remove(&my_id);
+                return Ok(Some(body));
+            }
+            if let Some(rem) = self.remaining(start) {
+                if rem.is_zero() {
+                    conn.pending.lock().remove(&my_id);
+                    return Err(NamingError::Timeout {
+                        detail: format!("receive {}: response deadline", self.endpoint),
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn decode_body(body: EnvelopeBody) -> Result<OpOutcome> {
+    match body {
+        EnvelopeBody::Ok(out) => proto::decode_outcome(&out),
+        EnvelopeBody::Err(e) => Err(proto::decode_error(&e)),
+        other => Err(NamingError::service(format!(
+            "unexpected response body: {other:?}"
+        ))),
+    }
+}
+
+/// Whether an error came from the transport (retryable on a fresh
+/// connection) rather than from the remote naming semantics.
+fn is_transport(e: &NamingError) -> bool {
+    matches!(
+        e,
+        NamingError::ServiceFailure { .. } | NamingError::Timeout { .. }
+    )
 }
 
 /// Map transport errors onto the naming error model: timeouts stay
@@ -254,10 +630,19 @@ impl ProviderBackend for NetClient {
             Some(parent) => parent.child(),
             None => TraceCtx::root(),
         };
-        let mut annotated = op.clone();
-        annotated.set_trace_ctx(&ctx);
         let start = Instant::now();
-        let result = self.call(&annotated, &ctx);
+        // Annotate the client span's context directly on the wire form
+        // (cheaper than cloning the whole op to re-annotate it).
+        let result = proto::encode_op(op).and_then(|mut wire_op| {
+            wire_op
+                .meta
+                .insert(rndi_core::op::TRACE_META_KEY.to_string(), ctx.encode());
+            if self.config.proto_version == proto::PROTOCOL_V2 {
+                self.call_v2(wire_op, &ctx)
+            } else {
+                self.call_v1(wire_op, &ctx)
+            }
+        });
         let outcome = match &result {
             Ok(_) => SpanOutcome::Ok,
             Err(e) if e.is_continue() => SpanOutcome::Continue,

@@ -1,32 +1,41 @@
-//! rndi-net: a length-prefixed framed wire protocol over TCP for RNDI
-//! naming operations.
+//! rndi-net: a layered wire transport for RNDI naming operations.
 //!
 //! The transport reifies the same [`NamingOp`](rndi_core::op::NamingOp) /
 //! [`OpOutcome`](rndi_core::op::OpOutcome) vocabulary the in-process
 //! pipeline already speaks, so putting a network between a context and
-//! its provider is a composition change, not a semantic one:
+//! its provider is a composition change, not a semantic one. The crate is
+//! split into three layers (fraktor-rs-style), each testable without the
+//! one below it:
 //!
-//! - [`NetServer`] hosts **any** [`ProviderBackend`](rndi_core::spi::ProviderBackend)
-//!   — including a full `ProviderPipeline`, which means server-side
-//!   cache/retry/obs layers keep working — behind a bounded
-//!   thread-per-connection accept loop with per-request deadlines and
-//!   graceful drain.
-//! - [`NetClient`] **is** a `ProviderBackend`, so the client-side
+//! - [`proto`] — pure protocol: message shapes, the v1 framed-JSON codec,
+//!   the v2 compact binary envelope codec ([`proto::bin`]), and the
+//!   4-byte version-negotiation preamble. No connection state, no IO.
+//! - [`conn`] — sans-IO connection state machines: incremental frame
+//!   reassembly, version negotiation, and request-ID multiplexing for
+//!   pipelined calls. Bytes in, messages out; no sockets.
+//! - [`server`] / [`client`] — IO strategy: [`NetServer`] hosts **any**
+//!   [`ProviderBackend`](rndi_core::spi::ProviderBackend) — including a
+//!   full `ProviderPipeline`, so server-side cache/retry/obs layers keep
+//!   working — on a shard-per-core nonblocking event loop that holds
+//!   thousands of connections with per-request deadlines and graceful
+//!   drain. [`NetClient`] **is** a `ProviderBackend`: the client-side
 //!   pipeline stack (cache, retry, obs interceptors) wraps remote calls
-//!   unchanged. It pools connections, health-checks them before reuse,
-//!   propagates deadlines, and maps transport failures to transient
-//!   naming errors so the retry interceptor recovers from dropped
-//!   servers.
+//!   unchanged, over pooled connections that multiplex concurrent
+//!   requests when the far side speaks v2.
 //!
 //! ## Wire format
 //!
 //! Every frame is a `u32` big-endian length prefix followed by that many
-//! payload bytes (16 MiB cap). Request payloads are optionally wrapped
-//! in the `%RNDI-TRACE:<ctx>\n` header from `rndi_obs::frame`, linking
-//! client spans to server spans across the wire. The payload proper is
-//! JSON: see [`proto::Request`] / [`proto::Response`].
+//! payload bytes (16 MiB cap). A v2 client opens with the 4-byte
+//! `RNI\x02` preamble, which the server echoes as an acknowledgement;
+//! absent the preamble the connection is served as v1 framed JSON
+//! ([`proto::Request`] / [`proto::Response`], optionally wrapped in the
+//! `%RNDI-TRACE:<ctx>\n` header from `rndi_obs::frame`). v2 frames carry
+//! binary [`proto::Envelope`]s whose request IDs let one connection hold
+//! many in-flight calls and deliver responses out of order.
 
 pub mod client;
+pub mod conn;
 pub mod proto;
 pub mod server;
 

@@ -1,12 +1,31 @@
-//! The wire protocol: framing and the request/response message schema.
+//! The wire protocol: framing, version negotiation, and the message
+//! schema. This module is *pure* — no sockets, no threads — so every
+//! codec path is unit- and property-testable in isolation; the sans-IO
+//! connection machinery lives in [`crate::conn`] and the IO strategies in
+//! [`crate::server`]/[`crate::client`].
 //!
-//! A connection carries a sequence of frames in each direction. Every frame
-//! is a big-endian `u32` length prefix followed by that many payload bytes
-//! (capped at [`MAX_FRAME_LEN`]). A request payload is optionally wrapped
-//! in the `%RNDI-TRACE:` header from [`rndi_obs::frame`] — the same frame
-//! providers already use for stored bytes — so the server can link its
-//! spans to the client's trace; the bytes after the optional header are a
-//! JSON-encoded [`Request`]. Response payloads are bare JSON [`Response`]s.
+//! Two protocol versions share one vocabulary:
+//!
+//! - **v1 (JSON, lock-step).** Every frame is a big-endian `u32` length
+//!   prefix followed by that many payload bytes (capped at
+//!   [`MAX_FRAME_LEN`]). A request payload is optionally wrapped in the
+//!   `%RNDI-TRACE:` header from [`rndi_obs::frame`]; the bytes after the
+//!   optional header are a JSON-encoded [`Request`]. Responses are bare
+//!   JSON [`Response`]s, answered strictly in request order.
+//! - **v2 (binary, pipelined).** The connection opens with the 4-byte
+//!   preamble `RNI\x02` (magic + protocol-version byte); the server echoes
+//!   it back as an acknowledgement. Every subsequent frame is the same
+//!   `u32` length prefix, but the payload is a compact binary
+//!   [`Envelope`] carrying a request ID, so many calls can be in flight
+//!   on one connection and responses may arrive out of order. See
+//!   [`bin`] for the byte-level codec.
+//!
+//! Version negotiation is a single inspection of a connection's first
+//! four bytes: a v1 frame's length prefix always starts `0x00`/`0x01`
+//! (lengths are capped at 16 MiB), while the v2 magic starts `b'R'`, so
+//! the two are unambiguous. A server that sees the magic with an
+//! unsupported version byte closes the connection; anything else is
+//! served as v1 — old JSON clients keep working against new servers.
 //!
 //! The message schema reuses the codec types the in-process pipeline
 //! already standardised on: values cross the wire as
@@ -20,6 +39,8 @@
 //! listeners are process-local. Encoding them fails with
 //! [`NamingError::NotSupported`] before any bytes are written.
 
+pub mod bin;
+
 use std::collections::BTreeMap;
 use std::io::{Read, Write};
 
@@ -32,11 +53,51 @@ use rndi_core::op::{NamingOp, OpKind, OpOutcome, OpPayload, ALL_OP_KINDS};
 use rndi_core::value::{BoundValue, StoredValue};
 use serde::{Deserialize, Serialize};
 
-/// Protocol version tag carried in every request.
-pub const PROTOCOL_VERSION: u32 = 1;
+/// The legacy JSON protocol version (lock-step request/response).
+pub const PROTOCOL_V1: u32 = 1;
+
+/// The binary, pipelined protocol version (request-ID envelopes).
+pub const PROTOCOL_V2: u32 = 2;
+
+/// Protocol version tag carried in every v1 request.
+pub const PROTOCOL_VERSION: u32 = PROTOCOL_V1;
 
 /// Hard cap on a single frame's payload, request or response.
 pub const MAX_FRAME_LEN: usize = 16 * 1024 * 1024;
+
+/// The first three bytes of a v2+ connection preamble. `b'R'` can never
+/// open a v1 frame: v1 length prefixes are capped at [`MAX_FRAME_LEN`],
+/// so their first byte is always `0x00` or `0x01`.
+pub const PREAMBLE_MAGIC: [u8; 3] = *b"RNI";
+
+/// The full 4-byte preamble a v2 client sends on connect (and a v2
+/// server echoes back as its acknowledgement): magic + version byte.
+pub const PREAMBLE_V2: [u8; 4] = [b'R', b'N', b'I', PROTOCOL_V2 as u8];
+
+/// What a connection's first four bytes negotiate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Negotiated {
+    /// No preamble: the bytes are the start of a v1 frame stream.
+    V1,
+    /// The v2 preamble: binary envelopes with request IDs.
+    V2,
+    /// Preamble magic with a version byte this build does not speak; the
+    /// connection must be closed (there is no compatible framing).
+    Unsupported(u8),
+}
+
+/// Classify a connection's first four bytes (see the module docs for why
+/// this is unambiguous).
+pub fn negotiate(first4: &[u8; 4]) -> Negotiated {
+    if first4[..3] == PREAMBLE_MAGIC {
+        match first4[3] as u32 {
+            PROTOCOL_V2 => Negotiated::V2,
+            other => Negotiated::Unsupported(other as u8),
+        }
+    } else {
+        Negotiated::V1
+    }
+}
 
 // ------------------------------------------------------------ framing --
 
@@ -95,8 +156,38 @@ pub enum Response {
     Err(WireError),
 }
 
+/// A v2 message: a request ID plus a body, in either direction. Request
+/// IDs are allocated by the client and echoed by the server, which is
+/// what lets one connection carry many in-flight calls (pipelining) and
+/// deliver responses out of order.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Envelope {
+    pub req_id: u64,
+    pub body: EnvelopeBody,
+}
+
+/// The body of a v2 [`Envelope`].
+#[derive(Clone, Debug, PartialEq)]
+pub enum EnvelopeBody {
+    /// Connection health probe; answered with [`EnvelopeBody::Pong`].
+    Ping,
+    Pong,
+    /// Execute one naming operation. `deadline_ms` is the client's
+    /// remaining per-request budget (`0` = no deadline). `trace` is the
+    /// transport-level trace context (the v2 analogue of the v1
+    /// `%RNDI-TRACE:` payload header), used when the op meta carries no
+    /// `obs.trace` annotation.
+    Call {
+        op: Box<WireOp>,
+        deadline_ms: u64,
+        trace: Option<rndi_obs::TraceCtx>,
+    },
+    Ok(WireOutcome),
+    Err(WireError),
+}
+
 /// A [`NamingOp`] in wire form.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WireOp {
     /// [`OpKind::label`] string.
     pub kind: String,
@@ -111,12 +202,25 @@ pub struct WireOp {
 
 /// [`OpPayload`] in wire form. Listener registrations are process-local
 /// and have no wire representation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WirePayload {
     None,
     Value(StoredValue),
+    /// Raw marshalled bytes whose encoding this node does not recognise
+    /// (foreign data, or a payload wrapped in a trace frame that must be
+    /// preserved byte-exactly).
     Wire {
         bytes: Vec<u8>,
+        class_name: String,
+    },
+    /// An already-marshalled payload carried *decoded*: the wire form is
+    /// the [`StoredValue`] itself, not its serialized bytes nested inside
+    /// the outer frame (the v1 double-encode this variant eliminates —
+    /// `StoredValue::encode` bytes used to cross as a JSON array of
+    /// integers). The receiver re-marshals with the shared op codec, so
+    /// backends still see [`OpPayload::Wire`] bytes.
+    Stored {
+        value: StoredValue,
         class_name: String,
     },
     NewName(String),
@@ -132,7 +236,7 @@ pub enum WirePayload {
 
 /// [`OpOutcome`] in wire form. `Subscribed` handles are process-local and
 /// have no wire representation.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WireOutcome {
     Done,
     Value(StoredValue),
@@ -143,19 +247,19 @@ pub enum WireOutcome {
     Found(Vec<WireHit>),
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WireNameClass {
     pub name: String,
     pub class_name: String,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WireBinding {
     pub name: String,
     pub value: StoredValue,
 }
 
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct WireHit {
     pub name: String,
     pub value: Option<StoredValue>,
@@ -164,7 +268,7 @@ pub struct WireHit {
 
 /// [`NamingError`] in wire form, one variant per source variant so every
 /// error a remote backend can produce round-trips with full fidelity.
-#[derive(Clone, Debug, Serialize, Deserialize)]
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub enum WireError {
     NameNotFound {
         name: String,
@@ -255,10 +359,7 @@ pub fn encode_op(op: &NamingOp) -> Result<WireOp> {
     let payload = match &op.payload {
         OpPayload::None => WirePayload::None,
         OpPayload::Value(v) => WirePayload::Value(stored(v)?),
-        OpPayload::Wire { bytes, class_name } => WirePayload::Wire {
-            bytes: bytes.clone(),
-            class_name: class_name.clone(),
-        },
+        OpPayload::Wire { bytes, class_name } => encode_wire_payload(bytes, class_name),
         OpPayload::NewName(n) => WirePayload::NewName(n.to_string()),
         OpPayload::Mods(mods) => WirePayload::Mods(mods.clone()),
         OpPayload::Query { filter, controls } => WirePayload::Query {
@@ -280,6 +381,30 @@ pub fn encode_op(op: &NamingOp) -> Result<WireOp> {
     })
 }
 
+/// Choose the single-encoded wire form for an already-marshalled payload.
+/// Bytes that are a bare canonical [`StoredValue`] encoding cross decoded
+/// (and are re-encoded on the far side — `encode ∘ decode` is the
+/// identity for the shared codec's own output); trace-framed payloads and
+/// foreign bytes must survive byte-exactly, so they stay raw. JSON-tree
+/// values also stay raw: their re-encoding need not be byte-identical.
+fn encode_wire_payload(bytes: &[u8], class_name: &str) -> WirePayload {
+    let (frame_ctx, payload) = rndi_obs::frame::strip(bytes);
+    if frame_ctx.is_none() && payload.len() == bytes.len() {
+        if let Some(value) = StoredValue::decode(bytes) {
+            if !matches!(value, StoredValue::Json(_)) && value.encode() == bytes {
+                return WirePayload::Stored {
+                    value,
+                    class_name: class_name.to_string(),
+                };
+            }
+        }
+    }
+    WirePayload::Wire {
+        bytes: bytes.to_vec(),
+        class_name: class_name.to_string(),
+    }
+}
+
 fn parse_kind(label: &str) -> Result<OpKind> {
     ALL_OP_KINDS
         .iter()
@@ -297,6 +422,10 @@ pub fn decode_op(wire: &WireOp) -> Result<NamingOp> {
         WirePayload::Value(s) => OpPayload::Value(s.clone().into_bound()),
         WirePayload::Wire { bytes, class_name } => OpPayload::Wire {
             bytes: bytes.clone(),
+            class_name: class_name.clone(),
+        },
+        WirePayload::Stored { value, class_name } => OpPayload::Wire {
+            bytes: value.encode(),
             class_name: class_name.clone(),
         },
         WirePayload::NewName(n) => OpPayload::NewName(CompositeName::parse(n)?),

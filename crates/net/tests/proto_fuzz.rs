@@ -1,12 +1,18 @@
-//! Fuzz-style hardening for the wire decoder: arbitrary, malformed, or
-//! truncated bytes must surface as errors — never panics, never huge
-//! allocations from attacker-controlled length prefixes.
+//! Fuzz-style hardening for the wire decoders (v1 JSON and v2 binary):
+//! arbitrary, malformed, or truncated bytes must surface as errors —
+//! never panics, never huge allocations from attacker-controlled length
+//! prefixes — and every well-formed envelope must round-trip exactly.
 
 use std::io::Cursor;
 
 use proptest::prelude::*;
 
-use rndi_net::proto;
+use rndi_core::attrs::{AttrMod, Attribute, Attributes};
+use rndi_core::op::ALL_OP_KINDS;
+use rndi_core::value::StoredValue;
+use rndi_net::conn::{FrameBuf, ServerConn};
+use rndi_net::proto::{self, Envelope, EnvelopeBody};
+use rndi_obs::TraceCtx;
 
 proptest! {
     /// Arbitrary bytes through the frame reader: error or frame, no panic.
@@ -87,5 +93,261 @@ proptest! {
             Ok(_) => prop_assert!(false, "ping from a call payload"),
             Err(_) => prop_assert!(!known),
         }
+    }
+}
+
+// ------------------------------------------------ v2 binary envelope --
+
+fn arb_stored() -> impl Strategy<Value = StoredValue> {
+    prop_oneof![
+        Just(StoredValue::Null),
+        "[ -~]{0,16}".prop_map(StoredValue::Str),
+        any::<i64>().prop_map(StoredValue::I64),
+        // Constructed from an integer so the value is never NaN (which
+        // would defeat the equality assertion, not the codec).
+        any::<i32>().prop_map(|i| StoredValue::F64(f64::from(i) / 8.0)),
+        any::<bool>().prop_map(StoredValue::Bool),
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(StoredValue::Bytes),
+        ("[a-z]{1,6}", any::<bool>()).prop_map(|(k, v)| {
+            StoredValue::Json(serde_json::Value::Object(
+                [(k, serde_json::Value::Bool(v))].into_iter().collect(),
+            ))
+        }),
+    ]
+}
+
+fn arb_attrs() -> impl Strategy<Value = Attributes> {
+    proptest::collection::btree_map("[a-z]{1,8}", "[ -~]{0,12}", 0..4).prop_map(|m| {
+        let mut attrs = Attributes::new();
+        for (k, v) in m {
+            attrs = attrs.with(k, v.as_str());
+        }
+        attrs
+    })
+}
+
+fn arb_payload() -> impl Strategy<Value = proto::WirePayload> {
+    prop_oneof![
+        Just(proto::WirePayload::None),
+        arb_stored().prop_map(proto::WirePayload::Value),
+        (
+            proptest::collection::vec(any::<u8>(), 0..32),
+            "[a-zA-Z.]{0,16}"
+        )
+            .prop_map(|(bytes, class_name)| proto::WirePayload::Wire { bytes, class_name }),
+        (arb_stored(), "[a-zA-Z.]{0,16}")
+            .prop_map(|(value, class_name)| { proto::WirePayload::Stored { value, class_name } }),
+        "[ -~]{0,16}".prop_map(proto::WirePayload::NewName),
+        proptest::collection::vec(
+            prop_oneof![
+                ("[a-z]{1,8}", "[ -~]{0,8}")
+                    .prop_map(|(id, v)| AttrMod::Add(Attribute::single(id, v.as_str()))),
+                ("[a-z]{1,8}", "[ -~]{0,8}")
+                    .prop_map(|(id, v)| AttrMod::Replace(Attribute::single(id, v.as_str()))),
+                "[a-z]{1,8}".prop_map(AttrMod::Remove),
+                "[a-z]{1,8}".prop_map(|id| AttrMod::RemoveValues(Attribute::new(id))),
+            ],
+            0..3
+        )
+        .prop_map(proto::WirePayload::Mods),
+        (
+            "[(a-z=*)]{0,12}",
+            prop_oneof![Just("object"), Just("onelevel"), Just("subtree")],
+            any::<u64>(),
+            proptest::option::of(proptest::collection::vec(
+                "[a-z]{1,6}".prop_map(String::from),
+                0..3
+            )),
+            any::<bool>(),
+        )
+            .prop_map(
+                |(filter, scope, count_limit, return_attrs, return_values)| {
+                    proto::WirePayload::Query {
+                        filter,
+                        scope: scope.to_string(),
+                        count_limit,
+                        return_attrs,
+                        return_values,
+                    }
+                }
+            ),
+    ]
+}
+
+fn arb_wire_op() -> impl Strategy<Value = proto::WireOp> {
+    (
+        0..ALL_OP_KINDS.len(),
+        "[ -~]{0,24}",
+        arb_payload(),
+        proptest::option::of(arb_attrs()),
+        proptest::collection::btree_map("[a-z.]{1,10}", "[ -~]{0,16}", 0..3),
+    )
+        .prop_map(|(kind, name, payload, attrs, meta)| proto::WireOp {
+            kind: ALL_OP_KINDS[kind].label().to_string(),
+            name,
+            payload,
+            attrs,
+            meta,
+        })
+}
+
+fn arb_wire_error() -> impl Strategy<Value = proto::WireError> {
+    let s = || "[ -~]{0,20}".prop_map(String::from);
+    prop_oneof![
+        s().prop_map(|name| proto::WireError::NameNotFound { name }),
+        s().prop_map(|name| proto::WireError::AlreadyBound { name }),
+        s().prop_map(|name| proto::WireError::NotAContext { name }),
+        s().prop_map(|name| proto::WireError::ContextExpected { name }),
+        (s(), s()).prop_map(|(name, reason)| proto::WireError::InvalidName { name, reason }),
+        (s(), s())
+            .prop_map(|(filter, reason)| proto::WireError::InvalidSearchFilter { filter, reason }),
+        s().prop_map(|operation| proto::WireError::NotSupported { operation }),
+        s().prop_map(|detail| proto::WireError::NoPermission { detail }),
+        s().prop_map(|detail| proto::WireError::ServiceFailure { detail }),
+        s().prop_map(|detail| proto::WireError::Timeout { detail }),
+        s().prop_map(|scheme| proto::WireError::NoProvider { scheme }),
+        s().prop_map(|detail| proto::WireError::ConfigurationError { detail }),
+        s().prop_map(|name| proto::WireError::ContextNotEmpty { name }),
+        s().prop_map(|name| proto::WireError::LeaseExpired { name }),
+        (arb_stored(), s()).prop_map(|(resolved, remaining)| proto::WireError::Continue {
+            resolved,
+            remaining
+        }),
+        any::<u64>().prop_map(|depth| proto::WireError::FederationDepthExceeded { depth }),
+    ]
+}
+
+fn arb_outcome() -> impl Strategy<Value = proto::WireOutcome> {
+    prop_oneof![
+        Just(proto::WireOutcome::Done),
+        arb_stored().prop_map(proto::WireOutcome::Value),
+        proptest::collection::vec(any::<u8>(), 0..32).prop_map(proto::WireOutcome::Wire),
+        proptest::collection::vec(
+            ("[ -~]{0,12}", "[a-zA-Z.]{0,12}")
+                .prop_map(|(name, class_name)| { proto::WireNameClass { name, class_name } }),
+            0..3
+        )
+        .prop_map(proto::WireOutcome::Names),
+        proptest::collection::vec(
+            ("[ -~]{0,12}", arb_stored())
+                .prop_map(|(name, value)| proto::WireBinding { name, value }),
+            0..3
+        )
+        .prop_map(proto::WireOutcome::Bindings),
+        arb_attrs().prop_map(proto::WireOutcome::Attrs),
+        proptest::collection::vec(
+            (
+                "[ -~]{0,12}",
+                proptest::option::of(arb_stored()),
+                arb_attrs()
+            )
+                .prop_map(|(name, value, attrs)| proto::WireHit { name, value, attrs }),
+            0..3
+        )
+        .prop_map(proto::WireOutcome::Found),
+    ]
+}
+
+fn arb_trace() -> impl Strategy<Value = TraceCtx> {
+    (any::<u64>(), any::<u64>(), any::<u64>(), any::<u32>()).prop_map(
+        |(trace_id, span_id, parent_span, depth)| TraceCtx {
+            trace_id,
+            span_id,
+            parent_span,
+            depth,
+        },
+    )
+}
+
+fn arb_envelope() -> impl Strategy<Value = Envelope> {
+    (
+        any::<u64>(),
+        prop_oneof![
+            Just(EnvelopeBody::Ping),
+            Just(EnvelopeBody::Pong),
+            (
+                arb_wire_op(),
+                any::<u64>(),
+                proptest::option::of(arb_trace())
+            )
+                .prop_map(|(op, deadline_ms, trace)| EnvelopeBody::Call {
+                    op: Box::new(op),
+                    deadline_ms,
+                    trace,
+                }),
+            arb_outcome().prop_map(EnvelopeBody::Ok),
+            arb_wire_error().prop_map(EnvelopeBody::Err),
+        ],
+    )
+        .prop_map(|(req_id, body)| Envelope { req_id, body })
+}
+
+proptest! {
+    /// Every envelope — all op kinds, all payload shapes, all outcome and
+    /// error variants — round-trips the binary codec exactly.
+    #[test]
+    fn binary_envelope_roundtrip(env in arb_envelope()) {
+        let bytes = proto::bin::encode_envelope(&env).expect("encodes");
+        let back = proto::bin::decode_envelope(&bytes).expect("decodes");
+        prop_assert_eq!(back, env);
+    }
+
+    /// Arbitrary bytes through the binary decoder: typed error or valid
+    /// envelope, never a panic.
+    #[test]
+    fn binary_decoder_never_panics(bytes in proptest::collection::vec(any::<u8>(), 0..192)) {
+        let _ = proto::bin::decode_envelope(&bytes);
+    }
+
+    /// A well-formed binary envelope truncated at any byte is an error,
+    /// and appending trailing garbage is too (frames are exact).
+    #[test]
+    fn truncated_binary_envelopes_error(env in arb_envelope(), cut in 0usize..4096) {
+        let bytes = proto::bin::encode_envelope(&env).expect("encodes");
+        let cut = cut % bytes.len().max(1);
+        if cut < bytes.len() {
+            prop_assert!(proto::bin::decode_envelope(&bytes[..cut]).is_err());
+        }
+        let mut padded = bytes;
+        padded.push(0);
+        prop_assert!(proto::bin::decode_envelope(&padded).is_err());
+    }
+
+    /// Version negotiation on the first four connection bytes: the exact
+    /// v2 preamble selects v2; the magic with any other version byte is
+    /// rejected; everything else — in particular any v1 frame length
+    /// prefix, whose first byte is at most 0x01 — falls back to v1.
+    #[test]
+    fn version_negotiation_classifies_first_bytes(first4 in any::<[u8; 4]>()) {
+        let got = proto::negotiate(&first4);
+        if first4 == proto::PREAMBLE_V2 {
+            prop_assert_eq!(got, proto::Negotiated::V2);
+        } else if first4[..3] == proto::PREAMBLE_MAGIC {
+            prop_assert_eq!(got, proto::Negotiated::Unsupported(first4[3]));
+        } else {
+            prop_assert_eq!(got, proto::Negotiated::V1);
+        }
+        // A v1 length prefix can never be mistaken for the magic: capped
+        // frame lengths keep the first byte at or below 0x01.
+        let frame_len = (proto::MAX_FRAME_LEN as u32).to_be_bytes();
+        prop_assert!(frame_len[0] < proto::PREAMBLE_MAGIC[0]);
+    }
+
+    /// A server connection fed an unknown-version preamble closes before
+    /// buffering anything further; a hostile frame length after a valid
+    /// preamble is rejected before allocation.
+    #[test]
+    fn server_conn_rejects_bad_preamble_and_oversized_frames(
+        version in any::<u8>(),
+        oversize in 1u32..1024,
+    ) {
+        if version != proto::PREAMBLE_V2[3] {
+            let mut conn = ServerConn::new();
+            let preamble = [b'R', b'N', b'I', version];
+            prop_assert!(conn.receive(&preamble).is_err());
+        }
+        let mut fb = FrameBuf::new();
+        fb.push(&(proto::MAX_FRAME_LEN as u32 + oversize).to_be_bytes());
+        prop_assert!(fb.next_frame().is_err());
     }
 }

@@ -34,6 +34,10 @@ cargo build --examples
 echo "==> cargo bench --no-run"
 cargo bench --workspace --no-run
 
+echo "==> net smoke: mixed-version interop + concurrency bench builds"
+cargo test -q -p rndi-net --test interop
+cargo bench -p rndi-bench --bench net_concurrency --no-run
+
 echo "==> obs smoke: fig8_federation --obs-dump emits the exposition"
 fig8_out="$(RNDI_BENCH_QUICK=1 RNDI_OBS_DUMP=1 cargo bench -p rndi-bench --bench fig8_federation 2>/dev/null)"
 grep -q "obs dump: metrics exposition" <<<"$fig8_out"
