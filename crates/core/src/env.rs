@@ -74,6 +74,24 @@ pub mod keys {
     /// connections across. `0` (the default) sizes to the machine:
     /// `min(available cores, 4)`.
     pub const NET_SERVER_SHARDS: &str = "rndi.net.server.shards";
+    /// Hard cap on the total pooled connections a `NetClient` holds per
+    /// endpoint, counting transient redials — where
+    /// [`NET_CLIENT_POOL_SIZE`] is the steady-state target, this is the
+    /// ceiling the pool never grows past. `0` (the default) means
+    /// `pool-size`.
+    pub const NET_CLIENT_MAX_POOL: &str = "rndi.net.client.max-pool";
+    /// Milliseconds a pooled client connection may sit idle (no request
+    /// completed on it) before the pool evicts and closes it. `0`
+    /// disables idle eviction. Default 30000.
+    pub const NET_CLIENT_IDLE_MS: &str = "rndi.net.client.idle-ms";
+    /// Maximum worker threads the shard router fans a scatter op
+    /// (whole-namespace `list`/`search`, listener broadcast) out across.
+    /// `1` degenerates to sequential shard visits. Default 8.
+    pub const SHARD_FANOUT: &str = "rndi.shard.fanout";
+    /// Shard-map specification a router/facade is built from:
+    /// comma-separated `shard-id=host:port` members (the `shard-id=`
+    /// prefix is optional — bare endpoints use the endpoint as id).
+    pub const SHARD_MAP: &str = "rndi.shard.map";
 }
 
 /// An immutable-by-convention string property map.

@@ -44,6 +44,20 @@ pub trait NamingListener: Send + Sync {
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct ListenerHandle(u64);
 
+impl ListenerHandle {
+    /// Rehydrate a handle from its raw id. Handles are process-local;
+    /// this exists for layers (tests, routers) that shuttle an id around
+    /// without holding the original value.
+    pub fn from_raw(raw: u64) -> Self {
+        ListenerHandle(raw)
+    }
+
+    /// The raw registration id.
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
 struct Registration {
     handle: ListenerHandle,
     /// Events fire when the event name starts with this prefix.

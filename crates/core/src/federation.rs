@@ -34,6 +34,48 @@ pub const DEFAULT_MAX_DEPTH: u64 = 16;
 /// (overridable via [`keys::FEDERATION_FANOUT`]).
 pub const DEFAULT_FANOUT: u64 = 8;
 
+/// Run `run(i)` for each `i in 0..n` across a bounded pool of `workers`
+/// scoped threads, returning the results in index order regardless of
+/// which worker ran which item.
+///
+/// This is the fan-out machinery federated subtree search uses to visit
+/// mounts concurrently, factored out so other scatter layers (the shard
+/// router, most notably) share one implementation and one determinism
+/// guarantee: results come back positionally, so any merge that iterates
+/// the returned `Vec` is independent of worker count and scheduling.
+/// `workers` is clamped to `1..=n`; `workers == 1` degenerates to a
+/// sequential loop on the caller's thread (no spawns).
+pub fn fan_out<T, F>(n: usize, workers: usize, run: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    if workers == 1 {
+        return (0..n).map(run).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                *slots[i].lock() = Some(run(i));
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("worker filled every slot"))
+        .collect()
+}
+
 /// Turn a resolved boundary object into the continuation context plus the
 /// name prefix it contributes (URL references contribute their path).
 pub fn continuation_context(
@@ -272,42 +314,29 @@ impl FederatedContext {
             .env
             .get_u64(keys::FEDERATION_FANOUT, DEFAULT_FANOUT)
             .max(1) as usize;
-        let workers = fanout.min(mounts.len());
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<Vec<SearchItem>>>> =
-            mounts.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|s| {
-            for _ in 0..workers {
-                s.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some((mount, link)) = mounts.get(i) else {
-                        break;
-                    };
-                    // One child span per mount, recorded by the worker that
-                    // searched it; parent links keep the tree intact no
-                    // matter which thread ran which mount.
-                    let mount_ctx = span_ctx.child();
-                    let mount_start = Instant::now();
-                    let searched =
-                        self.search_mount(link.clone(), filter, controls, depth + 1, &mount_ctx);
-                    rndi_obs::trace::record(SpanRecord::new(
-                        &mount_ctx,
-                        "federation",
-                        mount,
-                        "search",
-                        if searched.is_ok() {
-                            SpanOutcome::Ok
-                        } else {
-                            SpanOutcome::Err
-                        },
-                        mount_start.elapsed(),
-                    ));
-                    *slots[i].lock() = Some(searched.unwrap_or_default());
-                });
-            }
+        let per_mount = fan_out(mounts.len(), fanout, |i| {
+            let (mount, link) = &mounts[i];
+            // One child span per mount, recorded by the worker that
+            // searched it; parent links keep the tree intact no matter
+            // which thread ran which mount.
+            let mount_ctx = span_ctx.child();
+            let mount_start = Instant::now();
+            let searched = self.search_mount(link.clone(), filter, controls, depth + 1, &mount_ctx);
+            rndi_obs::trace::record(SpanRecord::new(
+                &mount_ctx,
+                "federation",
+                mount,
+                "search",
+                if searched.is_ok() {
+                    SpanOutcome::Ok
+                } else {
+                    SpanOutcome::Err
+                },
+                mount_start.elapsed(),
+            ));
+            searched.unwrap_or_default()
         });
-        for ((mount, _), slot) in mounts.iter().zip(slots) {
-            let hits = slot.into_inner().expect("worker filled every slot");
+        for ((mount, _), hits) in mounts.iter().zip(per_mount) {
             out.extend(hits.into_iter().map(|mut hit| {
                 hit.name = if hit.name.is_empty() {
                     mount.clone()

@@ -386,6 +386,24 @@ impl NamingOp {
         }
     }
 
+    /// How a sharded routing tier should place this operation.
+    ///
+    /// The routing key of a name is its *normalized first component*
+    /// (leading/trailing whitespace trimmed): a partitioning layer that
+    /// hashes only the head keeps every name under one top-level prefix on
+    /// the same shard, so subtree operations (`list("apps")`,
+    /// `search("apps", …)`) stay point-to-point. Ops whose target name is
+    /// empty address the whole namespace and must scatter — as must
+    /// `remove_listener`, which carries no name at all — and a `rename`
+    /// routes by its *source* name; the router compares against
+    /// [`NamingOp::new_name`]'s key to detect a cross-shard move.
+    pub fn routing_key(&self) -> RoutingKey<'_> {
+        match self.name.head().map(str::trim) {
+            Some(head) if !head.is_empty() => RoutingKey::Shard(head),
+            _ => RoutingKey::Scatter,
+        }
+    }
+
     /// The trace context this op is executing under, if any layer above
     /// annotated one.
     pub fn trace_ctx(&self) -> Option<TraceCtx> {
@@ -396,6 +414,18 @@ impl NamingOp {
     pub fn set_trace_ctx(&mut self, ctx: &TraceCtx) {
         self.meta.set(TRACE_META_KEY, ctx.encode());
     }
+}
+
+/// Where a sharded routing tier must send an operation — see
+/// [`NamingOp::routing_key`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RoutingKey<'a> {
+    /// The op targets the namespace subtree rooted at this normalized
+    /// first name component; exactly one shard owns it.
+    Shard(&'a str),
+    /// The op addresses the whole namespace (empty target name): every
+    /// shard must be consulted and the results merged.
+    Scatter,
 }
 
 /// The reified response of a [`NamingOp`].
@@ -615,6 +645,32 @@ mod tests {
             .unwrap()
             .into_done(OpKind::Unbind)
             .unwrap();
+    }
+
+    #[test]
+    fn routing_keys_partition_by_head_component() {
+        assert_eq!(
+            NamingOp::lookup("apps/web/frontend".into()).routing_key(),
+            RoutingKey::Shard("apps")
+        );
+        assert_eq!(
+            NamingOp::rebind("apps".into(), BoundValue::str("v")).routing_key(),
+            RoutingKey::Shard("apps")
+        );
+        // Rename routes by its source; the destination key is read
+        // separately by the router to detect cross-shard moves.
+        let mv = NamingOp::rename("east/a".into(), "west/a".into());
+        assert_eq!(mv.routing_key(), RoutingKey::Shard("east"));
+        assert_eq!(mv.new_name().unwrap().head(), Some("west"));
+        // Whole-namespace ops scatter.
+        assert_eq!(
+            NamingOp::list(CompositeName::empty()).routing_key(),
+            RoutingKey::Scatter
+        );
+        assert_eq!(
+            NamingOp::remove_listener(ListenerHandle::from_raw(7)).routing_key(),
+            RoutingKey::Scatter
+        );
     }
 
     #[test]

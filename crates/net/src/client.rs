@@ -33,7 +33,7 @@
 use std::collections::HashMap;
 use std::io::{ErrorKind, Read, Write};
 use std::net::TcpStream;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{RecvTimeoutError, SyncSender, TrySendError};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -69,6 +69,12 @@ pub struct ClientConfig {
     /// Maximum in-flight requests per v2 connection before the pool
     /// prefers dialing another.
     pub pipeline_depth: usize,
+    /// Hard cap on total pooled connections, redials included. Resolved
+    /// at parse time: the `0 = pool-size` default is already applied.
+    pub max_pool: usize,
+    /// Idle milliseconds before a pooled connection is evicted; `0`
+    /// disables idle eviction.
+    pub idle_ms: u64,
 }
 
 impl ClientConfig {
@@ -84,13 +90,26 @@ impl ClientConfig {
                 ),
             });
         }
+        let pool_size = (env.try_get_u64(keys::NET_CLIENT_POOL_SIZE, 4)? as usize).max(1);
+        let max_pool = match env.try_get_u64(keys::NET_CLIENT_MAX_POOL, 0)? as usize {
+            0 => pool_size,
+            n => n,
+        };
         Ok(ClientConfig {
             deadline_ms: env.try_get_u64(keys::NET_DEADLINE_MS, 5_000)?,
-            pool_size: (env.try_get_u64(keys::NET_CLIENT_POOL_SIZE, 4)? as usize).max(1),
+            pool_size,
             health_check: env.try_get_bool(keys::NET_CLIENT_HEALTH_CHECK, true)?,
             proto_version,
             pipeline_depth: (env.try_get_u64(keys::NET_CLIENT_PIPELINE_DEPTH, 32)? as usize).max(1),
+            max_pool,
+            idle_ms: env.try_get_u64(keys::NET_CLIENT_IDLE_MS, 30_000)?,
         })
+    }
+
+    /// Steady-state pooled connections to keep: the pool-size target,
+    /// never above the hard cap.
+    fn keep(&self) -> usize {
+        self.pool_size.min(self.max_pool)
     }
 }
 
@@ -123,11 +142,22 @@ struct MuxConn {
     reader: Mutex<MuxReader>,
     pending: Mutex<HashMap<u64, SyncSender<Delivery>>>,
     broken: AtomicBool,
+    /// Milliseconds since the owning client's epoch at last checkout —
+    /// the idle-eviction clock.
+    last_used: AtomicU64,
 }
 
 impl MuxConn {
     fn inflight(&self) -> usize {
         self.pending.lock().len()
+    }
+
+    fn touch(&self, now_ms: u64) {
+        self.last_used.store(now_ms, Ordering::Relaxed);
+    }
+
+    fn idle_for(&self, now_ms: u64) -> u64 {
+        now_ms.saturating_sub(self.last_used.load(Ordering::Relaxed))
     }
 
     /// Mark the connection dead and fail every in-flight request.
@@ -158,17 +188,22 @@ impl MuxConn {
 pub struct NetClient {
     endpoint: String,
     config: ClientConfig,
-    /// v1: idle checked-in sockets.
-    pool: Mutex<Vec<TcpStream>>,
+    /// v1: idle checked-in sockets, stamped with their checkin time.
+    pool: Mutex<Vec<(TcpStream, Instant)>>,
     /// v2: live multiplexed connections, shared by all callers.
     mux_pool: Mutex<Vec<Arc<MuxConn>>>,
     label: String,
+    /// Zero point of the pool's idle clock.
+    epoch: Instant,
     /// Instrument handles resolved once at construction — a registry
     /// lookup allocates label strings under a global lock, which is too
     /// expensive per request.
     bytes_out: Arc<metrics::Counter>,
     bytes_in: Arc<metrics::Counter>,
     events: Vec<(&'static str, Arc<metrics::Counter>)>,
+    pool_gauge: Arc<metrics::Gauge>,
+    evicted_idle: Arc<metrics::Counter>,
+    evicted_cap: Arc<metrics::Counter>,
 }
 
 /// A v1 connection checked out of the pool, remembering whether it was
@@ -203,15 +238,28 @@ impl NetClient {
             (ev, counter)
         })
         .collect();
+        let pool_gauge = metrics::gauge(names::NET_POOL_SIZE, &[("endpoint", &endpoint)]);
+        let evicted_idle = metrics::counter(
+            names::NET_POOL_EVICTIONS,
+            &[("endpoint", &endpoint), ("reason", "idle")],
+        );
+        let evicted_cap = metrics::counter(
+            names::NET_POOL_EVICTIONS,
+            &[("endpoint", &endpoint), ("reason", "cap")],
+        );
         Ok(NetClient {
             config: ClientConfig::from_env(env)?,
             pool: Mutex::new(Vec::new()),
             mux_pool: Mutex::new(Vec::new()),
             endpoint,
             label,
+            epoch: Instant::now(),
             bytes_out,
             bytes_in,
             events,
+            pool_gauge,
+            evicted_idle,
+            evicted_cap,
         })
     }
 
@@ -295,7 +343,23 @@ impl NetClient {
     }
 
     fn checkout(&self) -> Result<Checked> {
-        while let Some(mut stream) = self.pool.lock().pop() {
+        loop {
+            let popped = {
+                let mut pool = self.pool.lock();
+                let popped = pool.pop();
+                self.pool_gauge.set(pool.len() as i64);
+                popped
+            };
+            let Some((mut stream, idle_since)) = popped else {
+                break;
+            };
+            if self.config.idle_ms > 0
+                && idle_since.elapsed() > Duration::from_millis(self.config.idle_ms)
+            {
+                self.evicted_idle.inc();
+                self.event("drop");
+                continue;
+            }
             if self.config.health_check {
                 if !self.healthy(&mut stream) {
                     self.event("health_fail");
@@ -318,11 +382,21 @@ impl NetClient {
 
     fn checkin(&self, stream: TcpStream) {
         let mut pool = self.pool.lock();
-        if pool.len() < self.config.pool_size {
-            pool.push(stream);
+        // Purge entries that went stale while pooled, oldest first, so the
+        // cap below counts only live candidates.
+        if self.config.idle_ms > 0 {
+            let ttl = Duration::from_millis(self.config.idle_ms);
+            let before = pool.len();
+            pool.retain(|(_, idle_since)| idle_since.elapsed() <= ttl);
+            self.evicted_idle.add((before - pool.len()) as u64);
+        }
+        if pool.len() < self.config.keep() {
+            pool.push((stream, Instant::now()));
         } else {
+            self.evicted_cap.inc();
             self.event("drop");
         }
+        self.pool_gauge.set(pool.len() as i64);
     }
 
     /// One request/response exchange on one connection.
@@ -395,7 +469,48 @@ impl NetClient {
             }),
             pending: Mutex::new(HashMap::new()),
             broken: AtomicBool::new(false),
+            last_used: AtomicU64::new(self.now_ms()),
         }))
+    }
+
+    fn now_ms(&self) -> u64 {
+        self.epoch.elapsed().as_millis() as u64
+    }
+
+    /// Drop broken connections and idle-expired ones (nothing in flight,
+    /// untouched past `idle-ms`) from the v2 pool. Call with the pool
+    /// lock held; updates the size gauge.
+    fn mux_sweep(&self, pool: &mut Vec<Arc<MuxConn>>) {
+        pool.retain(|c| !c.broken.load(Ordering::SeqCst));
+        if self.config.idle_ms > 0 {
+            let now = self.now_ms();
+            let before = pool.len();
+            pool.retain(|c| c.inflight() > 0 || c.idle_for(now) <= self.config.idle_ms);
+            let evicted = before - pool.len();
+            if evicted > 0 {
+                self.evicted_idle.add(evicted as u64);
+                for _ in 0..evicted {
+                    self.event("drop");
+                }
+            }
+        }
+        self.pool_gauge.set(pool.len() as i64);
+    }
+
+    /// Pool a freshly dialed v2 connection, enforcing the hard cap: if
+    /// the pool is full even after sweeping, the connection stays
+    /// unpooled — its caller finishes the in-flight exchange and the
+    /// socket closes when the last reference drops.
+    fn mux_insert(&self, conn: &Arc<MuxConn>) {
+        let mut pool = self.mux_pool.lock();
+        self.mux_sweep(&mut pool);
+        if pool.len() < self.config.max_pool {
+            pool.push(conn.clone());
+            self.pool_gauge.set(pool.len() as i64);
+        } else {
+            self.evicted_cap.inc();
+            self.event("drop");
+        }
     }
 
     /// Pick the least-loaded live connection, dialing a new one when all
@@ -405,18 +520,18 @@ impl NetClient {
     fn mux_checkout(&self) -> Result<(Arc<MuxConn>, bool)> {
         {
             let mut pool = self.mux_pool.lock();
-            pool.retain(|c| !c.broken.load(Ordering::SeqCst));
+            self.mux_sweep(&mut pool);
             if let Some(best) = pool.iter().min_by_key(|c| c.inflight()) {
-                if best.inflight() < self.config.pipeline_depth
-                    || pool.len() >= self.config.pool_size
+                if best.inflight() < self.config.pipeline_depth || pool.len() >= self.config.keep()
                 {
+                    best.touch(self.now_ms());
                     self.event("reuse");
                     return Ok((best.clone(), false));
                 }
             }
         }
         let conn = self.dial_mux()?;
-        self.mux_pool.lock().push(conn.clone());
+        self.mux_insert(&conn);
         Ok((conn, true))
     }
 
@@ -439,7 +554,7 @@ impl NetClient {
                 conn.fail("superseded by redial");
                 self.event("redial");
                 let conn = self.dial_mux()?;
-                self.mux_pool.lock().push(conn.clone());
+                self.mux_insert(&conn);
                 decode_body(self.mux_exchange(&conn, &mut env)?)
             }
             Err(e) => Err(e),

@@ -71,6 +71,21 @@ pub mod names {
     /// Counter: `{key}` — environment properties whose value failed to
     /// parse and fell back to a default (config hygiene warning).
     pub const CONFIG_PARSE_ERRORS: &str = "rndi_config_parse_errors_total";
+    /// Gauge: `{endpoint}` — connections currently pooled by a
+    /// `NetClient` for one endpoint.
+    pub const NET_POOL_SIZE: &str = "rndi_net_pool_size";
+    /// Counter: `{endpoint, reason}` with `reason` one of `idle|cap` —
+    /// pooled client connections closed by pool hygiene.
+    pub const NET_POOL_EVICTIONS: &str = "rndi_net_pool_evictions_total";
+    /// Counter: `{router, shard, mode}` with `mode` one of
+    /// `point|scatter` — ops a shard router sent to each shard.
+    pub const SHARD_ROUTED: &str = "rndi_shard_routed_total";
+    /// Histogram: `{router}` — shards touched per scatter op.
+    pub const SHARD_FANOUT: &str = "rndi_shard_fanout_width";
+    /// Histogram: `{router}` — scatter imbalance per op, as
+    /// `100 × max(per-shard hits) / mean(per-shard hits)` (100 = perfectly
+    /// even; only recorded for scatter ops that returned hits).
+    pub const SHARD_IMBALANCE: &str = "rndi_shard_scatter_imbalance";
 }
 
 /// A monotonically increasing counter.

@@ -1,0 +1,63 @@
+//! Rendezvous (highest-random-weight) hashing.
+//!
+//! Every `(shard, key)` pair gets a pseudo-random 64-bit weight; the shard
+//! with the highest weight owns the key. The scheme needs no coordination
+//! and no shared ring state, and it has the minimal-disruption property
+//! that makes rebalancing tractable: removing a shard moves *only* the
+//! keys that shard owned (every other pair's weight is unchanged), and
+//! adding one steals only the keys it now wins.
+
+/// 64-bit FNV-1a over a byte string.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// The splitmix64 finalizer: a full-avalanche bijective mix, so weights
+/// for nearby inputs (sequential names, shard-0/shard-1 ids) are
+/// statistically independent. FNV alone clusters badly on short
+/// suffix-varying strings.
+fn mix(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
+
+/// The rendezvous weight of `shard_id` for `key`. Pure and stable across
+/// processes and releases — persisted placements (and the bench figures)
+/// depend on this function never changing.
+pub fn weight(shard_id: &str, key: &str) -> u64 {
+    // Mixing the key's hash before combining keeps the pair hash free of
+    // extension collisions ("ab"+"c" vs "a"+"bc") without concatenating.
+    mix(fnv1a(shard_id.as_bytes()) ^ mix(fnv1a(key.as_bytes())))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn weights_are_stable_and_discriminating() {
+        assert_eq!(weight("s1", "apps"), weight("s1", "apps"));
+        assert_ne!(weight("s1", "apps"), weight("s2", "apps"));
+        assert_ne!(weight("s1", "apps"), weight("s1", "app"));
+        // No extension collisions across the pair boundary.
+        assert_ne!(weight("ab", "c"), weight("a", "bc"));
+    }
+
+    #[test]
+    fn weights_spread_across_the_u64_range() {
+        let ws: Vec<u64> = (0..64)
+            .map(|i| weight("shard-0", &format!("k{i}")))
+            .collect();
+        let high = ws.iter().filter(|w| **w > u64::MAX / 2).count();
+        assert!((16..=48).contains(&high), "top-half weights: {high}/64");
+    }
+}

@@ -1,0 +1,61 @@
+//! A sharded namespace: four HDNS shards behind TCP servers, one
+//! rendezvous-hash router in front. The router is just another
+//! `ProviderBackend`, so the standard pipeline (cache, retry, obs) wraps
+//! it unchanged — callers see one flat namespace while every bind and
+//! lookup lands on exactly one shard, and whole-namespace operations
+//! scatter across all of them with a deterministic name-order merge.
+//!
+//! Run with: `cargo run --example sharded_namespace`
+
+use rndi::core::context::{Context, ContextExt};
+use rndi::core::env::{keys, Environment};
+use rndi::core::name::CompositeName;
+use rndi::core::prelude::*;
+use rndi::serve;
+
+fn main() -> Result<()> {
+    // ---- Server side: four single-replica HDNS realms, each a shard ----
+    let cluster = serve::serve_sharded_hdns(4, &Environment::new())?;
+    for shard in cluster.map().shards() {
+        println!("{:8} listening on {}", shard.id(), shard.endpoint());
+    }
+
+    // ---- Client side: the routing pipeline over all four shards ----
+    let env = Environment::new().with(keys::SHARD_FANOUT, "4");
+    let ctx = cluster.connect(&env)?;
+
+    // Binds route by the first name component; these spread across shards.
+    for dir in ["printers", "apps", "users", "svc"] {
+        ctx.create_subcontext(&dir.into())?;
+    }
+    for (name, value) in [
+        ("printers/laser-3", "bldg-a/floor-3"),
+        ("printers/inkjet-1", "bldg-a/floor-1"),
+        ("apps/compiler", "grid-node-17"),
+        ("apps/profiler", "grid-node-04"),
+        ("users/ada", "ada@example.org"),
+        ("svc/scheduler", "grid-head"),
+    ] {
+        ctx.bind_str(name, value)?;
+    }
+
+    // Point lookups hit only the owner shard.
+    println!(
+        "lookup apps/compiler  -> {:?}",
+        ctx.lookup_str("apps/compiler")?.as_str().unwrap()
+    );
+    for key in ["printers", "apps", "users", "svc"] {
+        println!("owner of {key:9} -> {}", cluster.map().owner(key).id());
+    }
+
+    // A root list scatters to every shard and merges in name order.
+    let names = ctx.list(&CompositeName::empty())?;
+    println!("root list ({} entries):", names.len());
+    for pair in &names {
+        println!("  {}", pair.name);
+    }
+
+    cluster.shutdown();
+    println!("sharded_namespace OK");
+    Ok(())
+}

@@ -8,8 +8,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRODUCT_CRATES=(
-  rndi rndi-core rndi-obs rndi-net simnet groupcast rlus hdns minidns dirserv
-  rndi-providers rndi-bench
+  rndi rndi-core rndi-obs rndi-net rndi-shard simnet groupcast rlus hdns
+  minidns dirserv rndi-providers rndi-bench
 )
 pkg_flags=()
 for crate in "${PRODUCT_CRATES[@]}"; do
@@ -37,6 +37,13 @@ cargo bench --workspace --no-run
 echo "==> net smoke: mixed-version interop + concurrency bench builds"
 cargo test -q -p rndi-net --test interop
 cargo bench -p rndi-bench --bench net_concurrency --no-run
+
+echo "==> shard smoke: rendezvous props + sharded e2e + example + bench builds"
+cargo test -q -p rndi-shard
+cargo test -q --test sharded_namespace
+cargo bench -p rndi-bench --bench shard_scale --no-run
+shard_out="$(cargo run -q --example sharded_namespace)"
+grep -q "sharded_namespace OK" <<<"$shard_out"
 
 echo "==> obs smoke: fig8_federation --obs-dump emits the exposition"
 fig8_out="$(RNDI_BENCH_QUICK=1 RNDI_OBS_DUMP=1 cargo bench -p rndi-bench --bench fig8_federation 2>/dev/null)"

@@ -10,6 +10,8 @@
 //!   attributes, filters, federation, events, leases).
 //! * [`providers`] — service providers bridging the API onto each backend.
 //! * [`rlus`], [`hdns`], [`dns`], [`ldap`] — the backend services themselves.
+//! * [`shard`] — the rendezvous-hash routing tier partitioning one
+//!   namespace across N networked shards.
 //! * [`groupcast`] — the group-communication toolkit underneath HDNS.
 //! * [`simnet`] — the virtual-time cluster used by the evaluation harness.
 //!
@@ -44,6 +46,7 @@ pub use rndi_core as core;
 pub use rndi_net as net;
 pub use rndi_obs as obs;
 pub use rndi_providers as providers;
+pub use rndi_shard as shard;
 
 pub use dirserv as ldap;
 pub use groupcast;

@@ -11,11 +11,13 @@ use std::sync::Arc;
 
 use rndi_core::env::Environment;
 use rndi_core::error::Result;
-use rndi_core::spi::ProviderBackend;
+use rndi_core::spi::{ProviderBackend, ProviderPipeline};
 use rndi_net::NetServer;
+use rndi_shard::{ShardInfo, ShardMap, ShardRouter};
 
 use dirserv::server::Connection;
 use dirserv::Dn;
+use groupcast::StackConfig;
 use hdns::HdnsRealm;
 use rlus::Registrar;
 use rndi_providers::common::MsClock;
@@ -52,6 +54,86 @@ pub fn serve_ldap(
 ) -> Result<NetServer> {
     let pipeline = LdapProviderContext::with_env(conn, base, clock, instance, env);
     NetServer::bind(pipeline, env)
+}
+
+/// A locally-hosted shard cluster: N backends each behind their own
+/// [`NetServer`], plus the [`ShardMap`] describing where they listen.
+///
+/// Built by [`serve_sharded`] (explicit backends) or
+/// [`serve_sharded_hdns`] (one single-replica HDNS realm per shard).
+/// Routers connect with [`ShardCluster::connect`]; any number of client
+/// processes can instead read [`ShardCluster::map`]'s rendered form from
+/// `rndi.shard.map` and call [`ShardRouter::connect`] themselves.
+pub struct ShardCluster {
+    map: ShardMap,
+    servers: Vec<NetServer>,
+}
+
+impl ShardCluster {
+    /// The membership: shard ids and the `host:port` each listens on.
+    pub fn map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// A routing client over this cluster: one pooled [`NetClient`]
+    /// (rndi_net::NetClient) per shard under a [`ShardRouter`], wrapped in
+    /// the standard pipeline stack.
+    pub fn connect(&self, env: &Environment) -> Result<Arc<ProviderPipeline<ShardRouter>>> {
+        ShardRouter::connect(self.map.clone(), env)
+    }
+
+    /// Stop every shard server, draining in-flight requests first.
+    pub fn shutdown(self) {
+        for server in self.servers {
+            server.shutdown();
+        }
+    }
+}
+
+/// Host `backends` as a shard cluster: shard `i` (id `shard-<i>`) serves
+/// `backends[i]` behind its own [`NetServer`].
+///
+/// Each server binds per `rndi.net.listen`; keep the default ephemeral
+/// `127.0.0.1:0` when hosting more than one shard in-process (a fixed
+/// port can only bind once) and read the resulting endpoints back from
+/// [`ShardCluster::map`].
+pub fn serve_sharded(
+    backends: Vec<Arc<dyn ProviderBackend>>,
+    env: &Environment,
+) -> Result<ShardCluster> {
+    let mut servers = Vec::with_capacity(backends.len());
+    for backend in backends {
+        servers.push(NetServer::bind(backend, env)?);
+    }
+    let map = ShardMap::new(
+        servers
+            .iter()
+            .enumerate()
+            .map(|(i, s)| ShardInfo::new(format!("shard-{i}"), s.local_addr().to_string()))
+            .collect(),
+    )?;
+    Ok(ShardCluster { map, servers })
+}
+
+/// The paper-native composition: partition the namespace across `shards`
+/// independent single-replica HDNS realms, each with its own standard
+/// provider pipeline and network endpoint. [`ShardCluster::connect`]
+/// yields the routing client.
+pub fn serve_sharded_hdns(shards: usize, env: &Environment) -> Result<ShardCluster> {
+    let backends = (0..shards)
+        .map(|i| {
+            let realm = HdnsRealm::new(
+                &format!("shard-{i}"),
+                1,
+                StackConfig::default(),
+                None,
+                i as u64 + 1,
+            );
+            HdnsProviderContext::with_env(realm, 0, &format!("hdns-shard-{i}"), env)
+                as Arc<dyn ProviderBackend>
+        })
+        .collect();
+    serve_sharded(backends, env)
 }
 
 /// Expose an rlus registrar (the Jini-analog lookup service) as a

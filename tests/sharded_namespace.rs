@@ -1,0 +1,240 @@
+//! End-to-end sharded-namespace acceptance: N HDNS shards behind TCP
+//! servers, a rendezvous-hash router in front, one flat namespace out.
+//! Covers partition correctness over the wire, the fanout-invariant
+//! deterministic merge (for both the shard scatter and federated search),
+//! cross-shard rename, and the linked trace spanning client pipeline →
+//! router → per-shard client/server spans.
+
+use rndi::core::env::keys;
+use rndi::core::prelude::*;
+use rndi::net::NetClient;
+use rndi::serve;
+
+#[test]
+fn router_partitions_the_namespace_across_shards() {
+    let cluster = serve::serve_sharded_hdns(3, &Environment::new()).unwrap();
+    let ctx = cluster.connect(&Environment::new()).unwrap();
+
+    let names: Vec<String> = (0..24).map(|i| format!("part-entry-{i:02}")).collect();
+    for n in &names {
+        ctx.bind_str(n, format!("v-{n}").as_str()).unwrap();
+    }
+    for n in &names {
+        assert_eq!(
+            ctx.lookup_str(n).unwrap().as_str(),
+            Some(format!("v-{n}").as_str())
+        );
+    }
+
+    // A root list scatters to every shard and merges in name order.
+    let listed: Vec<String> = ctx
+        .list(&CompositeName::empty())
+        .unwrap()
+        .into_iter()
+        .map(|p| p.name)
+        .collect();
+    assert_eq!(listed, names, "merged list is complete and name-ordered");
+
+    // Dialing each shard directly shows it holds *exactly* the keys
+    // rendezvous hashing assigns it — the namespace really partitioned.
+    let mut occupied = 0;
+    for (i, shard) in cluster.map().shards().iter().enumerate() {
+        let direct = NetClient::connect(shard.endpoint().to_string(), &Environment::new()).unwrap();
+        let got: Vec<String> = direct
+            .list(&CompositeName::empty())
+            .unwrap()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        let want: Vec<String> = names
+            .iter()
+            .filter(|n| cluster.map().owner_index(n) == i)
+            .cloned()
+            .collect();
+        assert_eq!(got, want, "shard {} holds exactly its keys", shard.id());
+        occupied += usize::from(!got.is_empty());
+    }
+    assert!(occupied >= 2, "24 keys spread over more than one shard");
+
+    cluster.shutdown();
+}
+
+#[test]
+fn scatter_and_federated_merges_are_fanout_invariant() {
+    // --- ShardRouter half: scatter over the wire, fanout 1 vs 8 ---
+    let cluster = serve::serve_sharded_hdns(4, &Environment::new()).unwrap();
+    let seed = cluster.connect(&Environment::new()).unwrap();
+    for i in 0..16 {
+        seed.bind_with_attrs(
+            &format!("det-svc-{i:02}").as_str().into(),
+            BoundValue::str(format!("endpoint-{i}")),
+            Attributes::new()
+                .with("tier", if i % 2 == 0 { "gold" } else { "bronze" })
+                .with("slot", i.to_string()),
+        )
+        .unwrap();
+    }
+
+    let filter = Filter::parse("(tier=gold)").unwrap();
+    let controls = SearchControls::default();
+    let run = |fanout: &str| {
+        let ctx = cluster
+            .connect(&Environment::new().with(keys::SHARD_FANOUT, fanout))
+            .unwrap();
+        (
+            format!("{:?}", ctx.list(&CompositeName::empty()).unwrap()),
+            format!("{:?}", ctx.list_bindings(&CompositeName::empty()).unwrap()),
+            format!(
+                "{:?}",
+                ctx.search(&CompositeName::empty(), &filter, &controls)
+                    .unwrap()
+            ),
+        )
+    };
+    assert_eq!(
+        run("1"),
+        run("8"),
+        "scatter merges are byte-identical across fan-out widths"
+    );
+    cluster.shutdown();
+
+    // --- FederatedContext half: subtree search across mounts, 1 vs 8 ---
+    let root = MemContext::new();
+    for mount in ["det-mount-a", "det-mount-b", "det-mount-c"] {
+        let far = MemContext::new();
+        for i in 0..4 {
+            far.bind_with_attrs(
+                &format!("{mount}-hit-{i}").as_str().into(),
+                BoundValue::str("x"),
+                Attributes::new().with("k", "v"),
+            )
+            .unwrap();
+        }
+        root.bind(&mount.into(), BoundValue::Context(std::sync::Arc::new(far)))
+            .unwrap();
+    }
+    let controls = SearchControls {
+        scope: SearchScope::Subtree,
+        ..Default::default()
+    };
+    let filter = Filter::parse("(k=v)").unwrap();
+    let fed_run = |fanout: &str| {
+        let fed = FederatedContext::new(
+            std::sync::Arc::new(root.clone()),
+            std::sync::Arc::new(ProviderRegistry::new()),
+            Environment::new().with(keys::FEDERATION_FANOUT, fanout),
+        );
+        format!(
+            "{:?}",
+            DirContext::search(fed.as_ref(), &CompositeName::empty(), &filter, &controls).unwrap()
+        )
+    };
+    assert_eq!(
+        fed_run("1"),
+        fed_run("8"),
+        "federated merges are byte-identical across fan-out widths"
+    );
+}
+
+#[test]
+fn rename_moves_entries_between_shards() {
+    let cluster = serve::serve_sharded_hdns(4, &Environment::new()).unwrap();
+    let map = cluster.map().clone();
+
+    // Pick a source/destination pair owned by different shards, and one
+    // owned by the same shard, purely from the hash.
+    let candidates: Vec<String> = (0..64).map(|i| format!("mv-{i:02}")).collect();
+    let src = candidates[0].clone();
+    let cross = candidates
+        .iter()
+        .find(|c| map.owner_index(c) != map.owner_index(&src))
+        .expect("64 candidates hit more than one shard")
+        .clone();
+    let same = candidates
+        .iter()
+        .skip(1)
+        .find(|c| map.owner_index(c) == map.owner_index(&src))
+        .expect("64 candidates land two on one shard")
+        .clone();
+
+    let ctx = cluster.connect(&Environment::new()).unwrap();
+
+    // Cross-shard: lookup → bind(dst) → unbind(src) through the router.
+    ctx.bind_str(&src, "moved-payload").unwrap();
+    ctx.rename(&src.as_str().into(), &cross.as_str().into())
+        .unwrap();
+    assert_eq!(
+        ctx.lookup_str(&cross).unwrap().as_str(),
+        Some("moved-payload")
+    );
+    assert!(
+        matches!(ctx.lookup_str(&src), Err(NamingError::NameNotFound { .. })),
+        "source gone after the move"
+    );
+
+    // Same-shard renames stay a single point op on the owner.
+    ctx.rename(&cross.as_str().into(), &same.as_str().into())
+        .unwrap();
+    assert_eq!(
+        ctx.lookup_str(&same).unwrap().as_str(),
+        Some("moved-payload")
+    );
+
+    cluster.shutdown();
+}
+
+#[test]
+fn scatter_trace_links_router_clients_and_shard_servers() {
+    let cluster = serve::serve_sharded_hdns(2, &Environment::new()).unwrap();
+    let ctx = cluster.connect(&Environment::new()).unwrap();
+    ctx.bind_str("trace-seed", "x").unwrap();
+    ctx.list_bindings(&CompositeName::empty()).unwrap();
+
+    let ring = rndi::obs::trace::ring();
+    let anchor = ring
+        .snapshot()
+        .into_iter()
+        .rev()
+        .find(|s| s.layer == "router" && s.op == "list_bindings")
+        .expect("router span recorded");
+    let trace = ring.trace(anchor.trace_id);
+
+    // One root — the client-side pipeline span — with the router span
+    // linked beneath it through the interceptor chain (pipeline →
+    // backend obs → router).
+    let roots: Vec<_> = trace.iter().filter(|s| s.parent_span == 0).collect();
+    assert_eq!(roots.len(), 1, "exactly one root span");
+    assert_eq!(roots[0].layer, "pipeline");
+    let mut cursor = anchor.parent_span;
+    let mut reaches_root = false;
+    while let Some(span) = trace.iter().find(|s| s.span_id == cursor) {
+        if span.span_id == roots[0].span_id {
+            reaches_root = true;
+            break;
+        }
+        cursor = span.parent_span;
+    }
+    assert!(
+        reaches_root,
+        "router span's ancestor chain reaches the pipeline root"
+    );
+
+    // One client leg per shard hangs off the router span, and each leg
+    // has a server-side span linked under it — the cross-wire chain.
+    let clients: Vec<_> = trace
+        .iter()
+        .filter(|s| s.layer == "client" && s.parent_span == anchor.span_id)
+        .collect();
+    assert_eq!(clients.len(), 2, "one client span per shard leg");
+    for client in clients {
+        assert!(
+            trace
+                .iter()
+                .any(|s| s.layer == "server" && s.parent_span == client.span_id),
+            "server span linked under the {} leg",
+            client.provider
+        );
+    }
+
+    cluster.shutdown();
+}
