@@ -241,7 +241,7 @@ impl Operation for Rc<RoundTrips> {
                 &ctx,
                 "client",
                 "loadgen",
-                &label,
+                label,
                 if ok {
                     SpanOutcome::Ok
                 } else {
@@ -522,7 +522,7 @@ mod tests {
             .filter(|s| s.parent_span == client.span_id && s.layer == "server")
             .collect();
         assert_eq!(children.len(), 2, "one server span per round trip");
-        assert!(children.iter().all(|s| s.provider == "obs-loadgen-test"));
+        assert!(children.iter().all(|s| &*s.provider == "obs-loadgen-test"));
     }
 
     #[test]

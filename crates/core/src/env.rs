@@ -47,6 +47,22 @@ pub mod keys {
     pub const OBS_TRACE_FILE: &str = "rndi.obs.trace-file";
     /// Capacity of the process-wide span ring buffer (default 4096).
     pub const OBS_RING_CAPACITY: &str = "rndi.obs.ring-capacity";
+    /// Cap on distinct metric series per family before new label sets
+    /// fold into an `overflow="true"` series (default 4096; `0` = the
+    /// default). Guards the registry against label-cardinality blowups.
+    pub const OBS_MAX_SERIES: &str = "rndi.obs.max-series";
+    /// Directory the flight recorder writes anomaly dumps (JSONL) into.
+    /// Unset (the default) leaves the recorder disarmed.
+    pub const OBS_FLIGHT_DIR: &str = "rndi.obs.flight-dir";
+    /// Flight-recorder slow-op trigger: dump when an op runs longer than
+    /// this multiple of its trailing p99 (default 4).
+    pub const OBS_FLIGHT_P99_MULT: &str = "rndi.obs.flight.p99-multiple";
+    /// Observations required per (provider, op) before the slow-op
+    /// trigger arms (default 64).
+    pub const OBS_FLIGHT_MIN_SAMPLES: &str = "rndi.obs.flight.min-samples";
+    /// Flight-recorder error-spike trigger: dump when at least this
+    /// percent of the trailing window errored (default 50).
+    pub const OBS_FLIGHT_ERR_PCT: &str = "rndi.obs.flight.err-rate-pct";
     /// `host:port` a `NetServer` listens on. `127.0.0.1:0` (the default)
     /// binds an ephemeral loopback port.
     pub const NET_LISTEN: &str = "rndi.net.listen";

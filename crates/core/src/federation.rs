@@ -164,7 +164,7 @@ pub fn drive_op(
         rndi_obs::trace::record(SpanRecord::new(
             &span_ctx,
             "federation",
-            &provider,
+            provider.as_str(),
             kind.label(),
             outcome,
             start.elapsed(),
@@ -325,7 +325,7 @@ impl FederatedContext {
             rndi_obs::trace::record(SpanRecord::new(
                 &mount_ctx,
                 "federation",
-                mount,
+                mount.as_str(),
                 "search",
                 if searched.is_ok() {
                     SpanOutcome::Ok
@@ -860,7 +860,7 @@ mod tests {
             .snapshot()
             .into_iter()
             .rev()
-            .find(|s| s.provider == "obs-mount-a")
+            .find(|s| &*s.provider == "obs-mount-a")
             .expect("per-mount span recorded");
         let trace = ring.trace(anchor.trace_id);
         let roots: Vec<_> = trace.iter().filter(|s| s.parent_span == 0).collect();
@@ -873,7 +873,7 @@ mod tests {
         for mount in ["obs-mount-a", "obs-mount-b"] {
             let m = trace
                 .iter()
-                .find(|s| s.provider == mount)
+                .find(|s| &*s.provider == mount)
                 .unwrap_or_else(|| panic!("child span for {mount}"));
             assert_eq!(m.parent_span, root_span.span_id);
             assert_eq!(m.depth, 1);
@@ -881,7 +881,7 @@ mod tests {
         // The nested mount inside mount-a joins the same trace, deeper.
         let nested = trace
             .iter()
-            .find(|s| s.provider == "obs-nested")
+            .find(|s| &*s.provider == "obs-nested")
             .expect("nested mount span");
         assert!(nested.depth > 1, "nested span below the mount span");
     }

@@ -19,7 +19,7 @@ use crate::event::{ListenerHandle, NamingListener};
 use crate::filter::Filter;
 use crate::name::CompositeName;
 use crate::value::BoundValue;
-use rndi_obs::TraceCtx;
+use rndi_obs::{TraceCell, TraceCtx};
 
 /// Meta key under which an op's encoded [`TraceCtx`] travels the pipeline
 /// (and federation hops — [`NamingOp::with_name`] preserves meta).
@@ -257,6 +257,12 @@ pub struct NamingOp {
     /// Attributes accompanying `bind_with_attrs`/`rebind_with_attrs`.
     pub attrs: Option<Attributes>,
     pub meta: MetaBag,
+    /// The trace context this op executes under. A first-class
+    /// interior-mutable cell so per-layer re-annotation is a handful of
+    /// relaxed stores (no string encode, no op clone); the transports
+    /// translate it to/from the [`TRACE_META_KEY`] meta string (and the
+    /// v1 frame header) only at the wire boundary.
+    pub trace: TraceCell,
 }
 
 impl NamingOp {
@@ -267,6 +273,7 @@ impl NamingOp {
             payload,
             attrs: None,
             meta: MetaBag::new(),
+            trace: TraceCell::empty(),
         }
     }
 
@@ -405,14 +412,18 @@ impl NamingOp {
     }
 
     /// The trace context this op is executing under, if any layer above
-    /// annotated one.
+    /// annotated one. Ops annotated before the wire boundary existed may
+    /// carry the context as a [`TRACE_META_KEY`] meta string instead;
+    /// parse it as a fallback.
     pub fn trace_ctx(&self) -> Option<TraceCtx> {
-        self.meta.get(TRACE_META_KEY).and_then(TraceCtx::parse)
+        self.trace
+            .get()
+            .or_else(|| self.meta.get(TRACE_META_KEY).and_then(TraceCtx::parse))
     }
 
     /// Annotate this op with a trace context (overwriting any previous one).
     pub fn set_trace_ctx(&mut self, ctx: &TraceCtx) {
-        self.meta.set(TRACE_META_KEY, ctx.encode());
+        self.trace.set(ctx);
     }
 }
 

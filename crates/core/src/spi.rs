@@ -772,9 +772,9 @@ impl Interceptor for MarshalInterceptor {
 /// and one innermost (`layer="backend"`, the backend round-trip only), so
 /// the gap between the two histograms is middleware + queueing time.
 /// Instrument handles are resolved once per pipeline at construction; the
-/// per-op cost is one op clone, two atomics, and a ring push.
+/// per-op cost is a trace-cell write, a few atomics, and a ring push.
 pub struct ObsInterceptor {
-    provider: String,
+    provider: Arc<str>,
     position: &'static str,
     durations: [Arc<rndi_obs::Histogram>; 16],
     outcomes: [[Arc<rndi_obs::Counter>; 3]; 16],
@@ -806,8 +806,10 @@ impl ObsInterceptor {
             };
             [mk("ok"), mk("err"), mk("continue")]
         });
+        // Calibrate the span clock at assembly time, not on the first op.
+        rndi_obs::clock::init();
         ObsInterceptor {
-            provider: provider.to_string(),
+            provider: Arc::from(provider),
             position,
             durations,
             outcomes,
@@ -825,11 +827,14 @@ impl Interceptor for ObsInterceptor {
             Some(parent) => parent.child(),
             None => TraceCtx::root(),
         };
-        let mut annotated = op.clone();
-        annotated.set_trace_ctx(&ctx);
-        let start = Instant::now();
-        let result = next.invoke(&annotated);
-        let took = start.elapsed();
+        // Annotate in place through the op's trace cell (restoring the
+        // caller's view on exit) — re-annotation must not clone the op.
+        let saved = op.trace.get();
+        op.trace.set(&ctx);
+        let start = rndi_obs::clock::now_ns();
+        let result = next.invoke(op);
+        let took = Duration::from_nanos(rndi_obs::clock::now_ns().saturating_sub(start));
+        op.trace.restore(saved);
         let (slot, outcome) = match &result {
             Ok(_) => (0, SpanOutcome::Ok),
             Err(e) if e.is_continue() => (2, SpanOutcome::Continue),
@@ -838,10 +843,21 @@ impl Interceptor for ObsInterceptor {
         let k = op.kind.index();
         self.durations[k].record_duration(took);
         self.outcomes[k][slot].inc();
+        // Feed the flight recorder from the outermost layer only, so each
+        // op counts once toward trailing-p99 and error-rate windows. The
+        // unarmed path is a single relaxed atomic load.
+        if self.position == "pipeline" {
+            rndi_obs::recorder::observe(
+                &self.provider,
+                op.kind.label(),
+                took.as_nanos() as u64,
+                slot == 1,
+            );
+        }
         rndi_obs::trace::record(SpanRecord::new(
             &ctx,
             self.position,
-            &self.provider,
+            self.provider.clone(),
             op.kind.label(),
             outcome,
             took,
@@ -915,6 +931,20 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
             if ring_capacity > 0 {
                 rndi_obs::trace::ring().set_capacity(ring_capacity as usize);
             }
+            let max_series = env.get_u64(keys::OBS_MAX_SERIES, 0);
+            if max_series > 0 {
+                rndi_obs::metrics::set_max_series(max_series as usize);
+            }
+            if let Some(dir) = env.get(keys::OBS_FLIGHT_DIR) {
+                let defaults = rndi_obs::FlightConfig::default();
+                rndi_obs::recorder::arm(rndi_obs::FlightConfig {
+                    dir: dir.to_string(),
+                    p99_multiple: env.get_u64(keys::OBS_FLIGHT_P99_MULT, defaults.p99_multiple),
+                    min_samples: env.get_u64(keys::OBS_FLIGHT_MIN_SAMPLES, defaults.min_samples),
+                    err_rate_pct: env.get_u64(keys::OBS_FLIGHT_ERR_PCT, defaults.err_rate_pct),
+                    ..defaults
+                });
+            }
         }
 
         let stats = Arc::new(PipelineStats::new());
@@ -961,7 +991,14 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
         if backend.wire_format() == WireFormat::Encoded {
             stack.push(Arc::new(MarshalInterceptor));
         }
-        if obs {
+        // A backend-position span only earns its keep when a layer that
+        // can swallow or repeat backend calls sits above it — then the
+        // pipeline span and the backend span genuinely measure different
+        // things (a cache hit has no backend span; a retried op has
+        // several). In the plain stack the two would bracket the same
+        // interval, so skip the duplicate and keep the hot path at one
+        // obs layer per pipeline.
+        if obs && (retry.is_some() || cache.is_some()) {
             stack.push(Arc::new(ObsInterceptor::new(&provider_label, "backend")));
         }
 

@@ -214,7 +214,7 @@ impl HdnsRealm {
             rndi_obs::trace::record(SpanRecord::new(
                 &client_ctx.child(),
                 "server",
-                &server,
+                server.as_str(),
                 label,
                 if result.is_ok() {
                     SpanOutcome::Ok

@@ -49,7 +49,7 @@ use rndi_obs::metrics::{self, names};
 use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
 
 use crate::conn::{ClientConn, ClientDecoder, ClientEncoder};
-use crate::proto::{self, Envelope, EnvelopeBody, Request, Response};
+use crate::proto::{self, AdminReply, AdminRequest, Envelope, EnvelopeBody, Request, Response};
 
 /// Resolved client configuration (see the `rndi.net.*` environment keys).
 #[derive(Clone, Debug)]
@@ -192,7 +192,7 @@ pub struct NetClient {
     pool: Mutex<Vec<(TcpStream, Instant)>>,
     /// v2: live multiplexed connections, shared by all callers.
     mux_pool: Mutex<Vec<Arc<MuxConn>>>,
-    label: String,
+    label: Arc<str>,
     /// Zero point of the pool's idle clock.
     epoch: Instant,
     /// Instrument handles resolved once at construction — a registry
@@ -221,6 +221,7 @@ impl NetClient {
         let label = format!("net-client:{endpoint}");
         let bytes_out = metrics::counter(names::NET_BYTES, &[("server", &label), ("dir", "out")]);
         let bytes_in = metrics::counter(names::NET_BYTES, &[("server", &label), ("dir", "in")]);
+        let label: Arc<str> = Arc::from(label.as_str());
         let events = [
             "reuse",
             "dial",
@@ -545,19 +546,96 @@ impl NetClient {
                 trace: Some(*ctx),
             },
         };
+        decode_body(self.v2_roundtrip(&mut env)?)
+    }
+
+    /// One v2 exchange with the standard resilience policy: a transport
+    /// failure on a *reused* connection is retried once on a fresh dial
+    /// (the server may simply have dropped the socket while it idled).
+    fn v2_roundtrip(&self, env: &mut Envelope) -> Result<EnvelopeBody> {
         let (conn, fresh) = self.mux_checkout()?;
-        match self.mux_exchange(&conn, &mut env) {
-            Ok(body) => decode_body(body),
+        match self.mux_exchange(&conn, env) {
+            Ok(body) => Ok(body),
             Err(e) if !fresh && is_transport(&e) => {
-                // A pooled connection may have been dropped server-side
-                // while idle; redial once before surfacing the failure.
                 conn.fail("superseded by redial");
                 self.event("redial");
                 let conn = self.dial_mux()?;
                 self.mux_insert(&conn);
-                decode_body(self.mux_exchange(&conn, &mut env)?)
+                self.mux_exchange(&conn, env)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    // --------------------------------------------------- admin scrape --
+
+    /// Round-trip one admin request. Admin vocabulary exists only in the
+    /// v2 envelope protocol; a v1-configured client reports that rather
+    /// than sending a frame the server cannot type.
+    fn admin(&self, req: AdminRequest) -> Result<AdminReply> {
+        if self.config.proto_version != proto::PROTOCOL_V2 {
+            return Err(NamingError::unsupported(
+                "admin scrapes require rndi.net.proto.version=2",
+            ));
+        }
+        let mut env = Envelope {
+            req_id: 0,
+            body: EnvelopeBody::Admin(req),
+        };
+        match self.v2_roundtrip(&mut env)? {
+            EnvelopeBody::AdminOk(reply) => Ok(reply),
+            EnvelopeBody::Err(e) => Err(proto::decode_error(&e)),
+            other => Err(NamingError::service(format!(
+                "unexpected admin response body: {other:?}"
+            ))),
+        }
+    }
+
+    /// Scrape the remote server's metrics registry as a mergeable
+    /// snapshot (multiplexed over the same socket as data ops).
+    pub fn scrape_metrics(&self) -> Result<rndi_obs::MetricsSnapshot> {
+        match self.admin(AdminRequest::Metrics)? {
+            AdminReply::Metrics(snap) => Ok(snap),
+            other => Err(admin_mismatch("metrics", &other)),
+        }
+    }
+
+    /// Scrape the remote server's health summary.
+    pub fn scrape_health(&self) -> Result<rndi_obs::HealthSummary> {
+        match self.admin(AdminRequest::Health)? {
+            AdminReply::Health(health) => Ok(health),
+            other => Err(admin_mismatch("health", &other)),
+        }
+    }
+
+    /// Every span of one trace still buffered in the remote trace ring.
+    pub fn dump_trace(&self, trace_id: u64) -> Result<Vec<SpanRecord>> {
+        self.dump(AdminRequest::TraceDump {
+            trace_id,
+            slowest: 0,
+        })
+    }
+
+    /// Full traces of the `n` slowest root spans in the remote ring.
+    pub fn dump_slowest(&self, n: u32) -> Result<Vec<SpanRecord>> {
+        self.dump(AdminRequest::TraceDump {
+            trace_id: 0,
+            slowest: n,
+        })
+    }
+
+    /// Every span currently buffered in the remote trace ring.
+    pub fn dump_spans(&self) -> Result<Vec<SpanRecord>> {
+        self.dump(AdminRequest::TraceDump {
+            trace_id: 0,
+            slowest: 0,
+        })
+    }
+
+    fn dump(&self, req: AdminRequest) -> Result<Vec<SpanRecord>> {
+        match self.admin(req)? {
+            AdminReply::TraceDump(spans) => Ok(spans),
+            other => Err(admin_mismatch("trace dump", &other)),
         }
     }
 
@@ -707,6 +785,10 @@ impl NetClient {
     }
 }
 
+fn admin_mismatch(wanted: &str, got: &AdminReply) -> NamingError {
+    NamingError::service(format!("expected {wanted} admin reply, got {got:?}"))
+}
+
 fn decode_body(body: EnvelopeBody) -> Result<OpOutcome> {
     match body {
         EnvelopeBody::Ok(out) => proto::decode_outcome(&out),
@@ -746,12 +828,9 @@ impl ProviderBackend for NetClient {
             None => TraceCtx::root(),
         };
         let start = Instant::now();
-        // Annotate the client span's context directly on the wire form
-        // (cheaper than cloning the whole op to re-annotate it).
-        let result = proto::encode_op(op).and_then(|mut wire_op| {
-            wire_op
-                .meta
-                .insert(rndi_core::op::TRACE_META_KEY.to_string(), ctx.encode());
+        // Encode the wire form carrying the client span's context (not
+        // the op's own) — the far side should link under this hop.
+        let result = proto::encode_op_as(op, Some(ctx)).and_then(|wire_op| {
             if self.config.proto_version == proto::PROTOCOL_V2 {
                 self.call_v2(wire_op, &ctx)
             } else {
@@ -766,7 +845,7 @@ impl ProviderBackend for NetClient {
         rndi_obs::trace::record(SpanRecord::new(
             &ctx,
             "client",
-            &self.label,
+            self.label.clone(),
             op.kind.label(),
             outcome,
             start.elapsed(),
@@ -775,7 +854,7 @@ impl ProviderBackend for NetClient {
     }
 
     fn provider_id(&self) -> String {
-        self.label.clone()
+        self.label.to_string()
     }
 
     fn compound_syntax(&self) -> CompoundSyntax {

@@ -16,7 +16,10 @@
 use rndi_core::error::{NamingError, Result};
 use rndi_obs::TraceCtx;
 
-use crate::proto::{self, Envelope, EnvelopeBody, Negotiated, WireError, WireOp, WireOutcome};
+use crate::proto::{
+    self, AdminReply, AdminRequest, Envelope, EnvelopeBody, Negotiated, WireError, WireOp,
+    WireOutcome,
+};
 
 /// An incremental length-prefixed frame reassembler. Bytes go in at
 /// whatever granularity the transport produced them; complete frames come
@@ -107,6 +110,8 @@ pub enum InboundMsg {
         /// header; v2: the envelope's trace field).
         trace: Option<TraceCtx>,
     },
+    /// A telemetry scrape (v2 only — v1 has no admin vocabulary).
+    Admin(AdminRequest),
     /// The frame was self-delimiting but its payload did not decode; the
     /// server answers this error instead of dropping the connection.
     Malformed(NamingError),
@@ -118,6 +123,7 @@ pub enum ResponseBody {
     Pong,
     Ok(WireOutcome),
     Err(WireError),
+    Admin(AdminReply),
 }
 
 enum ServerProto {
@@ -212,6 +218,11 @@ impl ServerConn {
                 ResponseBody::Pong => proto::Response::Pong,
                 ResponseBody::Ok(out) => proto::Response::Ok(out),
                 ResponseBody::Err(err) => proto::Response::Err(err),
+                // Unreachable in practice: v1 cannot express an admin
+                // request, so no handler ever produces this on v1.
+                ResponseBody::Admin(_) => {
+                    return Err(NamingError::service("admin replies require protocol v2"))
+                }
             })?,
             ServerProto::V2 => proto::bin::encode_envelope(&Envelope {
                 req_id,
@@ -219,6 +230,7 @@ impl ServerConn {
                     ResponseBody::Pong => EnvelopeBody::Pong,
                     ResponseBody::Ok(out) => EnvelopeBody::Ok(out),
                     ResponseBody::Err(err) => EnvelopeBody::Err(err),
+                    ResponseBody::Admin(reply) => EnvelopeBody::AdminOk(reply),
                 },
             })?,
             ServerProto::Negotiating => {
@@ -289,8 +301,12 @@ fn decode_v2_request(frame: &[u8]) -> Result<Inbound> {
                     deadline_ms,
                     trace,
                 },
+                EnvelopeBody::Admin(req) => InboundMsg::Admin(req),
                 // A client must not send response bodies.
-                EnvelopeBody::Pong | EnvelopeBody::Ok(_) | EnvelopeBody::Err(_) => {
+                EnvelopeBody::Pong
+                | EnvelopeBody::Ok(_)
+                | EnvelopeBody::Err(_)
+                | EnvelopeBody::AdminOk(_) => {
                     InboundMsg::Malformed(NamingError::service("response body in a client request"))
                 }
             };

@@ -184,6 +184,35 @@ pub enum EnvelopeBody {
     },
     Ok(WireOutcome),
     Err(WireError),
+    /// A telemetry request (v2 only): scrape the serving instance over
+    /// the same socket as data ops. Answered with
+    /// [`EnvelopeBody::AdminOk`] or [`EnvelopeBody::Err`].
+    Admin(AdminRequest),
+    AdminOk(AdminReply),
+}
+
+/// The admin request family: remote scrape of one serving instance.
+/// Unknown kinds decode as clean typed errors, never panics, so newer
+/// clients degrade gracefully against older servers and vice versa.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AdminRequest {
+    /// The instance's full metrics snapshot (its registry, serialized).
+    Metrics,
+    /// Trace-ring contents. `trace_id != 0` selects one trace's spans;
+    /// otherwise `slowest != 0` selects the full traces of the N slowest
+    /// roots; otherwise every buffered span.
+    TraceDump { trace_id: u64, slowest: u32 },
+    /// Uptime, connection occupancy, shard inbox depth, request/error
+    /// totals, and trace-ring drop counts.
+    Health,
+}
+
+/// The reply to an [`AdminRequest`], same order of kinds.
+#[derive(Clone, Debug, PartialEq)]
+pub enum AdminReply {
+    Metrics(rndi_obs::MetricsSnapshot),
+    TraceDump(Vec<rndi_obs::SpanRecord>),
+    Health(rndi_obs::HealthSummary),
 }
 
 /// A [`NamingOp`] in wire form.
@@ -356,6 +385,13 @@ fn parse_scope(s: &str) -> Result<SearchScope> {
 /// for op shapes that are inherently process-local (listeners, handles,
 /// live context payloads).
 pub fn encode_op(op: &NamingOp) -> Result<WireOp> {
+    encode_op_as(op, op.trace.get())
+}
+
+/// [`encode_op`], but materializing `trace` instead of the op's own trace
+/// cell — for callers (the client) that annotate the wire form with their
+/// own span's context and would otherwise encode the meta string twice.
+pub fn encode_op_as(op: &NamingOp, trace: Option<rndi_obs::TraceCtx>) -> Result<WireOp> {
     let payload = match &op.payload {
         OpPayload::None => WirePayload::None,
         OpPayload::Value(v) => WirePayload::Value(stored(v)?),
@@ -377,7 +413,16 @@ pub fn encode_op(op: &NamingOp) -> Result<WireOp> {
         name: op.name.to_string(),
         payload,
         attrs: op.attrs.clone(),
-        meta: op.meta.iter().map(|(k, v)| (k.into(), v.into())).collect(),
+        meta: {
+            let mut meta: std::collections::BTreeMap<String, String> =
+                op.meta.iter().map(|(k, v)| (k.into(), v.into())).collect();
+            // Materialize the trace context as the wire meta string, so
+            // every encoder stays trace-correct.
+            if let Some(ctx) = trace {
+                meta.insert(rndi_core::op::TRACE_META_KEY.to_string(), ctx.encode());
+            }
+            meta
+        },
     })
 }
 
@@ -451,7 +496,16 @@ pub fn decode_op(wire: &WireOp) -> Result<NamingOp> {
     op.payload = payload;
     op.attrs = wire.attrs.clone();
     for (k, v) in &wire.meta {
-        op.meta.set(k.clone(), v.clone());
+        // The trace context travels the wire as a meta string; rehydrate
+        // it into the op's first-class field so server-side layers never
+        // re-parse (or re-clone) it.
+        if k == rndi_core::op::TRACE_META_KEY {
+            if let Some(ctx) = rndi_obs::TraceCtx::parse(v) {
+                op.trace.set(&ctx);
+            }
+        } else {
+            op.meta.set(k.clone(), v.clone());
+        }
     }
     Ok(op)
 }
@@ -719,7 +773,13 @@ mod tests {
             let back = decode_op(&parsed).unwrap();
             assert_eq!(back.kind, op.kind);
             assert_eq!(back.name.to_string(), op.name.to_string());
-            assert_eq!(back.meta.get("obs.trace"), Some("1-2-0-0"));
+            // The wire meta string rehydrates into the first-class trace
+            // field on decode (and is kept out of the meta bag).
+            assert_eq!(
+                back.trace_ctx().map(|c| c.encode()).as_deref(),
+                Some("1-2-0-0")
+            );
+            assert_eq!(back.meta.get("obs.trace"), None);
         }
     }
 

@@ -22,8 +22,8 @@ use rndi_core::value::{Reference, StoredValue};
 use rndi_obs::TraceCtx;
 
 use super::{
-    Envelope, EnvelopeBody, WireBinding, WireError, WireHit, WireNameClass, WireOp, WireOutcome,
-    WirePayload,
+    AdminReply, AdminRequest, Envelope, EnvelopeBody, WireBinding, WireError, WireHit,
+    WireNameClass, WireOp, WireOutcome, WirePayload,
 };
 
 // -------------------------------------------------------------- writer --
@@ -324,6 +324,38 @@ pub fn encode_envelope(env: &Envelope) -> Result<Vec<u8>> {
         EnvelopeBody::Err(err) => {
             out.push(4);
             put_error(&mut out, err)?;
+        }
+        EnvelopeBody::Admin(req) => {
+            out.push(5);
+            match req {
+                AdminRequest::Metrics => out.push(0),
+                AdminRequest::TraceDump { trace_id, slowest } => {
+                    out.push(1);
+                    put_u64(&mut out, *trace_id);
+                    put_u32(&mut out, *slowest);
+                }
+                AdminRequest::Health => out.push(2),
+            }
+        }
+        EnvelopeBody::AdminOk(reply) => {
+            out.push(6);
+            // Admin payloads are cold-path telemetry structures; they
+            // cross as canonical JSON inside a length-prefixed field, same
+            // as attribute sets on the data path.
+            match reply {
+                AdminReply::Metrics(snapshot) => {
+                    out.push(0);
+                    put_json(&mut out, snapshot)?;
+                }
+                AdminReply::TraceDump(spans) => {
+                    out.push(1);
+                    put_json(&mut out, spans)?;
+                }
+                AdminReply::Health(health) => {
+                    out.push(2);
+                    put_json(&mut out, health)?;
+                }
+            }
         }
     }
     Ok(out)
@@ -653,6 +685,29 @@ pub fn decode_envelope(payload: &[u8]) -> Result<Envelope> {
         }
         3 => EnvelopeBody::Ok(r.outcome()?),
         4 => EnvelopeBody::Err(r.error()?),
+        5 => EnvelopeBody::Admin(match r.u8("admin kind")? {
+            0 => AdminRequest::Metrics,
+            1 => AdminRequest::TraceDump {
+                trace_id: r.u64("trace-dump id")?,
+                slowest: r.u32("trace-dump slowest")?,
+            },
+            2 => AdminRequest::Health,
+            other => {
+                return Err(NamingError::service(format!(
+                    "malformed envelope: unknown admin kind {other}"
+                )))
+            }
+        }),
+        6 => EnvelopeBody::AdminOk(match r.u8("admin reply kind")? {
+            0 => AdminReply::Metrics(r.json::<rndi_obs::MetricsSnapshot>("metrics snapshot")?),
+            1 => AdminReply::TraceDump(r.json::<Vec<rndi_obs::SpanRecord>>("trace dump")?),
+            2 => AdminReply::Health(r.json::<rndi_obs::HealthSummary>("health summary")?),
+            other => {
+                return Err(NamingError::service(format!(
+                    "malformed envelope: unknown admin reply kind {other}"
+                )))
+            }
+        }),
         other => {
             return Err(NamingError::service(format!(
                 "malformed envelope: unknown body tag {other}"
@@ -732,6 +787,78 @@ mod tests {
             bin.len(),
             json.len()
         );
+    }
+
+    #[test]
+    fn admin_envelopes_roundtrip() {
+        let snapshot = {
+            let r = rndi_obs::Registry::new();
+            r.counter("rndi_net_requests_total", &[("op", "lookup")])
+                .add(5);
+            r.histogram("rndi_net_request_duration_ns", &[("op", "lookup")])
+                .record(1500);
+            r.snapshot()
+        };
+        let span = rndi_obs::SpanRecord::new(
+            &TraceCtx {
+                trace_id: 11,
+                span_id: 12,
+                parent_span: 0,
+                depth: 0,
+            },
+            "server",
+            "net:hdns",
+            "lookup",
+            rndi_obs::SpanOutcome::Ok,
+            std::time::Duration::from_micros(42),
+        );
+        let health = rndi_obs::HealthSummary {
+            instance: "net:hdns".into(),
+            uptime_ms: 1234,
+            active_conns: 3,
+            max_conns: 1024,
+            requests_ok: 99,
+            trace_spans: 7,
+            trace_dropped: 1,
+            ..Default::default()
+        };
+        let bodies = vec![
+            EnvelopeBody::Admin(AdminRequest::Metrics),
+            EnvelopeBody::Admin(AdminRequest::TraceDump {
+                trace_id: 11,
+                slowest: 0,
+            }),
+            EnvelopeBody::Admin(AdminRequest::TraceDump {
+                trace_id: 0,
+                slowest: 4,
+            }),
+            EnvelopeBody::Admin(AdminRequest::Health),
+            EnvelopeBody::AdminOk(AdminReply::Metrics(snapshot)),
+            EnvelopeBody::AdminOk(AdminReply::TraceDump(vec![span])),
+            EnvelopeBody::AdminOk(AdminReply::Health(health)),
+        ];
+        for (i, body) in bodies.into_iter().enumerate() {
+            let env = Envelope {
+                req_id: 100 + i as u64,
+                body,
+            };
+            assert_eq!(roundtrip(&env), env);
+        }
+    }
+
+    #[test]
+    fn unknown_admin_kinds_error_cleanly() {
+        for (body_tag, kind) in [(5u8, 9u8), (6, 9)] {
+            let mut bytes = Vec::new();
+            bytes.extend_from_slice(&1u64.to_le_bytes());
+            bytes.push(body_tag);
+            bytes.push(kind);
+            let err = decode_envelope(&bytes).unwrap_err();
+            assert!(
+                format!("{err}").contains("unknown admin"),
+                "tag {body_tag}/{kind}: {err}"
+            );
+        }
     }
 
     #[test]

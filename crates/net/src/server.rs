@@ -37,11 +37,11 @@ use rndi_core::env::{keys, Environment};
 use rndi_core::error::{NamingError, Result};
 use rndi_core::op::NamingOp;
 use rndi_core::spi::ProviderBackend;
-use rndi_obs::metrics::{self, names};
-use rndi_obs::{SpanOutcome, SpanRecord, TraceCtx};
+use rndi_obs::metrics::{global_registry, names, Registry};
+use rndi_obs::{HealthSummary, SpanOutcome, SpanRecord, TraceCtx};
 
 use crate::conn::{Inbound, InboundMsg, ResponseBody, ServerConn};
-use crate::proto;
+use crate::proto::{self, AdminReply, AdminRequest};
 
 /// Per-pass read budget per connection, so one firehose socket cannot
 /// starve its shard siblings.
@@ -97,12 +97,20 @@ impl ServerConfig {
 
 struct ServerState {
     backend: Arc<dyn ProviderBackend>,
-    label: String,
+    label: Arc<str>,
     config: ServerConfig,
+    /// Where this server's instruments live. Defaults to the process
+    /// global; `serve_sharded` hands each shard its own registry so a
+    /// remote scrape sees per-instance series, not a process-wide blur.
+    registry: Arc<Registry>,
+    started: Instant,
     shutdown: AtomicBool,
     active: AtomicUsize,
     /// Live sockets, for `abort` to tear down mid-request.
     conns: Mutex<Vec<TcpStream>>,
+    /// Shard inboxes, kept for the health probe: their depth is the
+    /// accepted-but-not-yet-adopted backlog.
+    inboxes: Vec<Arc<ShardInbox>>,
     /// Per-op-kind request instruments, resolved once — a registry lookup
     /// allocates label strings under a global lock, far too expensive on
     /// the per-request path.
@@ -118,9 +126,9 @@ struct ReqInstruments {
 
 impl ServerState {
     fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<rndi_obs::Counter> {
-        let mut all = vec![("server", self.label.as_str())];
+        let mut all = vec![("server", &*self.label)];
         all.extend_from_slice(labels);
-        metrics::counter(name, &all)
+        self.registry.counter(name, &all)
     }
 
     /// The ok/err counters and duration histogram for one op kind.
@@ -131,7 +139,7 @@ impl ServerState {
         let made = ReqInstruments {
             ok: self.counter(names::NET_REQUESTS, &[("op", op_label), ("outcome", "ok")]),
             err: self.counter(names::NET_REQUESTS, &[("op", op_label), ("outcome", "err")]),
-            duration: metrics::histogram(
+            duration: self.registry.histogram(
                 names::NET_REQUEST_DURATION,
                 &[("server", &self.label), ("op", op_label)],
             ),
@@ -141,6 +149,33 @@ impl ServerState {
             .entry(op_label.to_string())
             .or_insert(made)
             .clone()
+    }
+
+    /// One self-contained health probe, cheap enough to serve inline on
+    /// the event loop: everything reads atomics or short-held locks.
+    fn health(&self) -> HealthSummary {
+        let (mut ok, mut err) = (0u64, 0u64);
+        for inst in self.req_instruments.lock().values() {
+            ok += inst.ok.get();
+            err += inst.err.get();
+        }
+        let inbox_depth = self
+            .inboxes
+            .iter()
+            .map(|inbox| inbox.incoming.lock().len() as u64)
+            .sum();
+        let ring = rndi_obs::trace::ring();
+        HealthSummary {
+            instance: self.label.to_string(),
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            active_conns: self.active.load(Ordering::Relaxed) as u64,
+            max_conns: self.config.max_conns as u64,
+            inbox_depth,
+            requests_ok: ok,
+            requests_err: err,
+            trace_spans: ring.len() as u64,
+            trace_dropped: ring.dropped(),
+        }
     }
 }
 
@@ -172,10 +207,22 @@ impl NetServer {
         Self::with_config(backend, ServerConfig::from_env(env)?)
     }
 
-    /// Bind and start serving with an explicit configuration.
+    /// Bind and start serving with an explicit configuration. Instruments
+    /// land in the process-global registry.
     pub fn with_config(
         backend: Arc<dyn ProviderBackend>,
         config: ServerConfig,
+    ) -> Result<NetServer> {
+        Self::with_registry(backend, config, global_registry())
+    }
+
+    /// Bind and start serving with an explicit configuration and a
+    /// dedicated metrics registry. A multi-shard host gives each server
+    /// its own registry so `Admin(Metrics)` scrapes stay per-instance.
+    pub fn with_registry(
+        backend: Arc<dyn ProviderBackend>,
+        config: ServerConfig,
+        registry: Arc<Registry>,
     ) -> Result<NetServer> {
         let listener = TcpListener::bind(&config.listen)
             .map_err(|e| NamingError::service(format!("bind {}: {e}", config.listen)))?;
@@ -187,15 +234,6 @@ impl NetServer {
             .map_err(|e| NamingError::service(format!("listener addr: {e}")))?;
         let label = format!("net:{}", backend.provider_id());
         let shard_count = config.effective_shards();
-        let state = Arc::new(ServerState {
-            backend,
-            label,
-            config,
-            shutdown: AtomicBool::new(false),
-            active: AtomicUsize::new(0),
-            conns: Mutex::new(Vec::new()),
-            req_instruments: Mutex::new(HashMap::new()),
-        });
         let inboxes: Vec<Arc<ShardInbox>> = (0..shard_count)
             .map(|_| {
                 Arc::new(ShardInbox {
@@ -203,6 +241,18 @@ impl NetServer {
                 })
             })
             .collect();
+        let state = Arc::new(ServerState {
+            backend,
+            label: label.into(),
+            config,
+            registry,
+            started: Instant::now(),
+            shutdown: AtomicBool::new(false),
+            active: AtomicUsize::new(0),
+            conns: Mutex::new(Vec::new()),
+            inboxes: inboxes.clone(),
+            req_instruments: Mutex::new(HashMap::new()),
+        });
         let mut threads = Vec::with_capacity(shard_count + 1);
         for inbox in &inboxes {
             let state = state.clone();
@@ -235,6 +285,16 @@ impl NetServer {
     /// Connections currently being served.
     pub fn active_connections(&self) -> usize {
         self.state.active.load(Ordering::Relaxed)
+    }
+
+    /// The registry this server's instruments land in.
+    pub fn registry(&self) -> Arc<Registry> {
+        self.state.registry.clone()
+    }
+
+    /// The health summary this server would answer to `Admin(Health)`.
+    pub fn health(&self) -> HealthSummary {
+        self.state.health()
     }
 
     /// Graceful shutdown: stop accepting, answer buffered requests, flush
@@ -272,7 +332,9 @@ impl Drop for NetServer {
 }
 
 fn accept_loop(listener: TcpListener, state: Arc<ServerState>, inboxes: Vec<Arc<ShardInbox>>) {
-    let active_gauge = metrics::gauge(names::NET_ACTIVE_CONNS, &[("server", &state.label)]);
+    let active_gauge = state
+        .registry
+        .gauge(names::NET_ACTIVE_CONNS, &[("server", &state.label)]);
     let mut next_shard = 0usize;
     let mut idle = Backoff::new();
     while !state.shutdown.load(Ordering::SeqCst) {
@@ -335,7 +397,9 @@ impl Backoff {
 }
 
 fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>) {
-    let active_gauge = metrics::gauge(names::NET_ACTIVE_CONNS, &[("server", &state.label)]);
+    let active_gauge = state
+        .registry
+        .gauge(names::NET_ACTIVE_CONNS, &[("server", &state.label)]);
     let bytes_in = state.counter(names::NET_BYTES, &[("dir", "in")]);
     let bytes_out = state.counter(names::NET_BYTES, &[("dir", "out")]);
     let mut conns: Vec<ShardConn> = Vec::new();
@@ -473,9 +537,42 @@ fn respond(state: &ServerState, conn: &mut ShardConn, req: Inbound) -> Result<()
             deadline_ms,
             trace,
         } => handle_call(state, &op, deadline_ms, trace),
+        InboundMsg::Admin(admin) => ResponseBody::Admin(handle_admin(state, admin)),
         InboundMsg::Malformed(e) => ResponseBody::Err(proto::encode_error(&e)),
     };
     conn.machine.push_response(req.req_id, body)
+}
+
+/// Serve a telemetry request inline on the event loop. Every variant is
+/// bounded work: a registry snapshot, a ring scan, or an atomic sweep.
+fn handle_admin(state: &ServerState, req: AdminRequest) -> AdminReply {
+    match req {
+        AdminRequest::Metrics => AdminReply::Metrics(state.registry.snapshot()),
+        AdminRequest::TraceDump { trace_id, slowest } => {
+            let ring = rndi_obs::trace::ring();
+            let spans = if trace_id != 0 {
+                ring.trace(trace_id)
+            } else if slowest != 0 {
+                // Full traces of the N slowest roots, deduped across
+                // traces that share spans (they shouldn't, but the ring
+                // is best-effort evidence, not a ledger).
+                let mut seen = std::collections::HashSet::new();
+                let mut out = Vec::new();
+                for root in ring.slowest_roots(slowest as usize) {
+                    for span in ring.trace(root.trace_id) {
+                        if seen.insert(span.span_id) {
+                            out.push(span);
+                        }
+                    }
+                }
+                out
+            } else {
+                ring.snapshot()
+            };
+            AdminReply::TraceDump(spans)
+        }
+        AdminRequest::Health => AdminReply::Health(state.health()),
+    }
 }
 
 fn handle_call(
@@ -528,7 +625,7 @@ fn dispatch_call(
     rndi_obs::trace::record(SpanRecord::new(
         &server_ctx,
         "server",
-        &state.label,
+        state.label.clone(),
         op.kind.label(),
         span_outcome,
         start.elapsed(),

@@ -138,7 +138,7 @@ fn v1_and_v2_clients_share_one_server_concurrently() {
     let client_spans: Vec<_> = ring
         .snapshot()
         .into_iter()
-        .filter(|s| s.layer == "client" && s.provider == client_label && s.op == "lookup")
+        .filter(|s| s.layer == "client" && s.provider.as_ref() == client_label && s.op == "lookup")
         .collect();
     assert!(
         client_spans.len() >= 32,
@@ -191,6 +191,77 @@ fn many_threads_multiplex_one_v2_connection() {
     for t in threads {
         t.join().expect("worker thread");
     }
+
+    server.shutdown();
+}
+
+#[test]
+fn admin_scrape_serves_metrics_traces_and_health_over_the_data_socket() {
+    // A dedicated registry isolates this server's series from every other
+    // test in the binary: the scraped totals are exactly ours.
+    let registry = std::sync::Arc::new(rndi_obs::Registry::new());
+    let server = NetServer::with_registry(
+        Arc::new(MemBackend::default()),
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            deadline_ms: 5_000,
+            shards: 2,
+        },
+        registry.clone(),
+    )
+    .expect("server starts");
+    let addr = server.local_addr().to_string();
+
+    let env = Environment::new().with(keys::NET_PROTO_VERSION, "2");
+    let client = NetClient::new(addr.clone(), &env).unwrap();
+    for i in 0..8 {
+        let key = format!("adm-{i}");
+        client
+            .execute(&NamingOp::rebind(key.as_str().into(), BoundValue::str("x")))
+            .unwrap();
+        client
+            .execute(&NamingOp::lookup(key.as_str().into()))
+            .unwrap();
+    }
+
+    // Metrics arrive as a mergeable snapshot mirroring the live registry.
+    let snap = client.scrape_metrics().unwrap();
+    assert_eq!(
+        snap.counter_total(rndi_obs::metrics::names::NET_REQUESTS),
+        16,
+        "scraped request totals count exactly this server's ops"
+    );
+    assert_eq!(
+        snap.counter_total(rndi_obs::metrics::names::NET_REQUESTS),
+        registry.counter_total(rndi_obs::metrics::names::NET_REQUESTS),
+    );
+
+    // Health reflects the same ledger plus liveness.
+    let health = client.scrape_health().unwrap();
+    assert_eq!(health.instance, "net:mem");
+    assert_eq!(health.requests_ok, 16);
+    assert_eq!(health.requests_err, 0);
+    assert!(health.max_conns == 64 && health.error_rate() == 0.0);
+
+    // The remote ring yields server spans; one trace pulls coherently.
+    let spans = client.dump_spans().unwrap();
+    let server_span = spans
+        .iter()
+        .find(|s| s.layer == "server" && s.provider.as_ref() == "net:mem")
+        .expect("server recorded spans");
+    let trace = client.dump_trace(server_span.trace_id).unwrap();
+    assert!(!trace.is_empty());
+    assert!(trace.iter().all(|s| s.trace_id == server_span.trace_id));
+    assert!(!client.dump_slowest(2).unwrap().is_empty());
+
+    // A v1-configured client refuses locally: the vocabulary is v2-only.
+    let v1 = NetClient::new(addr, &Environment::new().with(keys::NET_PROTO_VERSION, "1")).unwrap();
+    let err = v1.scrape_metrics().unwrap_err();
+    assert!(
+        matches!(err, NamingError::NotSupported { .. }),
+        "v1 admin scrape should be NotSupported, got {err:?}"
+    );
 
     server.shutdown();
 }

@@ -17,11 +17,22 @@
 //! * [`frame`] — the optional trace header wrapped around wire payloads so
 //!   server-side spans link to client spans without the servers needing
 //!   the naming core's value codec.
+//! * [`snapshot`] — serializable, mergeable registry snapshots plus the
+//!   per-instance [`HealthSummary`]: the currency of the cluster telemetry
+//!   plane (remote scrape over the v2 admin protocol, client-side merge).
+//! * [`recorder`] — the always-on flight recorder: on an anomalous op
+//!   (slower than a multiple of the trailing p99, or an error-rate spike)
+//!   it dumps the trace ring and the metrics delta to a JSONL file.
 
+pub mod clock;
 pub mod expo;
 pub mod frame;
 pub mod metrics;
+pub mod recorder;
+pub mod snapshot;
 pub mod trace;
 
-pub use metrics::{Counter, Gauge, Histogram};
-pub use trace::{RingSink, SpanOutcome, SpanRecord, TraceCtx, TraceSink};
+pub use metrics::{Counter, Gauge, Histogram, Registry};
+pub use recorder::{FlightConfig, FlightRecorder};
+pub use snapshot::{HealthSummary, MetricsSnapshot};
+pub use trace::{RingSink, SpanOutcome, SpanRecord, TraceCell, TraceCtx, TraceSink};

@@ -7,7 +7,7 @@
 //! first registration and at render/reset time.
 
 use std::collections::BTreeMap;
-use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicI64, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 use std::time::Duration;
 
@@ -17,6 +17,12 @@ use parking_lot::Mutex;
 /// nanoseconds; the last bucket is the `+Inf` overflow. 2^38 ns ≈ 275 s,
 /// far beyond any naming op.
 pub const HISTOGRAM_BUCKETS: usize = 40;
+
+/// Default cap on distinct `(name, label set)` series per registry
+/// (`rndi.obs.max-series`). Past the cap, new label sets fold into an
+/// `overflow="true"` series instead of growing the registry unboundedly
+/// under per-client labels.
+pub const DEFAULT_MAX_SERIES: usize = 4096;
 
 /// Canonical metric names shared across the workspace, so the core
 /// pipeline, providers, servers, and benches all feed the same families.
@@ -86,10 +92,22 @@ pub mod names {
     /// `100 × max(per-shard hits) / mean(per-shard hits)` (100 = perfectly
     /// even; only recorded for scatter ops that returned hits).
     pub const SHARD_IMBALANCE: &str = "rndi_shard_scatter_imbalance";
+    /// Counter (no labels): label sets folded into an `overflow="true"`
+    /// series because the registry hit its series cap.
+    pub const SERIES_OVERFLOW: &str = "rndi_obs_series_overflow_total";
+    /// Counter (no labels): spans evicted from the trace ring buffer
+    /// before anyone read them — a nonzero value means ring dumps are
+    /// partial.
+    pub const TRACE_DROPPED: &str = "rndi_obs_trace_dropped_total";
 }
 
 /// A monotonically increasing counter.
 #[derive(Default)]
+// Instruments are tiny allocations updated from hot paths; without the
+// alignment, two threads' counters (say the client's and the server's
+// per-op totals) can land on one cache line and ping-pong it on every
+// operation. 128 bytes covers the adjacent-line spatial prefetcher.
+#[repr(align(128))]
 pub struct Counter(AtomicU64);
 
 impl Counter {
@@ -108,6 +126,7 @@ impl Counter {
 
 /// A value that can go up and down.
 #[derive(Default)]
+#[repr(align(128))]
 pub struct Gauge(AtomicI64);
 
 impl Gauge {
@@ -130,6 +149,7 @@ impl Gauge {
 /// no allocation — so it can sit on the per-op hot path. Quantiles are
 /// estimated by linear interpolation inside the winning bucket, giving
 /// sub-bucket resolution that is plenty for p50/p95/p99 reporting.
+#[repr(align(128))]
 pub struct Histogram {
     buckets: [AtomicU64; HISTOGRAM_BUCKETS],
     sum: AtomicU64,
@@ -151,8 +171,10 @@ impl Histogram {
         Histogram::default()
     }
 
-    fn bucket_index(value: u64) -> usize {
-        // ceil(log2(value)): the smallest i with value <= 2^i.
+    /// ceil(log2(value)): the smallest `i` with `value <= 2^i`, clamped
+    /// into the bucket range. Public so off-registry accumulators (the
+    /// flight recorder, snapshot merges) bucket identically.
+    pub fn bucket_index(value: u64) -> usize {
         let i = if value <= 1 {
             0
         } else {
@@ -197,30 +219,35 @@ impl Histogram {
 
     /// Estimate the `q`-quantile (`0.0 ..= 1.0`) of recorded values.
     pub fn quantile(&self, q: f64) -> Option<f64> {
-        let total = self.count();
-        if total == 0 {
-            return None;
-        }
-        let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
-        let mut cum = 0u64;
-        for i in 0..HISTOGRAM_BUCKETS {
-            let n = self.buckets[i].load(Ordering::Relaxed);
-            if n == 0 {
-                continue;
-            }
-            if (cum + n) as f64 >= target {
-                let lower = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
-                let upper = match Self::bucket_bound(i) {
-                    Some(b) => b,
-                    None => lower.saturating_mul(2),
-                };
-                let frac = (target - cum as f64) / n as f64;
-                return Some(lower as f64 + frac * (upper - lower) as f64);
-            }
-            cum += n;
-        }
-        Some(self.sum() as f64 / total as f64)
+        quantile_over(&self.bucket_counts(), self.sum(), q)
     }
+}
+
+/// Quantile estimate over raw log2 bucket counts — the same interpolation
+/// [`Histogram::quantile`] uses, shared with merged snapshot histograms.
+pub fn quantile_over(counts: &[u64], sum: u64, q: f64) -> Option<f64> {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return None;
+    }
+    let target = (q.clamp(0.0, 1.0) * total as f64).max(1.0);
+    let mut cum = 0u64;
+    for (i, &n) in counts.iter().enumerate() {
+        if n == 0 {
+            continue;
+        }
+        if (cum + n) as f64 >= target {
+            let lower = if i == 0 { 0u64 } else { 1u64 << (i - 1) };
+            let upper = match Histogram::bucket_bound(i) {
+                Some(b) => b,
+                None => lower.saturating_mul(2),
+            };
+            let frac = (target - cum as f64) / n as f64;
+            return Some(lower as f64 + frac * (upper - lower) as f64);
+        }
+        cum += n;
+    }
+    Some(sum as f64 / total as f64)
 }
 
 // ----------------------------------------------------------- registry --
@@ -244,7 +271,7 @@ pub(crate) fn escape(value: &str) -> String {
         .replace('\n', "\\n")
 }
 
-fn label_block(labels: &Labels) -> String {
+pub(crate) fn label_block(labels: &Labels) -> String {
     if labels.is_empty() {
         return String::new();
     }
@@ -255,7 +282,7 @@ fn label_block(labels: &Labels) -> String {
     format!("{{{}}}", inner.join(","))
 }
 
-fn label_block_with(labels: &Labels, extra_key: &str, extra_value: &str) -> String {
+pub(crate) fn label_block_with(labels: &Labels, extra_key: &str, extra_value: &str) -> String {
     let mut all = labels.clone();
     all.push((extra_key.to_string(), extra_value.to_string()));
     all.sort();
@@ -270,27 +297,76 @@ struct Family<T> {
 }
 
 impl<T: Default> Family<T> {
-    fn get(&mut self, name: &str, labels: &[(&str, &str)]) -> Arc<T> {
-        let labels = canonical(labels);
-        let key = label_block(&labels);
+    fn lookup(&self, name: &str, key: &str) -> Option<Arc<T>> {
+        self.by_name
+            .get(name)
+            .and_then(|f| f.get(key))
+            .map(|(_, inst)| inst.clone())
+    }
+
+    fn insert(&mut self, name: &str, labels: Labels, key: String) -> Arc<T> {
+        let inst = Arc::new(T::default());
         self.by_name
             .entry(name.to_string())
             .or_default()
-            .entry(key)
-            .or_insert_with(|| (labels, Arc::new(T::default())))
-            .1
-            .clone()
+            .insert(key, (labels, inst.clone()));
+        inst
+    }
+
+    /// Lookup-or-insert under the series cap. On a would-be insert past
+    /// the cap, the labels fold into `overflow="true"` and the second
+    /// return is `true`. Overflow series themselves bypass the cap (they
+    /// are bounded by the number of metric names).
+    fn get_capped(
+        &mut self,
+        series: &AtomicUsize,
+        max: usize,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> (Arc<T>, bool) {
+        let labels = canonical(labels);
+        let key = label_block(&labels);
+        if let Some(found) = self.lookup(name, &key) {
+            return (found, false);
+        }
+        let folds =
+            series.load(Ordering::Relaxed) >= max && !labels.iter().any(|(k, _)| k == "overflow");
+        if folds {
+            let fold_labels = canonical(&[("overflow", "true")]);
+            let fold_key = label_block(&fold_labels);
+            if let Some(found) = self.lookup(name, &fold_key) {
+                return (found, true);
+            }
+            series.fetch_add(1, Ordering::Relaxed);
+            return (self.insert(name, fold_labels, fold_key), true);
+        }
+        series.fetch_add(1, Ordering::Relaxed);
+        (self.insert(name, labels, key), false)
     }
 }
 
 /// A set of named, labeled instruments. Most code uses the process-wide
-/// [`global`] registry through the free functions below; tests can build
-/// private registries.
-#[derive(Default)]
+/// [`global_registry`] through the free functions below; tests and
+/// per-shard servers can build private registries.
 pub struct Registry {
     counters: Mutex<Family<Counter>>,
     gauges: Mutex<Family<Gauge>>,
     histograms: Mutex<Family<Histogram>>,
+    /// Distinct (name, label set) series across all three families.
+    series: AtomicUsize,
+    max_series: AtomicUsize,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Registry {
+            counters: Mutex::default(),
+            gauges: Mutex::default(),
+            histograms: Mutex::default(),
+            series: AtomicUsize::new(0),
+            max_series: AtomicUsize::new(DEFAULT_MAX_SERIES),
+        }
+    }
 }
 
 impl Registry {
@@ -298,17 +374,70 @@ impl Registry {
         Registry::default()
     }
 
+    /// Change the series cap (`rndi.obs.max-series`); `0` means unlimited.
+    pub fn set_max_series(&self, max: usize) {
+        let max = if max == 0 { usize::MAX } else { max };
+        self.max_series.store(max, Ordering::Relaxed);
+    }
+
+    /// Number of distinct series currently registered.
+    pub fn series_count(&self) -> usize {
+        self.series.load(Ordering::Relaxed)
+    }
+
+    fn max(&self) -> usize {
+        self.max_series.load(Ordering::Relaxed)
+    }
+
+    /// Bump [`names::SERIES_OVERFLOW`], bypassing the cap. Called after
+    /// the originating family lock is released — never nested.
+    fn note_overflow(&self) {
+        let handle = {
+            let mut fam = self.counters.lock();
+            let key = label_block(&Vec::new());
+            match fam.lookup(names::SERIES_OVERFLOW, &key) {
+                Some(c) => c,
+                None => {
+                    self.series.fetch_add(1, Ordering::Relaxed);
+                    fam.insert(names::SERIES_OVERFLOW, Vec::new(), key)
+                }
+            }
+        };
+        handle.inc();
+    }
+
     /// The counter `name{labels}`, created on first use.
     pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
-        self.counters.lock().get(name, labels)
+        let (c, folded) = self
+            .counters
+            .lock()
+            .get_capped(&self.series, self.max(), name, labels);
+        if folded {
+            self.note_overflow();
+        }
+        c
     }
 
     pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Gauge> {
-        self.gauges.lock().get(name, labels)
+        let (g, folded) = self
+            .gauges
+            .lock()
+            .get_capped(&self.series, self.max(), name, labels);
+        if folded {
+            self.note_overflow();
+        }
+        g
     }
 
     pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Arc<Histogram> {
-        self.histograms.lock().get(name, labels)
+        let (h, folded) = self
+            .histograms
+            .lock()
+            .get_capped(&self.series, self.max(), name, labels);
+        if folded {
+            self.note_overflow();
+        }
+        h
     }
 
     /// Sum of a counter family across all label sets (tests, reports).
@@ -327,6 +456,43 @@ impl Registry {
         self.counters.lock().by_name.clear();
         self.gauges.lock().by_name.clear();
         self.histograms.lock().by_name.clear();
+        self.series.store(0, Ordering::Relaxed);
+    }
+
+    /// A point-in-time, serializable copy of every instrument — the
+    /// payload of the remote-scrape admin call (see [`crate::snapshot`]).
+    pub fn snapshot(&self) -> crate::snapshot::MetricsSnapshot {
+        let mut snap = crate::snapshot::MetricsSnapshot::default();
+        for (name, family) in &self.counters.lock().by_name {
+            for (labels, c) in family.values() {
+                snap.counters.push(crate::snapshot::CounterSeries {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: c.get(),
+                });
+            }
+        }
+        for (name, family) in &self.gauges.lock().by_name {
+            for (labels, g) in family.values() {
+                snap.gauges.push(crate::snapshot::GaugeSeries {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    value: g.get(),
+                });
+            }
+        }
+        for (name, family) in &self.histograms.lock().by_name {
+            for (labels, h) in family.values() {
+                snap.histograms.push(crate::snapshot::HistogramSeries {
+                    name: name.clone(),
+                    labels: labels.clone(),
+                    buckets: h.bucket_counts().to_vec(),
+                    sum: h.sum(),
+                    count: h.count(),
+                });
+            }
+        }
+        snap
     }
 
     /// Render every instrument as Prometheus-style text exposition lines.
@@ -379,9 +545,15 @@ impl Registry {
     }
 }
 
-fn global() -> &'static Registry {
-    static GLOBAL: OnceLock<Registry> = OnceLock::new();
-    GLOBAL.get_or_init(Registry::new)
+fn global() -> &'static Arc<Registry> {
+    static GLOBAL: OnceLock<Arc<Registry>> = OnceLock::new();
+    GLOBAL.get_or_init(|| Arc::new(Registry::new()))
+}
+
+/// A shared handle on the process-wide registry — what servers embed by
+/// default so one-process deployments scrape the whole picture.
+pub fn global_registry() -> Arc<Registry> {
+    global().clone()
 }
 
 /// The process-wide counter `name{labels}`.
@@ -407,6 +579,17 @@ pub fn counter_total(name: &str) -> u64 {
 /// Render the process-wide registry as exposition text.
 pub fn render() -> String {
     global().render()
+}
+
+/// Snapshot the process-wide registry (see [`Registry::snapshot`]).
+pub fn snapshot() -> crate::snapshot::MetricsSnapshot {
+    global().snapshot()
+}
+
+/// Cap the process-wide registry's series cardinality
+/// (`rndi.obs.max-series`); `0` means unlimited.
+pub fn set_max_series(max: usize) {
+    global().set_max_series(max)
 }
 
 /// Clear the process-wide registry (test isolation).
@@ -488,6 +671,40 @@ mod tests {
             assert!(v >= last, "quantile({q}) = {v} < {last}");
             last = v;
         }
+    }
+
+    #[test]
+    fn series_cap_folds_into_overflow() {
+        let r = Registry::new();
+        r.set_max_series(3);
+        let a = r.counter("capped_total", &[("client", "c0")]);
+        r.counter("capped_total", &[("client", "c1")]).inc();
+        r.gauge("depth", &[]).set(1);
+        assert_eq!(r.series_count(), 3);
+
+        // Past the cap: new label sets fold into one overflow series;
+        // existing series keep resolving to their own instruments.
+        let folded1 = r.counter("capped_total", &[("client", "c2")]);
+        let folded2 = r.counter("capped_total", &[("client", "c3")]);
+        assert!(Arc::ptr_eq(&folded1, &folded2), "fold shares one series");
+        folded1.inc();
+        folded2.inc();
+        a.inc();
+        assert!(Arc::ptr_eq(
+            &a,
+            &r.counter("capped_total", &[("client", "c0")])
+        ));
+
+        let text = r.render();
+        assert!(text.contains("capped_total{overflow=\"true\"} 2"), "{text}");
+        assert!(text.contains("rndi_obs_series_overflow_total 2"), "{text}");
+
+        // Gauges and histograms fold too (and the cross-family overflow
+        // bump must not deadlock).
+        let h1 = r.histogram("lat_ns", &[("client", "c8")]);
+        let h2 = r.histogram("lat_ns", &[("client", "c9")]);
+        assert!(Arc::ptr_eq(&h1, &h2));
+        assert_eq!(r.counter_total(names::SERIES_OVERFLOW), 4);
     }
 
     #[test]

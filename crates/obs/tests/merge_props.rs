@@ -1,0 +1,160 @@
+//! Property tests for snapshot merging: the cluster rollup is only
+//! trustworthy if merging is a well-behaved monoid. Merging N shard
+//! snapshots must be associative and commutative, conserve bucket counts
+//! and sums exactly, and produce quantiles bounded by the per-shard
+//! extremes — otherwise the "one cluster exposition" is a lie.
+
+use proptest::prelude::*;
+
+use rndi_obs::metrics::HISTOGRAM_BUCKETS;
+use rndi_obs::snapshot::{HistogramSeries, MetricsSnapshot};
+
+/// An arbitrary histogram series for one of a few (name, op) identities,
+/// with self-consistent buckets/count and a sum plausible for the bucket
+/// occupancy (exact arithmetic only needs count/sum consistency).
+fn arb_histogram() -> impl Strategy<Value = HistogramSeries> {
+    (
+        prop_oneof![
+            Just("rndi_net_request_duration_ns"),
+            Just("rndi_op_duration_ns")
+        ],
+        prop_oneof![Just("lookup"), Just("bind"), Just("search")],
+        proptest::collection::vec(0u64..200, HISTOGRAM_BUCKETS..HISTOGRAM_BUCKETS + 1),
+    )
+        .prop_map(|(name, op, buckets)| {
+            let count: u64 = buckets.iter().sum();
+            // Sum consistent with the buckets: each observation priced at
+            // its bucket's lower bound.
+            let sum: u64 = buckets
+                .iter()
+                .enumerate()
+                .map(|(i, n)| n * if i == 0 { 1 } else { 1u64 << (i - 1) })
+                .sum();
+            HistogramSeries {
+                name: name.to_string(),
+                labels: vec![("op".to_string(), op.to_string())],
+                buckets,
+                sum,
+                count,
+            }
+        })
+}
+
+fn arb_snapshot() -> impl Strategy<Value = MetricsSnapshot> {
+    proptest::collection::vec(arb_histogram(), 1..4).prop_map(|histograms| {
+        let mut snap = MetricsSnapshot::default();
+        // Route through merge so each snapshot starts canonical (sorted,
+        // same-key series pre-folded) like a real registry snapshot.
+        for h in histograms {
+            snap.merge_from(&MetricsSnapshot {
+                histograms: vec![h],
+                ..Default::default()
+            });
+        }
+        snap
+    })
+}
+
+fn merge_all(parts: &[MetricsSnapshot]) -> MetricsSnapshot {
+    let mut out = MetricsSnapshot::default();
+    for p in parts {
+        out.merge_from(p);
+    }
+    out
+}
+
+proptest! {
+    /// (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)
+    #[test]
+    fn merge_is_associative(
+        a in arb_snapshot(),
+        b in arb_snapshot(),
+        c in arb_snapshot(),
+    ) {
+        let left = a.clone().merged(&b).merged(&c);
+        let right = a.merged(&b.merged(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// Any permutation of shard snapshots merges to the same result.
+    #[test]
+    fn merge_is_commutative(
+        parts in proptest::collection::vec(arb_snapshot(), 2..5),
+        seed in any::<u64>(),
+    ) {
+        let mut shuffled = parts.clone();
+        // Cheap deterministic Fisher–Yates from the seed.
+        let mut state = seed | 1;
+        for i in (1..shuffled.len()).rev() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            shuffled.swap(i, (state >> 33) as usize % (i + 1));
+        }
+        prop_assert_eq!(merge_all(&parts), merge_all(&shuffled));
+    }
+
+    /// Nothing is lost or invented: per-(name, labels) bucket counts,
+    /// counts, and sums in the merge equal the sums over the parts.
+    #[test]
+    fn merge_conserves_buckets_counts_and_sums(
+        parts in proptest::collection::vec(arb_snapshot(), 1..5),
+    ) {
+        let merged = merge_all(&parts);
+        for h in &merged.histograms {
+            let mut want_buckets = vec![0u64; HISTOGRAM_BUCKETS];
+            let mut want_sum = 0u64;
+            let mut want_count = 0u64;
+            for part in &parts {
+                for ph in part
+                    .histograms
+                    .iter()
+                    .filter(|ph| ph.name == h.name && ph.labels == h.labels)
+                {
+                    for (i, n) in ph.buckets.iter().enumerate() {
+                        want_buckets[i] += n;
+                    }
+                    want_sum += ph.sum;
+                    want_count += ph.count;
+                }
+            }
+            prop_assert_eq!(&h.buckets, &want_buckets);
+            prop_assert_eq!(h.sum, want_sum);
+            prop_assert_eq!(h.count, want_count);
+        }
+        // And the merge introduces no series that no part had.
+        for h in &merged.histograms {
+            prop_assert!(parts.iter().any(|p| p
+                .histograms
+                .iter()
+                .any(|ph| ph.name == h.name && ph.labels == h.labels)));
+        }
+    }
+
+    /// A merged quantile lies within [min, max] of the per-shard
+    /// quantiles: the cluster view can't be faster than the fastest shard
+    /// or slower than the slowest.
+    #[test]
+    fn merged_quantiles_bound_per_shard_quantiles(
+        parts in proptest::collection::vec(arb_snapshot(), 2..5),
+        q in prop_oneof![Just(0.5), Just(0.95), Just(0.99)],
+    ) {
+        let merged = merge_all(&parts);
+        for h in &merged.histograms {
+            let legs: Vec<f64> = parts
+                .iter()
+                .flat_map(|p| &p.histograms)
+                .filter(|ph| ph.name == h.name && ph.labels == h.labels)
+                .filter_map(|ph| ph.quantile(q))
+                .collect();
+            if legs.is_empty() {
+                continue;
+            }
+            let merged_q = h.quantile(q).expect("merged series has samples");
+            let lo = legs.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = legs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            prop_assert!(
+                merged_q >= lo - 1e-9 && merged_q <= hi + 1e-9,
+                "q{q}: merged {merged_q} outside [{lo}, {hi}]"
+            );
+        }
+    }
+}

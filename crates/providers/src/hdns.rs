@@ -708,7 +708,7 @@ mod tests {
         let server = spans
             .iter()
             .rev()
-            .find(|s| s.layer == "server" && s.provider == "hdns:obs-hdns" && s.op == "bind")
+            .find(|s| s.layer == "server" && &*s.provider == "hdns:obs-hdns" && s.op == "bind")
             .expect("server span recorded");
         assert_ne!(server.parent_span, 0);
         let trace = rndi_obs::trace::ring().trace(server.trace_id);

@@ -28,7 +28,9 @@
 
 pub mod hash;
 pub mod map;
+pub mod observer;
 pub mod router;
 
 pub use map::{ShardInfo, ShardMap};
+pub use observer::{AssembledTrace, ClusterObserver, ClusterScrape, DerivedSignals, OpLatency};
 pub use router::ShardRouter;

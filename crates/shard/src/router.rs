@@ -40,7 +40,7 @@ pub struct ShardRouter {
     map: ShardMap,
     backends: Vec<Arc<dyn ProviderBackend>>,
     fanout: usize,
-    label: String,
+    label: Arc<str>,
     /// Pre-resolved per-shard instrument handles (registry lookups are
     /// too expensive for the per-op path), indexed like `backends`.
     point_routed: Vec<Arc<Counter>>,
@@ -90,7 +90,7 @@ impl ShardRouter {
             imbalance: metrics::histogram(names::SHARD_IMBALANCE, &[("router", &label)]),
             map,
             backends,
-            label,
+            label: label.into(),
         })
     }
 
@@ -310,7 +310,7 @@ impl ProviderBackend for ShardRouter {
         rndi_obs::trace::record(SpanRecord::new(
             &span_ctx,
             "router",
-            &self.label,
+            self.label.to_string(),
             op.kind.label(),
             outcome,
             start.elapsed(),
@@ -319,7 +319,7 @@ impl ProviderBackend for ShardRouter {
     }
 
     fn provider_id(&self) -> String {
-        self.label.clone()
+        self.label.to_string()
     }
 
     fn compound_syntax(&self) -> CompoundSyntax {

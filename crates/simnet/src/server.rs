@@ -166,7 +166,7 @@ impl QueueingServer {
                 rndi_obs::trace::record(rndi_obs::SpanRecord::new(
                     &ctx.child(),
                     "server",
-                    &label,
+                    label.as_str(),
                     "job",
                     match outcome {
                         JobOutcome::Completed => rndi_obs::SpanOutcome::Ok,
@@ -527,7 +527,7 @@ mod tests {
         let span = spans
             .iter()
             .rev()
-            .find(|s| s.provider == "obs-simnet-test")
+            .find(|s| &*s.provider == "obs-simnet-test")
             .expect("server span recorded");
         assert_eq!(span.layer, "server");
         assert_eq!(span.trace_id, ctx.trace_id);

@@ -45,6 +45,15 @@ cargo bench -p rndi-bench --bench shard_scale --no-run
 shard_out="$(cargo run -q --example sharded_namespace)"
 grep -q "sharded_namespace OK" <<<"$shard_out"
 
+echo "==> obs cluster smoke: merge props + scrape/flight e2e + example + bench builds"
+cargo test -q -p rndi-obs --test merge_props
+cargo test -q --test obs_cluster
+cargo bench -p rndi-bench --bench obs_overhead --no-run
+top_out="$(cargo run -q --example cluster_top)"
+grep -q 'instance="cluster"' <<<"$top_out"
+grep -q 'instance="shard-0"' <<<"$top_out"
+grep -q "cluster_top OK"     <<<"$top_out"
+
 echo "==> obs smoke: fig8_federation --obs-dump emits the exposition"
 fig8_out="$(RNDI_BENCH_QUICK=1 RNDI_OBS_DUMP=1 cargo bench -p rndi-bench --bench fig8_federation 2>/dev/null)"
 grep -q "obs dump: metrics exposition" <<<"$fig8_out"

@@ -12,8 +12,8 @@ use std::sync::Arc;
 use rndi_core::env::Environment;
 use rndi_core::error::Result;
 use rndi_core::spi::{ProviderBackend, ProviderPipeline};
-use rndi_net::NetServer;
-use rndi_shard::{ShardInfo, ShardMap, ShardRouter};
+use rndi_net::{NetServer, ServerConfig};
+use rndi_shard::{ClusterObserver, ClusterScrape, ShardInfo, ShardMap, ShardRouter};
 
 use dirserv::server::Connection;
 use dirserv::Dn;
@@ -67,6 +67,7 @@ pub fn serve_ldap(
 pub struct ShardCluster {
     map: ShardMap,
     servers: Vec<NetServer>,
+    env: Environment,
 }
 
 impl ShardCluster {
@@ -80,6 +81,19 @@ impl ShardCluster {
     /// the standard pipeline stack.
     pub fn connect(&self, env: &Environment) -> Result<Arc<ProviderPipeline<ShardRouter>>> {
         ShardRouter::connect(self.map.clone(), env)
+    }
+
+    /// A telemetry scraper over this cluster: one admin client per shard
+    /// (see [`ClusterObserver`]).
+    pub fn observer(&self) -> Result<ClusterObserver> {
+        ClusterObserver::new(&self.map, &self.env)
+    }
+
+    /// One full telemetry pass: scrape every shard's metrics, health, and
+    /// trace ring over the data sockets and merge them into one cluster
+    /// view (convenience for [`ShardCluster::observer`] + `scrape_all`).
+    pub fn scrape_all(&self) -> Result<ClusterScrape> {
+        Ok(self.observer()?.scrape_all())
     }
 
     /// Stop every shard server, draining in-flight requests first.
@@ -101,9 +115,14 @@ pub fn serve_sharded(
     backends: Vec<Arc<dyn ProviderBackend>>,
     env: &Environment,
 ) -> Result<ShardCluster> {
+    let config = ServerConfig::from_env(env)?;
     let mut servers = Vec::with_capacity(backends.len());
     for backend in backends {
-        servers.push(NetServer::bind(backend, env)?);
+        // Each shard gets its own metrics registry so a remote scrape
+        // returns *that* instance's series; the cluster observer stamps
+        // and merges them without per-process disambiguation hacks.
+        let registry = Arc::new(rndi_obs::Registry::new());
+        servers.push(NetServer::with_registry(backend, config.clone(), registry)?);
     }
     let map = ShardMap::new(
         servers
@@ -112,7 +131,11 @@ pub fn serve_sharded(
             .map(|(i, s)| ShardInfo::new(format!("shard-{i}"), s.local_addr().to_string()))
             .collect(),
     )?;
-    Ok(ShardCluster { map, servers })
+    Ok(ShardCluster {
+        map,
+        servers,
+        env: env.clone(),
+    })
 }
 
 /// The paper-native composition: partition the namespace across `shards`

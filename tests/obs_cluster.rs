@@ -1,0 +1,219 @@
+//! End-to-end cluster telemetry acceptance: four HDNS shards behind TCP
+//! servers under real load, then one [`ShardCluster::scrape_all`] pass
+//! must deliver (1) a merged exposition whose cluster-rollup op counts
+//! equal the sum of the per-instance counts, (2) a cross-node trace
+//! assembled by id spanning the router and server legs, and (3) a flight
+//! recorder dump provoked by an injected slow op — all from the merged
+//! output, nothing asserted against a shard's private state.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use rndi::core::env::keys;
+use rndi::core::error::Result;
+use rndi::core::name::CompoundSyntax;
+use rndi::core::op::{NamingOp, OpOutcome};
+use rndi::core::prelude::*;
+use rndi::core::spi::ProviderBackend;
+use rndi::obs::expo;
+use rndi::providers::hdns::HdnsProviderContext;
+use rndi::serve;
+
+/// Wraps a shard backend and stalls any op whose name mentions `slow` —
+/// the anomaly injector for the flight-recorder leg of the test.
+struct SlowLens {
+    inner: Arc<dyn ProviderBackend>,
+    delay: Duration,
+}
+
+impl ProviderBackend for SlowLens {
+    fn execute(&self, op: &NamingOp) -> Result<OpOutcome> {
+        if op.name.to_string().contains("slow") {
+            std::thread::sleep(self.delay);
+        }
+        self.inner.execute(op)
+    }
+
+    fn provider_id(&self) -> String {
+        self.inner.provider_id()
+    }
+
+    fn compound_syntax(&self) -> CompoundSyntax {
+        self.inner.compound_syntax()
+    }
+}
+
+fn slow_hdns_cluster(shards: usize, env: &Environment) -> serve::ShardCluster {
+    let backends = (0..shards)
+        .map(|i| {
+            let realm = hdns::HdnsRealm::new(
+                &format!("shard-{i}"),
+                1,
+                groupcast::StackConfig::default(),
+                None,
+                i as u64 + 1,
+            );
+            Arc::new(SlowLens {
+                inner: HdnsProviderContext::with_env(realm, 0, &format!("hdns-shard-{i}"), env),
+                delay: Duration::from_millis(50),
+            }) as Arc<dyn ProviderBackend>
+        })
+        .collect();
+    serve::serve_sharded(backends, env).expect("cluster starts")
+}
+
+#[test]
+fn cluster_scrape_merges_rolls_up_assembles_and_flight_records() {
+    let flight_dir = std::env::temp_dir().join(format!("rndi-flight-e2e-{}", std::process::id()));
+    let env = Environment::new()
+        .with(keys::OBS_FLIGHT_DIR, flight_dir.to_str().unwrap())
+        .with(keys::OBS_FLIGHT_MIN_SAMPLES, "32");
+
+    let cluster = slow_hdns_cluster(4, &env);
+    let ctx = cluster.connect(&env).unwrap();
+
+    // Load: the slow probe binds FIRST (its watch is still cold, so no
+    // dump fires), then enough fast traffic to establish a trailing p99.
+    ctx.bind_str("slow-probe", "anomaly").unwrap();
+    let names: Vec<String> = (0..32).map(|i| format!("entry-{i:02}")).collect();
+    for n in &names {
+        ctx.bind_str(n, format!("v-{n}").as_str()).unwrap();
+    }
+    for round in 0..3 {
+        for n in &names {
+            assert_eq!(
+                ctx.lookup_str(n).unwrap().as_str(),
+                Some(format!("v-{n}").as_str()),
+                "round {round}"
+            );
+        }
+    }
+
+    // ---- (3) flight recorder: one op far past the trailing p99 dumps --
+    assert!(rndi::obs::recorder::armed(), "pipeline armed the recorder");
+    ctx.lookup_str("slow-probe").unwrap();
+    let dumps: Vec<_> = std::fs::read_dir(&flight_dir)
+        .expect("flight dir exists")
+        .filter_map(|e| e.ok())
+        .filter(|e| e.file_name().to_string_lossy().starts_with("flight-"))
+        .collect();
+    assert_eq!(dumps.len(), 1, "exactly one anomaly, exactly one dump");
+    let dump = std::fs::read_to_string(dumps[0].path()).unwrap();
+    let header = dump.lines().next().expect("dump has a header line");
+    assert!(
+        header.contains("\"slow_op\"") && header.contains("\"lookup\""),
+        "dump header names the trigger and op: {header}"
+    );
+    assert!(
+        dump.lines().any(|l| l.contains("\"span\"")),
+        "dump snapshots the trace ring"
+    );
+    assert!(
+        dump.lines().last().unwrap().contains("metrics_delta"),
+        "dump ends with the metrics delta"
+    );
+
+    // ------------------------------------- one cluster scrape pass ----
+    let scrape = cluster.scrape_all().unwrap();
+    assert_eq!(scrape.instances.len(), 4);
+    assert!(scrape.unreachable.is_empty());
+
+    // ---- (1) rollup conservation, asserted from the merged output ----
+    let exposition = scrape.exposition();
+    assert!(exposition.contains("instance=\"cluster\""));
+    assert!(exposition.contains("instance=\"shard-0\""));
+    let samples = expo::parse(&exposition).expect("merged exposition parses");
+    let requests: Vec<_> = samples
+        .iter()
+        .filter(|s| s.name == "rndi_net_requests_total")
+        .collect();
+    let rollups: Vec<_> = requests
+        .iter()
+        .filter(|s| s.label("instance") == Some("cluster"))
+        .collect();
+    assert!(!rollups.is_empty(), "rollup series present");
+    for rollup in &rollups {
+        let sum: f64 = requests
+            .iter()
+            .filter(|s| {
+                s.label("instance").is_some_and(|i| i.starts_with("shard-"))
+                    && s.label("op") == rollup.label("op")
+                    && s.label("outcome") == rollup.label("outcome")
+            })
+            .map(|s| s.value)
+            .sum();
+        assert_eq!(
+            rollup.value,
+            sum,
+            "cluster rollup for op={:?} outcome={:?} equals the per-instance sum",
+            rollup.label("op"),
+            rollup.label("outcome")
+        );
+    }
+    // And the cluster really served the load: ≥ 129 lookups (3×32 fast
+    // rounds + the slow probe) crossed the wire in total.
+    let lookups: f64 = rollups
+        .iter()
+        .filter(|s| s.label("op") == Some("lookup") && s.label("outcome") == Some("ok"))
+        .map(|s| s.value)
+        .sum();
+    assert!(lookups >= 97.0, "rollup counted the lookup load: {lookups}");
+
+    // ---- (2) a cross-node trace assembled by id, router → server ----
+    let assembled = scrape
+        .traces
+        .iter()
+        .find(|t| {
+            let layers = t.layers();
+            layers.contains(&"router") && layers.contains(&"server")
+        })
+        .expect("some trace spans the router and a shard's server leg");
+    assert!(
+        scrape.trace(assembled.trace_id).is_some(),
+        "assembled traces are addressable by id"
+    );
+    assert!(
+        assembled
+            .spans
+            .iter()
+            .all(|s| s.trace_id == assembled.trace_id),
+        "assembly never mixes trace ids"
+    );
+    let router_depth = assembled
+        .spans
+        .iter()
+        .find(|s| s.layer == "router")
+        .map(|s| s.depth)
+        .unwrap();
+    let server_depth = assembled
+        .spans
+        .iter()
+        .find(|s| s.layer == "server")
+        .map(|s| s.depth)
+        .unwrap();
+    assert!(
+        server_depth > router_depth,
+        "the shard's server span nests below the router span"
+    );
+
+    // Derived signals come from the same merged view.
+    assert!(
+        scrape
+            .signals
+            .per_op
+            .iter()
+            .any(|o| o.op == "lookup" && o.count >= 97 && o.p50_ns > 0.0 && o.p99_ns >= o.p50_ns),
+        "per-op latency quantiles derived from the rollup: {:?}",
+        scrape.signals.per_op
+    );
+    assert!(scrape.signals.imbalance_pct >= 100.0);
+    assert!(scrape.signals.headroom > 0.0 && scrape.signals.headroom <= 1.0);
+    for inst in &scrape.instances {
+        assert_eq!(inst.health.requests_err, 0, "{}", inst.id);
+        assert!(inst.health.uptime_ms < 600_000);
+    }
+
+    cluster.shutdown();
+    rndi::obs::recorder::disarm();
+    let _ = std::fs::remove_dir_all(&flight_dir);
+}

@@ -123,7 +123,7 @@ fn federated_search_produces_one_linked_trace_with_server_spans() {
         .snapshot()
         .into_iter()
         .rev()
-        .find(|s| s.provider == "obs-acc-ldap")
+        .find(|s| s.provider.as_ref() == "obs-acc-ldap")
         .expect("per-mount child span recorded");
     let trace = ring.trace(anchor.trace_id);
 
@@ -131,7 +131,7 @@ fn federated_search_produces_one_linked_trace_with_server_spans() {
     assert_eq!(roots.len(), 1, "exactly one root span in the trace");
     let root = roots[0];
     assert_eq!(
-        (root.layer.as_str(), root.op.as_str()),
+        (root.layer.as_ref(), root.op.as_ref()),
         ("federation", "search")
     );
     assert_eq!(root.depth, 0);
@@ -139,7 +139,7 @@ fn federated_search_produces_one_linked_trace_with_server_spans() {
     for mount in ["obs-acc-jini", "obs-acc-ldap"] {
         let m = trace
             .iter()
-            .find(|s| s.provider == mount)
+            .find(|s| s.provider.as_ref() == mount)
             .unwrap_or_else(|| panic!("child span for mount {mount}"));
         assert_eq!(m.parent_span, root.span_id, "mount span links to the root");
         assert_eq!(m.depth, 1);

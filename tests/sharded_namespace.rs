@@ -190,12 +190,20 @@ fn scatter_trace_links_router_clients_and_shard_servers() {
     ctx.bind_str("trace-seed", "x").unwrap();
     ctx.list_bindings(&CompositeName::empty()).unwrap();
 
+    // The ring is process-global and other tests in this binary also
+    // scatter list_bindings through *their* routers, so anchor on the
+    // router label — it embeds the shard count, and only this test runs
+    // a 2-shard cluster.
     let ring = rndi::obs::trace::ring();
     let anchor = ring
         .snapshot()
         .into_iter()
         .rev()
-        .find(|s| s.layer == "router" && s.op == "list_bindings")
+        .find(|s| {
+            s.layer == "router"
+                && s.op == "list_bindings"
+                && s.provider.as_ref() == "shard-router(2)"
+        })
         .expect("router span recorded");
     let trace = ring.trace(anchor.trace_id);
 

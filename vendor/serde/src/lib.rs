@@ -466,6 +466,34 @@ impl Serialize for str {
     }
 }
 
+impl Serialize for std::borrow::Cow<'_, str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for std::borrow::Cow<'static, str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(|s| std::borrow::Cow::Owned(s.to_string()))
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
+impl Serialize for std::sync::Arc<str> {
+    fn to_value(&self) -> Value {
+        Value::String(self.as_ref().to_string())
+    }
+}
+
+impl Deserialize for std::sync::Arc<str> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(std::sync::Arc::from)
+            .ok_or_else(|| Error::custom("expected string"))
+    }
+}
+
 impl Serialize for char {
     fn to_value(&self) -> Value {
         Value::String(self.to_string())
