@@ -7,7 +7,7 @@
 //! off) for number of clients exceeding 20".
 
 use rndi_bench::figures::fig5;
-use rndi_bench::{print_figure, SweepConfig};
+use rndi_bench::{print_figure, print_goodput, SweepConfig};
 
 fn main() {
     let config = if std::env::var("RNDI_BENCH_QUICK").is_ok() {
@@ -20,4 +20,7 @@ fn main() {
         "Figure 5 — Throughput of HDNS and JNDI HDNS provider, rebind operations (write) [ops/s]",
         &series,
     );
+    for s in &series {
+        print_goodput(s);
+    }
 }

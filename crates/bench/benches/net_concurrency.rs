@@ -110,6 +110,7 @@ fn main() {
             max_conns: total_conns + 8,
             deadline_ms: 30_000,
             shards: 0, // auto: min(cores, 4)
+            ..ServerConfig::default()
         },
     )
     .expect("server starts");

@@ -22,6 +22,13 @@ pub fn think_time() -> Duration {
     Duration::from_millis(50)
 }
 
+/// Latency budget for goodput accounting: a completion slower than this
+/// counts toward throughput but not goodput — a synchronous caller has
+/// long since timed out. ≈5× the write path's pre-saturation p95.
+pub fn deadline_budget() -> Duration {
+    Duration::from_millis(250)
+}
+
 // ---------------------------------------------------------------- Jini --
 // Fig. 2: raw LUS peaks ≈400 reads/s then degrades; the JNDI provider's
 // serialization layer costs ≈25% (peak ≈300/s). Fig. 3: raw writes peak

@@ -5,7 +5,7 @@ use std::time::Duration;
 
 use simnet::{Sim, SimRng};
 
-use crate::loadgen::{run_closed_loop, LoadResult, Operation};
+use crate::loadgen::{run_closed_loop_with_deadline, LoadResult, Operation};
 
 /// Sweep configuration shared by all figures.
 #[derive(Clone, Debug)]
@@ -13,6 +13,9 @@ pub struct SweepConfig {
     /// Client counts to sweep (the paper's x-axis, 1..100).
     pub clients: Vec<usize>,
     pub think: Duration,
+    /// Goodput budget: completions slower than this count toward
+    /// throughput but not goodput. `ZERO` disables the distinction.
+    pub deadline: Duration,
     pub warmup: Duration,
     pub measure: Duration,
     pub seed: u64,
@@ -23,6 +26,7 @@ impl Default for SweepConfig {
         SweepConfig {
             clients: vec![1, 2, 5, 10, 15, 20, 25, 30, 40, 50, 60, 80, 100],
             think: crate::cost::think_time(),
+            deadline: crate::cost::deadline_budget(),
             warmup: Duration::from_secs(5),
             measure: Duration::from_secs(30),
             seed: 20060425, // IPPS 2006
@@ -83,11 +87,12 @@ pub fn sweep(
         let sim = Sim::new();
         let rng = SimRng::seed_from_u64(config.seed ^ (clients as u64) << 32);
         let op = setup(&sim, &rng, clients);
-        let result = run_closed_loop(
+        let result = run_closed_loop_with_deadline(
             &sim,
             op,
             clients,
             config.think,
+            config.deadline,
             config.warmup,
             config.measure,
             &rng,
@@ -141,13 +146,43 @@ pub fn print_latency(series: &Series) {
     println!();
     println!("# latency — {}", series.label);
     println!(
-        "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}",
-        "clients", "mean_ms", "p50_ms", "p95_ms", "p99_ms"
+        "{:>8}  {:>12}  {:>12}  {:>12}  {:>12}  {:>12}  {:>8}",
+        "clients", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "goodput", "shed"
     );
     for p in &series.points {
         println!(
-            "{:>8}  {:>12.2}  {:>12.2}  {:>12.2}  {:>12.2}",
-            p.clients, p.mean_latency_ms, p.p50_latency_ms, p.p95_latency_ms, p.p99_latency_ms
+            "{:>8}  {:>12.2}  {:>12.2}  {:>12.2}  {:>12.2}  {:>12.1}  {:>8}",
+            p.clients,
+            p.mean_latency_ms,
+            p.p50_latency_ms,
+            p.p95_latency_ms,
+            p.p99_latency_ms,
+            p.goodput,
+            p.failed
+        );
+    }
+}
+
+/// Print goodput columns for one series: throughput vs. in-budget
+/// throughput and the ops the server refused or lost. The widening gap
+/// between the first two columns past the knee is the overload story the
+/// throughput table alone hides.
+pub fn print_goodput(series: &Series) {
+    println!();
+    println!("# goodput — {}", series.label);
+    println!(
+        "{:>8}  {:>12}  {:>12}  {:>10}  {:>8}",
+        "clients", "ops/s", "goodput/s", "in_budget%", "shed"
+    );
+    for p in &series.points {
+        let pct = if p.completed > 0 {
+            100.0 * p.in_budget as f64 / p.completed as f64
+        } else {
+            0.0
+        };
+        println!(
+            "{:>8}  {:>12.1}  {:>12.1}  {:>9.1}%  {:>8}",
+            p.clients, p.throughput, p.goodput, pct, p.failed
         );
     }
 }

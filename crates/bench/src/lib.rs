@@ -34,5 +34,7 @@ pub mod figures;
 pub mod loadgen;
 pub mod obsdump;
 
-pub use experiment::{print_figure, sweep, Series, SweepConfig};
-pub use loadgen::{run_closed_loop, LoadResult, Operation, RoundTrips};
+pub use experiment::{print_figure, print_goodput, print_latency, sweep, Series, SweepConfig};
+pub use loadgen::{
+    run_closed_loop, run_closed_loop_with_deadline, LoadResult, Operation, RoundTrips,
+};

@@ -261,11 +261,20 @@ pub struct LoadResult {
     pub clients: usize,
     /// Successfully completed operations per second inside the window.
     pub throughput: f64,
+    /// Operations per second that completed *within the deadline budget*
+    /// inside the window. Equal to `throughput` when no budget was set —
+    /// the gap between the two is work the server finished after the
+    /// caller would have given up.
+    pub goodput: f64,
     pub mean_latency_ms: f64,
     pub p50_latency_ms: f64,
     pub p95_latency_ms: f64,
     pub p99_latency_ms: f64,
     pub completed: u64,
+    /// Completions inside the window that beat the deadline budget.
+    pub in_budget: u64,
+    /// Operations the server refused or lost inside the window (bounded
+    /// queues shedding, crashes); the "shed" column in figure tables.
     pub failed: u64,
 }
 
@@ -275,6 +284,9 @@ struct LoadState {
     /// quantile implementation serves both the figures and the exposition.
     latencies: rndi_obs::Histogram,
     failed: u64,
+    /// Goodput budget; `ZERO` = no budget (every completion is in budget).
+    deadline: Duration,
+    in_budget: u64,
     window_start: SimTime,
     window_end: SimTime,
     /// Per-iteration think jitter, like real threads' scheduling drift —
@@ -295,12 +307,40 @@ pub fn run_closed_loop(
     measure: Duration,
     rng: &SimRng,
 ) -> LoadResult {
+    run_closed_loop_with_deadline(
+        sim,
+        op,
+        clients,
+        think,
+        Duration::ZERO,
+        warmup,
+        measure,
+        rng,
+    )
+}
+
+/// [`run_closed_loop`] with a goodput budget: completions slower than
+/// `deadline` still count toward throughput, but not toward
+/// [`LoadResult::goodput`]. `Duration::ZERO` disables the budget.
+#[allow(clippy::too_many_arguments)]
+pub fn run_closed_loop_with_deadline(
+    sim: &Sim,
+    op: Rc<dyn Operation>,
+    clients: usize,
+    think: Duration,
+    deadline: Duration,
+    warmup: Duration,
+    measure: Duration,
+    rng: &SimRng,
+) -> LoadResult {
     let window_start = SimTime::ZERO + warmup;
     let window_end = window_start + measure;
     let state = Rc::new(RefCell::new(LoadState {
         meter: ThroughputMeter::new(),
         latencies: rndi_obs::Histogram::new(),
         failed: 0,
+        deadline,
+        in_budget: 0,
         window_start,
         window_end,
         rng: rng.fork(),
@@ -320,15 +360,22 @@ pub fn run_closed_loop(
 
     let st = state.borrow();
     let throughput = st.meter.rate().unwrap_or(0.0);
+    let goodput = if deadline.is_zero() {
+        throughput
+    } else {
+        st.in_budget as f64 / measure.as_secs_f64()
+    };
     let quantile_ms = |q: f64| st.latencies.quantile(q).map(|ns| ns / 1e6).unwrap_or(0.0);
     LoadResult {
         clients,
         throughput,
+        goodput,
         mean_latency_ms: st.latencies.mean().map(|ns| ns / 1e6).unwrap_or(0.0),
         p50_latency_ms: quantile_ms(0.5),
         p95_latency_ms: quantile_ms(0.95),
         p99_latency_ms: quantile_ms(0.99),
         completed: st.meter.count(),
+        in_budget: st.in_budget,
         failed: st.failed,
     }
 }
@@ -354,7 +401,11 @@ fn client_iteration(
                 if ok {
                     st.meter.record(now);
                     if now >= st.window_start && now < st.window_end {
-                        st.latencies.record_duration(now - issued_at);
+                        let took = now - issued_at;
+                        st.latencies.record_duration(took);
+                        if st.deadline.is_zero() || took <= st.deadline {
+                            st.in_budget += 1;
+                        }
                     }
                 } else if now >= st.window_start && now < st.window_end {
                     st.failed += 1;

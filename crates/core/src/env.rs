@@ -100,6 +100,27 @@ pub mod keys {
     /// completed on it) before the pool evicts and closes it. `0`
     /// disables idle eviction. Default 30000.
     pub const NET_CLIENT_IDLE_MS: &str = "rndi.net.client.idle-ms";
+    /// Bound on each `NetServer` event-loop shard's admission queue: calls
+    /// beyond this many waiting are shed with `Overloaded` instead of
+    /// queueing past their deadline. `0` (the default) leaves the queue
+    /// unbounded (no queue shedding).
+    pub const NET_SERVER_QUEUE_DEPTH: &str = "rndi.net.server.queue-depth";
+    /// Per-connection token-bucket refill rate, in ops per second, that a
+    /// `NetServer` admits; calls past the bucket are shed with
+    /// `Overloaded`. `0` (the default) disables rate limiting.
+    pub const NET_SERVER_RATE_OPS: &str = "rndi.net.server.rate.ops-per-sec";
+    /// Per-connection token-bucket burst capacity (maximum tokens banked
+    /// while a connection idles). `0` (the default) means the refill rate.
+    pub const NET_SERVER_RATE_BURST: &str = "rndi.net.server.rate.burst";
+    /// `"true"`/`"false"`: whether each `NetServer` shard runs the AIMD
+    /// adaptive admission controller, shrinking its effective queue bound
+    /// multiplicatively on shed/deadline-miss and growing it additively on
+    /// in-budget completions. Requires a bounded queue. Default false.
+    pub const NET_SERVER_ADAPTIVE: &str = "rndi.net.server.adaptive-concurrency";
+    /// Grace window, in milliseconds, during which the pipeline cache may
+    /// serve an *expired* entry when the backend reports `Overloaded`
+    /// (serve-stale fallback). `0` (the default) disables it.
+    pub const CACHE_SERVE_STALE_MS: &str = "rndi.pipeline.cache.serve-stale-ms";
     /// Maximum worker threads the shard router fans a scatter op
     /// (whole-namespace `list`/`search`, listener broadcast) out across.
     /// `1` degenerates to sequential shard visits. Default 8.

@@ -55,6 +55,10 @@ pub enum NamingError {
     },
     /// Federation nested too deeply (cycle guard).
     FederationDepthExceeded { depth: usize },
+    /// The serving side shed this operation under overload instead of
+    /// queueing it past its deadline. Transient by design: the caller
+    /// should back off at least `retry_after_ms` before retrying.
+    Overloaded { retry_after_ms: u64 },
 }
 
 impl NamingError {
@@ -90,9 +94,19 @@ impl NamingError {
         }
     }
 
+    /// Shorthand constructor for [`NamingError::Overloaded`].
+    pub fn overloaded(retry_after_ms: u64) -> Self {
+        NamingError::Overloaded { retry_after_ms }
+    }
+
     /// Whether this is the internal federation-continuation signal.
     pub fn is_continue(&self) -> bool {
         matches!(self, NamingError::Continue { .. })
+    }
+
+    /// Whether the serving side shed this op under overload.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(self, NamingError::Overloaded { .. })
     }
 }
 
@@ -134,6 +148,9 @@ impl fmt::Display for NamingError {
             }
             NamingError::FederationDepthExceeded { depth } => {
                 write!(f, "federation resolution exceeded depth {depth}")
+            }
+            NamingError::Overloaded { retry_after_ms } => {
+                write!(f, "server overloaded; retry after {retry_after_ms} ms")
             }
         }
     }

@@ -359,19 +359,31 @@ impl Interceptor for StatsInterceptor {
 
 // ------------------------------------------------------------- retry --
 
-fn is_transient(e: &NamingError) -> bool {
+/// Whether a retry of the same op could plausibly succeed: transport and
+/// service hiccups, deadline misses, and load shedding all clear on their
+/// own; everything else is a semantic answer retrying cannot change.
+pub fn is_transient(e: &NamingError) -> bool {
     matches!(
         e,
-        NamingError::ServiceFailure { .. } | NamingError::Timeout { .. }
+        NamingError::ServiceFailure { .. }
+            | NamingError::Timeout { .. }
+            | NamingError::Overloaded { .. }
     )
 }
 
-/// Retries transient backend failures (`ServiceFailure`/`Timeout`) with
-/// exponential backoff. Permanent errors — including federation
-/// `Continue` — propagate immediately.
+/// Retries transient backend failures (`ServiceFailure`/`Timeout`/
+/// `Overloaded`) with exponential backoff — except that an `Overloaded`
+/// rejection's own `retry_after_ms` hint (plus jitter, so a shed client
+/// swarm does not re-arrive in lockstep) replaces the exponential delay.
+/// Permanent errors — including federation `Continue` — propagate
+/// immediately. With a deadline budget set, retrying (and the backoff
+/// sleep before it) is skipped once the budget would be exhausted:
+/// retrying a doomed op only amplifies overload.
 pub struct RetryInterceptor {
     max_attempts: u32,
     base_backoff: Duration,
+    /// Total time box across all attempts and backoffs; `None` = unbounded.
+    budget: Option<Duration>,
     retries: AtomicU64,
     /// Mirror of `retries` in the process-wide metrics registry.
     metric: Option<Arc<rndi_obs::Counter>>,
@@ -392,10 +404,19 @@ impl RetryInterceptor {
         RetryInterceptor {
             max_attempts: max_attempts.max(1),
             base_backoff,
+            budget: None,
             retries: AtomicU64::new(0),
             metric: None,
             sleeper,
         }
+    }
+
+    /// Time box the whole retry loop: once `budget` has elapsed since the
+    /// op entered this layer, no further sleep or attempt happens and the
+    /// last error propagates. `0` means unbounded.
+    pub fn with_deadline_budget(mut self, budget_ms: u64) -> Self {
+        self.budget = (budget_ms > 0).then(|| Duration::from_millis(budget_ms));
+        self
     }
 
     /// Also count retries into the process-wide `rndi_retries_total`
@@ -420,6 +441,7 @@ impl Interceptor for RetryInterceptor {
     }
 
     fn call(&self, op: &NamingOp, next: &dyn OpInvoker) -> Result<OpOutcome> {
+        let started = Instant::now();
         let mut attempt: u32 = 0;
         loop {
             let result = if attempt == 0 {
@@ -431,17 +453,45 @@ impl Interceptor for RetryInterceptor {
             };
             match result {
                 Err(ref e) if is_transient(e) && attempt + 1 < self.max_attempts => {
+                    // A shed server says how long to stay away; otherwise
+                    // back off exponentially. Jitter both so a swarm of
+                    // shed clients does not re-arrive in lockstep.
+                    let base = match e {
+                        NamingError::Overloaded { retry_after_ms } => {
+                            Duration::from_millis(*retry_after_ms)
+                        }
+                        _ => self.base_backoff * 2u32.saturating_pow(attempt),
+                    };
+                    let delay = base + jitter(base);
+                    if let Some(budget) = self.budget {
+                        // Retrying past the op's deadline can't help the
+                        // caller and keeps load on a struggling backend;
+                        // skip the sleep too and fail now.
+                        if started.elapsed() + delay >= budget {
+                            return result;
+                        }
+                    }
                     self.retries.fetch_add(1, Ordering::Relaxed);
                     if let Some(m) = &self.metric {
                         m.inc();
                     }
-                    (self.sleeper)(self.base_backoff * 2u32.saturating_pow(attempt));
+                    (self.sleeper)(delay);
                     attempt += 1;
                 }
                 other => return other,
             }
         }
     }
+}
+
+/// Up to 25% of `base`, from the clock's subsecond nanos — decorrelation,
+/// not cryptography.
+fn jitter(base: Duration) -> Duration {
+    let nanos = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| d.subsec_nanos())
+        .unwrap_or(0);
+    base.mul_f64((nanos % 1024) as f64 / 4096.0)
 }
 
 // ------------------------------------------------------------- cache --
@@ -530,16 +580,20 @@ impl CacheMap {
 pub struct CacheInterceptor {
     ttl_ms: u64,
     max_entries: usize,
+    /// Grace window past expiry during which an entry may still be served
+    /// if the backend reports `Overloaded`; `0` disables serve-stale.
+    serve_stale_ms: u64,
     clock: Arc<dyn LeaseClock>,
     entries: Mutex<CacheMap>,
     hits: AtomicU64,
     misses: AtomicU64,
     invalidations: AtomicU64,
     evictions: AtomicU64,
+    stale_serves: AtomicU64,
     /// Mirrors of the counters above in the process-wide metrics registry
     /// (`rndi_cache_events_total{provider,event}`), in the same order:
-    /// hit, miss, invalidation, eviction.
-    metrics: Option<[Arc<rndi_obs::Counter>; 4]>,
+    /// hit, miss, invalidation, eviction, stale.
+    metrics: Option<[Arc<rndi_obs::Counter>; 5]>,
 }
 
 impl CacheInterceptor {
@@ -551,12 +605,14 @@ impl CacheInterceptor {
         CacheInterceptor {
             ttl_ms,
             max_entries: DEFAULT_CACHE_MAX_ENTRIES,
+            serve_stale_ms: 0,
             clock,
             entries: Mutex::new(CacheMap::default()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             invalidations: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            stale_serves: AtomicU64::new(0),
             metrics: None,
         }
     }
@@ -564,6 +620,16 @@ impl CacheInterceptor {
     /// Builder-style capacity bound; `0` means unbounded.
     pub fn with_max_entries(mut self, max_entries: usize) -> Self {
         self.max_entries = max_entries;
+        self
+    }
+
+    /// Builder-style serve-stale grace window: when the backend sheds a
+    /// lookup with `Overloaded`, an entry expired less than this many
+    /// milliseconds ago is served instead of the error. `0` (the default)
+    /// propagates the rejection. Mutations still invalidate, so a stale
+    /// serve is never staler than TTL + grace.
+    pub fn with_serve_stale_ms(mut self, serve_stale_ms: u64) -> Self {
+        self.serve_stale_ms = serve_stale_ms;
         self
     }
 
@@ -576,7 +642,13 @@ impl CacheInterceptor {
                 &[("provider", provider), ("event", event)],
             )
         };
-        self.metrics = Some([mk("hit"), mk("miss"), mk("invalidation"), mk("eviction")]);
+        self.metrics = Some([
+            mk("hit"),
+            mk("miss"),
+            mk("invalidation"),
+            mk("eviction"),
+            mk("stale"),
+        ]);
         self
     }
 
@@ -602,6 +674,11 @@ impl CacheInterceptor {
     /// invalidations, which are correctness-driven).
     pub fn evictions(&self) -> u64 {
         self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Expired entries served in place of an `Overloaded` rejection.
+    pub fn stale_serves(&self) -> u64 {
+        self.stale_serves.load(Ordering::Relaxed)
     }
 
     /// Live entry count (diagnostics).
@@ -693,6 +770,36 @@ impl Interceptor for CacheInterceptor {
         self.misses.fetch_add(1, Ordering::Relaxed);
         self.metric_add(1, 1);
         let result = next.invoke(op);
+        if self.serve_stale_ms > 0 {
+            if let Err(e) = &result {
+                if e.is_overloaded() {
+                    // Degrade gracefully: an entry expired less than the
+                    // grace window ago beats an error while the backend
+                    // sheds load. Expired entries linger in the map until
+                    // overwritten or invalidated, so it is still here.
+                    let mut entries = self.entries.lock();
+                    let within_grace = entries.map.get(&key).is_some_and(|entry| {
+                        entry.expires_ms.saturating_add(self.serve_stale_ms) > now
+                    });
+                    if within_grace {
+                        entries.touch(&key);
+                        let entry = entries.map.get(&key).expect("checked above");
+                        self.stale_serves.fetch_add(1, Ordering::Relaxed);
+                        self.metric_add(4, 1);
+                        return match &entry.result {
+                            CachedResult::Outcome(out) => Ok(out.clone()),
+                            CachedResult::Continue {
+                                resolved,
+                                remaining,
+                            } => Err(NamingError::Continue {
+                                resolved: resolved.clone(),
+                                remaining: remaining.clone(),
+                            }),
+                        };
+                    }
+                }
+            }
+        }
         let cached = match &result {
             Ok(out) => Some(CachedResult::Outcome(out.clone())),
             Err(NamingError::Continue {
@@ -956,10 +1063,13 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
 
         let max_attempts = env.get_u64(keys::RETRY_MAX_ATTEMPTS, 1);
         let retry = (max_attempts > 1).then(|| {
+            // Time-box the loop by the op's network deadline, so retries
+            // never outlive the budget the caller is still waiting on.
             let retry = RetryInterceptor::new(
                 max_attempts as u32,
                 Duration::from_millis(env.get_u64(keys::RETRY_BACKOFF_MS, 5)),
-            );
+            )
+            .with_deadline_budget(env.get_u64(keys::NET_DEADLINE_MS, 0));
             Arc::new(if obs {
                 retry.with_metrics(&provider_label)
             } else {
@@ -974,7 +1084,9 @@ impl<B: ProviderBackend + ?Sized> ProviderPipeline<B> {
         let max_entries =
             env.get_u64(keys::CACHE_MAX_ENTRIES, DEFAULT_CACHE_MAX_ENTRIES as u64) as usize;
         let cache = (ttl_ms > 0).then(|| {
-            let cache = CacheInterceptor::new(ttl_ms).with_max_entries(max_entries);
+            let cache = CacheInterceptor::new(ttl_ms)
+                .with_max_entries(max_entries)
+                .with_serve_stale_ms(env.get_u64(keys::CACHE_SERVE_STALE_MS, 0));
             Arc::new(if obs {
                 cache.with_metrics(&provider_label)
             } else {
@@ -1701,11 +1813,14 @@ mod tests {
         assert_eq!(backend.calls(), 3);
         assert_eq!(retry.retries(), 2);
         let backoffs = sleeps.lock().clone();
-        assert_eq!(
-            backoffs,
-            vec![Duration::from_millis(5), Duration::from_millis(10)],
-            "backoff doubles per attempt"
-        );
+        assert_eq!(backoffs.len(), 2);
+        for (took, base_ms) in backoffs.iter().zip([5u64, 10]) {
+            let base = Duration::from_millis(base_ms);
+            assert!(
+                *took >= base && *took <= base.mul_f64(1.25),
+                "backoff doubles per attempt, plus up to 25% jitter: {took:?} vs {base:?}"
+            );
+        }
     }
 
     #[test]

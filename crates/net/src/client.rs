@@ -801,6 +801,10 @@ fn decode_body(body: EnvelopeBody) -> Result<OpOutcome> {
 
 /// Whether an error came from the transport (retryable on a fresh
 /// connection) rather than from the remote naming semantics.
+/// `Overloaded` deliberately stays out: a shed call travelled a healthy
+/// connection to a live server that said "not now" — redialling would
+/// only add connection churn on top of the overload. The retry layer
+/// (not the pool) backs it off.
 fn is_transport(e: &NamingError) -> bool {
     matches!(
         e,

@@ -350,6 +350,9 @@ pub enum WireError {
     FederationDepthExceeded {
         depth: u64,
     },
+    Overloaded {
+        retry_after_ms: u64,
+    },
 }
 
 // -------------------------------------------------------- conversions --
@@ -642,6 +645,9 @@ pub fn encode_error(e: &NamingError) -> WireError {
         NamingError::FederationDepthExceeded { depth } => WireError::FederationDepthExceeded {
             depth: *depth as u64,
         },
+        NamingError::Overloaded { retry_after_ms } => WireError::Overloaded {
+            retry_after_ms: *retry_after_ms,
+        },
     }
 }
 
@@ -689,6 +695,9 @@ pub fn decode_error(wire: &WireError) -> NamingError {
         },
         WireError::FederationDepthExceeded { depth } => NamingError::FederationDepthExceeded {
             depth: *depth as usize,
+        },
+        WireError::Overloaded { retry_after_ms } => NamingError::Overloaded {
+            retry_after_ms: *retry_after_ms,
         },
     }
 }

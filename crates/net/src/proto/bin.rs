@@ -290,6 +290,10 @@ fn put_error(out: &mut Vec<u8>, err: &WireError) -> Result<()> {
             out.push(15);
             put_u64(out, *depth);
         }
+        WireError::Overloaded { retry_after_ms } => {
+            out.push(16);
+            put_u64(out, *retry_after_ms);
+        }
     }
     Ok(())
 }
@@ -646,6 +650,9 @@ impl<'a> Reader<'a> {
             },
             15 => WireError::FederationDepthExceeded {
                 depth: self.u64("error depth")?,
+            },
+            16 => WireError::Overloaded {
+                retry_after_ms: self.u64("error retry-after")?,
             },
             other => {
                 return Err(NamingError::service(format!(

@@ -24,10 +24,10 @@
 //! [`NetServer::abort`] is the unclean variant used by fault-injection
 //! tests: it tears the sockets down mid-request.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -56,6 +56,20 @@ const MAX_IDLE_SLEEP: Duration = Duration::from_millis(1);
 /// How long a draining shard keeps trying to flush response bytes.
 const DRAIN_FLUSH_BUDGET: Duration = Duration::from_millis(500);
 
+/// Multiplicative decrease the adaptive admission bound takes on a
+/// deadline signal (an op expired in queue or overran its budget).
+const AIMD_DECREASE: f64 = 0.7;
+
+/// Floor of the adaptive admission bound: never stop admitting entirely.
+const AIMD_MIN_LIMIT: f64 = 1.0;
+
+/// Weight of the newest sample in the service-time EMA that prices the
+/// `retry_after_ms` hints.
+const SERVICE_EMA_ALPHA: f64 = 0.1;
+
+/// Ceiling on any `retry_after_ms` hint the server emits.
+const MAX_RETRY_AFTER_MS: f64 = 10_000.0;
+
 /// Resolved server configuration (see the `rndi.net.*` environment keys).
 #[derive(Clone, Debug)]
 pub struct ServerConfig {
@@ -67,6 +81,34 @@ pub struct ServerConfig {
     pub deadline_ms: u64,
     /// Event-loop shards; `0` sizes to `min(available cores, 4)`.
     pub shards: usize,
+    /// Per-shard admission-queue bound: calls beyond this many waiting are
+    /// shed with `Overloaded` instead of queueing past their deadline.
+    /// `0` (the default) leaves the queue unbounded and keeps the
+    /// pre-admission execute-inline fast path.
+    pub queue_depth: usize,
+    /// Per-connection token-bucket refill, ops per second; `0` disables
+    /// rate limiting.
+    pub rate_ops: u64,
+    /// Token-bucket burst capacity; `0` means `rate_ops`.
+    pub rate_burst: u64,
+    /// Run the AIMD adaptive admission controller (needs `queue_depth > 0`
+    /// to have a bound to adapt).
+    pub adaptive: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            listen: "127.0.0.1:0".to_string(),
+            max_conns: 64,
+            deadline_ms: 5_000,
+            shards: 0,
+            queue_depth: 0,
+            rate_ops: 0,
+            rate_burst: 0,
+            adaptive: false,
+        }
+    }
 }
 
 impl ServerConfig {
@@ -81,6 +123,10 @@ impl ServerConfig {
             max_conns: env.try_get_u64(keys::NET_SERVER_MAX_CONNS, 64)? as usize,
             deadline_ms: env.try_get_u64(keys::NET_DEADLINE_MS, 5_000)?,
             shards: env.try_get_u64(keys::NET_SERVER_SHARDS, 0)? as usize,
+            queue_depth: env.try_get_u64(keys::NET_SERVER_QUEUE_DEPTH, 0)? as usize,
+            rate_ops: env.try_get_u64(keys::NET_SERVER_RATE_OPS, 0)?,
+            rate_burst: env.try_get_u64(keys::NET_SERVER_RATE_BURST, 0)?,
+            adaptive: env.try_get_bool(keys::NET_SERVER_ADAPTIVE, false)?,
         })
     }
 
@@ -111,6 +157,14 @@ struct ServerState {
     /// Shard inboxes, kept for the health probe: their depth is the
     /// accepted-but-not-yet-adopted backlog.
     inboxes: Vec<Arc<ShardInbox>>,
+    /// Per-shard admission-queue depths, mirrored out of each shard's
+    /// event loop so the health probe can sum them without touching it.
+    queue_depths: Vec<Arc<AtomicU64>>,
+    /// Per-shard effective admission bounds (0 = unbounded), mirrored the
+    /// same way.
+    conc_limits: Vec<Arc<AtomicU64>>,
+    /// Shed counters by reason, indexed by [`ShedReason`].
+    shed: [Arc<rndi_obs::Counter>; 3],
     /// Per-op-kind request instruments, resolved once — a registry lookup
     /// allocates label strings under a global lock, far too expensive on
     /// the per-request path.
@@ -175,15 +229,201 @@ impl ServerState {
             requests_err: err,
             trace_spans: ring.len() as u64,
             trace_dropped: ring.dropped(),
+            queue_depth: self
+                .queue_depths
+                .iter()
+                .map(|d| d.load(Ordering::Relaxed))
+                .sum(),
+            concurrency_limit: self
+                .conc_limits
+                .iter()
+                .map(|l| l.load(Ordering::Relaxed))
+                .sum(),
+            shed_total: self.shed.iter().map(|c| c.get()).sum(),
         }
     }
+}
+
+/// Why the admission layer refused a call before dispatch; doubles as
+/// the index into `ServerState::shed`.
+#[derive(Clone, Copy)]
+enum ShedReason {
+    /// The shard's admission queue was at its (possibly adaptive) bound.
+    Queue = 0,
+    /// The connection's token bucket was empty.
+    Rate = 1,
+    /// The call's deadline budget was spent while it waited in queue.
+    Deadline = 2,
 }
 
 /// One connection owned by a shard: the socket plus its protocol state
 /// machine.
 struct ShardConn {
+    /// Stable handle queued [`Pending`] entries point back at; unique
+    /// within the owning shard for the server's life.
+    id: u64,
     stream: TcpStream,
     machine: ServerConn,
+    /// Admission rate limiter, present when `rate_ops > 0`.
+    bucket: Option<TokenBucket>,
+}
+
+/// Per-connection token bucket: `rate` tokens/sec refill up to `burst`.
+struct TokenBucket {
+    rate: f64,
+    burst: f64,
+    tokens: f64,
+    refilled: Instant,
+}
+
+impl TokenBucket {
+    fn new(rate_ops: u64, rate_burst: u64) -> TokenBucket {
+        let rate = rate_ops as f64;
+        let burst = if rate_burst == 0 {
+            rate
+        } else {
+            rate_burst as f64
+        }
+        .max(1.0);
+        TokenBucket {
+            rate,
+            burst,
+            tokens: burst,
+            refilled: Instant::now(),
+        }
+    }
+
+    /// Take one token, or say how many milliseconds until one refills.
+    fn try_take(&mut self) -> std::result::Result<(), u64> {
+        let now = Instant::now();
+        let refill = now.duration_since(self.refilled).as_secs_f64() * self.rate;
+        self.tokens = (self.tokens + refill).min(self.burst);
+        self.refilled = now;
+        if self.tokens >= 1.0 {
+            self.tokens -= 1.0;
+            Ok(())
+        } else {
+            let wait_s = (1.0 - self.tokens) / self.rate.max(f64::EPSILON);
+            Err((wait_s * 1_000.0).ceil().clamp(1.0, MAX_RETRY_AFTER_MS) as u64)
+        }
+    }
+}
+
+/// One admitted call parked in a shard's admission queue.
+struct Pending {
+    conn_id: u64,
+    req_id: u64,
+    op: Box<proto::WireOp>,
+    deadline_ms: u64,
+    trace: Option<TraceCtx>,
+    /// When admission accepted the call; queue wait counts against the
+    /// op's deadline budget from here.
+    admitted: Instant,
+}
+
+/// Per-shard admission control: the bounded call queue, the AIMD bound,
+/// and the service-time estimate that prices `retry_after_ms` hints.
+///
+/// Each shard is a serial executor, so a bound on *waiting* calls is the
+/// shard's concurrency limit: by Little's law it caps queue wait at
+/// roughly `bound × service time`, which the controller walks down until
+/// admitted calls stop missing their deadlines.
+struct Admission {
+    queue: VecDeque<Pending>,
+    /// Configured queue bound; `0` = unbounded (admission off).
+    configured: usize,
+    adaptive: bool,
+    /// Current AIMD bound, `AIMD_MIN_LIMIT ..= configured`.
+    limit: f64,
+    /// EMA of backend service time, milliseconds.
+    ema_service_ms: f64,
+    depth_gauge: Arc<rndi_obs::metrics::Gauge>,
+    limit_gauge: Arc<rndi_obs::metrics::Gauge>,
+    depth_mirror: Arc<AtomicU64>,
+    limit_mirror: Arc<AtomicU64>,
+}
+
+impl Admission {
+    fn new(state: &ServerState, shard: usize) -> Admission {
+        let shard_label = shard.to_string();
+        let labels: &[(&str, &str)] = &[("server", &state.label), ("shard", &shard_label)];
+        let configured = state.config.queue_depth;
+        let admission = Admission {
+            queue: VecDeque::new(),
+            configured,
+            adaptive: state.config.adaptive && configured > 0,
+            limit: configured.max(1) as f64,
+            ema_service_ms: 0.0,
+            depth_gauge: state.registry.gauge(names::NET_QUEUE_DEPTH, labels),
+            limit_gauge: state.registry.gauge(names::NET_CONCURRENCY_LIMIT, labels),
+            depth_mirror: state.queue_depths[shard].clone(),
+            limit_mirror: state.conc_limits[shard].clone(),
+        };
+        admission.publish();
+        admission
+    }
+
+    /// Whether calls route through the queue at all. Off (the default)
+    /// keeps the pre-existing execute-inline fast path.
+    fn engaged(&self) -> bool {
+        self.configured > 0
+    }
+
+    /// The effective bound on waiting calls right now.
+    fn bound(&self) -> usize {
+        if self.adaptive {
+            self.limit.max(AIMD_MIN_LIMIT) as usize
+        } else {
+            self.configured
+        }
+    }
+
+    /// Mirror queue depth and bound into the gauges and health atomics.
+    fn publish(&self) {
+        let depth = self.queue.len() as u64;
+        self.depth_gauge.set(depth as i64);
+        self.depth_mirror.store(depth, Ordering::Relaxed);
+        let bound = if self.engaged() {
+            self.bound() as u64
+        } else {
+            0
+        };
+        self.limit_gauge.set(bound as i64);
+        self.limit_mirror.store(bound, Ordering::Relaxed);
+    }
+
+    /// Backoff hint for a shed caller: roughly one queue's worth of
+    /// estimated service time.
+    fn retry_after_ms(&self) -> u64 {
+        let per_op = self.ema_service_ms.max(1.0);
+        (self.queue.len().max(1) as f64 * per_op).clamp(1.0, MAX_RETRY_AFTER_MS) as u64
+    }
+
+    fn observe_service(&mut self, took: Duration) {
+        let ms = took.as_secs_f64() * 1_000.0;
+        self.ema_service_ms = if self.ema_service_ms == 0.0 {
+            ms
+        } else {
+            self.ema_service_ms * (1.0 - SERVICE_EMA_ALPHA) + ms * SERVICE_EMA_ALPHA
+        };
+    }
+
+    /// Additive increase: an in-budget completion earns capacity back,
+    /// slower the closer the bound already is (1/limit per completion).
+    fn on_in_budget(&mut self) {
+        if self.adaptive {
+            let ceiling = self.configured as f64;
+            self.limit = (self.limit + 1.0 / self.limit.max(1.0)).min(ceiling);
+        }
+    }
+
+    /// Multiplicative decrease on a deadline signal: admitted work is
+    /// expiring, so the admission window is too wide.
+    fn on_deadline_signal(&mut self) {
+        if self.adaptive {
+            self.limit = (self.limit * AIMD_DECREASE).max(AIMD_MIN_LIMIT);
+        }
+    }
 }
 
 /// The accept thread parks new sockets here; the owning shard adopts
@@ -241,6 +481,14 @@ impl NetServer {
                 })
             })
             .collect();
+        let shed = [
+            registry.counter(names::NET_SHED, &[("server", &label), ("reason", "queue")]),
+            registry.counter(names::NET_SHED, &[("server", &label), ("reason", "rate")]),
+            registry.counter(
+                names::NET_SHED,
+                &[("server", &label), ("reason", "deadline")],
+            ),
+        ];
         let state = Arc::new(ServerState {
             backend,
             label: label.into(),
@@ -251,13 +499,20 @@ impl NetServer {
             active: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
             inboxes: inboxes.clone(),
+            queue_depths: (0..shard_count)
+                .map(|_| Arc::new(AtomicU64::new(0)))
+                .collect(),
+            conc_limits: (0..shard_count)
+                .map(|_| Arc::new(AtomicU64::new(0)))
+                .collect(),
+            shed,
             req_instruments: Mutex::new(HashMap::new()),
         });
         let mut threads = Vec::with_capacity(shard_count + 1);
-        for inbox in &inboxes {
+        for (shard, inbox) in inboxes.iter().enumerate() {
             let state = state.clone();
             let inbox = inbox.clone();
-            threads.push(std::thread::spawn(move || shard_loop(state, inbox)));
+            threads.push(std::thread::spawn(move || shard_loop(state, inbox, shard)));
         }
         {
             let state = state.clone();
@@ -396,7 +651,7 @@ impl Backoff {
     }
 }
 
-fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>) {
+fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>, shard: usize) {
     let active_gauge = state
         .registry
         .gauge(names::NET_ACTIVE_CONNS, &[("server", &state.label)]);
@@ -405,21 +660,34 @@ fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>) {
     let mut conns: Vec<ShardConn> = Vec::new();
     let mut scratch = vec![0u8; READ_CHUNK];
     let mut idle = Backoff::new();
+    let mut admission = Admission::new(&state, shard);
+    let mut next_conn_id: u64 = 0;
 
     while !state.shutdown.load(Ordering::SeqCst) {
         {
             let mut incoming = inbox.incoming.lock();
             for stream in incoming.drain(..) {
+                next_conn_id += 1;
                 conns.push(ShardConn {
+                    id: next_conn_id,
                     stream,
                     machine: ServerConn::new(),
+                    bucket: (state.config.rate_ops > 0)
+                        .then(|| TokenBucket::new(state.config.rate_ops, state.config.rate_burst)),
                 });
             }
         }
         let mut progress = false;
         let mut i = 0;
         while i < conns.len() {
-            match drive_conn(&state, &mut conns[i], &mut scratch, &bytes_in, &bytes_out) {
+            match drive_conn(
+                &state,
+                &mut conns[i],
+                &mut admission,
+                &mut scratch,
+                &bytes_in,
+                &bytes_out,
+            ) {
                 Ok(moved) => {
                     progress |= moved;
                     i += 1;
@@ -434,6 +702,7 @@ fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>) {
                 }
             }
         }
+        progress |= drain_admitted(&state, &mut admission, &mut conns, &bytes_out);
         if progress {
             idle.reset();
         } else {
@@ -443,6 +712,7 @@ fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>) {
 
     // Drain: answer whatever is already buffered and flush responses out
     // before closing, bounded so a stuck peer cannot wedge shutdown.
+    drain_admitted(&state, &mut admission, &mut conns, &bytes_out);
     let deadline = Instant::now() + DRAIN_FLUSH_BUDGET;
     for conn in &mut conns {
         while !conn.machine.pending_out().is_empty() && Instant::now() < deadline {
@@ -470,6 +740,7 @@ fn shard_loop(state: Arc<ServerState>, inbox: Arc<ShardInbox>) {
 fn drive_conn(
     state: &ServerState,
     conn: &mut ShardConn,
+    admission: &mut Admission,
     scratch: &mut [u8],
     bytes_in: &Arc<rndi_obs::Counter>,
     bytes_out: &Arc<rndi_obs::Counter>,
@@ -499,7 +770,7 @@ fn drive_conn(
             .receive(&scratch[..read_total])
             .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
         for req in inbound {
-            respond(state, conn, req)
+            respond(state, conn, admission, req)
                 .map_err(|e| std::io::Error::new(ErrorKind::InvalidData, e.to_string()))?;
         }
         flush_out(conn, bytes_out)?;
@@ -508,6 +779,67 @@ fn drive_conn(
         return Err(ErrorKind::UnexpectedEof.into());
     }
     Ok(moved)
+}
+
+/// Execute every queued call FIFO, shedding entries whose deadline budget
+/// was spent waiting. Runs after the read sweep so one pass admits from
+/// every connection before any queued work runs. Returns whether
+/// anything ran or was answered.
+fn drain_admitted(
+    state: &ServerState,
+    admission: &mut Admission,
+    conns: &mut [ShardConn],
+    bytes_out: &Arc<rndi_obs::Counter>,
+) -> bool {
+    if admission.queue.is_empty() {
+        return false;
+    }
+    let mut progress = false;
+    while let Some(entry) = admission.queue.pop_front() {
+        // The peer may have hung up while its call queued.
+        let Some(conn) = conns.iter_mut().find(|c| c.id == entry.conn_id) else {
+            continue;
+        };
+        let deadline = effective_deadline(entry.deadline_ms, state.config.deadline_ms);
+        let body = match deadline {
+            Some(budget) if entry.admitted.elapsed() >= budget => {
+                // The budget was spent in queue: reject cheaply instead of
+                // computing an answer nobody is still waiting for.
+                state.shed[ShedReason::Deadline as usize].inc();
+                admission.on_deadline_signal();
+                ResponseBody::Err(proto::WireError::Overloaded {
+                    retry_after_ms: admission.retry_after_ms(),
+                })
+            }
+            _ => {
+                let started = Instant::now();
+                let body = handle_call(
+                    state,
+                    &entry.op,
+                    entry.deadline_ms,
+                    entry.trace,
+                    entry.admitted,
+                );
+                admission.observe_service(started.elapsed());
+                match &body {
+                    ResponseBody::Ok(_) => admission.on_in_budget(),
+                    ResponseBody::Err(proto::WireError::Timeout { .. }) => {
+                        admission.on_deadline_signal()
+                    }
+                    _ => {}
+                }
+                body
+            }
+        };
+        progress = true;
+        if conn.machine.push_response(entry.req_id, body).is_ok() {
+            // Best-effort flush; a broken socket surfaces on the next
+            // sweep's drive_conn and drops the connection there.
+            let _ = flush_out(conn, bytes_out);
+        }
+    }
+    admission.publish();
+    progress
 }
 
 fn flush_out(conn: &mut ShardConn, bytes_out: &Arc<rndi_obs::Counter>) -> std::io::Result<bool> {
@@ -528,15 +860,58 @@ fn flush_out(conn: &mut ShardConn, bytes_out: &Arc<rndi_obs::Counter>) -> std::i
     Ok(moved)
 }
 
-/// Execute one decoded request inline and queue its response.
-fn respond(state: &ServerState, conn: &mut ShardConn, req: Inbound) -> Result<()> {
+/// Route one decoded request: pings, admin scrapes, and malformed frames
+/// are answered inline (bounded work); calls go through admission — shed
+/// immediately, queued for [`drain_admitted`], or, with admission off,
+/// executed inline exactly as before.
+///
+/// Shed responses can overtake queued ones from the same socket; that is
+/// fine for the v2 mux (responses match by id) and unobservable for the
+/// lock-step v1 client (it never has two calls in flight).
+fn respond(
+    state: &ServerState,
+    conn: &mut ShardConn,
+    admission: &mut Admission,
+    req: Inbound,
+) -> Result<()> {
     let body = match req.msg {
         InboundMsg::Ping => ResponseBody::Pong,
         InboundMsg::Call {
             op,
             deadline_ms,
             trace,
-        } => handle_call(state, &op, deadline_ms, trace),
+        } => {
+            if let Some(bucket) = conn.bucket.as_mut() {
+                if let Err(retry_after_ms) = bucket.try_take() {
+                    state.shed[ShedReason::Rate as usize].inc();
+                    return conn.machine.push_response(
+                        req.req_id,
+                        ResponseBody::Err(proto::WireError::Overloaded { retry_after_ms }),
+                    );
+                }
+            }
+            if admission.engaged() {
+                if admission.queue.len() >= admission.bound() {
+                    state.shed[ShedReason::Queue as usize].inc();
+                    ResponseBody::Err(proto::WireError::Overloaded {
+                        retry_after_ms: admission.retry_after_ms(),
+                    })
+                } else {
+                    admission.queue.push_back(Pending {
+                        conn_id: conn.id,
+                        req_id: req.req_id,
+                        op,
+                        deadline_ms,
+                        trace,
+                        admitted: Instant::now(),
+                    });
+                    admission.publish();
+                    return Ok(());
+                }
+            } else {
+                handle_call(state, &op, deadline_ms, trace, Instant::now())
+            }
+        }
         InboundMsg::Admin(admin) => ResponseBody::Admin(handle_admin(state, admin)),
         InboundMsg::Malformed(e) => ResponseBody::Err(proto::encode_error(&e)),
     };
@@ -575,13 +950,17 @@ fn handle_admin(state: &ServerState, req: AdminRequest) -> AdminReply {
     }
 }
 
+/// Execute one admitted call. `start` is when the op's budget clock began
+/// — admission time for queued calls, so queue wait counts against the
+/// deadline and shows in the duration histogram the client's latency
+/// percentiles are derived from.
 fn handle_call(
     state: &ServerState,
     wire_op: &proto::WireOp,
     deadline_ms: u64,
     transport_ctx: Option<TraceCtx>,
+    start: Instant,
 ) -> ResponseBody {
-    let start = Instant::now();
     let instruments = state.req_instruments(&wire_op.kind);
     let result = dispatch_call(state, wire_op, deadline_ms, transport_ctx, start);
     let took = start.elapsed();

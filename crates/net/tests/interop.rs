@@ -82,6 +82,7 @@ fn v2_server() -> NetServer {
             max_conns: 64,
             deadline_ms: 5_000,
             shards: 2,
+            ..ServerConfig::default()
         },
     )
     .expect("server starts")
@@ -207,6 +208,7 @@ fn admin_scrape_serves_metrics_traces_and_health_over_the_data_socket() {
             max_conns: 64,
             deadline_ms: 5_000,
             shards: 2,
+            ..ServerConfig::default()
         },
         registry.clone(),
     )

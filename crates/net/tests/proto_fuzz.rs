@@ -214,6 +214,7 @@ fn arb_wire_error() -> impl Strategy<Value = proto::WireError> {
             remaining
         }),
         any::<u64>().prop_map(|depth| proto::WireError::FederationDepthExceeded { depth }),
+        any::<u64>().prop_map(|retry_after_ms| proto::WireError::Overloaded { retry_after_ms }),
     ]
 }
 

@@ -83,6 +83,20 @@ pub mod names {
     /// Counter: `{endpoint, reason}` with `reason` one of `idle|cap` —
     /// pooled client connections closed by pool hygiene.
     pub const NET_POOL_EVICTIONS: &str = "rndi_net_pool_evictions_total";
+    /// Gauge: `{server, shard}` — calls waiting in one event-loop shard's
+    /// admission queue.
+    pub const NET_QUEUE_DEPTH: &str = "rndi_net_queue_depth";
+    /// Counter: `{server, reason}` with `reason` one of
+    /// `queue|rate|deadline` — calls shed with `Overloaded` before
+    /// dispatch by the server's admission control.
+    pub const NET_SHED: &str = "rndi_net_shed_total";
+    /// Gauge: `{server, shard}` — the AIMD controller's current effective
+    /// admission-queue bound for one shard (equals the configured
+    /// queue-depth when the adaptive controller is off).
+    pub const NET_CONCURRENCY_LIMIT: &str = "rndi_net_concurrency_limit";
+    /// Counter: `{router, reason}` — scatter ops that returned a flagged
+    /// partial result because one or more legs were shed (`overloaded`).
+    pub const SHARD_PARTIAL: &str = "rndi_shard_partial_total";
     /// Counter: `{router, shard, mode}` with `mode` one of
     /// `point|scatter` — ops a shard router sent to each shard.
     pub const SHARD_ROUTED: &str = "rndi_shard_routed_total";

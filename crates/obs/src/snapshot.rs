@@ -363,6 +363,14 @@ pub struct HealthSummary {
     pub trace_spans: u64,
     /// Spans evicted unread — nonzero means ring dumps are partial.
     pub trace_dropped: u64,
+    /// Calls waiting in admission queues, summed over event-loop shards.
+    pub queue_depth: u64,
+    /// Sum of per-shard effective admission bounds; `0` when the queues
+    /// are unbounded (admission control off).
+    pub concurrency_limit: u64,
+    /// Calls shed with `Overloaded` before dispatch, over the server's
+    /// life (queue-full + rate-limited + expired-in-queue).
+    pub shed_total: u64,
 }
 
 impl HealthSummary {
@@ -382,6 +390,15 @@ impl HealthSummary {
             return 1.0;
         }
         (1.0 - self.active_conns as f64 / self.max_conns as f64).clamp(0.0, 1.0)
+    }
+
+    /// Admission-queue headroom: `1 − queued/limit`, `0.0 ..= 1.0`.
+    /// `1.0` when admission control is off (unbounded queues).
+    pub fn admission_headroom(&self) -> f64 {
+        if self.concurrency_limit == 0 {
+            return 1.0;
+        }
+        (1.0 - self.queue_depth as f64 / self.concurrency_limit as f64).clamp(0.0, 1.0)
     }
 }
 

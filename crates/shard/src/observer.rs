@@ -109,6 +109,13 @@ pub struct DerivedSignals {
     /// The *worst* shard's connection headroom (`1 − active/max`): the
     /// cluster saturates when its fullest shard does.
     pub headroom: f64,
+    /// The *worst* shard's admission headroom (`1 − queued/limit` over
+    /// its bounded admission queues): how close the cluster is to
+    /// shedding load. `1.0` when no shard bounds admission.
+    pub admission_headroom: f64,
+    /// Total ops shed (`Overloaded`) across the cluster, all reasons
+    /// (queue full, rate limit, deadline expired in queue).
+    pub shed_total: u64,
     /// Per-op-kind latency quantiles over all shards.
     pub per_op: Vec<OpLatency>,
 }
@@ -268,6 +275,11 @@ fn derive_signals(instances: &[InstanceScrape], rollup: &MetricsSnapshot) -> Der
         .iter()
         .map(|inst| inst.health.headroom())
         .fold(1.0_f64, f64::min);
+    let admission_headroom = instances
+        .iter()
+        .map(|inst| inst.health.admission_headroom())
+        .fold(1.0_f64, f64::min);
+    let shed_total = instances.iter().map(|inst| inst.health.shed_total).sum();
 
     // The rollup keys request-duration histograms by op alone, so each
     // one is the whole cluster's latency distribution for that op.
@@ -293,6 +305,8 @@ fn derive_signals(instances: &[InstanceScrape], rollup: &MetricsSnapshot) -> Der
     DerivedSignals {
         imbalance_pct,
         headroom,
+        admission_headroom,
+        shed_total,
         per_op,
     }
 }

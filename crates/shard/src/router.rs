@@ -47,6 +47,11 @@ pub struct ShardRouter {
     scatter_routed: Vec<Arc<Counter>>,
     fanout_width: Arc<Histogram>,
     imbalance: Arc<Histogram>,
+    /// Scatters merged without every shard's answer because one or more
+    /// legs were shed (`Overloaded`). The registry counter aggregates
+    /// across routers sharing a label; the atomic is this router's own.
+    partial_overloaded: Arc<Counter>,
+    partials: std::sync::atomic::AtomicU64,
 }
 
 impl ShardRouter {
@@ -88,6 +93,11 @@ impl ShardRouter {
                 .collect(),
             fanout_width: metrics::histogram(names::SHARD_FANOUT, &[("router", &label)]),
             imbalance: metrics::histogram(names::SHARD_IMBALANCE, &[("router", &label)]),
+            partial_overloaded: metrics::counter(
+                names::SHARD_PARTIAL,
+                &[("router", &label), ("reason", "overloaded")],
+            ),
+            partials: std::sync::atomic::AtomicU64::new(0),
             map,
             backends,
             label: label.into(),
@@ -118,6 +128,13 @@ impl ShardRouter {
     /// per-shard state).
     pub fn backend(&self, index: usize) -> &Arc<dyn ProviderBackend> {
         &self.backends[index]
+    }
+
+    /// How many scatters merged without every shard's slice because at
+    /// least one leg was shed under overload. Mirrors the
+    /// [`names::SHARD_PARTIAL`] counter for in-process callers.
+    pub fn partial_scatters(&self) -> u64 {
+        self.partials.load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Send `op` to one shard, re-annotated with the router's span
@@ -192,7 +209,13 @@ impl ShardRouter {
     /// total order independent of fan-out width and scheduling (the same
     /// determinism contract federated search keeps for its mounts).
     /// Unreachable shards are skipped best-effort unless *every* shard
-    /// fails, mirroring federation's dead-mount policy.
+    /// fails, mirroring federation's dead-mount policy. A leg shed by an
+    /// overloaded shard degrades the same way — the merge proceeds
+    /// without that shard's slice and the partial is flagged on
+    /// [`names::SHARD_PARTIAL`] — but when *all* legs fail and any was
+    /// shed, the scatter propagates `Overloaded` (with the largest
+    /// `retry_after_ms` hint seen) so callers back off instead of
+    /// treating a congested cluster as broken.
     fn scatter(&self, op: &NamingOp, span_ctx: &TraceCtx) -> Result<OpOutcome> {
         match op.kind {
             OpKind::List | OpKind::ListBindings | OpKind::Search | OpKind::RemoveListener => {}
@@ -228,14 +251,33 @@ impl ShardRouter {
 
         let mut oks = Vec::with_capacity(n);
         let mut first_err = None;
+        let mut shed_legs = 0usize;
+        let mut max_retry_after = 0u64;
         for leg in legs {
             match leg {
                 Ok(outcome) => oks.push(outcome),
+                Err(NamingError::Overloaded { retry_after_ms }) => {
+                    shed_legs += 1;
+                    max_retry_after = max_retry_after.max(retry_after_ms);
+                }
                 Err(e) => first_err = first_err.or(Some(e)),
             }
         }
         if oks.is_empty() {
+            // Total failure: if any shard shed us, the cluster is
+            // congested rather than broken — surface the transient error
+            // with the most pessimistic back-off hint across shards.
+            if shed_legs > 0 {
+                return Err(NamingError::Overloaded {
+                    retry_after_ms: max_retry_after,
+                });
+            }
             return Err(first_err.expect("at least one shard"));
+        }
+        if shed_legs > 0 {
+            self.partial_overloaded.inc();
+            self.partials
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
         }
 
         let sizes: Vec<usize>;

@@ -17,19 +17,21 @@ use rndi::shard::ClusterScrape;
 fn render(scrape: &ClusterScrape, tick: usize) {
     println!("-- tick {tick} ---------------------------------------------------------");
     println!(
-        "{:<10} {:>9} {:>9} {:>8} {:>7} {:>9} {:>9}",
-        "shard", "req_ok", "req_err", "err%", "conns", "headroom", "spans"
+        "{:<10} {:>9} {:>9} {:>8} {:>7} {:>9} {:>9} {:>7} {:>9}",
+        "shard", "req_ok", "req_err", "err%", "conns", "headroom", "adm_hdrm", "shed", "spans"
     );
     for inst in &scrape.instances {
         let h = &inst.health;
         println!(
-            "{:<10} {:>9} {:>9} {:>7.2}% {:>7} {:>8.0}% {:>9}",
+            "{:<10} {:>9} {:>9} {:>7.2}% {:>7} {:>8.0}% {:>8.0}% {:>7} {:>9}",
             inst.id,
             h.requests_ok,
             h.requests_err,
             100.0 * h.error_rate(),
             h.active_conns,
             100.0 * h.headroom(),
+            100.0 * h.admission_headroom(),
+            h.shed_total,
             h.trace_spans,
         );
     }
@@ -38,9 +40,11 @@ fn render(scrape: &ClusterScrape, tick: usize) {
     }
     let s = &scrape.signals;
     println!(
-        "cluster    imbalance {:>5.0}%  headroom {:>3.0}%",
+        "cluster    imbalance {:>5.0}%  headroom {:>3.0}%  adm_headroom {:>3.0}%  shed {}",
         s.imbalance_pct,
-        100.0 * s.headroom
+        100.0 * s.headroom,
+        100.0 * s.admission_headroom,
+        s.shed_total
     );
     for op in &s.per_op {
         println!(

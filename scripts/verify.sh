@@ -45,6 +45,10 @@ cargo bench -p rndi-bench --bench shard_scale --no-run
 shard_out="$(cargo run -q --example sharded_namespace)"
 grep -q "sharded_namespace OK" <<<"$shard_out"
 
+echo "==> overload smoke: admission/shedding e2e + goodput bench builds"
+cargo test -q --test overload_resilience
+cargo bench -p rndi-bench --bench overload_goodput --no-run
+
 echo "==> obs cluster smoke: merge props + scrape/flight e2e + example + bench builds"
 cargo test -q -p rndi-obs --test merge_props
 cargo test -q --test obs_cluster

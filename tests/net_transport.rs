@@ -157,6 +157,7 @@ fn retry_recovers_from_server_crash_and_restart() {
                 max_conns: 16,
                 deadline_ms: 5_000,
                 shards: 1,
+                ..ServerConfig::default()
             };
             match NetServer::with_config(backend.clone(), config) {
                 Ok(server) => return server,
