@@ -1,0 +1,95 @@
+//! Cluster-plane configuration, read from `rndi.cluster.*` keys.
+
+use rndi_core::env::{keys, Environment};
+use rndi_core::error::Result;
+
+/// Everything one [`ClusterNode`](crate::node::ClusterNode) needs to
+/// boot: its identity, where to find the cluster, and the failure
+/// detector's temperament.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// This node's stable name (survives restarts; the unit of identity,
+    /// incarnation, and quarantine).
+    pub name: String,
+    /// The replication group the node's HDNS replica joins.
+    pub group: String,
+    /// Seed endpoint (`host:port`) to gossip with first; `None` makes
+    /// this node the seed.
+    pub seed: Option<String>,
+    /// Milliseconds between gossip rounds.
+    pub gossip_interval_ms: u64,
+    /// Phi at which a silent peer turns `Suspect` (`Dead` at 2×).
+    pub phi_threshold: f64,
+    /// Cooldown a dead node stays quarantined.
+    pub quarantine_ms: u64,
+    /// The environment the node's `NetServer`/`NetClient`s are built
+    /// from (`rndi.net.*` keys: listen address, protocol, deadlines).
+    pub env: Environment,
+}
+
+impl ClusterConfig {
+    /// Read the `rndi.cluster.*` keys strictly (present-but-unparsable
+    /// values error) with the documented defaults.
+    pub fn from_env(
+        name: impl Into<String>,
+        group: impl Into<String>,
+        env: &Environment,
+    ) -> Result<ClusterConfig> {
+        let seed = env
+            .get(keys::CLUSTER_SEED)
+            .filter(|s| !s.is_empty())
+            .map(|s| s.to_string());
+        // Phi is fractional; parse via f64 from the raw string.
+        let phi_threshold = match env.get(keys::CLUSTER_PHI_THRESHOLD) {
+            None => 8.0,
+            Some(raw) => raw.trim().parse::<f64>().map_err(|_| {
+                rndi_core::error::NamingError::ConfigurationError {
+                    detail: format!("{}: not a number: {raw:?}", keys::CLUSTER_PHI_THRESHOLD),
+                }
+            })?,
+        };
+        Ok(ClusterConfig {
+            name: name.into(),
+            group: group.into(),
+            seed,
+            gossip_interval_ms: env
+                .try_get_u64(keys::CLUSTER_GOSSIP_INTERVAL_MS, 25)?
+                .max(1),
+            phi_threshold,
+            quarantine_ms: env.try_get_u64(keys::CLUSTER_QUARANTINE_MS, 2_000)?,
+            env: env.clone(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_and_overrides() {
+        let env = Environment::new();
+        let c = ClusterConfig::from_env("n0", "g", &env).unwrap();
+        assert_eq!(c.seed, None);
+        assert_eq!(c.gossip_interval_ms, 25);
+        assert_eq!(c.phi_threshold, 8.0);
+        assert_eq!(c.quarantine_ms, 2_000);
+
+        let env = Environment::new()
+            .with(keys::CLUSTER_SEED, "127.0.0.1:9000")
+            .with(keys::CLUSTER_GOSSIP_INTERVAL_MS, "10")
+            .with(keys::CLUSTER_PHI_THRESHOLD, "4.5")
+            .with(keys::CLUSTER_QUARANTINE_MS, "300");
+        let c = ClusterConfig::from_env("n1", "g", &env).unwrap();
+        assert_eq!(c.seed.as_deref(), Some("127.0.0.1:9000"));
+        assert_eq!(c.gossip_interval_ms, 10);
+        assert_eq!(c.phi_threshold, 4.5);
+        assert_eq!(c.quarantine_ms, 300);
+    }
+
+    #[test]
+    fn bad_phi_is_a_config_error() {
+        let env = Environment::new().with(keys::CLUSTER_PHI_THRESHOLD, "eight");
+        assert!(ClusterConfig::from_env("n", "g", &env).is_err());
+    }
+}

@@ -129,6 +129,20 @@ pub mod keys {
     /// comma-separated `shard-id=host:port` members (the `shard-id=`
     /// prefix is optional — bare endpoints use the endpoint as id).
     pub const SHARD_MAP: &str = "rndi.shard.map";
+    /// Seed endpoint (`host:port`) a booting cluster node gossips with
+    /// first to discover the rest of the membership. Empty / absent means
+    /// this node *is* the seed.
+    pub const CLUSTER_SEED: &str = "rndi.cluster.seed";
+    /// Milliseconds between gossip rounds (membership exchange with one
+    /// random peer + heartbeat fan-out). Default 25.
+    pub const CLUSTER_GOSSIP_INTERVAL_MS: &str = "rndi.cluster.gossip-interval-ms";
+    /// Phi-accrual suspicion threshold: a peer whose heartbeat phi score
+    /// crosses this becomes `Suspect`, and `Dead` at twice it. Default 8.
+    pub const CLUSTER_PHI_THRESHOLD: &str = "rndi.cluster.phi-threshold";
+    /// Milliseconds a node declared `Dead` stays quarantined: re-admission
+    /// requires this cooldown to elapse *and* the node to return under a
+    /// strictly higher incarnation. Default 2000.
+    pub const CLUSTER_QUARANTINE_MS: &str = "rndi.cluster.quarantine-ms";
 }
 
 /// An immutable-by-convention string property map.

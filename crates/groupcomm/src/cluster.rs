@@ -17,11 +17,10 @@ use rand::{Rng, SeedableRng};
 use crate::addr::Addr;
 use crate::channel::{ChannelEvent, GroupChannel, SendError};
 use crate::config::{OrderingMode, StackConfig};
-use crate::protocols::bimodal::Bimodal;
+use crate::member::MemberCore;
 use crate::protocols::flow::{Admission, InboxAccount};
 use crate::protocols::gms;
 use crate::protocols::primary;
-use crate::protocols::sequencer::Sequencer;
 use crate::view::View;
 use crate::wire::Wire;
 
@@ -37,26 +36,22 @@ struct Node {
     alive: bool,
     config: StackConfig,
     group: Option<String>,
-    view: Option<View>,
-    seq: Sequencer,
-    bim: Bimodal,
+    /// The transport-agnostic protocol engine (sequencer/bimodal/view).
+    member: MemberCore,
     inbox: InboxAccount,
-    events: VecDeque<ChannelEvent>,
     partition_side: u32,
 }
 
 impl Node {
-    fn new(config: StackConfig) -> Node {
+    fn new(addr: Addr, config: StackConfig) -> Node {
         let inbox = InboxAccount::new(config.inbox_bound, config.memory_limit);
+        let member = MemberCore::new(addr, config.ordering.clone());
         Node {
             alive: true,
             config,
             group: None,
-            view: None,
-            seq: Sequencer::new(),
-            bim: Bimodal::new(),
+            member,
             inbox,
-            events: VecDeque::new(),
             partition_side: 0,
         }
     }
@@ -126,7 +121,7 @@ impl Cluster {
         let mut core = self.core.lock();
         let addr = Addr(core.next_addr);
         core.next_addr += 1;
-        core.nodes.insert(addr, Node::new(config));
+        core.nodes.insert(addr, Node::new(addr, config));
         GroupChannel {
             cluster: self.clone(),
             addr,
@@ -160,7 +155,7 @@ impl Cluster {
         let Some(group) = node.group.take() else {
             return;
         };
-        node.view = None;
+        node.member.clear_view();
         if let Some(g) = core.groups.get_mut(&group) {
             g.join_order.retain(|a| *a != addr);
         }
@@ -173,42 +168,29 @@ impl Cluster {
         if !node.alive {
             return Err(SendError::Dead);
         }
-        let view = node.view.clone().ok_or(SendError::NotConnected)?;
         let ordering = node.config.ordering.clone();
+        let outgoing = core
+            .nodes
+            .get_mut(&addr)
+            .expect("checked above")
+            .member
+            .mcast(bytes)?;
         match ordering {
             OrderingMode::Sequencer => {
                 // Forward to the coordinator (possibly myself) for stamping.
-                let coord = view.coordinator();
-                Self::enqueue(
-                    &mut core,
-                    addr,
-                    coord,
-                    Wire::Forward {
-                        origin: addr,
-                        body: bytes,
-                    },
-                    false,
-                )?;
+                for out in outgoing {
+                    Self::enqueue(&mut core, addr, out.to, out.wire, false)?;
+                }
             }
             OrderingMode::Bimodal { loss, .. } => {
-                let node = core.nodes.get_mut(&addr).expect("checked above");
-                let sseq = node.bim.next_send(addr, bytes.clone());
-                for m in view.members.clone() {
-                    let lossy = m != addr && core.rng.gen::<f64>() < loss;
+                // The core proposes the full fan-out; the transport is
+                // where the initial multicast loses packets.
+                for out in outgoing {
+                    let lossy = out.to != addr && core.rng.gen::<f64>() < loss;
                     if lossy {
                         continue; // initial multicast dropped; gossip repairs
                     }
-                    Self::enqueue(
-                        &mut core,
-                        addr,
-                        m,
-                        Wire::Gossip {
-                            origin: addr,
-                            sseq,
-                            body: bytes.clone(),
-                        },
-                        false,
-                    )?;
+                    Self::enqueue(&mut core, addr, out.to, out.wire, false)?;
                 }
             }
         }
@@ -219,7 +201,7 @@ impl Cluster {
         let mut core = self.core.lock();
         core.nodes
             .get_mut(&addr)
-            .map(|n| n.events.drain(..).collect())
+            .map(|n| n.member.take_events())
             .unwrap_or_default()
     }
 
@@ -243,7 +225,18 @@ impl Cluster {
             .lock()
             .nodes
             .get(&addr)
-            .and_then(|n| n.view.clone())
+            .and_then(|n| n.member.view().cloned())
+    }
+
+    /// Inject a raw wire message into the simulated network (the
+    /// [`GroupTransport`](crate::transport::GroupTransport) surface).
+    pub(crate) fn send_wire(&self, from: Addr, to: Addr, wire: Wire) -> Result<(), SendError> {
+        let mut core = self.core.lock();
+        let node = core.nodes.get(&from).ok_or(SendError::Dead)?;
+        if !node.alive {
+            return Err(SendError::Dead);
+        }
+        Self::enqueue(&mut core, from, to, wire, false)
     }
 
     pub(crate) fn is_alive(&self, addr: Addr) -> bool {
@@ -313,7 +306,7 @@ impl Cluster {
                 let OrderingMode::Bimodal { fanout, .. } = n.config.ordering else {
                     return None;
                 };
-                let view = n.view.as_ref()?;
+                let view = n.member.view()?;
                 let peers: Vec<Addr> = view
                     .members
                     .iter()
@@ -332,7 +325,7 @@ impl Cluster {
             let digest = core
                 .nodes
                 .get(&addr)
-                .map(|n| n.bim.digest())
+                .map(|n| n.member.digest())
                 .unwrap_or_default();
             for peer in peers.into_iter().take(fanout) {
                 let _ = Self::enqueue(
@@ -371,7 +364,7 @@ impl Cluster {
                 let mut first = true;
                 for a in side {
                     let digest: HashMap<Addr, u64> =
-                        core.nodes[a].bim.digest().into_iter().collect();
+                        core.nodes[a].member.digest().into_iter().collect();
                     if first {
                         min = digest;
                         first = false;
@@ -388,7 +381,7 @@ impl Cluster {
                 let stable: Vec<(Addr, u64)> = min.into_iter().collect();
                 for a in side {
                     if let Some(n) = core.nodes.get_mut(a) {
-                        n.bim.prune(&stable);
+                        n.member.prune(&stable);
                     }
                 }
             }
@@ -495,10 +488,10 @@ impl Cluster {
             return;
         }
         node.alive = false;
-        node.events.push_back(ChannelEvent::Crashed {
+        node.member.push_event(ChannelEvent::Crashed {
             reason: reason.to_string(),
         });
-        node.view = None;
+        node.member.clear_view();
         // Its queued messages evaporate with the process.
         core.in_flight.retain(|e| e.to != addr);
         // It no longer participates in its group.
@@ -521,86 +514,14 @@ impl Cluster {
             return;
         }
         let to = env.to;
-        match env.wire {
-            Wire::Forward { origin, body } => {
-                // I am (supposed to be) the coordinator: stamp + multicast.
-                let Some(view) = core.nodes.get(&to).and_then(|n| n.view.clone()) else {
-                    return;
-                };
-                if view.coordinator() != to {
-                    // Stale coordinator info at the sender: re-forward.
-                    let coord = view.coordinator();
-                    let _ = Self::enqueue(core, to, coord, Wire::Forward { origin, body }, false);
-                    return;
-                }
-                let gseq = core.nodes.get_mut(&to).expect("exists").seq.assign();
-                for m in view.members {
-                    let _ = Self::enqueue(
-                        core,
-                        to,
-                        m,
-                        Wire::Ordered {
-                            gseq,
-                            origin,
-                            body: body.clone(),
-                        },
-                        false,
-                    );
-                }
-            }
-            Wire::Ordered { gseq, origin, body } => {
-                if let Some(n) = core.nodes.get_mut(&to) {
-                    for (from, bytes) in n.seq.on_ordered(gseq, origin, body) {
-                        n.events.push_back(ChannelEvent::Message { from, bytes });
-                    }
-                }
-            }
-            Wire::Gossip { origin, sseq, body } => {
-                if let Some(n) = core.nodes.get_mut(&to) {
-                    for (_s, bytes) in n.bim.on_message(origin, sseq, body) {
-                        n.events.push_back(ChannelEvent::Message {
-                            from: origin,
-                            bytes,
-                        });
-                    }
-                }
-            }
-            Wire::DigestPush { entries } => {
-                let missing = core
-                    .nodes
-                    .get(&to)
-                    .map(|n| n.bim.missing_for(&entries))
-                    .unwrap_or_default();
-                if !missing.is_empty() {
-                    let _ = Self::enqueue(
-                        core,
-                        to,
-                        env.from,
-                        Wire::Retransmit { messages: missing },
-                        false,
-                    );
-                }
-            }
-            Wire::Retransmit { messages } => {
-                if let Some(n) = core.nodes.get_mut(&to) {
-                    for (origin, sseq, body) in messages {
-                        for (_s, bytes) in n.bim.on_message(origin, sseq, body) {
-                            n.events.push_back(ChannelEvent::Message {
-                                from: origin,
-                                bytes,
-                            });
-                        }
-                    }
-                }
-            }
-            Wire::InstallView(view) => {
-                Self::install_view(core, to, view);
-            }
-            Wire::State { bytes } => {
-                if let Some(n) = core.nodes.get_mut(&to) {
-                    n.events.push_back(ChannelEvent::SetState { bytes });
-                }
-            }
+        // The per-member protocol engine does all the thinking; we carry
+        // its follow-up sends (re-forwards, Ordered fan-out, retransmits).
+        let outgoing = match core.nodes.get_mut(&to) {
+            Some(n) => n.member.on_wire(env.from, env.wire),
+            None => return,
+        };
+        for out in outgoing {
+            let _ = Self::enqueue(core, to, out.to, out.wire, false);
         }
     }
 
@@ -611,39 +532,7 @@ impl Cluster {
         if !node.alive {
             return;
         }
-        let prev = node.view.replace(view.clone());
-        if prev.as_ref().is_some_and(|p| p.id == view.id) {
-            return; // already installed
-        }
-        node.seq.reset();
-        node.events.push_back(ChannelEvent::View(view.clone()));
-        let i_coordinate = view.coordinator() == at;
-        if i_coordinate {
-            // Ask me for state on behalf of every newcomer.
-            let newcomers: Vec<Addr> = view
-                .members
-                .iter()
-                .copied()
-                .filter(|m| {
-                    *m != at
-                        && match &prev {
-                            Some(p) => !p.contains(*m),
-                            None => true,
-                        }
-                })
-                .collect();
-            for j in newcomers {
-                node.events
-                    .push_back(ChannelEvent::StateRequest { joiner: j });
-            }
-        } else if let Some(p) = &prev {
-            if !p.contains(view.coordinator()) {
-                // My old side lost the primary-partition decision.
-                node.events.push_back(ChannelEvent::ResyncNeeded {
-                    coordinator: view.coordinator(),
-                });
-            }
-        }
+        node.member.install_view(view);
     }
 
     /// Reconcile the views of one group with liveness and partitions.
@@ -674,7 +563,7 @@ impl Cluster {
             // members pruned.
             let mut prev_views: Vec<View> = Vec::new();
             for a in members {
-                if let Some(v) = core.nodes.get(a).and_then(|n| n.view.clone()) {
+                if let Some(v) = core.nodes.get(a).and_then(|n| n.member.view().cloned()) {
                     if !prev_views.iter().any(|p| p.id == v.id) {
                         prev_views.push(v);
                     }
@@ -720,7 +609,7 @@ impl Cluster {
             let converged = members.iter().all(|a| {
                 core.nodes
                     .get(a)
-                    .and_then(|n| n.view.as_ref())
+                    .and_then(|n| n.member.view())
                     .is_some_and(|v| v.members == desired)
             });
             if converged {
@@ -964,7 +853,7 @@ mod tests {
         // Everything delivered everywhere → retained stores empty.
         let core = cluster.core.lock();
         for n in core.nodes.values() {
-            assert_eq!(n.bim.retained_count(), 0);
+            assert_eq!(n.member.retained_count(), 0);
         }
     }
 

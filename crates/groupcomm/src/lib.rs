@@ -39,7 +39,9 @@ pub mod addr;
 pub mod channel;
 pub mod cluster;
 pub mod config;
+pub mod member;
 pub mod protocols;
+pub mod transport;
 pub mod view;
 pub mod wire;
 
@@ -47,4 +49,7 @@ pub use addr::Addr;
 pub use channel::{ChannelEvent, GroupChannel, SendError};
 pub use cluster::Cluster;
 pub use config::{OrderingMode, StackConfig};
+pub use member::{MemberCore, Outgoing};
+pub use transport::GroupTransport;
 pub use view::{View, ViewId};
+pub use wire::Wire;

@@ -1,0 +1,60 @@
+//! Transport abstraction: how [`Wire`] messages travel between members.
+//!
+//! [`MemberCore`](crate::member::MemberCore) produces
+//! [`Outgoing`](crate::member::Outgoing) messages and consumes inbound
+//! [`Wire`]s; a `GroupTransport` carries them. Two backends exist:
+//!
+//! * the deterministic in-process [`Cluster`](crate::cluster::Cluster)
+//!   (seeded FIFO, explicit pumping, fault injection) — the test oracle;
+//! * `rndi-cluster`'s TCP backend, which ferries the same frames inside
+//!   v2 `Gossip::Group` envelopes between OS processes/threads.
+
+use crate::addr::Addr;
+use crate::channel::SendError;
+use crate::cluster::Cluster;
+use crate::wire::Wire;
+
+/// Delivers wire messages between group members. Implementations decide
+/// latency, loss, and ordering; the protocol logic above is shared.
+pub trait GroupTransport: Send + Sync {
+    /// Send `wire` from `from` to `to`. A transport may drop the message
+    /// silently (partition, loss) — reliability is the protocol's job.
+    fn send(&self, from: Addr, to: Addr, wire: Wire) -> Result<(), SendError>;
+}
+
+impl GroupTransport for Cluster {
+    fn send(&self, from: Addr, to: Addr, wire: Wire) -> Result<(), SendError> {
+        self.send_wire(from, to, wire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::channel::ChannelEvent;
+    use crate::config::StackConfig;
+
+    #[test]
+    fn cluster_is_a_group_transport() {
+        let cluster = Cluster::new(11);
+        let a = cluster.create_channel(StackConfig::default());
+        let b = cluster.create_channel(StackConfig::default());
+        a.connect("t").unwrap();
+        cluster.pump_all();
+        b.connect("t").unwrap();
+        cluster.pump_all();
+        a.poll();
+        b.poll();
+
+        // Drive a raw state frame through the trait object.
+        let transport: &dyn GroupTransport = &cluster;
+        transport
+            .send(a.addr(), b.addr(), Wire::State { bytes: vec![5] })
+            .unwrap();
+        cluster.pump_all();
+        assert!(b
+            .poll()
+            .iter()
+            .any(|e| matches!(e, ChannelEvent::SetState { bytes } if bytes == &vec![5])));
+    }
+}

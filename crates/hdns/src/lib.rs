@@ -27,6 +27,6 @@ pub mod node;
 pub mod realm;
 pub mod store;
 
-pub use node::{HdnsEvent, HdnsNode, OpOutcome, Ticket};
+pub use node::{HdnsEvent, HdnsNode, OpOutcome, ReplicaChannel, Ticket};
 pub use realm::{AutoDrive, HdnsRealm};
 pub use store::{HdnsEntry, HdnsError, HdnsStore, Op};

@@ -9,6 +9,47 @@ use groupcast::{Addr, ChannelEvent, GroupChannel, SendError, View};
 
 use crate::store::{HdnsEntry, HdnsError, HdnsStore, Op};
 
+/// The group-communication surface one replica needs: the
+/// [`GroupChannel`] subset `HdnsNode` actually calls, as a trait so the
+/// same replica logic (proposals, tickets, state transfer, persistence)
+/// runs over the deterministic in-process cluster *or* a real TCP
+/// membership plane (`rndi-cluster`).
+pub trait ReplicaChannel {
+    /// This member's group address.
+    fn addr(&self) -> Addr;
+    /// Join the named group.
+    fn connect(&self, group: &str) -> Result<(), SendError>;
+    /// Leave the group.
+    fn disconnect(&self);
+    /// Multicast to the group under the stack's ordering discipline.
+    fn mcast(&self, bytes: Vec<u8>) -> Result<(), SendError>;
+    /// Drain pending channel events.
+    fn poll(&self) -> Vec<ChannelEvent>;
+    /// Answer a [`ChannelEvent::StateRequest`].
+    fn provide_state(&self, to: Addr, bytes: Vec<u8>) -> Result<(), SendError>;
+}
+
+impl ReplicaChannel for GroupChannel {
+    fn addr(&self) -> Addr {
+        GroupChannel::addr(self)
+    }
+    fn connect(&self, group: &str) -> Result<(), SendError> {
+        GroupChannel::connect(self, group)
+    }
+    fn disconnect(&self) {
+        GroupChannel::disconnect(self)
+    }
+    fn mcast(&self, bytes: Vec<u8>) -> Result<(), SendError> {
+        GroupChannel::mcast(self, bytes)
+    }
+    fn poll(&self) -> Vec<ChannelEvent> {
+        GroupChannel::poll(self)
+    }
+    fn provide_state(&self, to: Addr, bytes: Vec<u8>) -> Result<(), SendError> {
+        GroupChannel::provide_state(self, to, bytes)
+    }
+}
+
 /// Identifies a submitted write; resolved once the replica delivers (and
 /// applies) its own operation.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -53,9 +94,10 @@ struct Proposal {
     op: Op,
 }
 
-/// One replica of the naming service.
-pub struct HdnsNode {
-    channel: GroupChannel,
+/// One replica of the naming service, generic over how its group
+/// messages travel (defaults to the in-process [`GroupChannel`]).
+pub struct HdnsNode<C: ReplicaChannel = GroupChannel> {
+    channel: C,
     store: HdnsStore,
     view: Option<View>,
     next_op: u64,
@@ -69,12 +111,12 @@ pub struct HdnsNode {
     alive: bool,
 }
 
-impl HdnsNode {
+impl<C: ReplicaChannel> HdnsNode<C> {
     /// Create a replica on `channel`. When `data_path` exists on disk, the
     /// store is recovered from the snapshot (cold-start recovery: "the
     /// service can thus recover the state after a complete
     /// shutdown/restart").
-    pub fn new(channel: GroupChannel, data_path: Option<PathBuf>) -> HdnsNode {
+    pub fn new(channel: C, data_path: Option<PathBuf>) -> HdnsNode<C> {
         let store = data_path
             .as_ref()
             .and_then(|p| std::fs::read(p).ok())

@@ -591,6 +591,28 @@ impl NetClient {
         }
     }
 
+    /// Round-trip one gossip request. Gossip, like admin, exists only in
+    /// the v2 envelope protocol and multiplexes over the same socket as
+    /// data ops.
+    pub fn gossip(&self, req: proto::GossipRequest) -> Result<proto::GossipReply> {
+        if self.config.proto_version != proto::PROTOCOL_V2 {
+            return Err(NamingError::unsupported(
+                "gossip requires rndi.net.proto.version=2",
+            ));
+        }
+        let mut env = Envelope {
+            req_id: 0,
+            body: EnvelopeBody::Gossip(req),
+        };
+        match self.v2_roundtrip(&mut env)? {
+            EnvelopeBody::GossipOk(reply) => Ok(reply),
+            EnvelopeBody::Err(e) => Err(proto::decode_error(&e)),
+            other => Err(NamingError::service(format!(
+                "unexpected gossip response body: {other:?}"
+            ))),
+        }
+    }
+
     /// Scrape the remote server's metrics registry as a mergeable
     /// snapshot (multiplexed over the same socket as data ops).
     pub fn scrape_metrics(&self) -> Result<rndi_obs::MetricsSnapshot> {

@@ -17,8 +17,8 @@ use rndi_core::error::{NamingError, Result};
 use rndi_obs::TraceCtx;
 
 use crate::proto::{
-    self, AdminReply, AdminRequest, Envelope, EnvelopeBody, Negotiated, WireError, WireOp,
-    WireOutcome,
+    self, AdminReply, AdminRequest, Envelope, EnvelopeBody, GossipReply, GossipRequest, Negotiated,
+    WireError, WireOp, WireOutcome,
 };
 
 /// An incremental length-prefixed frame reassembler. Bytes go in at
@@ -112,6 +112,8 @@ pub enum InboundMsg {
     },
     /// A telemetry scrape (v2 only — v1 has no admin vocabulary).
     Admin(AdminRequest),
+    /// A cluster membership exchange (v2 only, like admin).
+    Gossip(GossipRequest),
     /// The frame was self-delimiting but its payload did not decode; the
     /// server answers this error instead of dropping the connection.
     Malformed(NamingError),
@@ -124,6 +126,7 @@ pub enum ResponseBody {
     Ok(WireOutcome),
     Err(WireError),
     Admin(AdminReply),
+    Gossip(GossipReply),
 }
 
 enum ServerProto {
@@ -223,6 +226,10 @@ impl ServerConn {
                 ResponseBody::Admin(_) => {
                     return Err(NamingError::service("admin replies require protocol v2"))
                 }
+                // Same story: gossip is a v2-only vocabulary.
+                ResponseBody::Gossip(_) => {
+                    return Err(NamingError::service("gossip replies require protocol v2"))
+                }
             })?,
             ServerProto::V2 => proto::bin::encode_envelope(&Envelope {
                 req_id,
@@ -231,6 +238,7 @@ impl ServerConn {
                     ResponseBody::Ok(out) => EnvelopeBody::Ok(out),
                     ResponseBody::Err(err) => EnvelopeBody::Err(err),
                     ResponseBody::Admin(reply) => EnvelopeBody::AdminOk(reply),
+                    ResponseBody::Gossip(reply) => EnvelopeBody::GossipOk(reply),
                 },
             })?,
             ServerProto::Negotiating => {
@@ -302,11 +310,13 @@ fn decode_v2_request(frame: &[u8]) -> Result<Inbound> {
                     trace,
                 },
                 EnvelopeBody::Admin(req) => InboundMsg::Admin(req),
+                EnvelopeBody::Gossip(req) => InboundMsg::Gossip(req),
                 // A client must not send response bodies.
                 EnvelopeBody::Pong
                 | EnvelopeBody::Ok(_)
                 | EnvelopeBody::Err(_)
-                | EnvelopeBody::AdminOk(_) => {
+                | EnvelopeBody::AdminOk(_)
+                | EnvelopeBody::GossipOk(_) => {
                     InboundMsg::Malformed(NamingError::service("response body in a client request"))
                 }
             };

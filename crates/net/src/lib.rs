@@ -40,4 +40,4 @@ pub mod proto;
 pub mod server;
 
 pub use client::{ClientConfig, NetClient, NetClientFactory};
-pub use server::{NetServer, ServerConfig};
+pub use server::{GossipHandler, MembershipStats, NetServer, ServerConfig};

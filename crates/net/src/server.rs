@@ -41,7 +41,7 @@ use rndi_obs::metrics::{global_registry, names, Registry};
 use rndi_obs::{HealthSummary, SpanOutcome, SpanRecord, TraceCtx};
 
 use crate::conn::{Inbound, InboundMsg, ResponseBody, ServerConn};
-use crate::proto::{self, AdminReply, AdminRequest};
+use crate::proto::{self, AdminReply, AdminRequest, GossipReply, GossipRequest};
 
 /// Per-pass read budget per connection, so one firehose socket cannot
 /// starve its shard siblings.
@@ -169,6 +169,30 @@ struct ServerState {
     /// allocates label strings under a global lock, far too expensive on
     /// the per-request path.
     req_instruments: Mutex<HashMap<String, ReqInstruments>>,
+    /// Serves `Gossip` envelopes when a cluster membership plane attached
+    /// itself; otherwise gossip requests answer a typed error.
+    gossip: Mutex<Option<Arc<dyn GossipHandler>>>,
+    /// Membership figures the attached plane keeps current, folded into
+    /// the `Admin(Health)` answer.
+    membership: Arc<MembershipStats>,
+}
+
+/// Serves the v2 `Gossip` request family — membership sync exchanges and
+/// ferried group-communication frames. Runs inline on the shard event
+/// loop, so implementations must be quick and never block on the network.
+pub trait GossipHandler: Send + Sync {
+    fn handle(&self, req: GossipRequest) -> GossipReply;
+}
+
+/// Membership figures a cluster plane publishes for the health probe —
+/// plain atomics so `Admin(Health)` stays lock-free and nodes without a
+/// plane report zeros.
+#[derive(Default)]
+pub struct MembershipStats {
+    pub view_epoch: AtomicU64,
+    pub alive: AtomicU64,
+    pub suspect: AtomicU64,
+    pub dead: AtomicU64,
 }
 
 #[derive(Clone)]
@@ -240,6 +264,10 @@ impl ServerState {
                 .map(|l| l.load(Ordering::Relaxed))
                 .sum(),
             shed_total: self.shed.iter().map(|c| c.get()).sum(),
+            view_epoch: self.membership.view_epoch.load(Ordering::Relaxed),
+            members_alive: self.membership.alive.load(Ordering::Relaxed),
+            members_suspect: self.membership.suspect.load(Ordering::Relaxed),
+            members_dead: self.membership.dead.load(Ordering::Relaxed),
         }
     }
 }
@@ -507,6 +535,8 @@ impl NetServer {
                 .collect(),
             shed,
             req_instruments: Mutex::new(HashMap::new()),
+            gossip: Mutex::new(None),
+            membership: Arc::new(MembershipStats::default()),
         });
         let mut threads = Vec::with_capacity(shard_count + 1);
         for (shard, inbox) in inboxes.iter().enumerate() {
@@ -550,6 +580,18 @@ impl NetServer {
     /// The health summary this server would answer to `Admin(Health)`.
     pub fn health(&self) -> HealthSummary {
         self.state.health()
+    }
+
+    /// Attach a cluster membership plane: `handler` answers the v2
+    /// `Gossip` request family on this server's data sockets.
+    pub fn set_gossip_handler(&self, handler: Arc<dyn GossipHandler>) {
+        *self.state.gossip.lock() = Some(handler);
+    }
+
+    /// The membership figures folded into `Admin(Health)`; a cluster
+    /// plane keeps them current.
+    pub fn membership_stats(&self) -> Arc<MembershipStats> {
+        self.state.membership.clone()
     }
 
     /// Graceful shutdown: stop accepting, answer buffered requests, flush
@@ -913,6 +955,15 @@ fn respond(
             }
         }
         InboundMsg::Admin(admin) => ResponseBody::Admin(handle_admin(state, admin)),
+        InboundMsg::Gossip(req) => {
+            let handler = state.gossip.lock().clone();
+            match handler {
+                Some(h) => ResponseBody::Gossip(h.handle(req)),
+                None => ResponseBody::Err(proto::encode_error(&NamingError::service(
+                    "no cluster membership plane on this node",
+                ))),
+            }
+        }
         InboundMsg::Malformed(e) => ResponseBody::Err(proto::encode_error(&e)),
     };
     conn.machine.push_response(req.req_id, body)

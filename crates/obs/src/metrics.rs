@@ -113,6 +113,17 @@ pub mod names {
     /// before anyone read them — a nonzero value means ring dumps are
     /// partial.
     pub const TRACE_DROPPED: &str = "rndi_obs_trace_dropped_total";
+    /// Gauge (per instance): members this node believes Alive.
+    pub const CLUSTER_MEMBERS: &str = "rndi_cluster_members";
+    /// Gauge (per instance): members currently under phi suspicion.
+    pub const CLUSTER_SUSPECTS: &str = "rndi_cluster_suspects";
+    /// Gauge (per instance): sequence number of the installed view.
+    pub const CLUSTER_VIEW_EPOCH: &str = "rndi_cluster_view_epoch";
+    /// Counter (per instance): membership gossip rounds initiated.
+    pub const CLUSTER_GOSSIP_ROUNDS: &str = "rndi_cluster_gossip_rounds_total";
+    /// Gauge (per instance, label `peer`): phi score ×1000 for one peer,
+    /// as scored by the accrual failure detector.
+    pub const CLUSTER_PHI: &str = "rndi_cluster_phi_millis";
 }
 
 /// A monotonically increasing counter.

@@ -116,6 +116,16 @@ pub struct DerivedSignals {
     /// Total ops shed (`Overloaded`) across the cluster, all reasons
     /// (queue full, rate limit, deadline expired in queue).
     pub shed_total: u64,
+    /// Highest installed group-view sequence across instances (`0` when
+    /// no instance runs a cluster membership plane).
+    pub view_epoch: u64,
+    /// Alive / suspect member counts as reported by the instance holding
+    /// that highest view — the freshest membership opinion scraped.
+    pub members_alive: u64,
+    pub members_suspect: u64,
+    /// Whether every membership-bearing instance reported the same view
+    /// epoch this pass. `true` when none did (vacuously converged).
+    pub view_converged: bool,
     /// Per-op-kind latency quantiles over all shards.
     pub per_op: Vec<OpLatency>,
 }
@@ -281,6 +291,21 @@ fn derive_signals(instances: &[InstanceScrape], rollup: &MetricsSnapshot) -> Der
         .fold(1.0_f64, f64::min);
     let shed_total = instances.iter().map(|inst| inst.health.shed_total).sum();
 
+    // Membership: only instances running a cluster plane report non-zero
+    // members (a node always counts itself alive). The rollup takes the
+    // freshest opinion — the highest view epoch scraped — and flags
+    // whether every membership-bearing instance agreed on it.
+    let membered: Vec<&HealthSummary> = instances
+        .iter()
+        .map(|inst| &inst.health)
+        .filter(|h| h.members_alive > 0)
+        .collect();
+    let view_epoch = membered.iter().map(|h| h.view_epoch).max().unwrap_or(0);
+    let freshest = membered.iter().find(|h| h.view_epoch == view_epoch);
+    let members_alive = freshest.map_or(0, |h| h.members_alive);
+    let members_suspect = freshest.map_or(0, |h| h.members_suspect);
+    let view_converged = membered.iter().all(|h| h.view_epoch == view_epoch);
+
     // The rollup keys request-duration histograms by op alone, so each
     // one is the whole cluster's latency distribution for that op.
     let mut per_op: Vec<OpLatency> = rollup
@@ -307,6 +332,10 @@ fn derive_signals(instances: &[InstanceScrape], rollup: &MetricsSnapshot) -> Der
         headroom,
         admission_headroom,
         shed_total,
+        view_epoch,
+        members_alive,
+        members_suspect,
+        view_converged,
         per_op,
     }
 }

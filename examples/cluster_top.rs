@@ -17,13 +17,23 @@ use rndi::shard::ClusterScrape;
 fn render(scrape: &ClusterScrape, tick: usize) {
     println!("-- tick {tick} ---------------------------------------------------------");
     println!(
-        "{:<10} {:>9} {:>9} {:>8} {:>7} {:>9} {:>9} {:>7} {:>9}",
-        "shard", "req_ok", "req_err", "err%", "conns", "headroom", "adm_hdrm", "shed", "spans"
+        "{:<10} {:>9} {:>9} {:>8} {:>7} {:>9} {:>9} {:>7} {:>9} {:>5} {:>6}",
+        "shard",
+        "req_ok",
+        "req_err",
+        "err%",
+        "conns",
+        "headroom",
+        "adm_hdrm",
+        "shed",
+        "spans",
+        "view",
+        "alive"
     );
     for inst in &scrape.instances {
         let h = &inst.health;
         println!(
-            "{:<10} {:>9} {:>9} {:>7.2}% {:>7} {:>8.0}% {:>8.0}% {:>7} {:>9}",
+            "{:<10} {:>9} {:>9} {:>7.2}% {:>7} {:>8.0}% {:>8.0}% {:>7} {:>9} {:>5} {:>6}",
             inst.id,
             h.requests_ok,
             h.requests_err,
@@ -33,6 +43,8 @@ fn render(scrape: &ClusterScrape, tick: usize) {
             100.0 * h.admission_headroom(),
             h.shed_total,
             h.trace_spans,
+            h.view_epoch,
+            h.members_alive,
         );
     }
     for id in &scrape.unreachable {
@@ -40,11 +52,20 @@ fn render(scrape: &ClusterScrape, tick: usize) {
     }
     let s = &scrape.signals;
     println!(
-        "cluster    imbalance {:>5.0}%  headroom {:>3.0}%  adm_headroom {:>3.0}%  shed {}",
+        "cluster    imbalance {:>5.0}%  headroom {:>3.0}%  adm_headroom {:>3.0}%  shed {}  \
+         view {} ({} alive, {} suspect, {})",
         s.imbalance_pct,
         100.0 * s.headroom,
         100.0 * s.admission_headroom,
-        s.shed_total
+        s.shed_total,
+        s.view_epoch,
+        s.members_alive,
+        s.members_suspect,
+        if s.view_converged {
+            "converged"
+        } else {
+            "SPLIT"
+        },
     );
     for op in &s.per_op {
         println!(

@@ -8,8 +8,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 PRODUCT_CRATES=(
-  rndi rndi-core rndi-obs rndi-net rndi-shard simnet groupcast rlus hdns
-  minidns dirserv rndi-providers rndi-bench
+  rndi rndi-core rndi-obs rndi-net rndi-shard rndi-cluster simnet groupcast
+  rlus hdns minidns dirserv rndi-providers rndi-bench
 )
 pkg_flags=()
 for crate in "${PRODUCT_CRATES[@]}"; do
@@ -57,6 +57,13 @@ top_out="$(cargo run -q --example cluster_top)"
 grep -q 'instance="cluster"' <<<"$top_out"
 grep -q 'instance="shard-0"' <<<"$top_out"
 grep -q "cluster_top OK"     <<<"$top_out"
+
+echo "==> cluster smoke: membership props + chaos e2e + example"
+cargo test -q -p rndi-cluster
+cargo test -q --test cluster_membership
+member_out="$(cargo run -q --example cluster_membership)"
+grep -q "rndi_cluster_members"   <<<"$member_out"
+grep -q "cluster_membership OK"  <<<"$member_out"
 
 echo "==> obs smoke: fig8_federation --obs-dump emits the exposition"
 fig8_out="$(RNDI_BENCH_QUICK=1 RNDI_OBS_DUMP=1 cargo bench -p rndi-bench --bench fig8_federation 2>/dev/null)"

@@ -53,4 +53,5 @@ pub use groupcast;
 pub use hdns;
 pub use minidns as dns;
 pub use rlus;
+pub use rndi_cluster as cluster;
 pub use simnet;

@@ -9,6 +9,7 @@
 
 use std::sync::Arc;
 
+use rndi_cluster::{ClusterConfig, ClusterNode};
 use rndi_core::env::Environment;
 use rndi_core::error::Result;
 use rndi_core::spi::{ProviderBackend, ProviderPipeline};
@@ -157,6 +158,108 @@ pub fn serve_sharded_hdns(shards: usize, env: &Environment) -> Result<ShardClust
         })
         .collect();
     serve_sharded(backends, env)
+}
+
+/// A locally-hosted replicated HDNS cluster on the membership plane:
+/// `n` [`ClusterNode`]s gossiping over real TCP, each hosting a replica
+/// of the *same* namespace (contrast [`ShardCluster`], which partitions
+/// it). Built by [`serve_cluster_hdns`].
+///
+/// The node list is mutable so chaos tests can [`HdnsCluster::take`] a
+/// node out (to kill or restart it) and [`HdnsCluster::push`] a
+/// replacement back in.
+pub struct HdnsCluster {
+    nodes: Vec<ClusterNode>,
+    env: Environment,
+}
+
+impl HdnsCluster {
+    pub fn nodes(&self) -> &[ClusterNode] {
+        &self.nodes
+    }
+
+    pub fn node(&self, i: usize) -> &ClusterNode {
+        &self.nodes[i]
+    }
+
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Remove a node from the cluster's bookkeeping (it keeps running —
+    /// call [`ClusterNode::kill`] or [`ClusterNode::shutdown`] on it).
+    pub fn take(&mut self, i: usize) -> ClusterNode {
+        self.nodes.remove(i)
+    }
+
+    /// Adopt a node (e.g. a restarted one) into the bookkeeping.
+    pub fn push(&mut self, node: ClusterNode) {
+        self.nodes.push(node);
+    }
+
+    /// The membership rendered as a [`ShardMap`] (node name → endpoint),
+    /// which is what the telemetry plane scrapes by.
+    pub fn map(&self) -> Result<ShardMap> {
+        ShardMap::new(
+            self.nodes
+                .iter()
+                .map(|n| ShardInfo::new(n.name(), n.endpoint()))
+                .collect(),
+        )
+    }
+
+    /// A telemetry scraper over every live node's admin surface.
+    pub fn observer(&self) -> Result<ClusterObserver> {
+        ClusterObserver::new(&self.map()?, &self.env)
+    }
+
+    /// One full telemetry pass over the cluster: per-node metrics
+    /// (including the `rndi_cluster_*` series), health with membership
+    /// summaries, and trace rings, merged.
+    pub fn scrape_all(&self) -> Result<ClusterScrape> {
+        Ok(self.observer()?.scrape_all())
+    }
+
+    /// Gracefully stop every node.
+    pub fn shutdown(self) {
+        for node in self.nodes {
+            node.shutdown();
+        }
+    }
+}
+
+/// Boot an `n`-node replicated HDNS cluster from one seed.
+///
+/// `node-0` bootstraps the view lineage; every other node is pointed at
+/// its endpoint via `rndi.cluster.seed` and joins by gossip — membership
+/// convergence, view installation, and state transfer all happen over
+/// the wire exactly as they would across machines. Remaining
+/// `rndi.cluster.*` knobs (gossip interval, phi threshold, quarantine)
+/// are read from `env`.
+pub fn serve_cluster_hdns(n: usize, group: &str, env: &Environment) -> Result<HdnsCluster> {
+    let mut nodes = Vec::with_capacity(n);
+    let seed_free = env.clone().with(rndi_core::env::keys::CLUSTER_SEED, "");
+    nodes.push(ClusterNode::start(ClusterConfig::from_env(
+        "node-0", group, &seed_free,
+    )?)?);
+    let seeded = env
+        .clone()
+        .with(rndi_core::env::keys::CLUSTER_SEED, nodes[0].endpoint());
+    for i in 1..n {
+        nodes.push(ClusterNode::start(ClusterConfig::from_env(
+            format!("node-{i}"),
+            group,
+            &seeded,
+        )?)?);
+    }
+    Ok(HdnsCluster {
+        nodes,
+        env: env.clone(),
+    })
 }
 
 /// Expose an rlus registrar (the Jini-analog lookup service) as a
